@@ -1,0 +1,52 @@
+// Hot spots and tree saturation (Fig. 2.1): a buffered multistage
+// interconnection network under uniform traffic behaves well, but adding
+// a modest hot-spot component saturates the switch queues feeding the hot
+// memory module and the saturation tree grows back toward the processors,
+// destroying the latency of BACKGROUND traffic that never touches the hot
+// module. The CFM eliminates the effect entirely: its latency is a
+// constant β regardless of access pattern, because no two processors can
+// ever collide in a bank or switch.
+package main
+
+import (
+	"fmt"
+
+	"cfm"
+)
+
+func run(hot float64) *cfm.BufferedOmega {
+	b := cfm.NewBufferedOmega(cfm.BufferedConfig{
+		Terminals:   16,
+		QueueCap:    4,
+		ServiceTime: 2,
+		Rate:        0.1,
+		HotFraction: hot,
+		HotModule:   0,
+		Seed:        7,
+	})
+	clk := cfm.NewClock()
+	clk.Register(b)
+	clk.Run(30000)
+	return b
+}
+
+func main() {
+	fmt.Println("buffered 16x16 omega network, rate 0.1/processor/cycle, queue depth 4")
+	fmt.Println()
+	fmt.Printf("%-12s %-20s %-22s %s\n", "hot-spot %", "background latency", "full queues/column", "network backlog")
+	for _, hot := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		b := run(hot)
+		fq := fmt.Sprint(b.FullQueues())
+		fmt.Printf("%-12.0f %-20.1f %-22s %d packets\n",
+			hot*100, b.MeanLatencyBg(), fq, b.QueuedPackets())
+	}
+
+	// The CFM at the same scale: 16 processors, one conflict-free block
+	// access pipeline; latency is β for every access, hot spot or not.
+	cfg := cfm.Config{Processors: 16, BankCycle: 1, WordWidth: 16}
+	fmt.Printf("\nCFM with %d processors: latency = β = %d cycles for every access,\n",
+		cfg.Processors, cfg.BlockTime())
+	fmt.Println("independent of access pattern — spin locks on one block cause no tree")
+	fmt.Println("saturation because simultaneous same-block reads occupy disjoint")
+	fmt.Println("AT-space divisions (§4.2.2).")
+}

@@ -1,0 +1,67 @@
+// Lock transfer walkthrough (Fig. 5.4): processor 0 holds a lock while
+// processors 1 and 3 busy-wait on their cached copies. The release and
+// the transfer to the next holder take approximately three memory
+// accesses — the original holder's write-back, the new holder's read, and
+// the new holder's read-invalidate — with the waiting processors spinning
+// harmlessly on cache hits in between.
+package main
+
+import (
+	"fmt"
+
+	"cfm"
+)
+
+func main() {
+	trace := cfm.NewTrace()
+	proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: 4, Lines: 4, RetryDelay: 1}, trace)
+	lock := cfm.NewLocker(proto, 0)
+	clk := cfm.NewClock()
+	clk.Register(lock)
+	clk.Register(proto)
+
+	var events []string
+	lock.OnAcquire = func(p int, t cfm.Slot) {
+		events = append(events, fmt.Sprintf("slot %4d: P%d acquires the lock", t, p))
+	}
+
+	// P0 takes the lock.
+	lock.Request(0)
+	clk.RunUntil(func() bool { return lock.Holding(0) }, 1000)
+
+	// P1 and P3 contend; they end up read-looping on local cached copies.
+	lock.Request(1)
+	lock.Request(3)
+	clk.Run(120)
+
+	hitsBefore := proto.Hits
+	spinStart := clk.Now()
+	clk.Run(100)
+	fmt.Printf("while P0 holds the lock: %d cache hits in %d slots of spinning (no memory traffic)\n",
+		proto.Hits-hitsBefore, clk.Now()-spinStart)
+
+	// Release: watch the transfer.
+	releaseAt := clk.Now()
+	wbBefore, invBefore := proto.WriteBacks, proto.Invalidations
+	lock.Release(0)
+	clk.RunUntil(func() bool { return lock.Holding(1) || lock.Holding(3) }, 2000)
+	fmt.Printf("\nlock released at slot %d; transferred by slot %d (%d slots ≈ %.1f block accesses of %d slots)\n",
+		releaseAt, clk.Now(), clk.Now()-releaseAt,
+		float64(clk.Now()-releaseAt)/4.0, 4)
+	fmt.Printf("during the transfer: %d write-backs, %d invalidations\n",
+		proto.WriteBacks-wbBefore, proto.Invalidations-invBefore)
+
+	for _, e := range events {
+		fmt.Println(e)
+	}
+
+	fmt.Println("\nprotocol event trace (last 25 events):")
+	all := trace.Events()
+	start := len(all) - 25
+	if start < 0 {
+		start = 0
+	}
+	for _, e := range all[start:] {
+		fmt.Println(" ", e)
+	}
+}

@@ -1,0 +1,73 @@
+// Memory consistency models made visible (Chapter 2): the same
+// program — alternating stores and loads — issued through three
+// processor front-ends over the CFM cache protocol, each enforcing one of
+// the §2.2 ordering disciplines. The recorded executions are then checked
+// against the formal conditions: the strict front-end satisfies
+// sequential consistency; the store-buffered one violates SC but
+// satisfies processor consistency (loads bypass buffered stores); the
+// weak one violates PC but satisfies weak consistency (stores drain out
+// of order between synchronization points).
+package main
+
+import (
+	"fmt"
+
+	"cfm"
+)
+
+func run(mode cfm.Ordering) (*cfm.Frontend, int64) {
+	proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: 4, Lines: 8, RetryDelay: 1}, nil)
+	clk := cfm.NewClock()
+	fe := cfm.NewFrontend(proto, clk, 0, mode)
+	clk.Register(fe)
+	clk.Register(proto)
+	for j := 0; j < 10; j++ {
+		fe.Store(j%6, 0, cfm.Word(j))
+		fe.Load((j+1)%6, 0, nil)
+	}
+	if mode == cfm.ReleaseOrder {
+		// The acquire/release split: an acquire that bypasses a buffered
+		// store is RC's extra freedom over WC.
+		fe.Store(0, 0, 99)
+		fe.Acquire(7)
+	}
+	fe.Sync(7)
+	n, _ := clk.RunUntil(fe.Idle, 100000)
+	return fe, n
+}
+
+func main() {
+	models := []struct {
+		name  string
+		model cfm.ConsistencyModel
+	}{
+		{"sequential", cfm.SequentialConsistency},
+		{"processor", cfm.ProcessorConsistency},
+		{"weak", cfm.WeakConsistency},
+		{"release", cfm.ReleaseConsistency},
+	}
+	fmt.Println("one program, four issue disciplines, checked against the Chapter 2 models:")
+	fmt.Println()
+	fmt.Printf("%-10s %-12s", "frontend", "drain-slots")
+	for _, m := range models {
+		fmt.Printf(" %-12s", m.name)
+	}
+	fmt.Println()
+	for _, mode := range []cfm.Ordering{cfm.StrictOrder, cfm.BufferedOrder, cfm.WeakOrder, cfm.ReleaseOrder} {
+		fe, slots := run(mode)
+		exec := cfm.FrontendExecution(fe)
+		fmt.Printf("%-10s %-12d", mode, slots)
+		for _, m := range models {
+			verdict := "PASS"
+			if err := cfm.CheckConsistency(m.model, exec); err != nil {
+				verdict = "violates"
+			}
+			fmt.Printf(" %-12s", verdict)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("the CFM cache protocol supports weak consistency (§5.3.1): the weak")
+	fmt.Println("front-end's Sync is an atomic read-modify-write that drains the write")
+	fmt.Println("buffer first — ordinary accesses pipeline freely between sync points.")
+}

@@ -1,0 +1,120 @@
+// 2-D pipelining with process binding (§6.4.3's closing extension): a
+// dynamic-programming wavefront. Each row of the edit-distance table is
+// computed by its own process; cell (i, j) needs (i−1, j) — expressed by
+// binding the previous row's PROC at level j — and (i, j−1), which the
+// process's own program order provides. The anti-diagonal wavefront
+// sweeps the table with all rows working concurrently.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+
+	"cfm/internal/binding"
+)
+
+func main() {
+	a := strings.Repeat("conflict-free memory ", 6)
+	b := strings.Repeat("conventional memory! ", 6)
+	rows, cols := len(a)+1, len(b)+1
+
+	// dp[i][j] = edit distance between a[:i] and b[:j].
+	dp := make([][]int32, rows)
+	for i := range dp {
+		dp[i] = make([]int32, cols)
+	}
+	// progress[i] counts cells row i has finished; rows with progress in
+	// (0, cols) are mid-flight — the width of the wavefront.
+	progress := make([]atomic.Int32, rows)
+	var peak atomic.Int32
+
+	binding.Wavefront2D(rows, cols, func(i, j int) {
+		active := int32(0)
+		for r := range progress {
+			if p := progress[r].Load(); p > 0 && p < int32(cols) {
+				active++
+			}
+		}
+		if active > peak.Load() {
+			peak.Store(active)
+		}
+		defer progress[i].Add(1)
+		work(i, j) // each cell carries real computation, so rows overlap
+		switch {
+		case i == 0:
+			dp[i][j] = int32(j)
+		case j == 0:
+			dp[i][j] = int32(i)
+		default:
+			cost := int32(1)
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			dp[i][j] = min32(dp[i-1][j]+1, dp[i][j-1]+1, dp[i-1][j-1]+cost)
+		}
+	})
+
+	fmt.Printf("edit distance over a %d × %d table: %d\n", rows, cols, dp[rows-1][cols-1])
+	fmt.Printf("peak wavefront width observed: %d rows mid-flight simultaneously\n", peak.Load())
+	fmt.Println()
+	fmt.Println("each row is one process; cell (i,j) waited on row i−1's permission")
+	fmt.Println("level j — the dissertation's process-binding dependency primitive")
+	fmt.Println("generalized to the 2-D pipeline it names in §6.4.3.")
+
+	// Verify against a sequential computation.
+	seq := sequentialEdit(a, b)
+	if int32(seq) != dp[rows-1][cols-1] {
+		fmt.Printf("MISMATCH: sequential says %d\n", seq)
+		return
+	}
+	fmt.Println("sequential verification: match")
+}
+
+// work simulates the per-cell computation a real dynamic-programming
+// kernel would do (scoring, traceback bookkeeping, ...). It yields the
+// processor once so the demonstration shows pipeline overlap even on a
+// single-core host.
+func work(i, j int) {
+	h := uint64(i)*2654435761 ^ uint64(j)
+	for k := 0; k < 1000; k++ {
+		h ^= h << 13
+		h ^= h >> 7
+		h ^= h << 17
+	}
+	if h == 0 {
+		fmt.Print() // defeat dead-code elimination
+	}
+	runtime.Gosched()
+}
+
+func min32(xs ...int32) int32 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func sequentialEdit(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,3 @@
+module cfm
+
+go 1.22

@@ -1,0 +1,249 @@
+// Whole-system integration tests through the public facade: small
+// parallel programs that exercise several subsystems together, the way a
+// downstream user of the library would.
+package cfm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cfm"
+	"cfm/internal/sim"
+)
+
+// TestParallelSumOnCacheProtocol runs a complete parallel reduction on
+// the simulated machine: 8 processors each add their partial sums into a
+// shared accumulator with atomic RMWs, synchronize at a barrier, and
+// processor 0 reads the total — coherence, synchronization, and the
+// conflict-free substrate working together.
+func TestParallelSumOnCacheProtocol(t *testing.T) {
+	const procs = 8
+	proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: procs, Lines: 8, RetryDelay: 1}, nil)
+	bar := cfm.NewBarrier(proto, 1, procs)
+	clk := cfm.NewClock()
+	clk.Register(bar)
+	clk.Register(proto)
+
+	// Each processor owns 10 values: p*10 .. p*10+9.
+	want := cfm.Word(0)
+	for v := 0; v < procs*10; v++ {
+		want += cfm.Word(v)
+	}
+
+	added := make([]bool, procs)
+	arrived := make([]bool, procs)
+	var total cfm.Word
+	readDone := false
+	driver := sim.TickerFunc(func(tt cfm.Slot, ph cfm.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for p := 0; p < procs; p++ {
+			p := p
+			if !added[p] && !proto.Busy(p) {
+				added[p] = true
+				part := cfm.Word(0)
+				for v := p * 10; v < p*10+10; v++ {
+					part += cfm.Word(v)
+				}
+				proto.RMW(p, 0, func(old cfm.Block) cfm.Block {
+					nb := old.Clone()
+					nb[0] += part
+					return nb
+				}, func(cfm.Block) {
+					arrived[p] = true
+					bar.Arrive(p)
+				})
+			}
+		}
+		// After the barrier releases P0, it reads the total.
+		if bar.Passed(0) && !readDone && !proto.Busy(0) {
+			readDone = true
+			proto.Load(0, 0, func(b cfm.Block) { total = b[0] })
+		}
+	})
+	clk.Register(driver)
+	if _, ok := clk.RunUntil(func() bool { return total == want }, 200000); !ok {
+		t.Fatalf("parallel sum = %d, want %d", total, want)
+	}
+}
+
+// TestLockProtectedSharedStructure: mutual exclusion via the cache
+// protocol's spin lock guarding a multi-word record that every processor
+// updates read-modify-write style through plain loads/stores — a torn or
+// lost update would break the invariant word0 == word1.
+func TestLockProtectedSharedStructure(t *testing.T) {
+	const procs = 4
+	proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: procs, Lines: 8, RetryDelay: 1}, nil)
+	lock := cfm.NewLocker(proto, 0)
+	clk := cfm.NewClock()
+	clk.Register(lock)
+	clk.Register(proto)
+
+	const rounds = 3
+	left := make([]int, procs)
+	for p := range left {
+		left[p] = rounds
+	}
+	type csState int
+	const (
+		outside csState = iota
+		reading
+		writing1
+		writing2
+	)
+	state := make([]csState, procs)
+	var cur cfm.Block
+	driver := sim.TickerFunc(func(tt cfm.Slot, ph cfm.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for p := 0; p < procs; p++ {
+			p := p
+			if proto.Busy(p) {
+				continue
+			}
+			switch {
+			case state[p] == outside && left[p] > 0 && !lock.Holding(p):
+				lock.Request(p)
+				state[p] = reading
+			case state[p] == reading && lock.Holding(p):
+				proto.Load(p, 1, func(b cfm.Block) { cur = b })
+				state[p] = writing1
+			case state[p] == writing1 && lock.Holding(p):
+				proto.Store(p, 1, 0, cur[0]+1, nil)
+				state[p] = writing2
+			case state[p] == writing2 && lock.Holding(p):
+				proto.Store(p, 1, 1, cur[1]+1, func(cfm.Block) {
+					left[p]--
+					state[p] = outside
+					lock.Release(p)
+				})
+				state[p] = 99
+			}
+		}
+	})
+	clk.Register(driver)
+	done := func() bool {
+		for _, l := range left {
+			if l > 0 {
+				return false
+			}
+		}
+		return proto.Idle()
+	}
+	if _, ok := clk.RunUntil(done, 500000); !ok {
+		t.Fatalf("critical sections did not finish: %v", left)
+	}
+	// Read the final record.
+	var final cfm.Block
+	proto.Load(0, 1, func(b cfm.Block) { final = b })
+	clk.RunUntil(func() bool { return final != nil }, 10000)
+	if final[0] != procs*rounds || final[1] != procs*rounds {
+		t.Fatalf("record = [%d %d], want [%d %d] (lost or torn update)",
+			final[0], final[1], procs*rounds, procs*rounds)
+	}
+}
+
+// TestWorkloadDrivenCFMNeverConflicts drives the conflict-free memory
+// with a random workload generator for a long run: the CFM invariant
+// (panic on any bank conflict) plus completion accounting.
+func TestWorkloadDrivenCFMNeverConflicts(t *testing.T) {
+	cfg := cfm.Config{Processors: 8, BankCycle: 2, WordWidth: 16}
+	mem := cfm.NewMemory(cfg, nil)
+	gen := cfm.NewBernoulliWorkload(cfg.Processors, 0.08, 0.5, 99, cfm.UniformTargets(16))
+	clk := cfm.NewClock()
+	issued := 0
+	clk.Register(sim.TickerFunc(func(tt cfm.Slot, ph cfm.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for p := 0; p < cfg.Processors; p++ {
+			a, ok := gen.Next(tt, p)
+			if !ok || !mem.CanStart(tt, p) {
+				continue
+			}
+			issued++
+			if a.Store {
+				mem.StartWrite(tt, p, a.Module, make(cfm.Block, cfg.Banks()), nil)
+			} else {
+				mem.StartRead(tt, p, a.Module, nil)
+			}
+		}
+	}))
+	clk.Register(mem)
+	clk.Run(50000)
+	if issued == 0 || mem.Completed < int64(issued)-int64(cfg.Processors) {
+		t.Fatalf("issued %d, completed %d", issued, mem.Completed)
+	}
+}
+
+// TestEndToEndBindingOverDistributedServer: the portability story — the
+// same dining-philosophers program runs unchanged over the shared-memory
+// binder and the message-passing server.
+func TestEndToEndBindingOverDistributedServer(t *testing.T) {
+	srv := cfm.NewBindingServer()
+	defer srv.Stop()
+	srv.RegisterData("chopstick", make([]int, 5))
+	done := make(chan bool, 5)
+	for i := 0; i < 5; i++ {
+		go func(i int) {
+			c := srv.Client(fmt.Sprintf("p%d", i))
+			var region cfm.Region
+			if i < 4 {
+				region = cfm.NewRegion("chopstick", cfm.Dim{Start: i, Stop: i + 1, Step: 1})
+			} else {
+				region = cfm.NewRegion("chopstick", cfm.Dim{Start: 0, Stop: 4, Step: 4})
+			}
+			for m := 0; m < 10; m++ {
+				l, err := c.Bind(region, cfm.RW, true)
+				if err != nil {
+					done <- false
+					return
+				}
+				l.Data[0]++ // use a chopstick
+				c.Unbind(l)
+			}
+			done <- true
+		}(i)
+	}
+	for i := 0; i < 5; i++ {
+		if !<-done {
+			t.Fatal("distributed philosopher failed")
+		}
+	}
+	// Every chopstick was used: 10 meals × 2 philosophers each = 20 uses
+	// spread over first-element increments.
+	total := 0
+	for _, v := range srv.PeekData("chopstick") {
+		total += v
+	}
+	if total != 50 {
+		t.Fatalf("chopstick uses = %d, want 50 (5 philosophers × 10 meals)", total)
+	}
+}
+
+// TestHierarchyWithWorkload: random traffic on the two-level hierarchy at
+// the Table 5.5 shape, with invariants checked (inside the hier engine's
+// own checker) and everything quiescing.
+func TestHierarchyWithWorkload(t *testing.T) {
+	s := cfm.NewHierSystem(cfm.HierConfig{
+		Clusters: 4, ProcsPerCluster: 4, BankCycle: 2, L1Lines: 4, L2Lines: 8}, nil)
+	clk := cfm.NewClock()
+	clk.Register(s)
+	rng := cfm.NewRNG(5)
+	for i := 0; i < 60; i++ {
+		cl, p, off := rng.Intn(4), rng.Intn(4), rng.Intn(6)
+		if rng.Bernoulli(0.5) {
+			s.Load(cl, p, off, nil)
+		} else {
+			s.Store(cl, p, off, rng.Intn(8), cfm.Word(rng.Intn(100)), nil)
+		}
+	}
+	if _, ok := clk.RunUntil(s.Idle, 200000); !ok {
+		t.Fatal("hierarchy did not quiesce")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

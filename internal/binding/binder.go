@@ -1,0 +1,203 @@
+package binding
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by Bind.
+var (
+	// ErrConflict: a non-blocking bind found a conflicting active binding.
+	ErrConflict = errors.New("binding: conflicting region currently bound")
+	// ErrDeadlock: a blocking bind would close a cycle in the wait-for
+	// graph (§6.2: "mechanisms for detecting deadlock can be easily built
+	// into the resource binding paradigm").
+	ErrDeadlock = errors.New("binding: deadlock detected")
+)
+
+// Binding is the binding descriptor returned by a successful bind and
+// consumed by unbind (§6.2.2).
+type Binding struct {
+	id     int64
+	owner  string
+	region Region
+	access Access
+}
+
+// Region returns the bound region.
+func (b *Binding) Region() Region { return b.region }
+
+// Access returns the binding's access type.
+func (b *Binding) Access() Access { return b.access }
+
+// Owner returns the owning client's name.
+func (b *Binding) Owner() string { return b.owner }
+
+// Binder is the shared-memory resource binding runtime of Fig. 6.11: an
+// active binding list guarded by a lock, with blocked binds waiting on a
+// condition and re-verifying against the list, plus a wait-for graph for
+// deadlock detection. Safe for concurrent use by many goroutines.
+type Binder struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	nextID int64
+	active map[int64]*Binding
+	// waitsFor[client] = owners of the bindings the client is currently
+	// blocked on (the wait-for graph's adjacency).
+	waitsFor map[string]map[string]bool
+
+	// DetectDeadlock enables cycle detection on blocking binds; a bind
+	// that would deadlock returns ErrDeadlock instead of waiting forever.
+	DetectDeadlock bool
+
+	// Statistics.
+	Binds, Unbinds, ConflictsSeen, Deadlocks int64
+}
+
+// NewBinder returns an empty binder with deadlock detection enabled.
+func NewBinder() *Binder {
+	b := &Binder{
+		active:         make(map[int64]*Binding),
+		waitsFor:       make(map[string]map[string]bool),
+		DetectDeadlock: true,
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// conflicting returns the active bindings of OTHER owners that conflict
+// with the request. Two regions bound by the same process never conflict
+// (§6.2.2: conflicting regions are bound by different processes).
+func (b *Binder) conflicting(owner string, r Region, a Access) []*Binding {
+	var out []*Binding
+	for _, act := range b.active {
+		if act.owner == owner {
+			continue
+		}
+		if Conflicts(r, a, act.region, act.access) {
+			out = append(out, act)
+		}
+	}
+	return out
+}
+
+// wouldDeadlock reports whether owner blocking on blockers closes a cycle
+// in the wait-for graph.
+func (b *Binder) wouldDeadlock(owner string, blockers []*Binding) bool {
+	// Tentatively add owner's edges, then search for a path back to owner.
+	adj := func(from string) map[string]bool {
+		if from == owner {
+			set := map[string]bool{}
+			for _, bl := range blockers {
+				set[bl.owner] = true
+			}
+			return set
+		}
+		return b.waitsFor[from]
+	}
+	seen := map[string]bool{}
+	var dfs func(from string) bool
+	dfs = func(from string) bool {
+		for next := range adj(from) {
+			if next == owner {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(owner)
+}
+
+// Bind binds a region with the given access type for the named client.
+// With blocking=false it returns ErrConflict immediately when a
+// conflicting region is bound; with blocking=true it waits for the
+// conflicts to be unbound (or returns ErrDeadlock if waiting would close
+// a cycle and detection is on).
+func (b *Binder) Bind(owner string, r Region, a Access, blocking bool) (*Binding, error) {
+	if owner == "" {
+		panic("binding: empty client name")
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if a == EX {
+		return nil, fmt.Errorf("binding: use the process-binding layer for ex bindings")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		blockers := b.conflicting(owner, r, a)
+		if len(blockers) == 0 {
+			b.nextID++
+			nb := &Binding{id: b.nextID, owner: owner, region: r, access: a}
+			b.active[nb.id] = nb
+			b.Binds++
+			delete(b.waitsFor, owner)
+			return nb, nil
+		}
+		b.ConflictsSeen++
+		if !blocking {
+			return nil, ErrConflict
+		}
+		if b.DetectDeadlock && b.wouldDeadlock(owner, blockers) {
+			b.Deadlocks++
+			return nil, ErrDeadlock
+		}
+		set := map[string]bool{}
+		for _, bl := range blockers {
+			set[bl.owner] = true
+		}
+		b.waitsFor[owner] = set
+		b.cond.Wait()
+		delete(b.waitsFor, owner)
+	}
+}
+
+// Unbind releases a binding and wakes blocked binds for re-evaluation.
+func (b *Binder) Unbind(nb *Binding) {
+	if nb == nil {
+		panic("binding: unbind of nil binding")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.active[nb.id]; !ok {
+		panic(fmt.Sprintf("binding: unbind of inactive binding %s", nb.region))
+	}
+	delete(b.active, nb.id)
+	b.Unbinds++
+	b.cond.Broadcast()
+}
+
+// ActiveCount returns the number of active bindings (for tests).
+func (b *Binder) ActiveCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.active)
+}
+
+// Client is a convenience handle carrying the owner name.
+type Client struct {
+	b    *Binder
+	name string
+}
+
+// Client returns a handle for the named process.
+func (b *Binder) Client(name string) *Client { return &Client{b: b, name: name} }
+
+// Name returns the client's name.
+func (c *Client) Name() string { return c.name }
+
+// Bind binds through the handle.
+func (c *Client) Bind(r Region, a Access, blocking bool) (*Binding, error) {
+	return c.b.Bind(c.name, r, a, blocking)
+}
+
+// Unbind releases through the handle.
+func (c *Client) Unbind(nb *Binding) { c.b.Unbind(nb) }

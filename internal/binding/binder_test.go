@@ -1,0 +1,301 @@
+package binding
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBindUnbindBasic(t *testing.T) {
+	b := NewBinder()
+	c := b.Client("p0")
+	nb, err := c.Bind(R("sh", Dim{0, 5, 0}), RW, false)
+	if err != nil {
+		t.Fatalf("bind failed: %v", err)
+	}
+	if nb.Owner() != "p0" || nb.Access() != RW || nb.Region().Target != "sh" {
+		t.Fatalf("descriptor wrong: %+v", nb)
+	}
+	if b.ActiveCount() != 1 {
+		t.Fatalf("ActiveCount = %d", b.ActiveCount())
+	}
+	c.Unbind(nb)
+	if b.ActiveCount() != 0 {
+		t.Fatalf("ActiveCount after unbind = %d", b.ActiveCount())
+	}
+}
+
+func TestNonBlockingConflict(t *testing.T) {
+	b := NewBinder()
+	p0, p1 := b.Client("p0"), b.Client("p1")
+	nb, _ := p0.Bind(R("sh", Dim{0, 5, 0}), RW, false)
+	if _, err := p1.Bind(R("sh", Dim{3, 8, 0}), RO, false); !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+	p0.Unbind(nb)
+	if _, err := p1.Bind(R("sh", Dim{3, 8, 0}), RO, false); err != nil {
+		t.Fatalf("bind after unbind failed: %v", err)
+	}
+}
+
+func TestMultipleReadersCoexist(t *testing.T) {
+	b := NewBinder()
+	for i := 0; i < 5; i++ {
+		c := b.Client(string(rune('a' + i)))
+		if _, err := c.Bind(R("sh", Dim{0, 9, 0}), RO, false); err != nil {
+			t.Fatalf("reader %d rejected: %v", i, err)
+		}
+	}
+	if b.ActiveCount() != 5 {
+		t.Fatalf("ActiveCount = %d, want 5", b.ActiveCount())
+	}
+	// A writer must be rejected while readers hold the region.
+	if _, err := b.Client("w").Bind(R("sh", Dim{2, 3, 0}), RW, false); !errors.Is(err, ErrConflict) {
+		t.Fatalf("writer accepted against readers: %v", err)
+	}
+}
+
+func TestSameOwnerNeverSelfConflicts(t *testing.T) {
+	b := NewBinder()
+	c := b.Client("p0")
+	if _, err := c.Bind(R("sh", Dim{0, 5, 0}), RW, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Bind(R("sh", Dim{0, 5, 0}), RW, false); err != nil {
+		t.Fatalf("same owner self-conflicted: %v", err)
+	}
+}
+
+func TestBlockingBindWaits(t *testing.T) {
+	b := NewBinder()
+	p0, p1 := b.Client("p0"), b.Client("p1")
+	nb, _ := p0.Bind(R("sh", Dim{0, 5, 0}), RW, false)
+	got := make(chan struct{})
+	go func() {
+		if _, err := p1.Bind(R("sh", Dim{0, 5, 0}), RW, true); err != nil {
+			t.Errorf("blocking bind failed: %v", err)
+		}
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("blocking bind returned while conflict held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p0.Unbind(nb)
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocking bind never woke")
+	}
+}
+
+// TestMutualExclusionUnderContention: N goroutines increment a shared
+// counter under rw bindings of the same region; every increment must be
+// mutually exclusive.
+func TestMutualExclusionUnderContention(t *testing.T) {
+	b := NewBinder()
+	var inCS atomic.Int32
+	var maxSeen atomic.Int32
+	counter := 0
+	const workers, rounds = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := b.Client(string(rune('a' + w)))
+			for r := 0; r < rounds; r++ {
+				nb, err := c.Bind(R("counter", Dim{0, 0, 0}), RW, true)
+				if err != nil {
+					t.Errorf("bind: %v", err)
+					return
+				}
+				if v := inCS.Add(1); v > maxSeen.Load() {
+					maxSeen.Store(v)
+				}
+				counter++
+				inCS.Add(-1)
+				c.Unbind(nb)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*rounds {
+		t.Fatalf("counter = %d, want %d", counter, workers*rounds)
+	}
+	if maxSeen.Load() > 1 {
+		t.Fatalf("%d goroutines in the critical section simultaneously", maxSeen.Load())
+	}
+}
+
+// TestDisjointRegionsRunConcurrently: writers on disjoint regions are
+// never serialized against each other — the §6.3 flexibility claim.
+func TestDisjointRegionsRunConcurrently(t *testing.T) {
+	b := NewBinder()
+	start := make(chan struct{})
+	both := make(chan struct{}, 2)
+	var concurrent atomic.Int32
+	var sawBoth atomic.Bool
+	for w := 0; w < 2; w++ {
+		go func(w int) {
+			c := b.Client(string(rune('a' + w)))
+			<-start
+			nb, err := c.Bind(R("arr", Dim{w * 10, w*10 + 9, 0}), RW, true)
+			if err != nil {
+				t.Errorf("bind: %v", err)
+				return
+			}
+			if concurrent.Add(1) == 2 {
+				sawBoth.Store(true)
+			}
+			time.Sleep(30 * time.Millisecond)
+			concurrent.Add(-1)
+			c.Unbind(nb)
+			both <- struct{}{}
+		}(w)
+	}
+	close(start)
+	<-both
+	<-both
+	if !sawBoth.Load() {
+		t.Fatal("disjoint writers never ran concurrently")
+	}
+}
+
+// TestDeadlockDetection: A holds x and blocks on y; B holds y and blocks
+// on x — the second blocking bind must fail with ErrDeadlock rather than
+// hang (§6.2's reliability condition).
+func TestDeadlockDetection(t *testing.T) {
+	b := NewBinder()
+	pa, pb := b.Client("A"), b.Client("B")
+	ax, _ := pa.Bind(R("x", Dim{0, 0, 0}), RW, false)
+	by, _ := pb.Bind(R("y", Dim{0, 0, 0}), RW, false)
+	_ = ax
+	_ = by
+
+	aBlocked := make(chan error, 1)
+	go func() {
+		_, err := pa.Bind(R("y", Dim{0, 0, 0}), RW, true)
+		aBlocked <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let A block on y
+
+	_, err := pb.Bind(R("x", Dim{0, 0, 0}), RW, true)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("B's bind = %v, want ErrDeadlock", err)
+	}
+	// A is still waiting; releasing y lets it through.
+	pb.Unbind(by)
+	select {
+	case err := <-aBlocked:
+		if err != nil {
+			t.Fatalf("A's bind after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("A never unblocked")
+	}
+	if b.Deadlocks != 1 {
+		t.Fatalf("Deadlocks = %d, want 1", b.Deadlocks)
+	}
+}
+
+// TestDiningPhilosophersDataBinding is Fig. 6.5: philosophers bind both
+// chopsticks atomically as one strided region; no deadlock is possible
+// and everyone eats.
+func TestDiningPhilosophersDataBinding(t *testing.T) {
+	const num, meals = 5, 10
+	b := NewBinder()
+	eaten := make([]int, num)
+	var wg sync.WaitGroup
+	for i := 0; i < num; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := b.Client(string(rune('A' + i)))
+			// Chopsticks i and (i+1) mod num as ONE region: contiguous
+			// for most philosophers, {0, num−1} (stride num−1) for the
+			// last (§6.3.1's ranges-and-steps trick).
+			var region Region
+			if i < num-1 {
+				region = R("chopstick", Dim{i, i + 1, 1})
+			} else {
+				region = R("chopstick", Dim{0, num - 1, num - 1})
+			}
+			for m := 0; m < meals; m++ {
+				nb, err := c.Bind(region, RW, true)
+				if err != nil {
+					t.Errorf("philosopher %d: %v", i, err)
+					return
+				}
+				eaten[i]++
+				c.Unbind(nb)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("philosophers starved: %v", eaten)
+	}
+	for i, e := range eaten {
+		if e != meals {
+			t.Fatalf("philosopher %d ate %d times, want %d", i, e, meals)
+		}
+	}
+}
+
+// TestNeighborPhilosophersExclusive: adjacent philosophers' chopstick
+// regions conflict (they share a chopstick), so they can never eat
+// simultaneously.
+func TestNeighborPhilosophersExclusive(t *testing.T) {
+	r0 := R("chopstick", Dim{0, 1, 1})
+	r1 := R("chopstick", Dim{1, 2, 1})
+	last := R("chopstick", Dim{0, 4, 4}) // philosopher 4 of 5: {0, 4}
+	if !Conflicts(r0, RW, r1, RW) {
+		t.Fatal("adjacent philosophers do not conflict")
+	}
+	if !Conflicts(last, RW, r0, RW) {
+		t.Fatal("wrap-around philosopher does not conflict with philosopher 0")
+	}
+	r2 := R("chopstick", Dim{2, 3, 1})
+	if Conflicts(r0, RW, r2, RW) {
+		t.Fatal("non-adjacent philosophers conflict")
+	}
+}
+
+func TestBinderPanics(t *testing.T) {
+	b := NewBinder()
+	for name, fn := range map[string]func(){
+		"emptyOwner": func() { b.Bind("", R("x", Dim{0, 0, 0}), RW, false) },
+		"nilUnbind":  func() { b.Unbind(nil) },
+		"dblUnbind": func() {
+			nb, _ := b.Bind("p", R("x", Dim{0, 0, 0}), RW, false)
+			b.Unbind(nb)
+			b.Unbind(nb)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBindValidation(t *testing.T) {
+	b := NewBinder()
+	if _, err := b.Bind("p", Region{}, RW, false); err == nil {
+		t.Fatal("invalid region accepted")
+	}
+	if _, err := b.Bind("p", R("x", Dim{0, 0, 0}), EX, false); err == nil {
+		t.Fatal("ex binding accepted by data binder")
+	}
+}

@@ -1,0 +1,258 @@
+package binding
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the distributed-memory resource binding runtime of
+// §6.5.2: a daemon (Server) owns the shared data structures; binding
+// requests arrive as messages; a granted ro or rw bind ships the target
+// data region to the requester, and an rw unbind ships the modified
+// region back before the server releases the bind. The bind/unbind
+// primitives thus tell the runtime exactly when and where to move data —
+// the property that makes the paradigm portable to message-passing
+// machines while preserving release-consistency-style semantics.
+
+// Lease is a granted distributed binding together with the shipped data.
+type Lease struct {
+	id     int64
+	owner  string
+	region Region
+	access Access
+	// Data holds a copy of the selected elements (row-major over the
+	// region's selection). The client mutates it freely under an RW
+	// lease; Unbind ships it back.
+	Data []int
+}
+
+// Region returns the leased region.
+func (l *Lease) Region() Region { return l.region }
+
+// Access returns the lease's access type.
+func (l *Lease) Access() Access { return l.access }
+
+// message types for the server loop.
+type bindMsg struct {
+	owner    string
+	region   Region
+	access   Access
+	blocking bool
+	reply    chan bindReply
+}
+
+type bindReply struct {
+	lease *Lease
+	err   error
+}
+
+type unbindMsg struct {
+	lease *Lease
+	reply chan struct{}
+}
+
+type registerMsg struct {
+	name  string
+	data  []int
+	reply chan struct{}
+}
+
+type peekMsg struct {
+	name  string
+	reply chan []int
+}
+
+type stopMsg struct{ reply chan struct{} }
+
+// Server is the binding daemon of a distributed-memory node. Start it
+// with NewServer; interact through RemoteClient handles. All state is
+// confined to the server goroutine — the message-passing discipline IS
+// the synchronization.
+type Server struct {
+	inbox chan any
+}
+
+// serverState lives entirely inside the server goroutine.
+type serverState struct {
+	nextID  int64
+	data    map[string][]int
+	active  map[int64]*Lease
+	waiting []bindMsg
+}
+
+// NewServer starts the binding daemon.
+func NewServer() *Server {
+	s := &Server{inbox: make(chan any, 64)}
+	go s.run()
+	return s
+}
+
+// Stop shuts the daemon down (outstanding leases become invalid).
+func (s *Server) Stop() {
+	reply := make(chan struct{})
+	s.inbox <- stopMsg{reply: reply}
+	<-reply
+}
+
+// RegisterData installs a 1-D shared array on the server.
+func (s *Server) RegisterData(name string, data []int) {
+	reply := make(chan struct{})
+	cp := make([]int, len(data))
+	copy(cp, data)
+	s.inbox <- registerMsg{name: name, data: cp, reply: reply}
+	<-reply
+}
+
+// PeekData returns a copy of a shared array (for tests and reporting).
+func (s *Server) PeekData(name string) []int {
+	reply := make(chan []int)
+	s.inbox <- peekMsg{name: name, reply: reply}
+	return <-reply
+}
+
+// Client returns a handle for the named remote process.
+func (s *Server) Client(name string) *RemoteClient { return &RemoteClient{s: s, name: name} }
+
+// RemoteClient issues bind/unbind requests to a Server.
+type RemoteClient struct {
+	s    *Server
+	name string
+}
+
+// Bind requests a lease on the region. Blocking binds queue at the server
+// until the conflicts clear; non-blocking binds fail with ErrConflict.
+func (c *RemoteClient) Bind(r Region, a Access, blocking bool) (*Lease, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if a == EX {
+		return nil, fmt.Errorf("binding: ex bindings use the process layer")
+	}
+	reply := make(chan bindReply, 1)
+	c.s.inbox <- bindMsg{owner: c.name, region: r, access: a, blocking: blocking, reply: reply}
+	rep := <-reply
+	return rep.lease, rep.err
+}
+
+// Unbind returns a lease; for RW leases the (possibly modified) data is
+// shipped back into the server's copy before the bind is released.
+func (c *RemoteClient) Unbind(l *Lease) {
+	if l == nil {
+		panic("binding: unbind of nil lease")
+	}
+	reply := make(chan struct{}, 1)
+	c.s.inbox <- unbindMsg{lease: l, reply: reply}
+	<-reply
+}
+
+// run is the daemon loop.
+func (s *Server) run() {
+	st := &serverState{
+		data:   make(map[string][]int),
+		active: make(map[int64]*Lease),
+	}
+	for raw := range s.inbox {
+		switch m := raw.(type) {
+		case registerMsg:
+			st.data[m.name] = m.data
+			m.reply <- struct{}{}
+		case peekMsg:
+			cp := make([]int, len(st.data[m.name]))
+			copy(cp, st.data[m.name])
+			m.reply <- cp
+		case bindMsg:
+			if !st.tryGrant(m) {
+				if m.blocking {
+					st.waiting = append(st.waiting, m)
+				} else {
+					m.reply <- bindReply{err: ErrConflict}
+				}
+			}
+		case unbindMsg:
+			st.release(m.lease)
+			m.reply <- struct{}{}
+			// Re-examine the queue in arrival order; grants may cascade.
+			var still []bindMsg
+			for _, w := range st.waiting {
+				if !st.tryGrant(w) {
+					still = append(still, w)
+				}
+			}
+			st.waiting = still
+		case stopMsg:
+			m.reply <- struct{}{}
+			return
+		}
+	}
+}
+
+// tryGrant grants a bind if no active lease conflicts, shipping the data.
+func (st *serverState) tryGrant(m bindMsg) bool {
+	for _, act := range st.active {
+		if act.owner == m.owner {
+			continue
+		}
+		if Conflicts(m.region, m.access, act.region, act.access) {
+			return false
+		}
+	}
+	st.nextID++
+	l := &Lease{id: st.nextID, owner: m.owner, region: m.region, access: m.access}
+	l.Data = st.extract(m.region)
+	st.active[l.id] = l
+	m.reply <- bindReply{lease: l}
+	return true
+}
+
+// release returns an RW lease's data and drops the bind.
+func (st *serverState) release(l *Lease) {
+	if _, ok := st.active[l.id]; !ok {
+		panic(fmt.Sprintf("binding: unbind of inactive lease %s", l.region))
+	}
+	if l.access == RW {
+		st.inject(l.region, l.Data)
+	}
+	delete(st.active, l.id)
+}
+
+// indices returns the selected indices of a 1-D region in order.
+func indices(r Region) []int {
+	if len(r.Dims) != 1 {
+		return nil // data shipping is modelled for 1-D arrays
+	}
+	d := r.Dims[0]
+	var out []int
+	for x := d.Start; x <= d.Stop; x += d.normStep() {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// extract copies the selected elements out of the backing array.
+func (st *serverState) extract(r Region) []int {
+	arr, ok := st.data[r.Target]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for _, i := range indices(r) {
+		if i < len(arr) {
+			out = append(out, arr[i])
+		}
+	}
+	return out
+}
+
+// inject writes the lease data back into the backing array.
+func (st *serverState) inject(r Region, vals []int) {
+	arr, ok := st.data[r.Target]
+	if !ok {
+		return
+	}
+	for k, i := range indices(r) {
+		if i < len(arr) && k < len(vals) {
+			arr[i] = vals[k]
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package binding
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer()
+	t.Cleanup(s.Stop)
+	return s
+}
+
+func TestServerBindShipsData(t *testing.T) {
+	s := newServer(t)
+	s.RegisterData("arr", []int{10, 20, 30, 40, 50})
+	c := s.Client("p0")
+	l, err := c.Bind(R("arr", Dim{1, 3, 0}), RO, false)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	want := []int{20, 30, 40}
+	if len(l.Data) != 3 {
+		t.Fatalf("Data = %v", l.Data)
+	}
+	for i := range want {
+		if l.Data[i] != want[i] {
+			t.Fatalf("Data = %v, want %v", l.Data, want)
+		}
+	}
+	c.Unbind(l)
+}
+
+func TestServerRWWriteBack(t *testing.T) {
+	s := newServer(t)
+	s.RegisterData("arr", []int{1, 2, 3, 4})
+	c := s.Client("p0")
+	l, err := c.Bind(R("arr", Dim{0, 3, 2}), RW, false) // {0, 2}
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Data[0] = 100
+	l.Data[1] = 300
+	c.Unbind(l)
+	got := s.PeekData("arr")
+	want := []int{100, 2, 300, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("array = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestServerROUnbindDoesNotWriteBack(t *testing.T) {
+	s := newServer(t)
+	s.RegisterData("arr", []int{1, 2})
+	c := s.Client("p0")
+	l, _ := c.Bind(R("arr", Dim{0, 1, 0}), RO, false)
+	l.Data[0] = 99
+	c.Unbind(l)
+	if got := s.PeekData("arr"); got[0] != 1 {
+		t.Fatalf("ro unbind modified server data: %v", got)
+	}
+}
+
+func TestServerNonBlockingConflict(t *testing.T) {
+	s := newServer(t)
+	s.RegisterData("arr", []int{0, 0, 0})
+	p0, p1 := s.Client("p0"), s.Client("p1")
+	l, _ := p0.Bind(R("arr", Dim{0, 2, 0}), RW, false)
+	if _, err := p1.Bind(R("arr", Dim{1, 1, 0}), RW, false); !errors.Is(err, ErrConflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+	p0.Unbind(l)
+	if _, err := p1.Bind(R("arr", Dim{1, 1, 0}), RW, false); err != nil {
+		t.Fatalf("bind after release: %v", err)
+	}
+}
+
+func TestServerBlockingBindQueues(t *testing.T) {
+	s := newServer(t)
+	s.RegisterData("arr", []int{0})
+	p0, p1 := s.Client("p0"), s.Client("p1")
+	l, _ := p0.Bind(R("arr", Dim{0, 0, 0}), RW, false)
+	done := make(chan *Lease, 1)
+	go func() {
+		l2, err := p1.Bind(R("arr", Dim{0, 0, 0}), RW, true)
+		if err != nil {
+			t.Errorf("blocking bind: %v", err)
+		}
+		done <- l2
+	}()
+	select {
+	case <-done:
+		t.Fatal("blocking bind returned while conflict held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	l.Data[0] = 7
+	p0.Unbind(l)
+	select {
+	case l2 := <-done:
+		// Release consistency over message passing: the second binder
+		// sees the first's write.
+		if l2.Data[0] != 7 {
+			t.Fatalf("second lease data = %v, want the first writer's 7", l2.Data)
+		}
+		p1.Unbind(l2)
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued bind never granted")
+	}
+}
+
+// TestServerSequentialCounter: the distributed runtime gives the same
+// mutual exclusion semantics as the shared-memory Binder.
+func TestServerSequentialCounter(t *testing.T) {
+	s := newServer(t)
+	s.RegisterData("counter", []int{0})
+	const workers, rounds = 6, 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := s.Client(string(rune('a' + w)))
+			for r := 0; r < rounds; r++ {
+				l, err := c.Bind(R("counter", Dim{0, 0, 0}), RW, true)
+				if err != nil {
+					t.Errorf("bind: %v", err)
+					return
+				}
+				l.Data[0]++
+				c.Unbind(l)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.PeekData("counter")[0]; got != workers*rounds {
+		t.Fatalf("counter = %d, want %d", got, workers*rounds)
+	}
+}
+
+func TestServerReadersShareWritersExclude(t *testing.T) {
+	s := newServer(t)
+	s.RegisterData("arr", []int{1, 2, 3})
+	r1, _ := s.Client("a").Bind(R("arr", Dim{0, 2, 0}), RO, false)
+	r2, err := s.Client("b").Bind(R("arr", Dim{0, 2, 0}), RO, false)
+	if err != nil {
+		t.Fatalf("second reader rejected: %v", err)
+	}
+	if _, err := s.Client("c").Bind(R("arr", Dim{0, 0, 0}), RW, false); !errors.Is(err, ErrConflict) {
+		t.Fatalf("writer accepted against readers: %v", err)
+	}
+	s.Client("a").Unbind(r1)
+	s.Client("b").Unbind(r2)
+}
+
+func TestServerEXRejected(t *testing.T) {
+	s := newServer(t)
+	if _, err := s.Client("a").Bind(R("x", Dim{0, 0, 0}), EX, false); err == nil {
+		t.Fatal("ex bind accepted")
+	}
+}
+
+func TestServerInvalidRegion(t *testing.T) {
+	s := newServer(t)
+	if _, err := s.Client("a").Bind(Region{}, RW, false); err == nil {
+		t.Fatal("invalid region accepted")
+	}
+}
+
+func TestRemoteUnbindNilPanics(t *testing.T) {
+	s := newServer(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s.Client("a").Unbind(nil)
+}

@@ -1,0 +1,166 @@
+package binding
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Proc is the abstract data type for concurrent processes of §6.4.1 (the
+// "virtual processor"): a shared object whose permission status other
+// processes bind with the ex access type to express dependencies. A
+// process binds another process with a request level and proceeds only
+// when that level has been granted — the uniform mechanism behind
+// barriers (Fig. 6.9) and pipelining (Fig. 6.10).
+type Proc struct {
+	pid  int
+	mu   sync.Mutex
+	cond *sync.Cond
+	// granted[k] = true once permission level k is granted. Levels are
+	// monotone counters in the dissertation's examples, so a set is the
+	// faithful general representation.
+	granted map[int]bool
+}
+
+// NewProc creates a process object with the given pseudo processor id.
+func NewProc(pid int) *Proc {
+	p := &Proc{pid: pid, granted: make(map[int]bool)}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Pid returns the pseudo processor id (the pid[0] attribute of §6.4.2).
+func (p *Proc) Pid() int { return p.pid }
+
+// Grant adds level to the permission status — the dissertation's
+// bind(*pp, ex, , level) on one's own PROC variable.
+func (p *Proc) Grant(level int) {
+	p.mu.Lock()
+	p.granted[level] = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// GrantRange grants every level in [lo, hi] (the 0:i notation of
+// Fig. 6.10).
+func (p *Proc) GrantRange(lo, hi int) {
+	if hi < lo {
+		panic(fmt.Sprintf("binding: grant range %d:%d inverted", lo, hi))
+	}
+	p.mu.Lock()
+	for k := lo; k <= hi; k++ {
+		p.granted[k] = true
+	}
+	p.mu.Unlock()
+	p.cond.Broadcast()
+}
+
+// Granted reports whether level is currently granted.
+func (p *Proc) Granted(level int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.granted[level]
+}
+
+// Await blocks until level is granted — the dissertation's
+// bind(other, ex, blocking, level).
+func (p *Proc) Await(level int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for !p.granted[level] {
+		p.cond.Wait()
+	}
+}
+
+// TryAwait is the non-blocking ex bind: it reports whether the level is
+// granted without waiting.
+func (p *Proc) TryAwait(level int) bool { return p.Granted(level) }
+
+// Revoke removes a level (used by re-initializable coordination).
+func (p *Proc) Revoke(level int) {
+	p.mu.Lock()
+	delete(p.granted, level)
+	p.mu.Unlock()
+}
+
+// Group is a set of processes created together — the dissertation's
+// bfork over a PROC array.
+type Group struct {
+	Procs []*Proc
+	wg    sync.WaitGroup
+}
+
+// Spawn creates n processes and runs body(i, procs) in a goroutine for
+// each, mirroring bfork(p[0:n−1]) (§6.4.3). The returned Group's Wait
+// blocks until every process returns.
+func Spawn(n int, body func(i int, procs []*Proc)) *Group {
+	if n < 1 {
+		panic(fmt.Sprintf("binding: spawn of %d processes", n))
+	}
+	g := &Group{Procs: make([]*Proc, n)}
+	for i := range g.Procs {
+		g.Procs[i] = NewProc(i)
+	}
+	g.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer g.wg.Done()
+			body(i, g.Procs)
+		}(i)
+	}
+	return g
+}
+
+// Wait blocks until all spawned processes return.
+func (g *Group) Wait() { g.wg.Wait() }
+
+// BarrierEpisode implements the barrier of Fig. 6.9 with process binding:
+// process self grants the episode level on its own Proc, then binds every
+// other process at that level. It returns when all parties have arrived.
+func BarrierEpisode(procs []*Proc, self, episode int) {
+	procs[self].Grant(episode)
+	for i, p := range procs {
+		if i == self {
+			continue
+		}
+		p.Await(episode)
+	}
+}
+
+// PipelineStage implements the dependency pattern of Fig. 6.10: stage
+// processes items 0..items−1, waiting for its predecessor (nil for the
+// first stage) to finish each item before computing it, and granting its
+// own level after.
+func PipelineStage(self, pred *Proc, items int, compute func(item int)) {
+	for i := 0; i < items; i++ {
+		if pred != nil {
+			pred.Await(i)
+		}
+		compute(i)
+		self.GrantRange(0, i)
+	}
+}
+
+// Wavefront2D implements the "2-dimensional pipelining" extension
+// mentioned at the end of §6.4.3: a grid of cells where cell (i, j)
+// depends on (i−1, j) and (i, j−1), computed by one process per row.
+// Row i's process binds row i−1's PROC at level j before computing cell
+// (i, j) and grants its own level j afterwards — the anti-diagonal
+// wavefront sweeps the grid with maximal overlap.
+//
+// compute is called once per cell, in an order satisfying both
+// dependencies. Wavefront2D blocks until the whole grid is done.
+func Wavefront2D(rows, cols int, compute func(i, j int)) {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("binding: wavefront %dx%d", rows, cols))
+	}
+	Spawn(rows, func(i int, procs []*Proc) {
+		for j := 0; j < cols; j++ {
+			if i > 0 {
+				procs[i-1].Await(j) // wait for (i−1, j)
+			}
+			// (i, j−1) is ordered by this process's own program order.
+			compute(i, j)
+			procs[i].GrantRange(0, j)
+		}
+	}).Wait()
+}

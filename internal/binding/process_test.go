@@ -1,0 +1,243 @@
+package binding
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProcGrantAwait(t *testing.T) {
+	p := NewProc(3)
+	if p.Pid() != 3 {
+		t.Fatalf("Pid = %d", p.Pid())
+	}
+	if p.Granted(1) || p.TryAwait(1) {
+		t.Fatal("level granted before Grant")
+	}
+	done := make(chan struct{})
+	go func() { p.Await(1); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Await returned before grant")
+	case <-time.After(10 * time.Millisecond):
+	}
+	p.Grant(1)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Await never woke")
+	}
+}
+
+func TestProcGrantRangeAndRevoke(t *testing.T) {
+	p := NewProc(0)
+	p.GrantRange(2, 5)
+	for k := 2; k <= 5; k++ {
+		if !p.Granted(k) {
+			t.Fatalf("level %d not granted", k)
+		}
+	}
+	if p.Granted(1) || p.Granted(6) {
+		t.Fatal("levels outside range granted")
+	}
+	p.Revoke(3)
+	if p.Granted(3) {
+		t.Fatal("revoked level still granted")
+	}
+}
+
+func TestGrantRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewProc(0).GrantRange(5, 2)
+}
+
+func TestSpawnRunsAll(t *testing.T) {
+	var count atomic.Int32
+	g := Spawn(8, func(i int, procs []*Proc) {
+		if len(procs) != 8 || procs[i].Pid() != i {
+			t.Errorf("proc %d wiring wrong", i)
+		}
+		count.Add(1)
+	})
+	g.Wait()
+	if count.Load() != 8 {
+		t.Fatalf("ran %d bodies, want 8", count.Load())
+	}
+}
+
+func TestSpawnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Spawn(0, func(int, []*Proc) {})
+}
+
+// TestBarrierEpisodeFig69: no process passes the barrier before all have
+// arrived, across several episodes.
+func TestBarrierEpisodeFig69(t *testing.T) {
+	const n, episodes = 6, 4
+	var arrived [episodes]atomic.Int32
+	g := Spawn(n, func(i int, procs []*Proc) {
+		for e := 0; e < episodes; e++ {
+			arrived[e].Add(1)
+			BarrierEpisode(procs, i, e)
+			// At this point every process must have arrived at episode e.
+			if got := arrived[e].Load(); got != n {
+				t.Errorf("P%d passed episode %d with only %d arrivals", i, e, got)
+			}
+		}
+	})
+	g.Wait()
+}
+
+// TestPipelineFig610 reproduces the Fig. 6.10 program: 32 stages process
+// 1000 items in pipelined order; no stage touches item j before its
+// predecessor finished item j.
+func TestPipelineFig610(t *testing.T) {
+	const stages, items = 8, 100
+	// progress[s] = number of items stage s has completed.
+	var progress [stages]atomic.Int32
+	g := Spawn(stages, func(i int, procs []*Proc) {
+		var pred *Proc
+		if i > 0 {
+			pred = procs[i-1]
+		}
+		PipelineStage(procs[i], pred, items, func(item int) {
+			if i > 0 {
+				// The predecessor must already have completed this item.
+				if done := progress[i-1].Load(); int(done) <= item {
+					t.Errorf("stage %d computed item %d before stage %d finished it (done=%d)",
+						i, item, i-1, done)
+				}
+			}
+			progress[i].Store(int32(item + 1))
+		})
+	})
+	g.Wait()
+	for s := 0; s < stages; s++ {
+		if progress[s].Load() != items {
+			t.Fatalf("stage %d finished %d items", s, progress[s].Load())
+		}
+	}
+}
+
+// TestPipelineOverlap: the pipeline actually overlaps — at some moment
+// two different stages are mid-computation simultaneously.
+func TestPipelineOverlap(t *testing.T) {
+	const stages, items = 4, 50
+	var inFlight atomic.Int32
+	var sawOverlap atomic.Bool
+	g := Spawn(stages, func(i int, procs []*Proc) {
+		var pred *Proc
+		if i > 0 {
+			pred = procs[i-1]
+		}
+		PipelineStage(procs[i], pred, items, func(item int) {
+			if inFlight.Add(1) >= 2 {
+				sawOverlap.Store(true)
+			}
+			time.Sleep(100 * time.Microsecond)
+			inFlight.Add(-1)
+		})
+	})
+	g.Wait()
+	if !sawOverlap.Load() {
+		t.Fatal("pipeline stages never overlapped")
+	}
+}
+
+// TestProcessDependencyFig68: an arbitrary dependency DAG expressed with
+// process binding executes in topological order.
+func TestProcessDependencyFig68(t *testing.T) {
+	// D depends on B and C; B and C depend on A.
+	a, b, c, d := NewProc(0), NewProc(1), NewProc(2), NewProc(3)
+	var order []string
+	var mu sync.Mutex
+	log := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { defer wg.Done(); log("A"); a.Grant(0) }()
+	go func() { defer wg.Done(); a.Await(0); log("B"); b.Grant(0) }()
+	go func() { defer wg.Done(); a.Await(0); log("C"); c.Grant(0) }()
+	go func() { defer wg.Done(); b.Await(0); c.Await(0); log("D"); d.Grant(0) }()
+	wg.Wait()
+	pos := map[string]int{}
+	for i, s := range order {
+		pos[s] = i
+	}
+	if pos["A"] > pos["B"] || pos["A"] > pos["C"] || pos["B"] > pos["D"] || pos["C"] > pos["D"] {
+		t.Fatalf("dependency order violated: %v", order)
+	}
+}
+
+// TestWavefront2D: every cell computed exactly once, after both its
+// upper and left neighbours (§6.4.3's 2-D pipelining).
+func TestWavefront2D(t *testing.T) {
+	const rows, cols = 6, 10
+	var mu sync.Mutex
+	done := make([][]bool, rows)
+	for i := range done {
+		done[i] = make([]bool, cols)
+	}
+	violations := 0
+	Wavefront2D(rows, cols, func(i, j int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done[i][j] {
+			violations++
+		}
+		if i > 0 && !done[i-1][j] {
+			violations++
+		}
+		if j > 0 && !done[i][j-1] {
+			violations++
+		}
+		done[i][j] = true
+	})
+	if violations != 0 {
+		t.Fatalf("%d dependency violations", violations)
+	}
+	for i := range done {
+		for j := range done[i] {
+			if !done[i][j] {
+				t.Fatalf("cell (%d,%d) never computed", i, j)
+			}
+		}
+	}
+}
+
+// TestWavefront2DOverlap: different rows are genuinely concurrent (the
+// wavefront is a pipeline, not a sequential sweep).
+func TestWavefront2DOverlap(t *testing.T) {
+	var inFlight, sawOverlap atomic.Int32
+	Wavefront2D(4, 30, func(i, j int) {
+		if inFlight.Add(1) >= 2 {
+			sawOverlap.Store(1)
+		}
+		time.Sleep(50 * time.Microsecond)
+		inFlight.Add(-1)
+	})
+	if sawOverlap.Load() == 0 {
+		t.Fatal("wavefront rows never overlapped")
+	}
+}
+
+func TestWavefront2DPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Wavefront2D(0, 5, func(int, int) {})
+}

@@ -1,0 +1,234 @@
+// Package binding implements the resource binding parallel programming
+// paradigm of Chapter 6: shared resources are protected and processes
+// synchronized with exactly two fundamental operations, bind and unbind.
+//
+// A data binding names a shared data region — a strided, multi-dimensional
+// slice of a shared structure, possibly narrowed to one field — and an
+// access type (read-only, read-write, or execution). Two regions conflict
+// iff they are bound by different processes, intersect, and at least one
+// binding is read-write (§6.2.2); binding is atomic over the whole region
+// (all or nothing), which makes the classic dining-philosophers deadlock
+// inexpressible (§6.3.1).
+//
+// The package provides three interchangeable runtimes:
+//
+//   - Binder: the shared-memory implementation of Fig. 6.11 (active
+//     binding list + per-conflict wait queues), with optional wait-for
+//     graph deadlock detection;
+//   - Server/RemoteClient: the distributed message-passing implementation
+//     of §6.5.2, with the same semantics over request/reply channels;
+//   - the process-binding layer (Proc) of §6.4 for dependency
+//     synchronization, barriers, and pipelining.
+package binding
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Access is the access type of a binding (§6.2.2).
+type Access int
+
+// Access types: read-only regions may overlap each other; read-write is
+// exclusive; execution is the process-binding access type of §6.4.
+const (
+	RO Access = iota
+	RW
+	EX
+)
+
+// String names the access type.
+func (a Access) String() string {
+	switch a {
+	case RO:
+		return "ro"
+	case RW:
+		return "rw"
+	default:
+		return "ex"
+	}
+}
+
+// Dim is one dimension of a region: the inclusive index range
+// [Start, Stop] with stride Step (the dissertation's run and
+// start:stop:step notations; Step 0 means 1).
+type Dim struct {
+	Start, Stop, Step int
+}
+
+// normStep returns the effective step.
+func (d Dim) normStep() int {
+	if d.Step <= 0 {
+		return 1
+	}
+	return d.Step
+}
+
+// validate reports an error for a malformed dimension.
+func (d Dim) validate() error {
+	if d.Stop < d.Start {
+		return fmt.Errorf("binding: dimension %d:%d inverted", d.Start, d.Stop)
+	}
+	if d.Start < 0 {
+		return fmt.Errorf("binding: negative index %d", d.Start)
+	}
+	return nil
+}
+
+// contains reports whether index x belongs to the dimension.
+func (d Dim) contains(x int) bool {
+	s := d.normStep()
+	return x >= d.Start && x <= d.Stop && (x-d.Start)%s == 0
+}
+
+// count returns the number of indices selected.
+func (d Dim) count() int {
+	return (d.Stop-d.Start)/d.normStep() + 1
+}
+
+// String renders the dissertation's start:stop[:step] notation.
+func (d Dim) String() string {
+	if d.normStep() != 1 {
+		return fmt.Sprintf("%d:%d:%d", d.Start, d.Stop, d.normStep())
+	}
+	if d.Start == d.Stop {
+		return fmt.Sprintf("%d", d.Start)
+	}
+	return fmt.Sprintf("%d:%d", d.Start, d.Stop)
+}
+
+// intersects reports whether two strided dimensions share any index:
+// whether the arithmetic progressions a.Start + i·a.Step and
+// b.Start + j·b.Step meet inside [max(starts), min(stops)].
+func (a Dim) intersects(b Dim) bool {
+	lo := max(a.Start, b.Start)
+	hi := min(a.Stop, b.Stop)
+	if lo > hi {
+		return false
+	}
+	sa, sb := a.normStep(), b.normStep()
+	// Solve x ≡ a.Start (mod sa), x ≡ b.Start (mod sb).
+	g, p, _ := egcd(sa, sb)
+	if (b.Start-a.Start)%g != 0 {
+		return false
+	}
+	l := sa / g * sb // lcm
+	// One solution: a.Start + sa·p·(b.Start−a.Start)/g, then normalize to
+	// the smallest solution ≥ lo.
+	x := a.Start + sa*mod(p*((b.Start-a.Start)/g), sb/g)
+	x = x - l*((x-lo)/l)
+	for x < lo {
+		x += l
+	}
+	for x-l >= lo {
+		x -= l
+	}
+	return x <= hi
+}
+
+// egcd returns gcd(a, b) and Bézout coefficients p, q with pa + qb = g.
+func egcd(a, b int) (g, p, q int) {
+	if b == 0 {
+		return a, 1, 0
+	}
+	g, p1, q1 := egcd(b, a%b)
+	return g, q1, p1 - (a/b)*q1
+}
+
+// mod returns a mod m in [0, m).
+func mod(a, m int) int {
+	v := a % m
+	if v < 0 {
+		v += m
+	}
+	return v
+}
+
+// Region names a shared data region: a target object, a strided
+// selection in each dimension, and optionally a field path narrowing the
+// selection to one member of a structure element (Fig. 6.3).
+type Region struct {
+	Target string // name of the shared object, e.g. "sh" or "chopstick"
+	Dims   []Dim
+	Field  string // "" selects whole elements
+}
+
+// R is a convenience constructor: R("sh", Dim{1,2,0}, Dim{2,3,0}).
+func R(target string, dims ...Dim) Region {
+	return Region{Target: target, Dims: dims}
+}
+
+// WithField narrows the region to one field of each selected element.
+func (r Region) WithField(f string) Region {
+	r.Field = f
+	return r
+}
+
+// Validate reports a descriptive error for a malformed region.
+func (r Region) Validate() error {
+	if r.Target == "" {
+		return fmt.Errorf("binding: region without target")
+	}
+	for _, d := range r.Dims {
+		if err := d.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Elements returns the number of selected elements.
+func (r Region) Elements() int {
+	n := 1
+	for _, d := range r.Dims {
+		n *= d.count()
+	}
+	return n
+}
+
+// String renders the region in the dissertation's notation.
+func (r Region) String() string {
+	var b strings.Builder
+	b.WriteString(r.Target)
+	for _, d := range r.Dims {
+		fmt.Fprintf(&b, "[%s]", d)
+	}
+	if r.Field != "" {
+		fmt.Fprintf(&b, ".%s", r.Field)
+	}
+	return b.String()
+}
+
+// Overlaps reports whether two regions share at least one datum: same
+// target, compatible fields (equal, or either selects whole elements),
+// and intersecting selections in every dimension. Regions with different
+// dimensionality are compared conservatively over their common prefix
+// (a region with fewer dimensions selects whole sub-arrays).
+func (r Region) Overlaps(o Region) bool {
+	if r.Target != o.Target {
+		return false
+	}
+	if r.Field != "" && o.Field != "" && r.Field != o.Field {
+		return false
+	}
+	common := min(len(r.Dims), len(o.Dims))
+	for i := 0; i < common; i++ {
+		if !r.Dims[i].intersects(o.Dims[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Conflicts implements the §6.2.2 rule: two bindings conflict iff their
+// regions overlap and at least one access is read-write. (EX bindings are
+// handled by the process-binding layer and never conflict here.)
+func Conflicts(r Region, ra Access, o Region, oa Access) bool {
+	if ra == EX || oa == EX {
+		return false
+	}
+	if ra == RO && oa == RO {
+		return false
+	}
+	return r.Overlaps(o)
+}

@@ -1,0 +1,207 @@
+package binding
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDimContainsAndCount(t *testing.T) {
+	d := Dim{Start: 0, Stop: 6, Step: 2} // {0,2,4,6}
+	if d.count() != 4 {
+		t.Fatalf("count = %d, want 4", d.count())
+	}
+	for _, x := range []int{0, 2, 4, 6} {
+		if !d.contains(x) {
+			t.Errorf("contains(%d) = false", x)
+		}
+	}
+	for _, x := range []int{-1, 1, 3, 7, 8} {
+		if d.contains(x) {
+			t.Errorf("contains(%d) = true", x)
+		}
+	}
+}
+
+func TestDimString(t *testing.T) {
+	cases := map[string]Dim{
+		"3":     {Start: 3, Stop: 3},
+		"1:2":   {Start: 1, Stop: 2},
+		"0:6:2": {Start: 0, Stop: 6, Step: 2},
+	}
+	for want, d := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestDimIntersectsBasic(t *testing.T) {
+	cases := []struct {
+		a, b Dim
+		want bool
+	}{
+		{Dim{0, 3, 1}, Dim{2, 5, 1}, true},   // overlapping ranges
+		{Dim{0, 3, 1}, Dim{4, 5, 1}, false},  // disjoint ranges
+		{Dim{0, 6, 2}, Dim{1, 7, 2}, false},  // evens vs odds
+		{Dim{0, 6, 2}, Dim{3, 9, 3}, true},   // {0,2,4,6} ∩ {3,6,9} = {6}
+		{Dim{0, 6, 3}, Dim{1, 7, 3}, false},  // {0,3,6} vs {1,4,7}
+		{Dim{5, 5, 1}, Dim{0, 10, 5}, true},  // point on the grid
+		{Dim{5, 5, 1}, Dim{0, 10, 4}, false}, // point off the grid {0,4,8}
+		{Dim{0, 11, 4}, Dim{2, 11, 6}, true}, // {0,4,8} ∩ {2,8} = {8}
+	}
+	for i, c := range cases {
+		if got := c.a.intersects(c.b); got != c.want {
+			t.Errorf("case %d: %v ∩ %v = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.intersects(c.a); got != c.want {
+			t.Errorf("case %d (sym): %v ∩ %v = %v, want %v", i, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// TestDimIntersectsMatchesBruteForce: the CRT-based intersection equals a
+// brute-force scan, for arbitrary strided dimensions.
+func TestDimIntersectsMatchesBruteForce(t *testing.T) {
+	f := func(s1, e1, st1, s2, e2, st2 uint8) bool {
+		a := Dim{Start: int(s1) % 40, Stop: int(s1)%40 + int(e1)%40, Step: 1 + int(st1)%7}
+		b := Dim{Start: int(s2) % 40, Stop: int(s2)%40 + int(e2)%40, Step: 1 + int(st2)%7}
+		brute := false
+		for x := a.Start; x <= a.Stop; x += a.normStep() {
+			if b.contains(x) {
+				brute = true
+				break
+			}
+		}
+		return a.intersects(b) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionValidate(t *testing.T) {
+	if err := R("sh", Dim{1, 2, 0}).Validate(); err != nil {
+		t.Fatalf("valid region rejected: %v", err)
+	}
+	if err := (Region{}).Validate(); err == nil {
+		t.Fatal("empty target accepted")
+	}
+	if err := R("sh", Dim{Start: 2, Stop: 1}).Validate(); err == nil {
+		t.Fatal("inverted dim accepted")
+	}
+	if err := R("sh", Dim{Start: -1, Stop: 1}).Validate(); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	r := R("sh", Dim{1, 2, 0}, Dim{2, 3, 0}).WithField("c[2]")
+	if got := r.String(); got != "sh[1:2][2:3].c[2]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestRegionElements(t *testing.T) {
+	r := R("sh", Dim{0, 3, 2}, Dim{0, 4, 2}) // 2 × 3
+	if got := r.Elements(); got != 6 {
+		t.Fatalf("Elements = %d, want 6", got)
+	}
+}
+
+func TestRegionOverlapsTargets(t *testing.T) {
+	a := R("x", Dim{0, 5, 0})
+	b := R("y", Dim{0, 5, 0})
+	if a.Overlaps(b) {
+		t.Fatal("different targets overlap")
+	}
+}
+
+func TestRegionOverlapsFields(t *testing.T) {
+	// Fig. 6.3: sh[1:2][2:3].c[2] does not overlap sh[1:2][2:3].i, but
+	// overlaps a whole-element binding of the same cells.
+	base := R("sh", Dim{1, 2, 0}, Dim{2, 3, 0})
+	c2 := base.WithField("c[2]")
+	i := base.WithField("i")
+	if c2.Overlaps(i) {
+		t.Fatal("distinct fields overlap")
+	}
+	if !c2.Overlaps(base) || !base.Overlaps(i) {
+		t.Fatal("whole-element does not overlap field selection")
+	}
+}
+
+// TestRegionOverlapsFig62: regions A, B, C of Fig. 6.2 — A and B overlap,
+// B and C do not.
+func TestRegionOverlapsFig62(t *testing.T) {
+	a := R("sh", Dim{0, 2, 0}, Dim{0, 3, 0})
+	b := R("sh", Dim{2, 4, 0}, Dim{2, 5, 0})
+	c := R("sh", Dim{5, 6, 0}, Dim{0, 5, 0})
+	if !a.Overlaps(b) {
+		t.Fatal("A and B should overlap")
+	}
+	if b.Overlaps(c) {
+		t.Fatal("B and C should not overlap")
+	}
+}
+
+func TestRegionStridedNonOverlap(t *testing.T) {
+	// The Fig. 6.3c example: sh[0:3:2][0:4:2] (even rows/cols) does not
+	// overlap the odd rows.
+	even := R("sh", Dim{0, 3, 2}, Dim{0, 4, 2})
+	odd := R("sh", Dim{1, 3, 2}, Dim{0, 4, 1})
+	if even.Overlaps(odd) {
+		t.Fatal("even and odd rows overlap")
+	}
+}
+
+func TestConflictsRule(t *testing.T) {
+	// §6.2.2: conflict requires overlap AND at least one rw.
+	a := R("sh", Dim{0, 5, 0})
+	b := R("sh", Dim{3, 8, 0})
+	if Conflicts(a, RO, b, RO) {
+		t.Fatal("ro/ro conflicts")
+	}
+	if !Conflicts(a, RW, b, RO) || !Conflicts(a, RO, b, RW) || !Conflicts(a, RW, b, RW) {
+		t.Fatal("rw overlap does not conflict")
+	}
+	disjoint := R("sh", Dim{6, 9, 0})
+	if Conflicts(a, RW, disjoint, RW) {
+		t.Fatal("disjoint regions conflict")
+	}
+	if Conflicts(a, EX, b, RW) || Conflicts(a, RW, b, EX) {
+		t.Fatal("ex bindings must not data-conflict")
+	}
+}
+
+func TestOverlapsSymmetric(t *testing.T) {
+	f := func(s1, e1, st1, s2, e2, st2 uint8, sameField bool) bool {
+		a := R("sh", Dim{int(s1) % 20, int(s1)%20 + int(e1)%20, int(st1) % 4})
+		b := R("sh", Dim{int(s2) % 20, int(s2)%20 + int(e2)%20, int(st2) % 4})
+		if !sameField {
+			b = b.WithField("f")
+		}
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if RO.String() != "ro" || RW.String() != "rw" || EX.String() != "ex" {
+		t.Fatal("access strings wrong")
+	}
+}
+
+func TestDifferentDimensionalityConservative(t *testing.T) {
+	// A 1-D region over rows overlaps a 2-D region sharing those rows.
+	rows := R("sh", Dim{1, 2, 0})
+	cells := R("sh", Dim{2, 4, 0}, Dim{0, 3, 0})
+	if !rows.Overlaps(cells) {
+		t.Fatal("row selection should conservatively overlap contained cells")
+	}
+	disjointRows := R("sh", Dim{5, 6, 0})
+	if disjointRows.Overlaps(cells) {
+		t.Fatal("disjoint row ranges overlap")
+	}
+}

@@ -1,0 +1,263 @@
+// Package cache implements the CFM cache coherence protocol of Chapter 5:
+// an invalidation-based write-back protocol that combines the low storage
+// overhead of snoopy protocols with the scalability of directory-based
+// ones.
+//
+// The key architectural trick is processor–memory coupling (Fig. 5.1):
+// each processor shares its cache directory with one memory bank, and
+// since every CFM block access visits every bank, every primitive
+// operation can inspect and update every processor's directory along the
+// way — a broadcast without a bus, with invalidations completed
+// synchronously in a pipelined fashion and no acknowledgement messages
+// (unlike DASH-style point-to-point directories).
+//
+// Three primitive operations implement the protocol (§5.2.3):
+//
+//	read            retrieve a block; trigger a remote write-back if a
+//	                dirty copy exists, and retry until clean
+//	read-invalidate retrieve the block AND obtain exclusive ownership by
+//	                invalidating every remote copy
+//	write-back      flush the local dirty copy to memory
+//
+// Concurrent primitives on one block are serialized by autonomous access
+// control (§5.2.4): each processor's ongoing operation is visible through
+// its coupled bank, and Table 5.2 gives the retry matrix — write-back
+// never waits, read-invalidate defers to write-backs and older
+// read-invalidates, read defers to both.
+package cache
+
+import (
+	"fmt"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// LineState is the state of one cache line (Fig. 5.2).
+type LineState int
+
+// Cache line states. Valid blocks may be shared by many caches; a dirty
+// block is exclusively owned by exactly one cache.
+const (
+	Invalid LineState = iota
+	Valid
+	Dirty
+)
+
+// String names the state.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case Valid:
+		return "valid"
+	default:
+		return "dirty"
+	}
+}
+
+// opKind is a primitive operation.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opReadInv
+	opWriteBack
+)
+
+func (k opKind) String() string {
+	switch k {
+	case opRead:
+		return "read"
+	case opReadInv:
+		return "read-invalidate"
+	default:
+		return "write-back"
+	}
+}
+
+// Config parameterizes the protocol engine.
+type Config struct {
+	Processors int // n (= banks; the Chapter 5 exposition uses c = 1)
+	Lines      int // direct-mapped cache lines per processor
+	RetryDelay int // slots an aborted primitive waits before retrying (>= 1)
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Processors < 2:
+		return fmt.Errorf("cache: need >=2 processors, got %d", c.Processors)
+	case c.Lines < 1:
+		return fmt.Errorf("cache: need >=1 cache line, got %d", c.Lines)
+	case c.RetryDelay < 1:
+		return fmt.Errorf("cache: retry delay %d < 1", c.RetryDelay)
+	}
+	return nil
+}
+
+// line is one direct-mapped cache line.
+type line struct {
+	state LineState
+	tag   int // block offset currently cached
+	data  memory.Block
+}
+
+// primitive is one in-flight protocol operation.
+type primitive struct {
+	kind   opKind
+	proc   int
+	offset int
+	start  sim.Slot // start of the current pass
+	issued sim.Slot // first issue (priority for read-invalidate arbitration)
+	k      int      // banks visited in the current pass
+	wait   sim.Slot // do not run before this slot (retry back-off)
+	done   func()
+}
+
+// request is a queued processor-level memory request.
+type request struct {
+	isStore  bool
+	prefetch bool // software prefetch: a read with no consumer
+	offset   int
+	word     int
+	value    memory.Word
+	modify   func(memory.Block) memory.Block // non-nil for RMW
+	done     func(memory.Block)
+}
+
+// Protocol is the cache coherence engine. It implements sim.Ticker.
+type Protocol struct {
+	cfg   Config
+	mem   map[int]memory.Block // backing store, one block per offset
+	dirs  [][]line             // dirs[p][lineIdx]
+	ops   []*primitive         // in-flight primitive per processor
+	susp  []*primitive         // primitive suspended by a priority write-back
+	reqs  [][]request          // per-processor FIFO of processor requests
+	wbReq [][]int              // pending remotely-triggered write-backs (offsets)
+	// rmwLocked[p] = offset whose remotely-triggered write-back is
+	// disabled because p is in the modify phase of an atomic operation
+	// (−1 when none): §5.3.1's premature-write-back guard.
+	rmwLocked []int
+	trace     *sim.Trace
+
+	// Statistics.
+	Hits          int64
+	Misses        int64
+	Invalidations int64
+	WriteBacks    int64
+	Retries       int64
+	TriggeredWBs  int64
+	Prefetches    int64
+}
+
+// New builds a protocol engine; it panics on invalid configuration.
+func New(cfg Config, trace *sim.Trace) *Protocol {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Protocol{
+		cfg:       cfg,
+		mem:       make(map[int]memory.Block),
+		dirs:      make([][]line, cfg.Processors),
+		ops:       make([]*primitive, cfg.Processors),
+		susp:      make([]*primitive, cfg.Processors),
+		reqs:      make([][]request, cfg.Processors),
+		wbReq:     make([][]int, cfg.Processors),
+		rmwLocked: make([]int, cfg.Processors),
+		trace:     trace,
+	}
+	for i := range p.dirs {
+		p.dirs[i] = make([]line, cfg.Lines)
+		p.rmwLocked[i] = -1
+	}
+	return p
+}
+
+// Banks returns the bank count (= processors).
+func (c *Protocol) Banks() int { return c.cfg.Processors }
+
+// lineOf returns the direct-mapped line index for a block offset.
+func (c *Protocol) lineOf(offset int) int { return offset % c.cfg.Lines }
+
+// blockSize is the modelled words per block (one per bank).
+func (c *Protocol) blockSize() int { return c.cfg.Processors }
+
+// memBlock returns (allocating if needed) the backing block at offset.
+func (c *Protocol) memBlock(offset int) memory.Block {
+	b, ok := c.mem[offset]
+	if !ok {
+		b = make(memory.Block, c.blockSize())
+		c.mem[offset] = b
+	}
+	return b
+}
+
+// PokeMemory installs a block in backing memory without timing.
+func (c *Protocol) PokeMemory(offset int, b memory.Block) {
+	if len(b) != c.blockSize() {
+		panic(fmt.Sprintf("cache: block of %d words, want %d", len(b), c.blockSize()))
+	}
+	c.mem[offset] = b.Clone()
+}
+
+// PeekMemory reads backing memory without timing.
+func (c *Protocol) PeekMemory(offset int) memory.Block { return c.memBlock(offset).Clone() }
+
+// State returns processor p's cache line state for a block offset
+// (Invalid if the line holds a different tag).
+func (c *Protocol) State(p, offset int) LineState {
+	ln := &c.dirs[p][c.lineOf(offset)]
+	if ln.state == Invalid || ln.tag != offset {
+		return Invalid
+	}
+	return ln.state
+}
+
+// CachedData returns a copy of p's cached block for offset, or nil.
+func (c *Protocol) CachedData(p, offset int) memory.Block {
+	ln := &c.dirs[p][c.lineOf(offset)]
+	if ln.state == Invalid || ln.tag != offset {
+		return nil
+	}
+	return ln.data.Clone()
+}
+
+// Busy reports whether processor p has a primitive in flight or requests
+// queued.
+func (c *Protocol) Busy(p int) bool {
+	return c.ops[p] != nil || c.susp[p] != nil || len(c.reqs[p]) > 0 || len(c.wbReq[p]) > 0
+}
+
+// Idle reports whether the whole system has quiesced.
+func (c *Protocol) Idle() bool {
+	for p := range c.ops {
+		if c.Busy(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Load queues a processor-level block load; done receives the block.
+func (c *Protocol) Load(p, offset int, done func(memory.Block)) {
+	c.reqs[p] = append(c.reqs[p], request{offset: offset, done: done})
+}
+
+// Store queues a processor-level word store into a block.
+func (c *Protocol) Store(p, offset, word int, v memory.Word, done func(memory.Block)) {
+	if word < 0 || word >= c.blockSize() {
+		panic(fmt.Sprintf("cache: word %d out of block range [0,%d)", word, c.blockSize()))
+	}
+	c.reqs[p] = append(c.reqs[p], request{isStore: true, offset: offset, word: word, value: v, done: done})
+}
+
+// RMW queues an atomic read-modify-write (§5.3.1): exclusive ownership is
+// obtained with read-invalidate, modify maps the old block to the new
+// one (applied to the locally owned copy with remotely-triggered
+// write-back disabled), and done receives the OLD block value. The block
+// remains dirty in p's cache afterwards; coherence actions write it back
+// on demand.
+func (c *Protocol) RMW(p, offset int, modify func(memory.Block) memory.Block, done func(memory.Block)) {
+	c.reqs[p] = append(c.reqs[p], request{isStore: true, offset: offset, modify: modify, done: done})
+}

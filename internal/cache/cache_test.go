@@ -1,0 +1,445 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// world wires a Protocol to a clock with a per-slot coherence check.
+type world struct {
+	c   *Protocol
+	clk *sim.Clock
+	t   *testing.T
+}
+
+func newWorld(t *testing.T, procs, lines int) *world {
+	w := &world{c: New(Config{Processors: procs, Lines: lines, RetryDelay: 1}, nil), clk: sim.NewClock(), t: t}
+	w.clk.Register(w.c)
+	w.clk.RegisterPrio(sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+		if ph != sim.PhaseUpdate {
+			return
+		}
+		if err := w.c.CheckCoherence(); err != nil {
+			t.Fatalf("slot %d: %v", tt, err)
+		}
+	}), 10)
+	return w
+}
+
+// settle runs until the protocol quiesces (or the budget runs out).
+func (w *world) settle(budget int64) {
+	w.t.Helper()
+	if _, ok := w.clk.RunUntil(w.c.Idle, budget); !ok {
+		w.t.Fatalf("protocol did not quiesce within %d slots", budget)
+	}
+}
+
+func uni(n int, v memory.Word) memory.Block {
+	b := make(memory.Block, n)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Processors: 4, Lines: 8, RetryDelay: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bads := []Config{
+		{Processors: 1, Lines: 1, RetryDelay: 1},
+		{Processors: 4, Lines: 0, RetryDelay: 1},
+		{Processors: 4, Lines: 1, RetryDelay: 0},
+	}
+	for i, cfg := range bads {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New with bad config did not panic")
+		}
+	}()
+	New(Config{}, nil)
+}
+
+func TestLineStateString(t *testing.T) {
+	if Invalid.String() != "invalid" || Valid.String() != "valid" || Dirty.String() != "dirty" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestReadMissFillsValid(t *testing.T) {
+	w := newWorld(t, 4, 4)
+	w.c.PokeMemory(2, uni(4, 7))
+	var got memory.Block
+	w.c.Load(0, 2, func(b memory.Block) { got = b })
+	w.settle(100)
+	if !got.Equal(uni(4, 7)) {
+		t.Fatalf("load = %v", got)
+	}
+	if st := w.c.State(0, 2); st != Valid {
+		t.Fatalf("state after read miss = %v, want valid", st)
+	}
+	if w.c.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1", w.c.Misses)
+	}
+}
+
+func TestReadHitNoMemoryAccess(t *testing.T) {
+	w := newWorld(t, 4, 4)
+	w.c.PokeMemory(2, uni(4, 7))
+	w.c.Load(0, 2, nil)
+	w.settle(100)
+	missesBefore := w.c.Misses
+	w.c.Load(0, 2, nil)
+	w.settle(100)
+	if w.c.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", w.c.Hits)
+	}
+	if w.c.Misses != missesBefore {
+		t.Fatal("read hit caused a memory access")
+	}
+}
+
+func TestWriteMissMakesDirty(t *testing.T) {
+	w := newWorld(t, 4, 4)
+	w.c.Store(1, 3, 0, 42, nil)
+	w.settle(100)
+	if st := w.c.State(1, 3); st != Dirty {
+		t.Fatalf("state after write miss = %v, want dirty", st)
+	}
+	if got := w.c.CachedData(1, 3); got[0] != 42 {
+		t.Fatalf("cached word = %d, want 42", got[0])
+	}
+	// Memory not yet updated (write-back policy).
+	if w.c.PeekMemory(3)[0] == 42 {
+		t.Fatal("write-back protocol updated memory on store")
+	}
+}
+
+func TestWriteHitDirtyNoMemoryAccess(t *testing.T) {
+	w := newWorld(t, 4, 4)
+	w.c.Store(1, 3, 0, 42, nil)
+	w.settle(100)
+	misses := w.c.Misses
+	w.c.Store(1, 3, 1, 43, nil)
+	w.settle(100)
+	if w.c.Misses != misses {
+		t.Fatal("write hit on dirty line caused memory access")
+	}
+	if w.c.Hits != 1 {
+		t.Fatalf("Hits = %d, want 1", w.c.Hits)
+	}
+}
+
+func TestWriteHitValidUpgradesViaReadInvalidate(t *testing.T) {
+	w := newWorld(t, 4, 4)
+	w.c.PokeMemory(0, uni(4, 5))
+	w.c.Load(2, 0, nil)
+	w.settle(100)
+	if st := w.c.State(2, 0); st != Valid {
+		t.Fatalf("precondition: state %v", st)
+	}
+	w.c.Store(2, 0, 0, 9, nil)
+	w.settle(100)
+	if st := w.c.State(2, 0); st != Dirty {
+		t.Fatalf("state after upgrade = %v, want dirty", st)
+	}
+}
+
+func TestStoreInvalidatesRemoteCopies(t *testing.T) {
+	w := newWorld(t, 4, 4)
+	w.c.PokeMemory(0, uni(4, 1))
+	for p := 0; p < 4; p++ {
+		w.c.Load(p, 0, nil)
+	}
+	w.settle(200)
+	w.c.Store(0, 0, 0, 2, nil)
+	w.settle(200)
+	for p := 1; p < 4; p++ {
+		if st := w.c.State(p, 0); st != Invalid {
+			t.Fatalf("P%d state = %v after remote store, want invalid", p, st)
+		}
+	}
+	if w.c.Invalidations < 3 {
+		t.Fatalf("Invalidations = %d, want >= 3", w.c.Invalidations)
+	}
+}
+
+func TestReadTriggersRemoteWriteBack(t *testing.T) {
+	w := newWorld(t, 4, 4)
+	w.c.Store(3, 1, 0, 77, nil) // P3 owns block 1 dirty
+	w.settle(100)
+	var got memory.Block
+	w.c.Load(0, 1, func(b memory.Block) { got = b })
+	w.settle(300)
+	if got == nil || got[0] != 77 {
+		t.Fatalf("load after remote dirty = %v, want P3's store visible", got)
+	}
+	if w.c.State(3, 1) != Valid {
+		t.Fatalf("former owner state = %v, want valid after triggered write-back", w.c.State(3, 1))
+	}
+	if w.c.State(0, 1) != Valid {
+		t.Fatalf("reader state = %v, want valid", w.c.State(0, 1))
+	}
+	if w.c.WriteBacks == 0 || w.c.TriggeredWBs == 0 {
+		t.Fatal("no write-back recorded")
+	}
+	if w.c.PeekMemory(1)[0] != 77 {
+		t.Fatal("memory not updated by write-back")
+	}
+}
+
+func TestWriteMissOnRemoteDirtyTransfersOwnership(t *testing.T) {
+	w := newWorld(t, 4, 4)
+	w.c.Store(2, 0, 0, 5, nil)
+	w.settle(100)
+	w.c.Store(1, 0, 1, 6, nil)
+	w.settle(300)
+	if w.c.State(1, 0) != Dirty {
+		t.Fatalf("new owner state = %v", w.c.State(1, 0))
+	}
+	if w.c.State(2, 0) != Invalid {
+		t.Fatalf("old owner state = %v, want invalid", w.c.State(2, 0))
+	}
+	// New owner must see the old owner's store (5 at word 0) plus its own.
+	data := w.c.CachedData(1, 0)
+	if data[0] != 5 || data[1] != 6 {
+		t.Fatalf("merged block = %v, want [5 6 ...]", data)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	// 1 cache line: loading block 1 after dirtying block 0 must flush 0.
+	w := newWorld(t, 4, 1)
+	w.c.Store(0, 0, 0, 11, nil)
+	w.settle(100)
+	w.c.Load(0, 1, nil)
+	w.settle(300)
+	if w.c.PeekMemory(0)[0] != 11 {
+		t.Fatal("evicted dirty block not written back")
+	}
+	if w.c.State(0, 1) != Valid || w.c.State(0, 0) != Invalid {
+		t.Fatalf("states after eviction: block1=%v block0=%v", w.c.State(0, 1), w.c.State(0, 0))
+	}
+}
+
+func TestConcurrentReadersShareBlock(t *testing.T) {
+	w := newWorld(t, 8, 4)
+	w.c.PokeMemory(0, uni(8, 3))
+	done := 0
+	for p := 0; p < 8; p++ {
+		w.c.Load(p, 0, func(b memory.Block) {
+			if b[0] == 3 {
+				done++
+			}
+		})
+	}
+	w.settle(500)
+	if done != 8 {
+		t.Fatalf("%d loads returned correct data, want 8", done)
+	}
+	for p := 0; p < 8; p++ {
+		if w.c.State(p, 0) != Valid {
+			t.Fatalf("P%d state = %v", p, w.c.State(p, 0))
+		}
+	}
+}
+
+// TestConcurrentWritersSerialize is the exclusivity property: concurrent
+// read-invalidates for one block resolve to exactly one owner at a time
+// (the invariant checker would catch two dirty copies), and all stores
+// land.
+func TestConcurrentWritersSerialize(t *testing.T) {
+	w := newWorld(t, 8, 4)
+	for p := 0; p < 8; p++ {
+		p := p
+		w.c.Store(p, 0, p, memory.Word(100+p), nil)
+	}
+	w.settle(2000)
+	// Force the final owner to flush so memory has everything.
+	final := -1
+	for p := 0; p < 8; p++ {
+		if w.c.State(p, 0) == Dirty {
+			final = p
+		}
+	}
+	if final < 0 {
+		t.Fatal("no final owner")
+	}
+	data := w.c.CachedData(final, 0)
+	for p := 0; p < 8; p++ {
+		if data[p] != memory.Word(100+p) {
+			t.Fatalf("word %d = %d, want %d (lost store)", p, data[p], 100+p)
+		}
+	}
+}
+
+// TestRMWFetchAndAdd: atomic read-modify-write from every processor on a
+// shared counter — the canonical §5.3.1 synchronization operation. Every
+// increment must be applied exactly once.
+func TestRMWFetchAndAdd(t *testing.T) {
+	w := newWorld(t, 8, 4)
+	const perProc = 5
+	issued := make([]int, 8)
+	var driver sim.TickerFunc = func(tt sim.Slot, ph sim.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for p := 0; p < 8; p++ {
+			if issued[p] < perProc && !w.c.Busy(p) {
+				issued[p]++
+				w.c.RMW(p, 0, func(old memory.Block) memory.Block {
+					nw := old.Clone()
+					nw[0]++
+					return nw
+				}, nil)
+			}
+		}
+	}
+	w.clk.Register(driver)
+	allIssued := func() bool {
+		for p := 0; p < 8; p++ {
+			if issued[p] < perProc {
+				return false
+			}
+		}
+		return w.c.Idle()
+	}
+	if _, ok := w.clk.RunUntil(allIssued, 20000); !ok {
+		t.Fatal("fetch-and-add traffic did not drain")
+	}
+	// Locate the counter: in the dirty owner's cache, else memory.
+	var val memory.Word
+	found := false
+	for p := 0; p < 8; p++ {
+		if w.c.State(p, 0) == Dirty {
+			val = w.c.CachedData(p, 0)[0]
+			found = true
+		}
+	}
+	if !found {
+		val = w.c.PeekMemory(0)[0]
+	}
+	if val != 8*perProc {
+		t.Fatalf("counter = %d, want %d", val, 8*perProc)
+	}
+}
+
+// TestRMWReturnsOldValue: RMW's done callback receives the pre-image.
+func TestRMWReturnsOldValue(t *testing.T) {
+	w := newWorld(t, 4, 4)
+	w.c.PokeMemory(0, uni(4, 10))
+	var old memory.Block
+	w.c.RMW(0, 0, func(b memory.Block) memory.Block { return uni(4, 11) }, func(b memory.Block) { old = b })
+	w.settle(200)
+	if !old.Equal(uni(4, 10)) {
+		t.Fatalf("RMW old = %v, want all 10", old)
+	}
+	if got := w.c.CachedData(0, 0); !got.Equal(uni(4, 11)) {
+		t.Fatalf("RMW new = %v, want all 11", got)
+	}
+}
+
+// TestCoherenceUnderRandomTraffic is the protocol soundness property:
+// random loads/stores/RMWs from all processors never violate the
+// dirty-exclusive / valid-matches-memory invariants (checked every slot)
+// and the system always quiesces.
+func TestCoherenceUnderRandomTraffic(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		c := New(Config{Processors: 8, Lines: 2, RetryDelay: 1}, nil)
+		clk := sim.NewClock()
+		clk.Register(c)
+		bad := false
+		clk.RegisterPrio(sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+			if ph == sim.PhaseUpdate && c.CheckCoherence() != nil {
+				bad = true
+				clk.Stop()
+			}
+		}), 10)
+		// 40 random requests across 8 processors and 4 blocks.
+		for i := 0; i < 40; i++ {
+			p := rng.Intn(8)
+			off := rng.Intn(4)
+			switch rng.Intn(3) {
+			case 0:
+				c.Load(p, off, nil)
+			case 1:
+				c.Store(p, off, rng.Intn(8), memory.Word(rng.Intn(1000)), nil)
+			case 2:
+				c.RMW(p, off, func(b memory.Block) memory.Block {
+					nb := b.Clone()
+					nb[0]++
+					return nb
+				}, nil)
+			}
+		}
+		done, _ := clk.RunUntil(c.Idle, 50000)
+		_ = done
+		return !bad && c.Idle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStorePanicsOnBadWord(t *testing.T) {
+	c := New(Config{Processors: 4, Lines: 4, RetryDelay: 1}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad word index did not panic")
+		}
+	}()
+	c.Store(0, 0, 4, 1, nil)
+}
+
+func TestPokeMemoryPanicsOnBadSize(t *testing.T) {
+	c := New(Config{Processors: 4, Lines: 4, RetryDelay: 1}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad block size did not panic")
+		}
+	}()
+	c.PokeMemory(0, uni(3, 1))
+}
+
+func TestCachedDataNilWhenAbsent(t *testing.T) {
+	c := New(Config{Processors: 4, Lines: 4, RetryDelay: 1}, nil)
+	if c.CachedData(0, 0) != nil {
+		t.Fatal("CachedData on empty cache not nil")
+	}
+	if c.State(0, 0) != Invalid {
+		t.Fatal("State on empty cache not invalid")
+	}
+}
+
+// TestReadLatencyUncontended: a read miss with no remote copies takes one
+// pass = n slots.
+func TestReadLatencyUncontended(t *testing.T) {
+	w := newWorld(t, 8, 4)
+	var doneAt sim.Slot = -1
+	w.c.Load(0, 0, func(memory.Block) { doneAt = w.clk.Now() })
+	w.settle(100)
+	if doneAt != 7 {
+		t.Fatalf("read completed at slot %d, want 7 (one 8-bank pass)", doneAt)
+	}
+}
+
+// TestTable52ReadDefersToReadInvalidate: scripted conflict — a read that
+// overlaps an active read-invalidate on the same block must retry.
+func TestTable52ReadDefersToReadInvalidate(t *testing.T) {
+	w := newWorld(t, 8, 4)
+	w.c.Store(0, 0, 0, 1, nil) // issues read-invalidate
+	w.c.Load(4, 0, nil)        // same block, same slot
+	w.settle(1000)
+	if w.c.Retries == 0 {
+		t.Fatal("no retries recorded for overlapping read and read-invalidate")
+	}
+}

@@ -1,0 +1,356 @@
+package cache
+
+import (
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// Tick implements sim.Ticker. New primitives launch in PhaseIssue
+// (write-backs first, Table 5.4); bank visits happen in PhaseTransfer;
+// completions in PhaseUpdate.
+func (c *Protocol) Tick(t sim.Slot, ph sim.Phase) {
+	switch ph {
+	case sim.PhaseIssue:
+		for p := range c.ops {
+			c.launch(t, p)
+		}
+	case sim.PhaseTransfer:
+		for p, op := range c.ops {
+			if op == nil || t < op.wait {
+				continue
+			}
+			c.visit(t, p, op)
+		}
+	case sim.PhaseUpdate:
+		for p, op := range c.ops {
+			if op != nil && op.k >= c.cfg.Processors {
+				c.complete(t, p, op)
+			}
+		}
+	}
+}
+
+// launch starts the next primitive for processor p: remotely-triggered
+// write-backs have the highest priority (Table 5.4 row 1) and preempt a
+// retrying read or read-invalidate, which is suspended and resumed after
+// the flush — without this preemption, mutually waiting processors whose
+// op slots are occupied by retrying primitives would deadlock.
+func (c *Protocol) launch(t sim.Slot, p int) {
+	if c.ops[p] != nil && c.ops[p].kind == opWriteBack {
+		return
+	}
+	// Remotely-triggered write-backs first — unless disabled for an
+	// in-progress atomic operation's target block.
+	for i, offset := range c.wbReq[p] {
+		if c.rmwLocked[p] == offset {
+			continue
+		}
+		if c.State(p, offset) != Dirty {
+			// The copy is gone (already written back or invalidated);
+			// drop the stale request.
+			c.wbReq[p] = append(c.wbReq[p][:i], c.wbReq[p][i+1:]...)
+			return
+		}
+		c.wbReq[p] = append(c.wbReq[p][:i], c.wbReq[p][i+1:]...)
+		if c.ops[p] != nil {
+			c.susp[p] = c.ops[p]
+			c.ops[p] = nil
+			c.trace.Add(t, fmt.Sprintf("P%d", p), "%v suspended for priority write-back", c.susp[p].kind)
+		}
+		c.startPrimitive(t, p, opWriteBack, offset, nil)
+		return
+	}
+	if c.ops[p] != nil {
+		return
+	}
+	if c.susp[p] != nil {
+		// Resume the primitive the write-back displaced; its pass
+		// restarts from scratch but keeps its original issue priority.
+		op := c.susp[p]
+		c.susp[p] = nil
+		op.k = 0
+		op.wait = t
+		op.start = t
+		c.ops[p] = op
+		c.trace.Add(t, fmt.Sprintf("P%d", p), "%v resumed", op.kind)
+		return
+	}
+	if len(c.reqs[p]) == 0 {
+		return
+	}
+	req := c.reqs[p][0]
+	ln := &c.dirs[p][c.lineOf(req.offset)]
+	st := c.State(p, req.offset)
+
+	// Table 5.1: hits need no memory access.
+	if !req.isStore && st != Invalid {
+		c.Hits++
+		c.reqs[p] = c.reqs[p][1:]
+		c.trace.Add(t, fmt.Sprintf("P%d", p), "read hit offset %d (%v)", req.offset, st)
+		if req.done != nil {
+			req.done(ln.data.Clone())
+		}
+		return
+	}
+	if req.isStore && st == Dirty {
+		c.Hits++
+		c.reqs[p] = c.reqs[p][1:]
+		c.applyStore(t, p, req)
+		return
+	}
+
+	// A miss (or a write to a merely-valid line). If the target line
+	// holds a DIFFERENT dirty block, flush it first.
+	if ln.state == Dirty && ln.tag != req.offset {
+		c.startPrimitive(t, p, opWriteBack, ln.tag, nil)
+		return // the request launches on a later tick
+	}
+	c.Misses++
+	c.reqs[p] = c.reqs[p][1:]
+	if req.isStore {
+		// Write hit on valid or write miss: read-invalidate (Table 5.1).
+		c.startPrimitive(t, p, opReadInv, req.offset, func() { c.applyStore(t, p, req) })
+	} else {
+		c.startPrimitive(t, p, opRead, req.offset, func() {
+			if req.done != nil {
+				req.done(c.dirs[p][c.lineOf(req.offset)].data.Clone())
+			}
+		})
+	}
+}
+
+// applyStore performs the local modification once p owns the block dirty.
+// For RMW requests the modify function runs with remotely-triggered
+// write-back disabled (it already was during the read-invalidate; clear
+// it now).
+func (c *Protocol) applyStore(t sim.Slot, p int, req request) {
+	ln := &c.dirs[p][c.lineOf(req.offset)]
+	if ln.state != Dirty || ln.tag != req.offset {
+		panic(fmt.Sprintf("cache: store by P%d without ownership of block %d", p, req.offset))
+	}
+	old := ln.data.Clone()
+	if req.modify != nil {
+		ln.data = req.modify(ln.data.Clone())
+		if len(ln.data) != c.blockSize() {
+			panic("cache: RMW modify returned wrong block size")
+		}
+	} else {
+		ln.data[req.word] = req.value
+	}
+	c.rmwLocked[p] = -1
+	c.trace.Add(t, fmt.Sprintf("P%d", p), "store to dirty block %d", req.offset)
+	if req.done != nil {
+		req.done(old)
+	}
+}
+
+// startPrimitive begins a primitive operation pass for p.
+func (c *Protocol) startPrimitive(t sim.Slot, p int, kind opKind, offset int, done func()) {
+	c.ops[p] = &primitive{kind: kind, proc: p, offset: offset, start: t, issued: t, done: done}
+	if kind == opReadInv {
+		// Guard the atomic window: between gaining ownership and the
+		// local modification, remote triggers must not flush the block.
+		c.rmwLocked[p] = offset
+	}
+	c.trace.Add(t, fmt.Sprintf("P%d", p), "start %v block %d", kind, offset)
+}
+
+// visit performs one bank visit of p's primitive: bank (t+p) mod n, whose
+// coupled processor's directory and ongoing operation are examined.
+func (c *Protocol) visit(t sim.Slot, p int, op *primitive) {
+	n := c.cfg.Processors
+	bank := int((t + sim.Slot(p)) % sim.Slot(n))
+	if bank < 0 {
+		bank += n
+	}
+	coupled := bank // Fig. 5.1: bank i shares processor i's directory
+
+	if coupled != p {
+		// Autonomous access control (Table 5.2). The coupled processor's
+		// record of its ongoing operation (§5.2.4) covers primitives in
+		// retry back-off and primitives suspended for a priority
+		// write-back — they are still outstanding and must be respected,
+		// or a read could slip between a read-invalidate's retries and
+		// complete valid against a soon-to-be-dirty block.
+		for _, other := range []*primitive{c.ops[coupled], c.susp[coupled]} {
+			if other != nil && other.offset == op.offset && c.mustDefer(op, other) {
+				c.retry(t, p, op, fmt.Sprintf("defers to P%d's %v", coupled, other.kind))
+				return
+			}
+		}
+		// A read-invalidate must also cancel IN-FLIGHT same-block reads
+		// at the coupled processor: such a read may already have passed
+		// this operation's bank (so it will never observe us) yet would
+		// complete with a valid copy of a block we are about to own
+		// dirty. The read has the lowest priority (Table 5.2), so it is
+		// the one forced to retry, via the shared directory.
+		if op.kind == opReadInv {
+			for _, other := range []*primitive{c.ops[coupled], c.susp[coupled]} {
+				if other != nil && other.kind == opRead && other.offset == op.offset {
+					c.retry(t, coupled, other, fmt.Sprintf("cancelled by P%d's read-invalidate", p))
+				}
+			}
+		}
+		// Directory checks.
+		st := c.State(coupled, op.offset)
+		switch op.kind {
+		case opRead, opReadInv:
+			if st == Dirty {
+				// Trigger the remote write-back and retry (§5.2.3) —
+				// unless the owner is mid-atomic, in which case the
+				// trigger waits but we still retry.
+				c.queueWB(coupled, op.offset)
+				c.TriggeredWBs++
+				c.retry(t, p, op, fmt.Sprintf("dirty copy at P%d, triggered write-back", coupled))
+				return
+			}
+			if op.kind == opReadInv && st == Valid {
+				c.invalidate(t, coupled, op.offset)
+			}
+		case opWriteBack:
+			// No other cache can hold any copy of a dirty block; nothing
+			// to check (§5.2.3).
+		}
+	}
+	op.k++
+}
+
+// mustDefer applies Table 5.2: does op have to retry when it observes
+// other (same block) in flight?
+func (c *Protocol) mustDefer(op, other *primitive) bool {
+	switch op.kind {
+	case opWriteBack:
+		return false // write-back has the highest priority, never waits
+	case opRead:
+		return other.kind == opReadInv || other.kind == opWriteBack
+	default: // opReadInv
+		if other.kind == opWriteBack {
+			return true
+		}
+		if other.kind != opReadInv {
+			return false
+		}
+		// Read-invalidate vs read-invalidate: exactly one must win.
+		// Older issue wins; simultaneous issues break the tie by who
+		// reaches bank 0 first (smaller distance).
+		if other.issued != op.issued {
+			return other.issued < op.issued
+		}
+		return c.bank0Distance(other) < c.bank0Distance(op)
+	}
+}
+
+// bank0Distance returns how many slots after issue a primitive's pass
+// reaches bank 0 — the deterministic tie-breaker for simultaneous
+// read-invalidates.
+func (c *Protocol) bank0Distance(op *primitive) int {
+	n := c.cfg.Processors
+	d := (-(int(op.issued) + op.proc)) % n
+	if d < 0 {
+		d += n
+	}
+	return d
+}
+
+// retry aborts the current pass and schedules a fresh one.
+func (c *Protocol) retry(t sim.Slot, p int, op *primitive, why string) {
+	c.Retries++
+	op.k = 0
+	op.wait = t + sim.Slot(c.cfg.RetryDelay)
+	op.start = op.wait
+	c.trace.Add(t, fmt.Sprintf("P%d", p), "%v retry: %s", op.kind, why)
+}
+
+// invalidate clears a remote valid copy.
+func (c *Protocol) invalidate(t sim.Slot, q, offset int) {
+	ln := &c.dirs[q][c.lineOf(offset)]
+	if ln.tag == offset && ln.state == Valid {
+		ln.state = Invalid
+		c.Invalidations++
+		c.trace.Add(t, fmt.Sprintf("P%d", q), "copy of block %d invalidated", offset)
+	}
+}
+
+// queueWB requests a write-back from processor q (deduplicated).
+func (c *Protocol) queueWB(q, offset int) {
+	for _, o := range c.wbReq[q] {
+		if o == offset {
+			return
+		}
+	}
+	c.wbReq[q] = append(c.wbReq[q], offset)
+}
+
+// complete finishes a primitive whose pass visited every bank.
+func (c *Protocol) complete(t sim.Slot, p int, op *primitive) {
+	ln := &c.dirs[p][c.lineOf(op.offset)]
+	switch op.kind {
+	case opRead:
+		ln.state = Valid
+		ln.tag = op.offset
+		ln.data = c.memBlock(op.offset).Clone()
+	case opReadInv:
+		ln.state = Dirty
+		ln.tag = op.offset
+		ln.data = c.memBlock(op.offset).Clone()
+	case opWriteBack:
+		if ln.state != Dirty || ln.tag != op.offset {
+			panic(fmt.Sprintf("cache: write-back by P%d of non-dirty block %d", p, op.offset))
+		}
+		c.mem[op.offset] = ln.data.Clone()
+		ln.state = Valid
+		c.WriteBacks++
+	}
+	c.ops[p] = nil
+	c.trace.Add(t, fmt.Sprintf("P%d", p), "%v block %d complete", op.kind, op.offset)
+	if op.done != nil {
+		op.done()
+	}
+}
+
+// CheckCoherence verifies the protocol invariants (used by tests after
+// every slot):
+//
+//   - at most one dirty copy of any block exists (the dirty state is
+//     exclusive);
+//   - if a dirty copy exists, no valid copies coexist;
+//   - every valid copy matches backing memory.
+func (c *Protocol) CheckCoherence() error {
+	type holder struct{ dirty, valid []int }
+	blocks := map[int]*holder{}
+	for p := range c.dirs {
+		for li := range c.dirs[p] {
+			ln := &c.dirs[p][li]
+			if ln.state == Invalid {
+				continue
+			}
+			h := blocks[ln.tag]
+			if h == nil {
+				h = &holder{}
+				blocks[ln.tag] = h
+			}
+			if ln.state == Dirty {
+				h.dirty = append(h.dirty, p)
+			} else {
+				h.valid = append(h.valid, p)
+				if !ln.data.Equal(c.memBlock(ln.tag)) {
+					return fmt.Errorf("valid copy of block %d at P%d differs from memory", ln.tag, p)
+				}
+			}
+		}
+	}
+	for off, h := range blocks {
+		if len(h.dirty) > 1 {
+			return fmt.Errorf("block %d dirty in %d caches %v", off, len(h.dirty), h.dirty)
+		}
+		if len(h.dirty) == 1 && len(h.valid) > 0 {
+			// A transient shared window exists by design: a remote READ
+			// that triggered this owner's write-back may already hold a
+			// valid copy... it cannot — reads retry until the block is
+			// clean. Valid+dirty must never coexist.
+			return fmt.Errorf("block %d dirty at P%d but valid at %v", off, h.dirty[0], h.valid)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,321 @@
+package cache
+
+import (
+	"fmt"
+
+	"cfm/internal/consistency"
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// Ordering selects the memory-ordering discipline a processor front-end
+// enforces over the cache protocol — the §2.2 spectrum made executable.
+type Ordering int
+
+// Ordering disciplines.
+const (
+	// StrictOrder issues one access at a time in program order:
+	// sequential consistency (Condition 2.1).
+	StrictOrder Ordering = iota
+	// BufferedOrder retires stores through a FIFO write buffer that
+	// loads may bypass: processor consistency (Condition 2.2) — loads
+	// can perform before earlier stores, stores stay in issue order.
+	BufferedOrder
+	// WeakOrder additionally lets ordinary accesses between
+	// synchronization points drain in any order; Sync drains everything
+	// first: weak consistency (Condition 2.3).
+	WeakOrder
+	// ReleaseOrder splits synchronization into acquire and release
+	// halves: a release waits for previous ordinary accesses but later
+	// ordinary accesses need not wait for it, and an acquire blocks
+	// later accesses without waiting for earlier ordinary ones: release
+	// consistency (Condition 2.4).
+	ReleaseOrder
+)
+
+// String names the ordering.
+func (o Ordering) String() string {
+	switch o {
+	case StrictOrder:
+		return "strict"
+	case BufferedOrder:
+		return "buffered"
+	case WeakOrder:
+		return "weak"
+	default:
+		return "release"
+	}
+}
+
+// Frontend is one processor's issue logic: it accepts a program-order
+// stream of loads, stores, and synchronization accesses, applies the
+// configured ordering discipline over the cache protocol, and records
+// every access as a consistency.Op stamped with its performed time — so
+// the resulting execution can be checked against the Chapter 2 models.
+type Frontend struct {
+	c    *Protocol
+	clk  *sim.Clock
+	proc int
+	mode Ordering
+
+	nextIndex int
+	// program is the queue of not-yet-issued program-order entries.
+	program []feOp
+	// storeBuf holds issued-but-unperformed stores (write buffer).
+	storeBuf []*feOp
+	// loadWait is the in-flight load, if any (loads block the program).
+	busy bool
+
+	// Ops accumulates the execution for consistency checking.
+	Ops []consistency.Op
+}
+
+// feOp is one program-order operation.
+type feOp struct {
+	index  int
+	kind   consistency.OpKind
+	offset int
+	word   int
+	value  memory.Word
+	done   func(memory.Word)
+}
+
+// NewFrontend attaches a front-end for processor proc. Register it on
+// the clock BEFORE the protocol.
+func NewFrontend(c *Protocol, clk *sim.Clock, proc int, mode Ordering) *Frontend {
+	return &Frontend{c: c, clk: clk, proc: proc, mode: mode}
+}
+
+// Load appends a program-order load of one word.
+func (f *Frontend) Load(offset, word int, done func(memory.Word)) {
+	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Load,
+		offset: offset, word: word, done: done})
+}
+
+// Store appends a program-order word store.
+func (f *Frontend) Store(offset, word int, v memory.Word) {
+	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Store,
+		offset: offset, word: word, value: v})
+}
+
+// Sync appends a synchronization access (an atomic RMW on the given
+// block); under every discipline it waits for all previous accesses and
+// blocks later ones.
+func (f *Frontend) Sync(offset int) {
+	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Sync, offset: offset})
+}
+
+// Acquire appends an acquire synchronization access (§2.2.4): later
+// accesses wait for it, but it need not wait for earlier ordinary
+// accesses. Meaningful under ReleaseOrder; other disciplines treat it as
+// a full Sync.
+func (f *Frontend) Acquire(offset int) {
+	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Acquire, offset: offset})
+}
+
+// Release appends a release synchronization access (§2.2.4): it waits
+// for earlier ordinary accesses, but later ordinary accesses need not
+// wait for it. Meaningful under ReleaseOrder; other disciplines treat it
+// as a full Sync.
+func (f *Frontend) Release(offset int) {
+	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Release_, offset: offset})
+}
+
+func (f *Frontend) next() int {
+	i := f.nextIndex
+	f.nextIndex++
+	return i
+}
+
+// Idle reports whether everything issued has performed.
+func (f *Frontend) Idle() bool {
+	return len(f.program) == 0 && len(f.storeBuf) == 0 && !f.busy && !f.c.Busy(f.proc)
+}
+
+// Tick implements sim.Ticker: it decides, each slot, what to issue next
+// under the ordering discipline.
+func (f *Frontend) Tick(t sim.Slot, ph sim.Phase) {
+	if ph != sim.PhaseIssue {
+		return
+	}
+	// Drain the write buffer when the program has nothing ready to
+	// overtake it (letting stores accumulate is what buys the loads
+	// their bypass — and, under WeakOrder, what exposes the reordering).
+	if !f.busy && len(f.storeBuf) > 0 && !f.c.Busy(f.proc) && len(f.program) == 0 {
+		f.issueBufferedStore(t)
+		return
+	}
+	if f.busy || len(f.program) == 0 {
+		return
+	}
+	op := f.program[0]
+	switch op.kind {
+	case consistency.Load:
+		f.issueLoad(t, op)
+	case consistency.Store:
+		f.issueStore(t, op)
+	case consistency.Sync:
+		f.issueSync(t, op)
+	case consistency.Acquire:
+		if f.mode == ReleaseOrder {
+			f.issueAcquire(t, op)
+		} else {
+			f.issueSync(t, op)
+		}
+	case consistency.Release_:
+		if f.mode == ReleaseOrder {
+			f.issueRelease(t, op)
+		} else {
+			f.issueSync(t, op)
+		}
+	}
+}
+
+// issueAcquire performs the acquire half: it gates LATER accesses (it is
+// at the program head, so nothing later has issued) but does NOT drain
+// the write buffer — earlier ordinary stores may still perform after it
+// (Condition 2.4 allows it).
+func (f *Frontend) issueAcquire(t sim.Slot, op feOp) {
+	f.program = f.program[1:]
+	f.busy = true
+	f.c.RMW(f.proc, op.offset, func(b memory.Block) memory.Block { return b }, func(memory.Block) {
+		f.busy = false
+		f.record(op, f.clk.Now())
+	})
+}
+
+// issueRelease performs the release half: it waits for every earlier
+// ordinary access (drains the buffer first), but the program continues
+// past it without waiting — later accesses are issued as soon as the
+// release is IN FLIGHT, modelling the §2.2.4 "ordinary accesses following
+// a release do not have to wait for the release to complete".
+func (f *Frontend) issueRelease(t sim.Slot, op feOp) {
+	if len(f.storeBuf) > 0 || f.busy || f.c.Busy(f.proc) {
+		if !f.busy && len(f.storeBuf) > 0 && !f.c.Busy(f.proc) {
+			f.issueBufferedStore(t)
+		}
+		return
+	}
+	f.program = f.program[1:]
+	// The release itself enters the protocol, but the front-end does NOT
+	// mark itself busy: the next program entries may overtake it. The
+	// cache protocol serializes per-processor requests FIFO, so loads
+	// after the release still queue behind it at the protocol level; the
+	// overtaking that matters for Condition 2.4 — buffered stores issued
+	// later performing before the release would — is exercised by the
+	// write buffer, which keeps absorbing stores while the release runs.
+	f.c.RMW(f.proc, op.offset, func(b memory.Block) memory.Block { return b }, func(memory.Block) {
+		f.record(op, f.clk.Now())
+	})
+}
+
+func (f *Frontend) record(op feOp, performedAt sim.Slot) {
+	f.Ops = append(f.Ops, consistency.Op{
+		Proc: f.proc, Index: op.index, Kind: op.kind, Addr: op.offset,
+		PerformedAt:         int64(performedAt),
+		GloballyPerformedAt: int64(performedAt),
+	})
+}
+
+func (f *Frontend) issueLoad(t sim.Slot, op feOp) {
+	f.program = f.program[1:]
+	// Store forwarding: a buffered store to the same word satisfies the
+	// load without a memory access (and without ordering it after the
+	// store's eventual performance — the PC/WC relaxation).
+	if f.mode != StrictOrder {
+		for i := len(f.storeBuf) - 1; i >= 0; i-- {
+			sb := f.storeBuf[i]
+			if sb.offset == op.offset && sb.word == op.word {
+				f.record(op, t)
+				if op.done != nil {
+					op.done(sb.value)
+				}
+				return
+			}
+		}
+	}
+	if f.mode == StrictOrder && len(f.storeBuf) > 0 {
+		// SC: the load must wait for earlier stores; put it back.
+		f.program = append([]feOp{op}, f.program...)
+		return
+	}
+	f.busy = true
+	f.c.Load(f.proc, op.offset, func(b memory.Block) {
+		f.busy = false
+		f.record(op, f.clk.Now())
+		if op.done != nil {
+			op.done(b[op.word])
+		}
+	})
+}
+
+func (f *Frontend) issueStore(t sim.Slot, op feOp) {
+	f.program = f.program[1:]
+	switch f.mode {
+	case StrictOrder:
+		f.busy = true
+		f.c.Store(f.proc, op.offset, op.word, op.value, func(memory.Block) {
+			f.busy = false
+			f.record(op, f.clk.Now())
+		})
+	default:
+		// Enter the write buffer; performance happens at drain.
+		cp := op
+		f.storeBuf = append(f.storeBuf, &cp)
+	}
+}
+
+// issueBufferedStore drains one store from the buffer: FIFO under
+// BufferedOrder (stores observed in issue order, Condition 2.2), oldest-
+// last under WeakOrder and ReleaseOrder to make the reordering freedom
+// visible.
+func (f *Frontend) issueBufferedStore(t sim.Slot) {
+	var idx int
+	switch f.mode {
+	case WeakOrder, ReleaseOrder:
+		idx = len(f.storeBuf) - 1 // drain LIFO: deliberate reorder
+	default:
+		idx = 0
+	}
+	op := f.storeBuf[idx]
+	f.storeBuf = append(f.storeBuf[:idx], f.storeBuf[idx+1:]...)
+	f.busy = true
+	f.c.Store(f.proc, op.offset, op.word, op.value, func(memory.Block) {
+		f.busy = false
+		f.record(*op, f.clk.Now())
+	})
+}
+
+func (f *Frontend) issueSync(t sim.Slot, op feOp) {
+	// A synchronization access waits for every previous access: the
+	// write buffer must be empty and nothing in flight.
+	if len(f.storeBuf) > 0 || f.busy || f.c.Busy(f.proc) {
+		if !f.busy && len(f.storeBuf) > 0 && !f.c.Busy(f.proc) {
+			f.issueBufferedStore(t)
+		}
+		return
+	}
+	f.program = f.program[1:]
+	f.busy = true
+	f.c.RMW(f.proc, op.offset, func(b memory.Block) memory.Block { return b }, func(memory.Block) {
+		f.busy = false
+		f.record(op, f.clk.Now())
+	})
+}
+
+// Execution assembles the recorded operations (from any number of
+// front-ends) into a checkable execution.
+func Execution(fes ...*Frontend) *consistency.Execution {
+	e := &consistency.Execution{}
+	for _, f := range fes {
+		e.Ops = append(e.Ops, f.Ops...)
+	}
+	return e
+}
+
+// mustOrdering validates an ordering value (used by tests and the CLI).
+func mustOrdering(o Ordering) {
+	if o < StrictOrder || o > ReleaseOrder {
+		panic(fmt.Sprintf("cache: unknown ordering %d", o))
+	}
+}

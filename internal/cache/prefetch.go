@@ -1,0 +1,18 @@
+package cache
+
+// Prefetch queues a software prefetch of a block into p's cache
+// (§3.1.4: "cache line prefetching techniques implemented in some
+// parallel compilers can be employed to reduce the effect of a long
+// memory latency", as in the NYU Ultracomputer). It is an ordinary read
+// operation with no consumer: a later Load of the block hits locally if
+// the prefetch completed and nobody invalidated the copy in between.
+func (c *Protocol) Prefetch(p, offset int) {
+	c.Prefetches++
+	c.reqs[p] = append(c.reqs[p], request{offset: offset, done: nil, prefetch: true})
+}
+
+// PrefetchUseful reports whether a prefetched block is still present
+// (valid or dirty) in p's cache — the hit a subsequent load would enjoy.
+func (c *Protocol) PrefetchUseful(p, offset int) bool {
+	return c.State(p, offset) != Invalid
+}

@@ -1,0 +1,72 @@
+package cache
+
+import (
+	"testing"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// TestPrefetchHidesLatency: after a prefetch completes, the demand load
+// is a cache hit (zero additional memory latency), versus a full pass
+// without it.
+func TestPrefetchHidesLatency(t *testing.T) {
+	w := newWorld(t, 8, 4)
+	w.c.PokeMemory(3, uni(8, 7))
+	w.c.Prefetch(0, 3)
+	w.settle(100)
+	if !w.c.PrefetchUseful(0, 3) {
+		t.Fatal("prefetched block not present")
+	}
+	hitsBefore := w.c.Hits
+	var doneAt sim.Slot = -1
+	start := w.clk.Now()
+	w.c.Load(0, 3, func(memory.Block) { doneAt = w.clk.Now() })
+	w.settle(100)
+	if w.c.Hits != hitsBefore+1 {
+		t.Fatal("demand load after prefetch was not a hit")
+	}
+	if doneAt-start > 1 {
+		t.Fatalf("demand load took %d slots despite prefetch", doneAt-start)
+	}
+	if w.c.Prefetches != 1 {
+		t.Fatalf("Prefetches = %d", w.c.Prefetches)
+	}
+}
+
+// TestPrefetchInvalidatedIsUseless: a remote store between prefetch and
+// use invalidates the copy; the demand load misses (correctly) and sees
+// the new data.
+func TestPrefetchInvalidatedIsUseless(t *testing.T) {
+	w := newWorld(t, 8, 4)
+	w.c.Prefetch(0, 3)
+	w.settle(100)
+	w.c.Store(4, 3, 0, 99, nil)
+	w.settle(500)
+	if w.c.PrefetchUseful(0, 3) {
+		t.Fatal("prefetched copy survived a remote store")
+	}
+	var got memory.Block
+	w.c.Load(0, 3, func(b memory.Block) { got = b })
+	w.settle(500)
+	if got[0] != 99 {
+		t.Fatalf("demand load = %v, want the remote store visible", got)
+	}
+}
+
+// TestPrefetchPipelinesWithCompute: issuing the prefetch "distance" ahead
+// overlaps the memory pass with compute — total time is max(compute,
+// fetch), not their sum.
+func TestPrefetchPipelinesWithCompute(t *testing.T) {
+	const computeSlots = 20 // > one 8-slot pass
+	w := newWorld(t, 8, 4)
+	w.c.Prefetch(0, 5)
+	w.clk.Run(computeSlots) // simulated computation
+	start := w.clk.Now()
+	var doneAt sim.Slot = -1
+	w.c.Load(0, 5, func(memory.Block) { doneAt = w.clk.Now() })
+	w.settle(100)
+	if doneAt-start > 1 {
+		t.Fatalf("load after compute window took %d slots; prefetch did not overlap", doneAt-start)
+	}
+}

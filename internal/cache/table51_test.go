@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"testing"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// TestTable51Exhaustive enumerates every row of Table 5.1 — operation ×
+// local state × remote state — and checks the action taken (memory
+// access or not, triggered write-back or not) and the final states.
+func TestTable51Exhaustive(t *testing.T) {
+	type row struct {
+		name         string
+		store        bool
+		local        LineState // P0's initial state for block 0
+		remote       LineState // P4's initial state for block 0
+		wantAccess   bool      // a primitive memory operation is needed
+		wantTrigger  bool      // the remote dirty copy is flushed first
+		wantLocal    LineState // P0's final state
+		wantRemote   LineState // P4's final state
+		wantRemoteIn bool      // remote copy still present afterwards
+	}
+	rows := []row{
+		// Read hit: valid or dirty local copy, no memory access.
+		{"read hit v/v", false, Valid, Valid, false, false, Valid, Valid, true},
+		{"read hit v/i", false, Valid, Invalid, false, false, Valid, Invalid, false},
+		{"read hit d/i", false, Dirty, Invalid, false, false, Dirty, Invalid, false},
+		// Read miss: read operation; remote dirty triggers a write-back.
+		{"read miss i/v", false, Invalid, Valid, true, false, Valid, Valid, true},
+		{"read miss i/i", false, Invalid, Invalid, true, false, Valid, Invalid, false},
+		{"read miss i/d", false, Invalid, Dirty, true, true, Valid, Valid, true},
+		// Write hit: valid needs a read-invalidate; dirty needs nothing.
+		{"write hit v/v", true, Valid, Valid, true, false, Dirty, Invalid, false},
+		{"write hit v/i", true, Valid, Invalid, true, false, Dirty, Invalid, false},
+		{"write hit d/i", true, Dirty, Invalid, false, false, Dirty, Invalid, false},
+		// Write miss: read-invalidate; remote dirty triggers a write-back.
+		{"write miss i/v", true, Invalid, Valid, true, false, Dirty, Invalid, false},
+		{"write miss i/i", true, Invalid, Invalid, true, false, Dirty, Invalid, false},
+		{"write miss i/d", true, Invalid, Dirty, true, true, Dirty, Invalid, false},
+	}
+	for _, r := range rows {
+		t.Run(r.name, func(t *testing.T) {
+			w := newWorld(t, 8, 4)
+			w.c.PokeMemory(0, uni(8, 5))
+			// Install the initial states through protocol operations.
+			if r.remote != Invalid {
+				w.c.Load(4, 0, nil)
+				w.settle(1000)
+				if r.remote == Dirty {
+					w.c.Store(4, 0, 0, 7, nil)
+					w.settle(1000)
+				}
+			}
+			if r.local != Invalid {
+				w.c.Load(0, 0, nil)
+				w.settle(1000)
+				if r.local == Dirty {
+					w.c.Store(0, 0, 1, 8, nil)
+					w.settle(1000)
+				}
+			}
+			if got := w.c.State(0, 0); got != r.local {
+				t.Fatalf("setup: local state %v, want %v", got, r.local)
+			}
+			// Installing a dirty local copy invalidates the remote one, so
+			// only the rows in the table's reachable combinations get here
+			// with the remote intact; re-check it when expected present.
+			if r.remote != Invalid && r.local == Invalid {
+				if got := w.c.State(4, 0); got != r.remote {
+					t.Fatalf("setup: remote state %v, want %v", got, r.remote)
+				}
+			}
+
+			missesBefore, trigBefore := w.c.Misses, w.c.TriggeredWBs
+			if r.store {
+				w.c.Store(0, 0, 2, 9, nil)
+			} else {
+				w.c.Load(0, 0, nil)
+			}
+			w.settle(2000)
+
+			if gotAccess := w.c.Misses > missesBefore; gotAccess != r.wantAccess {
+				t.Errorf("memory access = %v, want %v", gotAccess, r.wantAccess)
+			}
+			if gotTrig := w.c.TriggeredWBs > trigBefore; gotTrig != r.wantTrigger {
+				t.Errorf("triggered write-back = %v, want %v", gotTrig, r.wantTrigger)
+			}
+			if got := w.c.State(0, 0); got != r.wantLocal {
+				t.Errorf("final local state %v, want %v", got, r.wantLocal)
+			}
+			if r.remote != Invalid || r.wantRemoteIn {
+				if got := w.c.State(4, 0); got != r.wantRemote {
+					t.Errorf("final remote state %v, want %v", got, r.wantRemote)
+				}
+			}
+			// Data integrity: a store must land; a read must see the
+			// latest committed value.
+			if r.store {
+				if d := w.c.CachedData(0, 0); d == nil || d[2] != 9 {
+					t.Errorf("store did not land: %v", d)
+				}
+			} else if r.remote == Dirty {
+				if d := w.c.CachedData(0, 0); d == nil || d[0] != 7 {
+					t.Errorf("read missed the remote store: %v", d)
+				}
+			}
+		})
+	}
+}
+
+// TestTable51RemoteDirtySurvivesValue: the word written by the remote
+// owner is visible through every path of the table's dirty rows.
+func TestTable51RemoteDirtySurvivesValue(t *testing.T) {
+	w := newWorld(t, 8, 4)
+	w.c.Store(4, 0, 0, 77, nil)
+	w.settle(1000)
+	var via memory.Block
+	w.c.Load(0, 0, func(b memory.Block) { via = b })
+	w.settle(2000)
+	if via[0] != 77 {
+		t.Fatalf("read-miss-on-dirty returned %v", via)
+	}
+	w.c.Store(1, 0, 1, 88, nil)
+	w.settle(2000)
+	d := w.c.CachedData(1, 0)
+	if d[0] != 77 || d[1] != 88 {
+		t.Fatalf("write-miss-on-dirty merged block %v", d)
+	}
+}
+
+// TestTable52DeferMatrix checks the §5.2.4 access-control matrix
+// directly against mustDefer: rows are the observing operation, columns
+// the detected one.
+func TestTable52DeferMatrix(t *testing.T) {
+	c := New(Config{Processors: 8, Lines: 4, RetryDelay: 1}, nil)
+	mk := func(kind opKind, issued int64, proc int) *primitive {
+		return &primitive{kind: kind, issued: sim.Slot(issued), proc: proc, offset: 0}
+	}
+	cases := []struct {
+		name      string
+		op, other *primitive
+		wantDefer bool
+	}{
+		// Read row: defers to read-invalidate and write-back, not read.
+		{"read vs read", mk(opRead, 0, 0), mk(opRead, 0, 1), false},
+		{"read vs read-inv", mk(opRead, 0, 0), mk(opReadInv, 0, 1), true},
+		{"read vs write-back", mk(opRead, 0, 0), mk(opWriteBack, 0, 1), true},
+		// Read-invalidate row: defers to write-back and to OLDER
+		// read-invalidates only.
+		{"read-inv vs read", mk(opReadInv, 0, 0), mk(opRead, 0, 1), false},
+		{"read-inv vs write-back", mk(opReadInv, 0, 0), mk(opWriteBack, 0, 1), true},
+		{"read-inv vs older read-inv", mk(opReadInv, 5, 0), mk(opReadInv, 2, 1), true},
+		{"read-inv vs newer read-inv", mk(opReadInv, 2, 0), mk(opReadInv, 5, 1), false},
+		// Write-back row: never defers (highest priority).
+		{"write-back vs read", mk(opWriteBack, 0, 0), mk(opRead, 0, 1), false},
+		{"write-back vs read-inv", mk(opWriteBack, 0, 0), mk(opReadInv, 0, 1), false},
+		{"write-back vs write-back", mk(opWriteBack, 0, 0), mk(opWriteBack, 0, 1), false},
+	}
+	for _, cse := range cases {
+		if got := c.mustDefer(cse.op, cse.other); got != cse.wantDefer {
+			t.Errorf("%s: mustDefer = %v, want %v", cse.name, got, cse.wantDefer)
+		}
+	}
+	// Simultaneous read-invalidates: exactly one of the pair defers
+	// (antisymmetry via the bank-0 distance tie-break).
+	a := mk(opReadInv, 3, 1)
+	b := mk(opReadInv, 3, 6)
+	if c.mustDefer(a, b) == c.mustDefer(b, a) {
+		t.Fatal("simultaneous read-invalidates: tie-break is not antisymmetric")
+	}
+}

@@ -1,0 +1,214 @@
+// Package consistency provides executable checkers for the memory
+// consistency models of Chapter 2: sequential consistency (Condition
+// 2.1), processor consistency (Condition 2.2), weak consistency
+// (Condition 2.3), and release consistency (Condition 2.4).
+//
+// An execution is modelled as a set of memory operations, each stamped
+// with the global time at which it performed (Definition 2.1). The
+// checkers verify the per-model ordering conditions between each
+// operation and its program-order predecessors. They are deliberately
+// conservative syntactic checks over performed-time stamps — exactly the
+// form in which the dissertation states the conditions.
+package consistency
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Model selects a consistency model.
+type Model int
+
+// The four models of §2.2.
+const (
+	Sequential Model = iota
+	Processor
+	Weak
+	Release
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case Processor:
+		return "processor"
+	case Weak:
+		return "weak"
+	default:
+		return "release"
+	}
+}
+
+// OpKind classifies a memory operation.
+type OpKind int
+
+// Operation kinds. Acquire and Release are the two halves of
+// synchronization accesses under release consistency (§2.2.4); Sync is an
+// undifferentiated synchronization access for weak consistency.
+const (
+	Load OpKind = iota
+	Store
+	Sync
+	Acquire
+	Release_
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Sync:
+		return "sync"
+	case Acquire:
+		return "acquire"
+	default:
+		return "release"
+	}
+}
+
+// Op is one memory operation in an execution.
+type Op struct {
+	Proc        int
+	Index       int // program order within Proc
+	Kind        OpKind
+	Addr        int
+	PerformedAt int64 // global time at which the access performed
+	// GloballyPerformedAt is the time at which a load is globally
+	// performed (Definition 2.2): when its source store has performed
+	// too. For stores it equals PerformedAt.
+	GloballyPerformedAt int64
+}
+
+// isSync reports whether the op is any kind of synchronization access.
+func (o Op) isSync() bool { return o.Kind == Sync || o.Kind == Acquire || o.Kind == Release_ }
+
+// isOrdinary reports whether the op is an ordinary load or store.
+func (o Op) isOrdinary() bool { return o.Kind == Load || o.Kind == Store }
+
+// Execution is a set of operations across processors.
+type Execution struct {
+	Ops []Op
+}
+
+// byProc returns each processor's operations in program order.
+func (e *Execution) byProc() map[int][]Op {
+	m := map[int][]Op{}
+	for _, o := range e.Ops {
+		m[o.Proc] = append(m[o.Proc], o)
+	}
+	for p := range m {
+		ops := m[p]
+		sort.Slice(ops, func(i, j int) bool { return ops[i].Index < ops[j].Index })
+		m[p] = ops
+	}
+	return m
+}
+
+// Violation describes a failed ordering condition.
+type Violation struct {
+	Model  Model
+	Proc   int
+	Before Op
+	After  Op
+	Rule   string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%v consistency violated at P%d: %v[%d]@%d must perform before %v[%d]@%d (%s)",
+		v.Model, v.Proc, v.Before.Kind, v.Before.Index, v.Before.PerformedAt,
+		v.After.Kind, v.After.Index, v.After.PerformedAt, v.Rule)
+}
+
+// Check verifies an execution against a model, returning the first
+// violation found (nil if the execution is admissible).
+func Check(m Model, e *Execution) error {
+	for p, ops := range e.byProc() {
+		for j := 1; j < len(ops); j++ {
+			for i := 0; i < j; i++ {
+				if rule := violates(m, ops[i], ops[j]); rule != "" {
+					return &Violation{Model: m, Proc: p, Before: ops[i], After: ops[j], Rule: rule}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// violates reports the broken rule name when `before` (earlier in program
+// order) is required to perform before `after` but did not, under model m.
+// Empty string means no constraint was broken by this pair.
+func violates(m Model, before, after Op) string {
+	// required: the model requires before to perform before after issues
+	// its performance. We check performed-time ordering.
+	ordered := before.PerformedAt < after.PerformedAt
+	globallyOrdered := before.GloballyPerformedAt < after.PerformedAt
+	switch m {
+	case Sequential:
+		// Condition 2.1: every access waits for all previous loads to be
+		// globally performed and all previous stores to be performed.
+		if before.Kind == Load && !globallyOrdered {
+			return "previous loads must be globally performed (2.1)"
+		}
+		if before.Kind != Load && !ordered {
+			return "previous accesses must be performed (2.1)"
+		}
+	case Processor:
+		// Condition 2.2: a load waits for previous loads; a store waits
+		// for ALL previous accesses. A load may bypass previous stores.
+		if after.Kind == Load && before.Kind == Load && !ordered {
+			return "loads in issue order (2.2)"
+		}
+		if after.Kind != Load && !ordered {
+			return "stores wait for all previous accesses (2.2)"
+		}
+	case Weak:
+		// Condition 2.3.
+		switch {
+		case after.isOrdinary() && before.isSync() && !ordered:
+			return "ordinary access waits for previous synchronization (2.3-1)"
+		case after.isSync() && before.isOrdinary() && !ordered:
+			return "synchronization waits for previous ordinary accesses (2.3-2)"
+		case after.isSync() && before.isSync() && !ordered:
+			return "synchronization accesses sequentially consistent (2.3-3)"
+		}
+	case Release:
+		// Condition 2.4: ordinary accesses wait for previous acquires;
+		// releases wait for previous ordinary accesses; synchronization
+		// accesses are processor consistent among themselves.
+		switch {
+		case after.isOrdinary() && before.Kind == Acquire && !ordered:
+			return "ordinary access waits for previous acquire (2.4-1)"
+		case after.Kind == Release_ && before.isOrdinary() && !ordered:
+			return "release waits for previous ordinary accesses (2.4-2)"
+		case after.isSync() && before.isSync():
+			// Processor consistency among sync accesses: a sync "store"
+			// (release) waits for all previous syncs; a sync "load"
+			// (acquire) waits for previous acquires.
+			if after.Kind == Release_ && !ordered {
+				return "sync accesses processor consistent: release (2.4-3)"
+			}
+			if after.Kind == Acquire && before.Kind == Acquire && !ordered {
+				return "sync accesses processor consistent: acquire (2.4-3)"
+			}
+		}
+	}
+	return ""
+}
+
+// StricterThan reports whether model a admits no execution that model b
+// rejects among the provided executions (a sanity utility for tests and
+// documentation: SC ⊆ PC ⊆ RC and SC ⊆ WC on well-formed executions).
+func StricterThan(a, b Model, execs []*Execution) bool {
+	for _, e := range execs {
+		if Check(a, e) == nil && Check(b, e) != nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,265 @@
+package consistency
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"cfm/internal/sim"
+)
+
+// seqOps builds a single-processor execution performing strictly in
+// program order at the given times, with kinds.
+func seqOps(kinds []OpKind, times []int64) *Execution {
+	e := &Execution{}
+	for i, k := range kinds {
+		gp := times[i]
+		e.Ops = append(e.Ops, Op{
+			Proc: 0, Index: i, Kind: k,
+			PerformedAt: times[i], GloballyPerformedAt: gp,
+		})
+	}
+	return e
+}
+
+func TestInOrderExecutionPassesAllModels(t *testing.T) {
+	e := seqOps(
+		[]OpKind{Load, Store, Sync, Load, Store},
+		[]int64{1, 2, 3, 4, 5},
+	)
+	for _, m := range []Model{Sequential, Processor, Weak, Release} {
+		if err := Check(m, e); err != nil {
+			t.Errorf("%v rejected an in-order execution: %v", m, err)
+		}
+	}
+}
+
+func TestSequentialRejectsAnyReorder(t *testing.T) {
+	// Store performs after a later load issued... the load (index 1)
+	// performed before the store (index 0): SC forbids it.
+	e := seqOps([]OpKind{Store, Load}, []int64{5, 2})
+	if err := Check(Sequential, e); err == nil {
+		t.Fatal("SC accepted store→load reorder")
+	}
+}
+
+func TestProcessorAllowsLoadBypassingStore(t *testing.T) {
+	// The defining relaxation of PC (§2.2.2): a load performs before an
+	// earlier store.
+	e := seqOps([]OpKind{Store, Load}, []int64{5, 2})
+	if err := Check(Processor, e); err != nil {
+		t.Fatalf("PC rejected load bypassing store: %v", err)
+	}
+	if err := Check(Sequential, e); err == nil {
+		t.Fatal("SC must reject what PC's relaxation allows here")
+	}
+}
+
+func TestProcessorRejectsStoreReorder(t *testing.T) {
+	// Stores from one processor must be observed in issue order.
+	e := seqOps([]OpKind{Store, Store}, []int64{5, 2})
+	if err := Check(Processor, e); err == nil {
+		t.Fatal("PC accepted store-store reorder")
+	}
+}
+
+func TestProcessorRejectsLoadLoadReorder(t *testing.T) {
+	e := seqOps([]OpKind{Load, Load}, []int64{5, 2})
+	if err := Check(Processor, e); err == nil {
+		t.Fatal("PC accepted load-load reorder")
+	}
+}
+
+func TestWeakAllowsOrdinaryReorderingInsideCriticalSection(t *testing.T) {
+	// The defining relaxation of WC (§2.2.3): ordinary accesses between
+	// synchronization points may be pipelined/reordered freely.
+	e := seqOps(
+		[]OpKind{Sync, Store, Load, Store, Sync},
+		[]int64{1, 9, 3, 5, 20},
+	)
+	if err := Check(Weak, e); err != nil {
+		t.Fatalf("WC rejected reordering between sync points: %v", err)
+	}
+	if err := Check(Sequential, e); err == nil {
+		t.Fatal("SC must reject this reordering")
+	}
+}
+
+func TestWeakRejectsOrdinaryBeforePreviousSync(t *testing.T) {
+	// An ordinary access performing before a program-order-earlier sync.
+	e := seqOps([]OpKind{Sync, Store}, []int64{10, 5})
+	err := Check(Weak, e)
+	if err == nil {
+		t.Fatal("WC accepted ordinary access bypassing sync")
+	}
+	if !strings.Contains(err.Error(), "2.3-1") {
+		t.Fatalf("wrong rule: %v", err)
+	}
+}
+
+func TestWeakRejectsSyncBeforePreviousOrdinary(t *testing.T) {
+	e := seqOps([]OpKind{Store, Sync}, []int64{10, 5})
+	err := Check(Weak, e)
+	if err == nil {
+		t.Fatal("WC accepted sync bypassing ordinary access")
+	}
+	if !strings.Contains(err.Error(), "2.3-2") {
+		t.Fatalf("wrong rule: %v", err)
+	}
+}
+
+func TestWeakRequiresSyncOrder(t *testing.T) {
+	e := seqOps([]OpKind{Sync, Sync}, []int64{10, 5})
+	if err := Check(Weak, e); err == nil {
+		t.Fatal("WC accepted sync-sync reorder")
+	}
+}
+
+func TestReleaseAllowsMoreThanWeak(t *testing.T) {
+	// §2.2.4: ordinary accesses after a RELEASE need not wait for it, and
+	// an ACQUIRE need not wait for previous ordinary accesses — both
+	// forbidden under WC.
+	afterRelease := seqOps([]OpKind{Release_, Store}, []int64{10, 5})
+	if err := Check(Release, afterRelease); err != nil {
+		t.Fatalf("RC rejected store bypassing release: %v", err)
+	}
+	if err := Check(Weak, afterRelease); err == nil {
+		t.Fatal("WC must reject store bypassing sync")
+	}
+
+	acquireEarly := seqOps([]OpKind{Store, Acquire}, []int64{10, 5})
+	if err := Check(Release, acquireEarly); err != nil {
+		t.Fatalf("RC rejected acquire bypassing ordinary store: %v", err)
+	}
+	if err := Check(Weak, acquireEarly); err == nil {
+		t.Fatal("WC must reject sync bypassing ordinary store")
+	}
+}
+
+func TestReleaseRejectsOrdinaryBeforeAcquire(t *testing.T) {
+	e := seqOps([]OpKind{Acquire, Load}, []int64{10, 5})
+	err := Check(Release, e)
+	if err == nil {
+		t.Fatal("RC accepted ordinary access bypassing acquire")
+	}
+	if !strings.Contains(err.Error(), "2.4-1") {
+		t.Fatalf("wrong rule: %v", err)
+	}
+}
+
+func TestReleaseRejectsReleaseBeforeOrdinary(t *testing.T) {
+	e := seqOps([]OpKind{Store, Release_}, []int64{10, 5})
+	err := Check(Release, e)
+	if err == nil {
+		t.Fatal("RC accepted release bypassing ordinary store")
+	}
+	if !strings.Contains(err.Error(), "2.4-2") {
+		t.Fatalf("wrong rule: %v", err)
+	}
+}
+
+func TestReleaseSyncProcessorConsistency(t *testing.T) {
+	// A release performing before an earlier acquire breaks the
+	// processor-consistency of sync accesses.
+	e := seqOps([]OpKind{Acquire, Release_}, []int64{10, 5})
+	if err := Check(Release, e); err == nil {
+		t.Fatal("RC accepted release bypassing acquire")
+	}
+	// But an acquire may bypass an earlier RELEASE (sync "load" passing
+	// sync "store", the PC relaxation applied to syncs).
+	e = seqOps([]OpKind{Release_, Acquire}, []int64{10, 5})
+	if err := Check(Release, e); err != nil {
+		t.Fatalf("RC rejected acquire bypassing release: %v", err)
+	}
+}
+
+func TestSequentialGloballyPerformedLoads(t *testing.T) {
+	// A load performed early but globally performed late still blocks
+	// later accesses under SC (Definition 2.2).
+	e := &Execution{Ops: []Op{
+		{Proc: 0, Index: 0, Kind: Load, PerformedAt: 1, GloballyPerformedAt: 10},
+		{Proc: 0, Index: 1, Kind: Store, PerformedAt: 5, GloballyPerformedAt: 5},
+	}}
+	if err := Check(Sequential, e); err == nil {
+		t.Fatal("SC accepted store before its predecessor load globally performed")
+	}
+}
+
+func TestMultiProcessorIndependence(t *testing.T) {
+	// Cross-processor timing is unconstrained by these per-processor
+	// conditions.
+	e := &Execution{Ops: []Op{
+		{Proc: 0, Index: 0, Kind: Store, PerformedAt: 100, GloballyPerformedAt: 100},
+		{Proc: 1, Index: 0, Kind: Store, PerformedAt: 1, GloballyPerformedAt: 1},
+	}}
+	for _, m := range []Model{Sequential, Processor, Weak, Release} {
+		if err := Check(m, e); err != nil {
+			t.Errorf("%v constrained cross-processor order: %v", m, err)
+		}
+	}
+}
+
+// TestHierarchyProperty: every random execution accepted by SC is
+// accepted by PC, WC, and RC (the strictness hierarchy of §2.2), using
+// randomized executions.
+func TestHierarchyProperty(t *testing.T) {
+	kinds := []OpKind{Load, Store, Sync, Acquire, Release_}
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		e := &Execution{}
+		for p := 0; p < 2; p++ {
+			for i := 0; i < 6; i++ {
+				at := int64(rng.Intn(40))
+				e.Ops = append(e.Ops, Op{
+					Proc: p, Index: i,
+					Kind:        kinds[rng.Intn(len(kinds))],
+					PerformedAt: at, GloballyPerformedAt: at + int64(rng.Intn(3)),
+				})
+			}
+		}
+		if Check(Sequential, e) != nil {
+			return true // vacuous
+		}
+		return Check(Processor, e) == nil && Check(Weak, e) == nil && Check(Release, e) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStricterThan(t *testing.T) {
+	var execs []*Execution
+	rng := sim.NewRNG(99)
+	kinds := []OpKind{Load, Store, Sync, Acquire, Release_}
+	for i := 0; i < 200; i++ {
+		e := &Execution{}
+		for j := 0; j < 6; j++ {
+			at := int64(rng.Intn(30))
+			e.Ops = append(e.Ops, Op{Proc: 0, Index: j, Kind: kinds[rng.Intn(len(kinds))],
+				PerformedAt: at, GloballyPerformedAt: at})
+		}
+		execs = append(execs, e)
+	}
+	if !StricterThan(Sequential, Processor, execs) {
+		t.Error("SC not stricter than PC on sampled executions")
+	}
+	if !StricterThan(Sequential, Weak, execs) {
+		t.Error("SC not stricter than WC on sampled executions")
+	}
+	if !StricterThan(Weak, Release, execs) {
+		t.Error("WC not stricter than RC on sampled executions")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Sequential.String() != "sequential" || Release.String() != "release" {
+		t.Fatal("model strings wrong")
+	}
+	if Load.String() != "load" || Release_.String() != "release" || Acquire.String() != "acquire" {
+		t.Fatal("kind strings wrong")
+	}
+	v := &Violation{Model: Weak, Before: Op{Kind: Sync}, After: Op{Kind: Store}, Rule: "x"}
+	if !strings.Contains(v.Error(), "weak consistency violated") {
+		t.Fatalf("violation message: %v", v)
+	}
+}

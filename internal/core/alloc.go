@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// This file implements the processor allocation study named as future
+// work in §7.2: "to design efficient processor allocation schemes that
+// will reduce memory, network, or network controller contention" in
+// partially conflict-free systems.
+//
+// A job is a process with a home memory module (where its data lives).
+// Placing the job on a processor of the home module's own cluster makes
+// its λ-fraction of local accesses conflict-free; placing it elsewhere
+// turns even its "local" accesses into remote ones that contend for
+// AT-space ports with same-contention-set processors.
+
+// Job is a schedulable process with a data-affinity module.
+type Job struct {
+	Home int // module holding the job's principal data
+}
+
+// Placement maps each processor to the home module of the job running on
+// it, or −1 for an idle processor.
+type Placement []int
+
+// Jobs returns the number of placed (non-idle) processors.
+func (pl Placement) Jobs() int {
+	n := 0
+	for _, h := range pl {
+		if h >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// validateJobs checks a job set against a configuration.
+func validateJobs(cfg PartialConfig, jobs []Job) error {
+	if len(jobs) > cfg.Processors {
+		return fmt.Errorf("core: %d jobs exceed %d processors", len(jobs), cfg.Processors)
+	}
+	for i, j := range jobs {
+		if j.Home < 0 || j.Home >= cfg.Modules {
+			return fmt.Errorf("core: job %d home module %d out of range [0,%d)", i, j.Home, cfg.Modules)
+		}
+	}
+	return nil
+}
+
+// AllocateAffine places each job on a free processor in its home
+// module's cluster when one exists, overflowing to the first free
+// processor otherwise — the locality-preserving strategy.
+func AllocateAffine(cfg PartialConfig, jobs []Job) (Placement, error) {
+	if err := validateJobs(cfg, jobs); err != nil {
+		return nil, err
+	}
+	pl := newPlacement(cfg.Processors)
+	cs := cfg.ClusterSize()
+	var overflow []Job
+	for _, j := range jobs {
+		placed := false
+		for p := j.Home * cs; p < (j.Home+1)*cs; p++ {
+			if pl[p] < 0 {
+				pl[p] = j.Home
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			overflow = append(overflow, j)
+		}
+	}
+	for _, j := range overflow {
+		for p := range pl {
+			if pl[p] < 0 {
+				pl[p] = j.Home
+				break
+			}
+		}
+	}
+	return pl, nil
+}
+
+// AllocateScatter places jobs round-robin over processor indices with no
+// regard to data affinity — the locality-destroying strategy.
+func AllocateScatter(cfg PartialConfig, jobs []Job) (Placement, error) {
+	if err := validateJobs(cfg, jobs); err != nil {
+		return nil, err
+	}
+	pl := newPlacement(cfg.Processors)
+	for i, j := range jobs {
+		pl[i] = j.Home
+	}
+	return pl, nil
+}
+
+// AllocateRandom places jobs on uniformly random free processors.
+func AllocateRandom(cfg PartialConfig, jobs []Job, rng *sim.RNG) (Placement, error) {
+	if err := validateJobs(cfg, jobs); err != nil {
+		return nil, err
+	}
+	pl := newPlacement(cfg.Processors)
+	free := make([]int, cfg.Processors)
+	for i := range free {
+		free[i] = i
+	}
+	for _, j := range jobs {
+		k := rng.Intn(len(free))
+		pl[free[k]] = j.Home
+		free = append(free[:k], free[k+1:]...)
+	}
+	return pl, nil
+}
+
+func newPlacement(n int) Placement {
+	pl := make(Placement, n)
+	for i := range pl {
+		pl[i] = -1
+	}
+	return pl
+}
+
+// LocalityOf returns the fraction of jobs whose processor sits in the
+// cluster of its home module — the effective locality a placement buys.
+func (pl Placement) LocalityOf(cfg PartialConfig) float64 {
+	placed, local := 0, 0
+	for p, h := range pl {
+		if h < 0 {
+			continue
+		}
+		placed++
+		if cfg.Cluster(p) == h {
+			local++
+		}
+	}
+	if placed == 0 {
+		return 0
+	}
+	return float64(local) / float64(placed)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// ATSpace is the address-time space of §3.1.1 with the mutually exclusive
+// partitioning of §3.1.2 generalized to bank cycle c (§3.1.3): at time
+// slot t, processor p's address path is connected to bank
+//
+//	(t + c·p) mod b,  b = c·n.
+//
+// The data path lags the address path by one slot (Table 3.1: "the data
+// path connections are similar but shifted by one time slot"), and the
+// data word read from the bank addressed at slot t becomes available at
+// slot t + c − 1 (Fig. 3.6: with c = 2 a read issued at slot 0 receives
+// the words of banks 0 and 1 at slots 1 and 2).
+type ATSpace struct {
+	n int // processors
+	c int // bank cycle
+	b int // banks = c·n
+}
+
+// NewATSpace builds the partitioning for a configuration.
+func NewATSpace(cfg Config) *ATSpace {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &ATSpace{n: cfg.Processors, c: cfg.BankCycle, b: cfg.Banks()}
+}
+
+// Processors returns n.
+func (a *ATSpace) Processors() int { return a.n }
+
+// Banks returns b.
+func (a *ATSpace) Banks() int { return a.b }
+
+// Cycle returns c.
+func (a *ATSpace) Cycle() int { return a.c }
+
+// mod reduces a slot into [0, b).
+func (a *ATSpace) mod(t sim.Slot) int {
+	v := int(t % sim.Slot(a.b))
+	if v < 0 {
+		v += a.b
+	}
+	return v
+}
+
+// AddressBank returns the bank whose memory address register is loaded
+// from processor p's address path at slot t.
+func (a *ATSpace) AddressBank(t sim.Slot, p int) int {
+	if p < 0 || p >= a.n {
+		panic(fmt.Sprintf("core: processor %d out of range [0,%d)", p, a.n))
+	}
+	return (a.mod(t) + a.c*p) % a.b
+}
+
+// AddressProcessor inverts AddressBank: the processor whose address path
+// reaches bank at slot t, or −1 when the bank is connected to no
+// processor this slot (possible only when c > 1: the bank is mid-cycle).
+func (a *ATSpace) AddressProcessor(t sim.Slot, bank int) int {
+	if bank < 0 || bank >= a.b {
+		panic(fmt.Sprintf("core: bank %d out of range [0,%d)", bank, a.b))
+	}
+	d := bank - a.mod(t)
+	if d < 0 {
+		d += a.b
+	}
+	if d%a.c != 0 {
+		return -1
+	}
+	return d / a.c
+}
+
+// VisitBank returns the k-th bank visited by a block access that
+// processor p starts at slot t0 (k in [0, b)): the access begins at
+// whatever bank slot t0 maps to and wraps around all b banks.
+func (a *ATSpace) VisitBank(t0 sim.Slot, p, k int) int {
+	if k < 0 || k >= a.b {
+		panic(fmt.Sprintf("core: visit index %d out of range [0,%d)", k, a.b))
+	}
+	return (a.AddressBank(t0, p) + k) % a.b
+}
+
+// DataSlot returns the slot at which word k of a block access started at
+// t0 is transferred: the bank addressed at t0+k delivers (or absorbs) its
+// word c−1 slots later.
+func (a *ATSpace) DataSlot(t0 sim.Slot, k int) sim.Slot {
+	return t0 + sim.Slot(k+a.c-1)
+}
+
+// CompletionSlot returns the slot at which the last word of a block
+// access started at t0 transfers; the access occupies
+// β = b + c − 1 slots, t0 .. CompletionSlot inclusive.
+func (a *ATSpace) CompletionSlot(t0 sim.Slot) sim.Slot {
+	return t0 + sim.Slot(a.b+a.c-2)
+}
+
+// ConnectionTable renders Table 3.1: for each of the b slots of one time
+// period, the processor connected to each bank's address path (−1 for
+// none).
+func (a *ATSpace) ConnectionTable() [][]int {
+	rows := make([][]int, a.b)
+	for t := range rows {
+		row := make([]int, a.b)
+		for bank := range row {
+			row[bank] = a.AddressProcessor(sim.Slot(t), bank)
+		}
+		rows[t] = row
+	}
+	return rows
+}

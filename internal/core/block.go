@@ -1,0 +1,108 @@
+package core
+
+import "fmt"
+
+// This file implements the building-block construction named in §7.2:
+// "It may be helpful to implement a 'building block' for constructing
+// large scale CFM architectures. A building block can be a board composed
+// of multiple processors/ports and a conflict-free memory module with a
+// number of memory banks. It would be more convenient if large scale
+// multiprocessors could be implemented by integrating smaller building
+// blocks such as four-bank CFM boards or eight-bank CFM boards."
+
+// BuildingBlock is one CFM board: Ports processor/port connections and
+// Banks memory banks of the given word width and bank cycle.
+type BuildingBlock struct {
+	Ports     int // processor/port connections on the board
+	Banks     int // memory banks on the board
+	WordWidth int // bits per word
+	BankCycle int // c, CPU cycles per bank access
+}
+
+// Validate reports a descriptive error for an unusable board.
+func (b BuildingBlock) Validate() error {
+	switch {
+	case b.Ports < 1:
+		return fmt.Errorf("core: board needs >=1 port, got %d", b.Ports)
+	case b.Banks < 1:
+		return fmt.Errorf("core: board needs >=1 bank, got %d", b.Banks)
+	case b.WordWidth < 1:
+		return fmt.Errorf("core: board word width %d < 1", b.WordWidth)
+	case b.BankCycle < 1:
+		return fmt.Errorf("core: board bank cycle %d < 1", b.BankCycle)
+	case b.Banks != b.BankCycle*b.Ports:
+		return fmt.Errorf("core: board banks %d must equal cycle %d × ports %d for conflict-free operation",
+			b.Banks, b.BankCycle, b.Ports)
+	}
+	return nil
+}
+
+// FourBankBoard returns the §7.2 example four-bank board (c = 1).
+func FourBankBoard(wordWidth int) BuildingBlock {
+	return BuildingBlock{Ports: 4, Banks: 4, WordWidth: wordWidth, BankCycle: 1}
+}
+
+// EightBankBoard returns the §7.2 example eight-bank board (c = 2:
+// eight banks serving four ports).
+func EightBankBoard(wordWidth int) BuildingBlock {
+	return BuildingBlock{Ports: 4, Banks: 8, WordWidth: wordWidth, BankCycle: 2}
+}
+
+// Integrate composes `count` identical boards into one larger CFM
+// configuration: the banks concatenate into a wider block (the boards'
+// words at the same offset form one cache line) and the ports aggregate
+// into the processor count, preserving b = c·n. Boards must be identical
+// (same clock, same word width) — the integration rule that makes the
+// composition conflict-free.
+func Integrate(board BuildingBlock, count int) (Config, error) {
+	if err := board.Validate(); err != nil {
+		return Config{}, err
+	}
+	if count < 1 {
+		return Config{}, fmt.Errorf("core: need >=1 board, got %d", count)
+	}
+	cfg := Config{
+		Processors: board.Ports * count,
+		BankCycle:  board.BankCycle,
+		WordWidth:  board.WordWidth,
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	// Sanity: the composed machine's banks must be exactly the boards'.
+	if cfg.Banks() != board.Banks*count {
+		return Config{}, fmt.Errorf("core: composition broke b = c·n (%d banks vs %d boards × %d)",
+			cfg.Banks(), count, board.Banks)
+	}
+	return cfg, nil
+}
+
+// IntegrateModular composes boards into a PARTIALLY conflict-free system
+// instead: each board becomes one conflict-free memory module, its ports
+// one contention set column, keeping the block size at the board's own
+// block size instead of growing with the machine (the Table 3.5 middle
+// rows built from boards).
+func IntegrateModular(board BuildingBlock, count int, accessRate, locality float64, retryMean int, seed uint64) (PartialConfig, error) {
+	if err := board.Validate(); err != nil {
+		return PartialConfig{}, err
+	}
+	if count < 1 {
+		return PartialConfig{}, fmt.Errorf("core: need >=1 board, got %d", count)
+	}
+	cfg := PartialConfig{
+		Processors: board.Ports * count,
+		Modules:    count,
+		BlockWords: board.Banks,
+		BankCycle:  board.BankCycle,
+		Locality:   locality,
+		AccessRate: accessRate,
+		RetryMean:  retryMean,
+		Seed:       seed,
+	}
+	if count == 1 {
+		// A single board is the fully conflict-free machine; the partial
+		// model requires m >= 1 and this degenerates correctly.
+		return cfg, cfg.Validate()
+	}
+	return cfg, cfg.Validate()
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"cfm/internal/sim"
+)
+
+func TestBuildingBlockValidate(t *testing.T) {
+	if err := FourBankBoard(32).Validate(); err != nil {
+		t.Fatalf("four-bank board rejected: %v", err)
+	}
+	if err := EightBankBoard(16).Validate(); err != nil {
+		t.Fatalf("eight-bank board rejected: %v", err)
+	}
+	bads := []BuildingBlock{
+		{Ports: 0, Banks: 4, WordWidth: 8, BankCycle: 1},
+		{Ports: 4, Banks: 0, WordWidth: 8, BankCycle: 1},
+		{Ports: 4, Banks: 4, WordWidth: 0, BankCycle: 1},
+		{Ports: 4, Banks: 4, WordWidth: 8, BankCycle: 0},
+		{Ports: 4, Banks: 6, WordWidth: 8, BankCycle: 1}, // b != c·n
+	}
+	for i, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad board %d accepted", i)
+		}
+	}
+}
+
+func TestIntegrateGrowsTheMachine(t *testing.T) {
+	// Four eight-bank boards → 16 processors, 32 banks, c = 2.
+	cfg, err := Integrate(EightBankBoard(8), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Processors != 16 || cfg.Banks() != 32 || cfg.BankCycle != 2 {
+		t.Fatalf("composed config %v", cfg)
+	}
+	// And the result actually runs conflict-free.
+	mem := NewCFMemory(cfg, nil)
+	clk := sim.NewClock()
+	clk.Register(mem)
+	for p := 0; p < cfg.Processors; p++ {
+		mem.StartRead(0, p, 0, nil)
+	}
+	clk.Run(int64(cfg.BlockTime()) + 2)
+	if mem.Completed != int64(cfg.Processors) {
+		t.Fatalf("completed %d of %d", mem.Completed, cfg.Processors)
+	}
+}
+
+func TestIntegrateSingleBoard(t *testing.T) {
+	cfg, err := Integrate(FourBankBoard(64), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Processors != 4 || cfg.Banks() != 4 {
+		t.Fatalf("single board config %v", cfg)
+	}
+}
+
+func TestIntegrateErrors(t *testing.T) {
+	if _, err := Integrate(BuildingBlock{}, 2); err == nil {
+		t.Fatal("invalid board accepted")
+	}
+	if _, err := Integrate(FourBankBoard(8), 0); err == nil {
+		t.Fatal("zero boards accepted")
+	}
+}
+
+func TestIntegrateModular(t *testing.T) {
+	// Eight four-bank boards as modules: 32 processors, 8 modules,
+	// 4-word blocks — block size stays at the BOARD's size.
+	cfg, err := IntegrateModular(FourBankBoard(8), 8, 0.03, 0.8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Processors != 32 || cfg.Modules != 8 || cfg.BlockWords != 4 {
+		t.Fatalf("modular config %+v", cfg)
+	}
+	p := NewPartial(cfg)
+	clk := sim.NewClock()
+	clk.Register(p)
+	clk.Run(100000)
+	if p.Completed == 0 {
+		t.Fatal("modular machine served nothing")
+	}
+}
+
+func TestIntegrateModularErrors(t *testing.T) {
+	if _, err := IntegrateModular(BuildingBlock{}, 2, 0.1, 0.5, 4, 1); err == nil {
+		t.Fatal("invalid board accepted")
+	}
+	if _, err := IntegrateModular(FourBankBoard(8), 0, 0.1, 0.5, 4, 1); err == nil {
+		t.Fatal("zero boards accepted")
+	}
+	if _, err := IntegrateModular(FourBankBoard(8), 2, 5, 0.5, 4, 1); err == nil {
+		t.Fatal("bad rate accepted")
+	}
+}
+
+// TestBlockVsModularTradeoff: the same 8 boards composed the two ways
+// show the Table 3.5 trade-off — the monolithic composition has a longer
+// block time but zero conflicts; the modular one has short blocks but
+// admits remote conflicts.
+func TestBlockVsModularTradeoff(t *testing.T) {
+	board := FourBankBoard(8)
+	mono, err := Integrate(board, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modular, err := IntegrateModular(board, 8, 0.03, 0.5, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mono.BlockTime() <= modular.BlockTime() {
+		t.Fatalf("monolithic β %d not above modular β %d", mono.BlockTime(), modular.BlockTime())
+	}
+	p := NewPartial(modular)
+	clk := sim.NewClock()
+	clk.Register(p)
+	clk.Run(200000)
+	if p.Retries == 0 {
+		t.Fatal("modular machine at λ=0.5 showed no conflicts (expected some)")
+	}
+}

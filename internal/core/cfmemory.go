@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// AccessKind distinguishes the two CFM block operations.
+type AccessKind int
+
+// Block access kinds.
+const (
+	ReadBlock AccessKind = iota
+	WriteBlock
+)
+
+// String names the kind for traces.
+func (k AccessKind) String() string {
+	if k == ReadBlock {
+		return "read"
+	}
+	return "write"
+}
+
+// access is one in-flight block access.
+type access struct {
+	kind   AccessKind
+	proc   int
+	offset int
+	start  sim.Slot
+	buf    memory.Block
+	done   func(memory.Block)
+}
+
+// CFMemory simulates the conflict-free memory of Fig. 3.2/3.5: b = c·n
+// banks behind a synchronous interconnection, with every block access
+// visiting all banks in AT-space order. It enforces — by panicking, since
+// a violation would be an architecture bug, not a workload condition —
+// the central invariant that no bank is ever addressed while busy.
+//
+// CFMemory deliberately performs no same-block coordination: concurrent
+// writes to one block interleave exactly as Fig. 4.1 warns. The att
+// package layers the address-tracking consistency mechanism on top.
+type CFMemory struct {
+	cfg   Config
+	at    *ATSpace
+	banks []*memory.Bank
+	// cur holds each processor's in-flight accesses: at most one still in
+	// its address phase plus one draining its final data words (c > 1
+	// lets the next access begin while the previous one's last words are
+	// in flight, §3.1.3).
+	cur   [][]*access
+	free  []sim.Slot // per-processor slot at which the address path frees
+	trace *sim.Trace
+
+	// Completed counts finished block accesses.
+	Completed int64
+}
+
+// NewCFMemory builds the memory for a configuration. trace may be nil.
+func NewCFMemory(cfg Config, trace *sim.Trace) *CFMemory {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &CFMemory{
+		cfg:   cfg,
+		at:    NewATSpace(cfg),
+		banks: make([]*memory.Bank, cfg.Banks()),
+		cur:   make([][]*access, cfg.Processors),
+		free:  make([]sim.Slot, cfg.Processors),
+		trace: trace,
+	}
+	for i := range m.banks {
+		m.banks[i] = memory.NewBank(i, cfg.BankCycle)
+	}
+	return m
+}
+
+// Config returns the configuration.
+func (m *CFMemory) Config() Config { return m.cfg }
+
+// ATSpace returns the partitioning in force.
+func (m *CFMemory) ATSpace() *ATSpace { return m.at }
+
+// Bank exposes a bank for tests and higher layers.
+func (m *CFMemory) Bank(i int) *memory.Bank { return m.banks[i] }
+
+// PeekBlock reads a block without simulated timing (for assertions).
+func (m *CFMemory) PeekBlock(offset int) memory.Block {
+	b := make(memory.Block, len(m.banks))
+	for i, bk := range m.banks {
+		b[i] = bk.Peek(offset)
+	}
+	return b
+}
+
+// PokeBlock writes a block without simulated timing.
+func (m *CFMemory) PokeBlock(offset int, blk memory.Block) {
+	if len(blk) != len(m.banks) {
+		panic(fmt.Sprintf("core: block of %d words, want %d", len(blk), len(m.banks)))
+	}
+	for i, bk := range m.banks {
+		bk.Poke(offset, blk[i])
+	}
+}
+
+// CanStart reports whether processor p may begin a new block access at
+// slot t: its address path must be free (one slot per bank for the
+// previous access), even though the final data words of the previous
+// access may still be in flight.
+func (m *CFMemory) CanStart(t sim.Slot, p int) bool {
+	return t >= m.free[p]
+}
+
+// StartRead begins a block read by processor p at slot t. done receives
+// the assembled block at the completion slot. It returns the completion
+// slot. Call only when CanStart.
+func (m *CFMemory) StartRead(t sim.Slot, p, offset int, done func(memory.Block)) sim.Slot {
+	m.begin(t, p, &access{kind: ReadBlock, proc: p, offset: offset,
+		buf: make(memory.Block, m.cfg.Banks()), done: done})
+	return m.at.CompletionSlot(t)
+}
+
+// StartWrite begins a block write of data by processor p at slot t. done,
+// if non-nil, runs at the completion slot. It returns the completion slot.
+func (m *CFMemory) StartWrite(t sim.Slot, p, offset int, data memory.Block, done func(memory.Block)) sim.Slot {
+	if len(data) != m.cfg.Banks() {
+		panic(fmt.Sprintf("core: write block of %d words, want %d", len(data), m.cfg.Banks()))
+	}
+	m.begin(t, p, &access{kind: WriteBlock, proc: p, offset: offset,
+		buf: data.Clone(), done: done})
+	return m.at.CompletionSlot(t)
+}
+
+func (m *CFMemory) begin(t sim.Slot, p int, a *access) {
+	if !m.CanStart(t, p) {
+		panic(fmt.Sprintf("core: processor %d started an access at slot %d while busy", p, t))
+	}
+	a.start = t
+	m.cur[p] = append(m.cur[p], a)
+	m.free[p] = t + sim.Slot(m.cfg.Banks())
+	m.trace.Add(t, fmt.Sprintf("P%d", p), "issue %s offset %d", a.kind, a.offset)
+}
+
+// Tick implements sim.Ticker. Bank visits happen in PhaseTransfer;
+// completions fire in PhaseUpdate of the completion slot.
+func (m *CFMemory) Tick(t sim.Slot, ph sim.Phase) {
+	switch ph {
+	case sim.PhaseTransfer:
+		for p, q := range m.cur {
+			for _, a := range q {
+				k := int(t - a.start)
+				if k < 0 || k >= m.cfg.Banks() {
+					continue // waiting out the final pipeline stages (c > 1)
+				}
+				bank := m.at.VisitBank(a.start, p, k)
+				m.visit(t, a, bank)
+			}
+		}
+	case sim.PhaseUpdate:
+		for p, q := range m.cur {
+			keep := q[:0]
+			for _, a := range q {
+				if t < m.at.CompletionSlot(a.start) {
+					keep = append(keep, a)
+					continue
+				}
+				m.Completed++
+				m.trace.Add(t, fmt.Sprintf("P%d", p), "complete %s offset %d", a.kind, a.offset)
+				if a.done != nil {
+					a.done(a.buf)
+				}
+			}
+			m.cur[p] = keep
+		}
+	}
+}
+
+// visit performs one word transfer between access a and bank.
+func (m *CFMemory) visit(t sim.Slot, a *access, bank int) {
+	bk := m.banks[bank]
+	switch a.kind {
+	case ReadBlock:
+		w, ok := bk.Read(t, a.offset)
+		if !ok {
+			panic(fmt.Sprintf("core: CFM invariant violated: bank %d busy at slot %d (read by P%d)", bank, t, a.proc))
+		}
+		a.buf[bank] = w
+	case WriteBlock:
+		if ok := bk.Write(t, a.offset, a.buf[bank]); !ok {
+			panic(fmt.Sprintf("core: CFM invariant violated: bank %d busy at slot %d (write by P%d)", bank, t, a.proc))
+		}
+	}
+	m.trace.Add(t, fmt.Sprintf("Bank%d", bank), "%s word (P%d, offset %d)", a.kind, a.proc, a.offset)
+}
+
+// Busy reports whether processor p has any access in flight (including
+// one still draining its final data words).
+func (m *CFMemory) Busy(p int) bool { return len(m.cur[p]) > 0 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// ClusterSystem models the multi-cluster CFM extension of Fig. 3.12: each
+// conflict-free cluster installs fewer processors than it has AT-space
+// divisions, and the free time slots serve remote memory access requests
+// arriving over an inter-cluster interconnection. A remote access is
+// "just a slower regular memory access": it pays the link latency both
+// ways and waits for the serving cluster's free slot, but introduces no
+// memory or network contention inside the serving cluster.
+type ClusterSystem struct {
+	cfg       Config // per-cluster configuration (Processors = AT divisions)
+	localProc int    // processors actually installed per cluster
+	linkDelay int    // one-way inter-cluster link latency, cycles
+	clusters  []*CFMemory
+	// freeDiv is the AT-space division index lent to remote service in
+	// each cluster (the first division not occupied by a local processor).
+	freeDiv int
+	// queue of pending remote requests per serving cluster.
+	queues [][]*remoteReq
+	// Optional inter-cluster topology (§3.3); when set, link delays are
+	// Hops × perHop instead of the flat linkDelay.
+	topo   Topology
+	perHop int
+
+	// RemoteCompleted counts served remote accesses.
+	RemoteCompleted int64
+}
+
+type remoteReq struct {
+	kind    AccessKind
+	offset  int
+	data    memory.Block
+	arrive  sim.Slot // when the request reaches the serving cluster
+	replyTo func(memory.Block, sim.Slot)
+	// replyDelay is the return-leg latency; −1 means use the system's
+	// flat link delay.
+	replyDelay int
+}
+
+// NewClusterSystem builds numClusters clusters with the given per-cluster
+// configuration, localProc (< cfg.Processors) installed processors each,
+// and the given one-way link delay. The remaining divisions serve remote
+// requests.
+func NewClusterSystem(cfg Config, numClusters, localProc, linkDelay int) *ClusterSystem {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if numClusters < 1 {
+		panic(fmt.Sprintf("core: need >=1 cluster, got %d", numClusters))
+	}
+	if localProc < 0 || localProc >= cfg.Processors {
+		panic(fmt.Sprintf("core: local processors %d must leave a free division (config has %d)",
+			localProc, cfg.Processors))
+	}
+	if linkDelay < 0 {
+		panic(fmt.Sprintf("core: negative link delay %d", linkDelay))
+	}
+	cs := &ClusterSystem{
+		cfg:       cfg,
+		localProc: localProc,
+		linkDelay: linkDelay,
+		freeDiv:   localProc,
+		queues:    make([][]*remoteReq, numClusters),
+	}
+	for i := 0; i < numClusters; i++ {
+		cs.clusters = append(cs.clusters, NewCFMemory(cfg, nil))
+	}
+	return cs
+}
+
+// Cluster exposes cluster i's memory.
+func (cs *ClusterSystem) Cluster(i int) *CFMemory { return cs.clusters[i] }
+
+// LocalProcessors returns the installed processors per cluster.
+func (cs *ClusterSystem) LocalProcessors() int { return cs.localProc }
+
+// LocalRead starts an ordinary conflict-free read by processor p (< local
+// processors) of its own cluster.
+func (cs *ClusterSystem) LocalRead(t sim.Slot, cluster, p, offset int, done func(memory.Block)) sim.Slot {
+	if p >= cs.localProc {
+		panic(fmt.Sprintf("core: local processor %d out of range [0,%d)", p, cs.localProc))
+	}
+	return cs.clusters[cluster].StartRead(t, p, offset, done)
+}
+
+// LocalWrite starts an ordinary conflict-free write.
+func (cs *ClusterSystem) LocalWrite(t sim.Slot, cluster, p, offset int, data memory.Block, done func(memory.Block)) sim.Slot {
+	if p >= cs.localProc {
+		panic(fmt.Sprintf("core: local processor %d out of range [0,%d)", p, cs.localProc))
+	}
+	return cs.clusters[cluster].StartWrite(t, p, offset, data, done)
+}
+
+// RemoteRead issues a read from a processor in fromCluster against the
+// memory of toCluster via the memory-mapped inter-cluster port. done
+// receives the block and the slot at which the reply arrives back.
+func (cs *ClusterSystem) RemoteRead(t sim.Slot, toCluster, offset int, done func(memory.Block, sim.Slot)) {
+	cs.queues[toCluster] = append(cs.queues[toCluster], &remoteReq{
+		kind: ReadBlock, offset: offset,
+		arrive: t + sim.Slot(cs.linkDelay), replyTo: done, replyDelay: -1,
+	})
+}
+
+// RemoteWrite issues a write against toCluster's memory.
+func (cs *ClusterSystem) RemoteWrite(t sim.Slot, toCluster, offset int, data memory.Block, done func(memory.Block, sim.Slot)) {
+	cs.queues[toCluster] = append(cs.queues[toCluster], &remoteReq{
+		kind: WriteBlock, offset: offset, data: data.Clone(),
+		arrive: t + sim.Slot(cs.linkDelay), replyTo: done, replyDelay: -1,
+	})
+}
+
+// Tick implements sim.Ticker: it drives every cluster's memory and, in
+// the issue phase, dispatches queued remote requests onto each cluster's
+// free AT-space division.
+func (cs *ClusterSystem) Tick(t sim.Slot, ph sim.Phase) {
+	if ph == sim.PhaseIssue {
+		for ci := range cs.clusters {
+			cs.dispatch(t, ci)
+		}
+	}
+	for _, cl := range cs.clusters {
+		cl.Tick(t, ph)
+	}
+}
+
+// dispatch starts the oldest arrived remote request on cluster ci's free
+// division if that division's address path is free.
+func (cs *ClusterSystem) dispatch(t sim.Slot, ci int) {
+	q := cs.queues[ci]
+	if len(q) == 0 || t < q[0].arrive {
+		return
+	}
+	cl := cs.clusters[ci]
+	if !cl.CanStart(t, cs.freeDiv) {
+		return
+	}
+	req := q[0]
+	cs.queues[ci] = q[1:]
+	reply := func(blk memory.Block) {
+		cs.RemoteCompleted++
+		if req.replyTo != nil {
+			// The reply crosses the link back to the requester.
+			back := cs.linkDelay
+			if req.replyDelay >= 0 {
+				back = req.replyDelay
+			}
+			req.replyTo(blk.Clone(), cl.ATSpace().CompletionSlot(t)+sim.Slot(back))
+		}
+	}
+	switch req.kind {
+	case ReadBlock:
+		cl.StartRead(t, cs.freeDiv, req.offset, reply)
+	case WriteBlock:
+		cl.StartWrite(t, cs.freeDiv, req.offset, req.data, reply)
+	}
+}
+
+// PendingRemote returns the number of queued remote requests for a
+// cluster (for tests).
+func (cs *ClusterSystem) PendingRemote(cluster int) int { return len(cs.queues[cluster]) }

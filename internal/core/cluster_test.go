@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+func newClusterSystem(t *testing.T) (*ClusterSystem, *sim.Clock) {
+	t.Helper()
+	// Fig. 3.12: clusters with 3 processors and 4 AT-space divisions; the
+	// fourth division serves remote requests. Bank cycle 1, 4 banks.
+	cfg := Config{Processors: 4, BankCycle: 1, WordWidth: 64}
+	cs := NewClusterSystem(cfg, 2, 3, 5)
+	clk := sim.NewClock()
+	clk.Register(cs)
+	return cs, clk
+}
+
+func TestClusterLocalAccess(t *testing.T) {
+	cs, clk := newClusterSystem(t)
+	want := memory.Block{1, 2, 3, 4}
+	cs.Cluster(0).PokeBlock(2, want)
+	var got memory.Block
+	cs.LocalRead(0, 0, 1, 2, func(b memory.Block) { got = b })
+	clk.Run(10)
+	if !got.Equal(want) {
+		t.Fatalf("local read = %v, want %v", got, want)
+	}
+}
+
+func TestClusterRemoteReadRoundTrip(t *testing.T) {
+	cs, clk := newClusterSystem(t)
+	want := memory.Block{7, 8, 9, 10}
+	cs.Cluster(1).PokeBlock(0, want)
+
+	var got memory.Block
+	var replyAt sim.Slot = -1
+	cs.RemoteRead(0, 1, 0, func(b memory.Block, at sim.Slot) { got, replyAt = b, at })
+	clk.Run(60)
+	if got == nil {
+		t.Fatal("remote read never completed")
+	}
+	if !got.Equal(want) {
+		t.Fatalf("remote read = %v, want %v", got, want)
+	}
+	// Latency ≥ 2×link + β: request link (5) + block access (4) + reply
+	// link (5).
+	if replyAt < 5+4+5-1 {
+		t.Fatalf("remote reply at %d, faster than physically possible", replyAt)
+	}
+	if cs.RemoteCompleted != 1 {
+		t.Fatalf("RemoteCompleted = %d, want 1", cs.RemoteCompleted)
+	}
+}
+
+func TestClusterRemoteWrite(t *testing.T) {
+	cs, clk := newClusterSystem(t)
+	data := memory.Block{5, 6, 7, 8}
+	done := false
+	cs.RemoteWrite(0, 0, 3, data, func(memory.Block, sim.Slot) { done = true })
+	clk.Run(60)
+	if !done {
+		t.Fatal("remote write never completed")
+	}
+	if got := cs.Cluster(0).PeekBlock(3); !got.Equal(data) {
+		t.Fatalf("remote write stored %v, want %v", got, data)
+	}
+}
+
+// TestClusterRemoteDoesNotDisturbLocal: the remote service uses the free
+// division, so local processors keep their conflict-free guarantees (a
+// conflict would panic inside CFMemory).
+func TestClusterRemoteDoesNotDisturbLocal(t *testing.T) {
+	cs, _ := newClusterSystem(t)
+	localDone := 0
+	// Saturate cluster 0's three local processors with back-to-back reads
+	// while remote traffic arrives continuously.
+	issuer := sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for p := 0; p < 3; p++ {
+			if cs.Cluster(0).CanStart(tt, p) {
+				cs.LocalRead(tt, 0, p, 0, func(memory.Block) { localDone++ })
+			}
+		}
+		if tt%4 == 0 {
+			cs.RemoteRead(tt, 0, 1, nil)
+		}
+	})
+	// Issuer must run before the system so CanStart sees settled state.
+	clk2 := sim.NewClock()
+	clk2.Register(issuer)
+	clk2.Register(cs)
+	clk2.Run(400)
+	if localDone < 3*(400/4-2) {
+		t.Fatalf("local completions %d, want ~%d: remote traffic disturbed locals", localDone, 3*400/4)
+	}
+	if cs.RemoteCompleted == 0 {
+		t.Fatal("no remote requests served")
+	}
+}
+
+func TestClusterRemoteQueues(t *testing.T) {
+	cs, _ := newClusterSystem(t)
+	cs.RemoteRead(0, 1, 0, nil)
+	cs.RemoteRead(0, 1, 1, nil)
+	if got := cs.PendingRemote(1); got != 2 {
+		t.Fatalf("PendingRemote = %d, want 2", got)
+	}
+}
+
+func TestClusterPanics(t *testing.T) {
+	cfg := Config{Processors: 4, BankCycle: 1, WordWidth: 64}
+	for name, fn := range map[string]func(){
+		"badCfg":      func() { NewClusterSystem(Config{}, 2, 1, 0) },
+		"noClusters":  func() { NewClusterSystem(cfg, 0, 1, 0) },
+		"noFreeSlot":  func() { NewClusterSystem(cfg, 2, 4, 0) },
+		"negDelay":    func() { NewClusterSystem(cfg, 2, 3, -1) },
+		"badLocalIdx": func() { NewClusterSystem(cfg, 2, 3, 1).LocalRead(0, 0, 3, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

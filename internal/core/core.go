@@ -1,0 +1,125 @@
+// Package core implements the Conflict-Free Memory architecture, the
+// primary contribution of the dissertation (Chapter 3).
+//
+// A conventional interleaved memory maps an address a·b (offset a, bank
+// b) to data. The CFM instead maps the address-time space AT to data: a
+// block access supplies only the offset, and the bank touched at each CPU
+// cycle is selected by the time slot. With the mutually exclusive
+// AT-space partitioning
+//
+//	bank(t, p) = (t + c·p) mod b        (b = c·n banks, bank cycle c)
+//
+// each processor owns a disjoint subset of the AT-space, so block
+// accesses from different processors can never collide in a bank or in
+// the synchronous interconnection network — memory conflicts, network
+// contention, and the hot-spot/tree-saturation problem are eliminated by
+// construction rather than mitigated.
+//
+// A block access may start at any time slot (no alignment stall, unlike
+// the Monarch or OMP): the access simply begins at whatever bank the
+// current slot maps to and wraps around all b banks, taking
+// β = b + c − 1 CPU cycles in a pipelined fashion.
+package core
+
+import (
+	"fmt"
+)
+
+// Config captures the CFM design parameters of Table 3.2 and the derived
+// quantities used throughout the dissertation.
+type Config struct {
+	Processors int // n
+	BankCycle  int // c, memory bank cycle in CPU cycles
+	WordWidth  int // w, bits per memory word
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Processors < 1:
+		return fmt.Errorf("core: need >=1 processor, got %d", c.Processors)
+	case c.BankCycle < 1:
+		return fmt.Errorf("core: bank cycle %d < 1", c.BankCycle)
+	case c.WordWidth < 1:
+		return fmt.Errorf("core: word width %d < 1", c.WordWidth)
+	}
+	return nil
+}
+
+// Banks returns b = c·n, the bank count required for conflict-free
+// operation (§3.1.3: the number of memory banks must be c times the
+// number of processors).
+func (c Config) Banks() int { return c.BankCycle * c.Processors }
+
+// BlockWords returns the words per block, one per bank.
+func (c Config) BlockWords() int { return c.Banks() }
+
+// BlockBits returns l = b·w, the block (and cache line) size in bits.
+func (c Config) BlockBits() int { return c.Banks() * c.WordWidth }
+
+// BlockTime returns β = b + c − 1, the CPU cycles one block access takes.
+func (c Config) BlockTime() int { return c.Banks() + c.BankCycle - 1 }
+
+// Period returns the length of one AT-space time period in slots (= b).
+func (c Config) Period() int { return c.Banks() }
+
+// String summarizes the configuration.
+func (c Config) String() string {
+	return fmt.Sprintf("CFM{n=%d c=%d w=%d b=%d l=%d β=%d}",
+		c.Processors, c.BankCycle, c.WordWidth, c.Banks(), c.BlockBits(), c.BlockTime())
+}
+
+// ConfigForBlock returns the CFM configuration that implements a block of
+// blockBits with the given bank count and bank cycle: w = l/b, n = b/c.
+// It errors if the divisions are not exact or the result is invalid —
+// this is the generator behind the trade-off study of Table 3.3.
+func ConfigForBlock(blockBits, banks, bankCycle int) (Config, error) {
+	if banks < 1 || bankCycle < 1 {
+		return Config{}, fmt.Errorf("core: banks=%d cycle=%d invalid", banks, bankCycle)
+	}
+	if blockBits%banks != 0 {
+		return Config{}, fmt.Errorf("core: block of %d bits not divisible across %d banks", blockBits, banks)
+	}
+	if banks%bankCycle != 0 {
+		return Config{}, fmt.Errorf("core: %d banks not divisible by bank cycle %d", banks, bankCycle)
+	}
+	cfg := Config{
+		Processors: banks / bankCycle,
+		BankCycle:  bankCycle,
+		WordWidth:  blockBits / banks,
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// TradeoffRow is one row of Table 3.3: a feasible CFM configuration for a
+// fixed block size and bank cycle.
+type TradeoffRow struct {
+	Banks      int // b
+	WordWidth  int // w
+	Latency    int // β = b + c − 1 ("memory latency" column)
+	Processors int // n = b/c
+}
+
+// Tradeoff enumerates the feasible configurations for a block of
+// blockBits and bank cycle c, from the widest bank count down to the
+// narrowest that still supports at least one processor — Table 3.3 is
+// Tradeoff(256, 2).
+func Tradeoff(blockBits, bankCycle int) []TradeoffRow {
+	var rows []TradeoffRow
+	for banks := blockBits; banks >= 1; banks /= 2 {
+		cfg, err := ConfigForBlock(blockBits, banks, bankCycle)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, TradeoffRow{
+			Banks:      cfg.Banks(),
+			WordWidth:  cfg.WordWidth,
+			Latency:    cfg.BlockTime(),
+			Processors: cfg.Processors,
+		})
+	}
+	return rows
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cfm/internal/sim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Processors: 4, BankCycle: 2, WordWidth: 32}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bads := []Config{
+		{Processors: 0, BankCycle: 1, WordWidth: 1},
+		{Processors: 1, BankCycle: 0, WordWidth: 1},
+		{Processors: 1, BankCycle: 1, WordWidth: 0},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestConfigDerivedQuantities(t *testing.T) {
+	// The worked example of §3.1.3: 4 processors, bank cycle 2 → 8 banks.
+	c := Config{Processors: 4, BankCycle: 2, WordWidth: 32}
+	if c.Banks() != 8 {
+		t.Errorf("Banks = %d, want 8", c.Banks())
+	}
+	if c.BlockWords() != 8 {
+		t.Errorf("BlockWords = %d, want 8", c.BlockWords())
+	}
+	if c.BlockBits() != 256 {
+		t.Errorf("BlockBits = %d, want 256", c.BlockBits())
+	}
+	if c.BlockTime() != 9 {
+		t.Errorf("BlockTime = %d, want 9 (β = b + c − 1)", c.BlockTime())
+	}
+	if c.Period() != 8 {
+		t.Errorf("Period = %d, want 8", c.Period())
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := Config{Processors: 4, BankCycle: 2, WordWidth: 32}.String()
+	if s != "CFM{n=4 c=2 w=32 b=8 l=256 β=9}" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestTradeoffTable33 reproduces the dissertation's Table 3.3 exactly:
+// feasible configurations for l = 256 bits and c = 2.
+func TestTradeoffTable33(t *testing.T) {
+	want := []TradeoffRow{
+		{Banks: 256, WordWidth: 1, Latency: 257, Processors: 128},
+		{Banks: 128, WordWidth: 2, Latency: 129, Processors: 64},
+		{Banks: 64, WordWidth: 4, Latency: 65, Processors: 32},
+		{Banks: 32, WordWidth: 8, Latency: 33, Processors: 16},
+		{Banks: 16, WordWidth: 16, Latency: 17, Processors: 8},
+		{Banks: 8, WordWidth: 32, Latency: 9, Processors: 4},
+		{Banks: 4, WordWidth: 64, Latency: 5, Processors: 2},
+		{Banks: 2, WordWidth: 128, Latency: 3, Processors: 1},
+	}
+	got := Tradeoff(256, 2)
+	if len(got) != len(want) {
+		t.Fatalf("Tradeoff rows = %d, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConfigForBlockErrors(t *testing.T) {
+	cases := []struct{ l, b, c int }{
+		{256, 0, 2}, // no banks
+		{256, 8, 0}, // no cycle
+		{255, 8, 2}, // block not divisible by banks
+		{256, 6, 4}, // banks not divisible by cycle
+		{256, 1, 2}, // banks < cycle ⇒ zero processors
+	}
+	for i, cs := range cases {
+		if _, err := ConfigForBlock(cs.l, cs.b, cs.c); err == nil {
+			t.Errorf("case %d (%+v) accepted", i, cs)
+		}
+	}
+}
+
+func TestConfigForBlockRoundTrip(t *testing.T) {
+	f := func(nRaw, cRaw, wRaw uint8) bool {
+		cfg := Config{
+			Processors: 1 + int(nRaw)%32,
+			BankCycle:  1 + int(cRaw)%4,
+			WordWidth:  1 << (int(wRaw) % 7),
+		}
+		back, err := ConfigForBlock(cfg.BlockBits(), cfg.Banks(), cfg.BankCycle)
+		return err == nil && back == cfg
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestATSpaceBankAssignmentC1(t *testing.T) {
+	// Fig. 3.3: with c = 1, processor p accesses bank (t+p) mod 4.
+	a := NewATSpace(Config{Processors: 4, BankCycle: 1, WordWidth: 64})
+	for tt := int64(0); tt < 8; tt++ {
+		for p := 0; p < 4; p++ {
+			want := (int(tt) + p) % 4
+			if got := a.AddressBank(sim.Slot(tt), p); got != want {
+				t.Fatalf("AddressBank(%d,%d) = %d, want %d", tt, p, got, want)
+			}
+		}
+	}
+}
+
+// TestATSpaceTable31 reproduces Table 3.1: address path connections for
+// the 4-processor, 8-bank, c = 2 machine of Fig. 3.5.
+func TestATSpaceTable31(t *testing.T) {
+	a := NewATSpace(Config{Processors: 4, BankCycle: 2, WordWidth: 32})
+	// want[slot][bank] = processor, -1 = unconnected.
+	want := [8][8]int{
+		{0, -1, 1, -1, 2, -1, 3, -1}, // slot 0
+		{-1, 0, -1, 1, -1, 2, -1, 3}, // slot 1
+		{3, -1, 0, -1, 1, -1, 2, -1}, // slot 2
+		{-1, 3, -1, 0, -1, 1, -1, 2}, // slot 3
+		{2, -1, 3, -1, 0, -1, 1, -1}, // slot 4
+		{-1, 2, -1, 3, -1, 0, -1, 1}, // slot 5
+		{1, -1, 2, -1, 3, -1, 0, -1}, // slot 6
+		{-1, 1, -1, 2, -1, 3, -1, 0}, // slot 7
+	}
+	got := a.ConnectionTable()
+	for slot := 0; slot < 8; slot++ {
+		for bank := 0; bank < 8; bank++ {
+			if got[slot][bank] != want[slot][bank] {
+				t.Errorf("slot %d bank %d = %d, want %d", slot, bank, got[slot][bank], want[slot][bank])
+			}
+		}
+	}
+}
+
+// TestATSpaceMutuallyExclusive is the core conflict-freedom property
+// (§3.1.2): at every slot, no two processors are connected to the same
+// bank, for arbitrary n and c.
+func TestATSpaceMutuallyExclusive(t *testing.T) {
+	f := func(nRaw, cRaw uint8, tRaw uint16) bool {
+		cfg := Config{
+			Processors: 1 + int(nRaw)%16,
+			BankCycle:  1 + int(cRaw)%4,
+			WordWidth:  8,
+		}
+		a := NewATSpace(cfg)
+		tt := sim.Slot(tRaw)
+		seen := make(map[int]bool)
+		for p := 0; p < cfg.Processors; p++ {
+			b := a.AddressBank(tt, p)
+			if seen[b] {
+				return false
+			}
+			seen[b] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestATSpaceBankSpacing verifies §3.1.3's observation that with c = 2,
+// concurrently accessed banks are at least two banks apart, generalized:
+// banks addressed in the same slot are ≥ c apart (cyclically).
+func TestATSpaceBankSpacing(t *testing.T) {
+	f := func(nRaw, cRaw uint8, tRaw uint16) bool {
+		cfg := Config{
+			Processors: 2 + int(nRaw)%15,
+			BankCycle:  1 + int(cRaw)%4,
+			WordWidth:  8,
+		}
+		a := NewATSpace(cfg)
+		tt := sim.Slot(tRaw)
+		for p := 0; p < cfg.Processors; p++ {
+			for q := p + 1; q < cfg.Processors; q++ {
+				d := a.AddressBank(tt, p) - a.AddressBank(tt, q)
+				if d < 0 {
+					d = -d
+				}
+				if d > cfg.Banks()/2 {
+					d = cfg.Banks() - d // cyclic distance
+				}
+				if d < cfg.BankCycle {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestATSpaceBankRevisitGap: a bank receives consecutive addresses (from
+// any processors issuing back-to-back accesses) no closer than c slots —
+// the pipelining precondition.
+func TestATSpaceBankRevisitGap(t *testing.T) {
+	cfg := Config{Processors: 4, BankCycle: 2, WordWidth: 32}
+	a := NewATSpace(cfg)
+	last := make(map[int]int64)
+	for tt := int64(0); tt < 64; tt++ {
+		for p := 0; p < cfg.Processors; p++ {
+			b := a.AddressBank(sim.Slot(tt), p)
+			if prev, ok := last[b]; ok && tt-prev < int64(cfg.BankCycle) {
+				t.Fatalf("bank %d addressed at slots %d and %d (< c apart)", b, prev, tt)
+			}
+			last[b] = tt
+		}
+	}
+}
+
+func TestATSpaceAddressProcessorInverse(t *testing.T) {
+	cfg := Config{Processors: 4, BankCycle: 2, WordWidth: 32}
+	a := NewATSpace(cfg)
+	for tt := int64(0); tt < 16; tt++ {
+		for p := 0; p < 4; p++ {
+			bank := a.AddressBank(sim.Slot(tt), p)
+			if got := a.AddressProcessor(sim.Slot(tt), bank); got != p {
+				t.Fatalf("AddressProcessor(%d,%d) = %d, want %d", tt, bank, got, p)
+			}
+		}
+	}
+}
+
+func TestATSpaceVisitCoversAllBanks(t *testing.T) {
+	f := func(nRaw, cRaw uint8, t0Raw uint16, pRaw uint8) bool {
+		cfg := Config{
+			Processors: 1 + int(nRaw)%8,
+			BankCycle:  1 + int(cRaw)%3,
+			WordWidth:  8,
+		}
+		a := NewATSpace(cfg)
+		p := int(pRaw) % cfg.Processors
+		t0 := sim.Slot(t0Raw)
+		seen := make(map[int]bool)
+		for k := 0; k < cfg.Banks(); k++ {
+			seen[a.VisitBank(t0, p, k)] = true
+		}
+		return len(seen) == cfg.Banks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestATSpaceDataSlotFig36(t *testing.T) {
+	// Fig. 3.6: c = 2, read issued at slot 0 receives data from its first
+	// and second banks at slots 1 and 2.
+	a := NewATSpace(Config{Processors: 4, BankCycle: 2, WordWidth: 32})
+	if got := a.DataSlot(0, 0); got != 1 {
+		t.Errorf("DataSlot(0,0) = %d, want 1", got)
+	}
+	if got := a.DataSlot(0, 1); got != 2 {
+		t.Errorf("DataSlot(0,1) = %d, want 2", got)
+	}
+	// Completion: β − 1 slots after issue.
+	if got := a.CompletionSlot(0); got != 8 {
+		t.Errorf("CompletionSlot(0) = %d, want 8 (β=9, slots 0..8)", got)
+	}
+}
+
+func TestATSpaceNegativeSlots(t *testing.T) {
+	a := NewATSpace(Config{Processors: 4, BankCycle: 1, WordWidth: 8})
+	if got := a.AddressBank(-1, 0); got != 3 {
+		t.Fatalf("AddressBank(-1,0) = %d, want 3", got)
+	}
+}
+
+func TestATSpacePanics(t *testing.T) {
+	a := NewATSpace(Config{Processors: 4, BankCycle: 1, WordWidth: 8})
+	for name, fn := range map[string]func(){
+		"proc":   func() { a.AddressBank(0, 4) },
+		"bank":   func() { a.AddressProcessor(0, -1) },
+		"visit":  func() { a.VisitBank(0, 0, 4) },
+		"badCfg": func() { NewATSpace(Config{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// PartialConfig parameterizes a partially conflict-free system (§3.2.2,
+// §3.4.2): n processors, m conflict-free memory modules of blockWords
+// banks each (c·n banks total), locality λ, and an open-loop access rate
+// r per processor per cycle — the system behind Figs. 3.14 and 3.15.
+type PartialConfig struct {
+	Processors int     // n
+	Modules    int     // m
+	BlockWords int     // banks (and words) per module = block size
+	BankCycle  int     // c
+	Locality   float64 // λ: fraction of accesses to the local cluster
+	AccessRate float64 // r
+	RetryMean  int     // average cycles before retrying a conflicting access
+	Seed       uint64
+
+	// Homes optionally assigns each processor the home module of the job
+	// placed on it (−1 = idle processor, issues no accesses); when nil,
+	// every processor's home is its own cluster's module. This is the
+	// hook for the §7.2 processor-allocation study (see alloc.go): a
+	// placement that puts a job outside its home cluster turns its
+	// λ-fraction of "local" accesses into remote, conflict-prone ones.
+	Homes []int
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c PartialConfig) Validate() error {
+	switch {
+	case c.Processors < 1:
+		return fmt.Errorf("core: need >=1 processor, got %d", c.Processors)
+	case c.Modules < 1:
+		return fmt.Errorf("core: need >=1 module, got %d", c.Modules)
+	case c.BlockWords < 1:
+		return fmt.Errorf("core: block of %d words invalid", c.BlockWords)
+	case c.BankCycle < 1:
+		return fmt.Errorf("core: bank cycle %d < 1", c.BankCycle)
+	case c.Locality < 0 || c.Locality > 1:
+		return fmt.Errorf("core: locality %v out of [0,1]", c.Locality)
+	case c.AccessRate < 0 || c.AccessRate > 1:
+		return fmt.Errorf("core: access rate %v out of [0,1]", c.AccessRate)
+	case c.RetryMean < 1:
+		return fmt.Errorf("core: retry mean %d < 1", c.RetryMean)
+	case c.Processors%c.Modules != 0:
+		return fmt.Errorf("core: %d processors not divisible into %d clusters", c.Processors, c.Modules)
+	case c.BlockWords%c.BankCycle != 0:
+		return fmt.Errorf("core: module of %d banks not divisible by cycle %d", c.BlockWords, c.BankCycle)
+	case c.BlockWords/c.BankCycle != c.Processors/c.Modules:
+		return fmt.Errorf("core: module supports %d conflict-free processors but clusters have %d",
+			c.BlockWords/c.BankCycle, c.Processors/c.Modules)
+	}
+	if c.Homes != nil {
+		if len(c.Homes) != c.Processors {
+			return fmt.Errorf("core: %d homes for %d processors", len(c.Homes), c.Processors)
+		}
+		for p, h := range c.Homes {
+			if h < -1 || h >= c.Modules {
+				return fmt.Errorf("core: processor %d home module %d out of range", p, h)
+			}
+		}
+	}
+	return nil
+}
+
+// Home returns processor p's home module: the placed job's affinity when
+// Homes is set (−1 for an idle processor), else p's own cluster.
+func (c PartialConfig) Home(p int) int {
+	if c.Homes != nil {
+		return c.Homes[p]
+	}
+	return c.Cluster(p)
+}
+
+// BlockTime returns β = blockWords + c − 1.
+func (c PartialConfig) BlockTime() int { return c.BlockWords + c.BankCycle - 1 }
+
+// ClusterSize returns n/m, the processors per conflict-free cluster.
+func (c PartialConfig) ClusterSize() int { return c.Processors / c.Modules }
+
+// Cluster returns the conflict-free cluster (and local module) of a
+// processor: clusters group n/m consecutive processors, one from each
+// contention set.
+func (c PartialConfig) Cluster(p int) int { return p / c.ClusterSize() }
+
+// ContentionSet returns the AT-space division processor p uses at every
+// module. Within a cluster all processors have distinct sets, so local
+// accesses never conflict.
+func (c PartialConfig) ContentionSet(p int) int { return p % c.ClusterSize() }
+
+// Partial simulates the partially conflict-free system: each module has
+// one "port" per contention set; a block access holds its (module, set)
+// port for β slots; two accesses conflict only when they need the same
+// port at overlapping times — processors in different contention sets are
+// conflict-free by construction, as are all accesses within a cluster.
+// It implements sim.Ticker with the same open-loop arrival process as the
+// conventional baseline, so efficiencies are directly comparable.
+type Partial struct {
+	cfg PartialConfig
+	rng *sim.RNG
+
+	// ports[(module, set)] busy-until slot.
+	ports []sim.Slot
+
+	state       []procState
+	wakeAt      []sim.Slot
+	doneAt      []sim.Slot
+	issuedAt    []sim.Slot
+	nextArrival []sim.Slot
+	backlog     [][]sim.Slot
+	targetMod   []int
+
+	// Measurements.
+	Completed    int64
+	Retries      int64
+	TotalLatency int64
+	LocalAcc     int64
+	RemoteAcc    int64
+}
+
+type procState int
+
+const (
+	procIdle procState = iota
+	procWaiting
+	procInFlight
+)
+
+// NewPartial builds the simulator; it panics on invalid configuration.
+func NewPartial(cfg PartialConfig) *Partial {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	n := cfg.Processors
+	p := &Partial{
+		cfg:         cfg,
+		rng:         sim.NewRNG(cfg.Seed),
+		ports:       make([]sim.Slot, cfg.Modules*cfg.ClusterSize()),
+		state:       make([]procState, n),
+		wakeAt:      make([]sim.Slot, n),
+		doneAt:      make([]sim.Slot, n),
+		issuedAt:    make([]sim.Slot, n),
+		nextArrival: make([]sim.Slot, n),
+		backlog:     make([][]sim.Slot, n),
+		targetMod:   make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		if cfg.Home(i) < 0 {
+			p.nextArrival[i] = 1 << 60 // idle processor: no traffic
+			continue
+		}
+		p.nextArrival[i] = sim.Slot(p.thinkTime())
+	}
+	return p
+}
+
+func (p *Partial) thinkTime() int {
+	r := p.cfg.AccessRate
+	if r <= 0 {
+		return 1 << 30
+	}
+	t := 1
+	for !p.rng.Bernoulli(r) {
+		t++
+		if t > 1<<20 {
+			break
+		}
+	}
+	return t
+}
+
+func (p *Partial) retryDelay() int {
+	g := p.cfg.RetryMean
+	if g == 1 {
+		return 1
+	}
+	return 1 + p.rng.Intn(2*g-1)
+}
+
+// pickModule applies the locality model: probability λ of the HOME
+// module (the placed job's data), otherwise uniform over the m−1 other
+// modules. LocalAcc counts home-module accesses whether or not the home
+// coincides with the processor's own cluster.
+func (p *Partial) pickModule(proc int) int {
+	local := p.cfg.Home(proc)
+	if p.cfg.Modules == 1 || p.rng.Bernoulli(p.cfg.Locality) {
+		p.LocalAcc++
+		return local
+	}
+	p.RemoteAcc++
+	mod := p.rng.Intn(p.cfg.Modules - 1)
+	if mod >= local {
+		mod++
+	}
+	return mod
+}
+
+func (p *Partial) portIndex(mod, set int) int { return mod*p.cfg.ClusterSize() + set }
+
+// Tick implements sim.Ticker.
+func (p *Partial) Tick(t sim.Slot, ph sim.Phase) {
+	if ph != sim.PhaseIssue {
+		return
+	}
+	for i := range p.state {
+		for t >= p.nextArrival[i] {
+			p.backlog[i] = append(p.backlog[i], p.nextArrival[i])
+			p.nextArrival[i] += sim.Slot(p.thinkTime())
+		}
+		switch p.state[i] {
+		case procInFlight:
+			if t >= p.doneAt[i] {
+				p.Completed++
+				p.TotalLatency += int64(p.doneAt[i] - p.issuedAt[i])
+				p.state[i] = procIdle
+			}
+		case procWaiting:
+			if t >= p.wakeAt[i] {
+				p.attempt(t, i)
+			}
+		}
+		if p.state[i] == procIdle && len(p.backlog[i]) > 0 {
+			p.backlog[i] = p.backlog[i][1:]
+			p.targetMod[i] = p.pickModule(i)
+			p.issuedAt[i] = t
+			p.attempt(t, i)
+		}
+	}
+}
+
+func (p *Partial) attempt(t sim.Slot, proc int) {
+	port := p.portIndex(p.targetMod[proc], p.cfg.ContentionSet(proc))
+	if t < p.ports[port] {
+		p.Retries++
+		p.state[proc] = procWaiting
+		p.wakeAt[proc] = t + sim.Slot(p.retryDelay())
+		return
+	}
+	p.ports[port] = t + sim.Slot(p.cfg.BlockTime())
+	p.state[proc] = procInFlight
+	p.doneAt[proc] = t + sim.Slot(p.cfg.BlockTime())
+}
+
+// Efficiency returns β divided by the mean observed access time.
+func (p *Partial) Efficiency() float64 {
+	if p.Completed == 0 {
+		return 1
+	}
+	return float64(p.cfg.BlockTime()) / (float64(p.TotalLatency) / float64(p.Completed))
+}
+
+// MeanLatency returns the mean access time in cycles.
+func (p *Partial) MeanLatency() float64 {
+	if p.Completed == 0 {
+		return 0
+	}
+	return float64(p.TotalLatency) / float64(p.Completed)
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"cfm/internal/sim"
+)
+
+// TimingEvent is one row of a Fig. 3.6-style timing diagram.
+type TimingEvent struct {
+	Slot sim.Slot
+	Bank int
+	Kind string // "address", "data"
+}
+
+// ReadTiming produces the timing diagram of a block read issued by
+// processor p at slot t0 (Fig. 3.6): the address reaches bank k's MAR at
+// slot t0+k, and the word comes back c−1 slots later.
+func (a *ATSpace) ReadTiming(t0 sim.Slot, p int) []TimingEvent {
+	var ev []TimingEvent
+	for k := 0; k < a.b; k++ {
+		ev = append(ev, TimingEvent{Slot: t0 + sim.Slot(k), Bank: a.VisitBank(t0, p, k), Kind: "address"})
+	}
+	for k := 0; k < a.b; k++ {
+		ev = append(ev, TimingEvent{Slot: a.DataSlot(t0, k), Bank: a.VisitBank(t0, p, k), Kind: "data"})
+	}
+	return ev
+}
+
+// RenderTiming draws a textual timing diagram: one line per bank, one
+// column per slot, 'A' where the bank receives the address and 'D' where
+// it transfers data.
+func (a *ATSpace) RenderTiming(t0 sim.Slot, p int) string {
+	ev := a.ReadTiming(t0, p)
+	var maxSlot sim.Slot
+	for _, e := range ev {
+		if e.Slot > maxSlot {
+			maxSlot = e.Slot
+		}
+	}
+	width := int(maxSlot-t0) + 1
+	rows := make([][]byte, a.b)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, e := range ev {
+		col := int(e.Slot - t0)
+		switch e.Kind {
+		case "address":
+			rows[e.Bank][col] = 'A'
+		case "data":
+			if rows[e.Bank][col] == 'A' {
+				rows[e.Bank][col] = 'B' // both in one slot (c == 1)
+			} else {
+				rows[e.Bank][col] = 'D'
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "read by P%d at slot %d (b=%d, c=%d, β=%d)\n", p, t0, a.b, a.c, a.b+a.c-1)
+	for bank, row := range rows {
+		fmt.Fprintf(&b, "bank %2d |%s|\n", bank, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+func TestFullyConnectedHops(t *testing.T) {
+	f := FullyConnected{N: 5}
+	if f.Hops(2, 2) != 0 || f.Hops(0, 4) != 1 {
+		t.Fatal("fully connected hops wrong")
+	}
+	if Diameter(f) != 1 {
+		t.Fatalf("diameter %d", Diameter(f))
+	}
+}
+
+func TestRingHops(t *testing.T) {
+	r := Ring{N: 6}
+	cases := [][3]int{{0, 1, 1}, {0, 3, 3}, {0, 5, 1}, {1, 4, 3}, {2, 2, 0}}
+	for _, c := range cases {
+		if got := r.Hops(c[0], c[1]); got != c[2] {
+			t.Errorf("ring Hops(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+	if Diameter(r) != 3 {
+		t.Fatalf("ring(6) diameter %d, want 3", Diameter(r))
+	}
+}
+
+func TestMesh2DHops(t *testing.T) {
+	m := Mesh2D{Rows: 3, Cols: 4}
+	if m.Clusters() != 12 {
+		t.Fatalf("clusters %d", m.Clusters())
+	}
+	// (0,0)=0 to (2,3)=11: 2+3 = 5.
+	if got := m.Hops(0, 11); got != 5 {
+		t.Fatalf("mesh Hops(0,11) = %d, want 5", got)
+	}
+	if Diameter(m) != 5 {
+		t.Fatalf("mesh diameter %d", Diameter(m))
+	}
+}
+
+func TestHypercubeHops(t *testing.T) {
+	h := Hypercube{Dim: 4}
+	if h.Clusters() != 16 {
+		t.Fatalf("clusters %d", h.Clusters())
+	}
+	if got := h.Hops(0b0000, 0b1011); got != 3 {
+		t.Fatalf("hypercube Hops = %d, want 3", got)
+	}
+	if Diameter(h) != 4 {
+		t.Fatalf("hypercube diameter %d, want 4", Diameter(h))
+	}
+}
+
+// TestHopsMetricProperties: symmetry, identity, triangle inequality —
+// for all topologies.
+func TestHopsMetricProperties(t *testing.T) {
+	topos := []Topology{FullyConnected{N: 7}, Ring{N: 8}, Mesh2D{Rows: 3, Cols: 3}, Hypercube{Dim: 3}}
+	f := func(aRaw, bRaw, cRaw uint8, which uint8) bool {
+		topo := topos[int(which)%len(topos)]
+		n := topo.Clusters()
+		a, b, c := int(aRaw)%n, int(bRaw)%n, int(cRaw)%n
+		if topo.Hops(a, a) != 0 {
+			return false
+		}
+		if topo.Hops(a, b) != topo.Hops(b, a) {
+			return false
+		}
+		return topo.Hops(a, c) <= topo.Hops(a, b)+topo.Hops(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanHops(t *testing.T) {
+	if got := MeanHops(FullyConnected{N: 4}); got != 1 {
+		t.Fatalf("fully connected mean hops %v", got)
+	}
+	if MeanHops(FullyConnected{N: 1}) != 0 {
+		t.Fatal("single-cluster mean hops nonzero")
+	}
+	// Denser topologies have smaller mean distance at equal size.
+	if MeanHops(Hypercube{Dim: 3}) >= MeanHops(Ring{N: 8}) {
+		t.Fatal("hypercube(8) not denser than ring(8)")
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"range": func() { Ring{N: 4}.Hops(0, 4) },
+		"neg":   func() { Mesh2D{Rows: 2, Cols: 2}.Hops(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// topoSystem builds a 4-cluster system on a ring with 3 cycles per hop.
+func topoSystem(t *testing.T) (*ClusterSystem, *sim.Clock) {
+	t.Helper()
+	cfg := Config{Processors: 4, BankCycle: 1, WordWidth: 64}
+	cs := NewClusterSystem(cfg, 4, 3, 1)
+	cs.SetTopology(Ring{N: 4}, 3)
+	clk := sim.NewClock()
+	clk.Register(cs)
+	return cs, clk
+}
+
+// TestRemoteLatencyScalesWithHops: a read to an adjacent ring cluster
+// (1 hop) returns sooner than one to the opposite cluster (2 hops).
+func TestRemoteLatencyScalesWithHops(t *testing.T) {
+	measure := func(to int) sim.Slot {
+		cs, clk := topoSystem(t)
+		cs.Cluster(to).PokeBlock(0, memory.Block{1, 2, 3, 4})
+		var at sim.Slot = -1
+		cs.RemoteReadFrom(0, 0, to, 0, func(_ memory.Block, a sim.Slot) { at = a })
+		clk.Run(100)
+		if at < 0 {
+			t.Fatalf("remote read to %d never completed", to)
+		}
+		return at
+	}
+	near, far := measure(1), measure(2)
+	// 1 hop = 3 cycles each way; 2 hops = 6: the far read is 6 cycles
+	// slower end to end.
+	if far-near != 6 {
+		t.Fatalf("far %d − near %d = %d, want 6 (2 extra hops × 3 cycles)", far, near, far-near)
+	}
+}
+
+func TestSetTopologyPanics(t *testing.T) {
+	cfg := Config{Processors: 4, BankCycle: 1, WordWidth: 64}
+	cs := NewClusterSystem(cfg, 4, 3, 1)
+	for name, fn := range map[string]func(){
+		"size":  func() { cs.SetTopology(Ring{N: 5}, 1) },
+		"delay": func() { cs.SetTopology(Ring{N: 4}, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestTopologyStringers cover the display names.
+func TestTopologyStringers(t *testing.T) {
+	cases := map[string]Topology{
+		"fully-connected(3)": FullyConnected{N: 3},
+		"ring(5)":            Ring{N: 5},
+		"mesh(2x3)":          Mesh2D{Rows: 2, Cols: 3},
+		"hypercube(3)":       Hypercube{Dim: 3},
+	}
+	for want, topo := range cases {
+		if got := topo.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package hier
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cfm/internal/cache"
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// table55Config is the Table 5.5 machine: 16 processors in 4 clusters,
+// bank cycle 2 → 8 banks per cluster, β = 9.
+func table55Config() Config {
+	return Config{Clusters: 4, ProcsPerCluster: 4, BankCycle: 2, L1Lines: 4, L2Lines: 8}
+}
+
+type hw struct {
+	s   *System
+	clk *sim.Clock
+}
+
+func newHW(t *testing.T, cfg Config) *hw {
+	h := &hw{s: NewSystem(cfg, nil), clk: sim.NewClock()}
+	h.clk.Register(h.s)
+	h.clk.RegisterPrio(sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+		if ph == sim.PhaseUpdate {
+			if err := h.s.CheckInvariants(); err != nil {
+				t.Fatalf("slot %d: %v", tt, err)
+			}
+		}
+	}), 10)
+	return h
+}
+
+func (h *hw) settle(t *testing.T, budget int64) {
+	t.Helper()
+	if _, ok := h.clk.RunUntil(h.s.Idle, budget); !ok {
+		t.Fatalf("hierarchy did not quiesce in %d slots", budget)
+	}
+}
+
+func TestLatencyModelBetas(t *testing.T) {
+	// Table 5.5 shape: n=4, c=2 → β = 9.
+	m := NewLatencyModel(4, 2)
+	if m.ClusterBeta != 9 {
+		t.Fatalf("β = %d, want 9", m.ClusterBeta)
+	}
+	// Table 5.6 shape: n=32, c=2 → β = 65.
+	m = NewLatencyModel(32, 2)
+	if m.ClusterBeta != 65 {
+		t.Fatalf("β = %d, want 65", m.ClusterBeta)
+	}
+}
+
+// TestTable55Latencies reproduces the CFM column of Table 5.5 exactly:
+// 9 / 27 / 63 cycles.
+func TestTable55Latencies(t *testing.T) {
+	rows := Table55()
+	wantCFM := []int{9, 27, 63}
+	wantDASH := []int{29, 100, 130}
+	for i, row := range rows {
+		if row.CFM != wantCFM[i] {
+			t.Errorf("row %d CFM = %d, want %d", i, row.CFM, wantCFM[i])
+		}
+		if row.Other != wantDASH[i] {
+			t.Errorf("row %d DASH = %d, want %d", i, row.Other, wantDASH[i])
+		}
+		if row.CFM >= row.Other {
+			t.Errorf("row %d: CFM (%d) not faster than DASH (%d)", i, row.CFM, row.Other)
+		}
+	}
+}
+
+// TestTable56Latencies reproduces the CFM column of Table 5.6: 65 / 195.
+func TestTable56Latencies(t *testing.T) {
+	rows := Table56()
+	wantCFM := []int{65, 195}
+	wantKSR := []int{175, 600}
+	for i, row := range rows {
+		if row.CFM != wantCFM[i] {
+			t.Errorf("row %d CFM = %d, want %d", i, row.CFM, wantCFM[i])
+		}
+		if row.Other != wantKSR[i] {
+			t.Errorf("row %d KSR1 = %d, want %d", i, row.Other, wantKSR[i])
+		}
+	}
+}
+
+// TestSimulatedLocalClusterLatency: a read served by the local L2 takes
+// exactly β = 9 cycles on the Table 5.5 machine.
+func TestSimulatedLocalClusterLatency(t *testing.T) {
+	h := newHW(t, table55Config())
+	// Warm the L2 without warming P1's L1: P0 loads the block first.
+	h.s.Load(0, 0, 5, nil)
+	h.settle(t, 10000)
+	start := h.clk.Now()
+	var doneAt sim.Slot = -1
+	h.s.Load(0, 1, 5, func(_ memory.Block, at sim.Slot) { doneAt = at })
+	h.settle(t, 10000)
+	if got := int(doneAt - start); got != 9 {
+		t.Fatalf("local cluster read took %d cycles, want 9 (Table 5.5)", got)
+	}
+}
+
+// TestSimulatedGlobalCleanLatency: an L2 miss on a clean block takes
+// 3β = 27 cycles.
+func TestSimulatedGlobalCleanLatency(t *testing.T) {
+	h := newHW(t, table55Config())
+	start := h.clk.Now()
+	var doneAt sim.Slot = -1
+	h.s.Load(0, 0, 5, func(_ memory.Block, at sim.Slot) { doneAt = at })
+	h.settle(t, 10000)
+	if got := int(doneAt - start); got != 27 {
+		t.Fatalf("global clean read took %d cycles, want 27 (Table 5.5)", got)
+	}
+}
+
+// TestSimulatedDirtyRemoteLatency: a read of a block dirty in a remote
+// cluster's processor cache takes 7β = 63 cycles.
+func TestSimulatedDirtyRemoteLatency(t *testing.T) {
+	h := newHW(t, table55Config())
+	h.s.Store(1, 2, 5, 0, 99, nil) // cluster 1 P2 dirties block 5
+	h.settle(t, 10000)
+	if h.s.L1State(1, 2, 5) != cache.Dirty || h.s.L2State(1, 5) != cache.Dirty {
+		t.Fatalf("precondition: states L1=%v L2=%v", h.s.L1State(1, 2, 5), h.s.L2State(1, 5))
+	}
+	start := h.clk.Now()
+	var got memory.Block
+	var doneAt sim.Slot = -1
+	h.s.Load(0, 0, 5, func(b memory.Block, at sim.Slot) { got, doneAt = b, at })
+	h.settle(t, 10000)
+	if lat := int(doneAt - start); lat != 63 {
+		t.Fatalf("dirty remote read took %d cycles, want 63 (Table 5.5)", lat)
+	}
+	if got[0] != 99 {
+		t.Fatalf("read %v, want the remote store visible", got)
+	}
+}
+
+// TestTable56SimulatedLatencies: the same scenarios on the Table 5.6
+// machine shape give 65 and 195 cycles.
+func TestTable56SimulatedLatencies(t *testing.T) {
+	cfg := Config{Clusters: 4, ProcsPerCluster: 32, BankCycle: 2, L1Lines: 4, L2Lines: 8}
+	h := newHW(t, cfg)
+	start := h.clk.Now()
+	var doneAt sim.Slot = -1
+	h.s.Load(0, 0, 5, func(_ memory.Block, at sim.Slot) { doneAt = at })
+	h.settle(t, 10000)
+	if got := int(doneAt - start); got != 195 {
+		t.Fatalf("global clean read took %d cycles, want 195 (Table 5.6)", got)
+	}
+	start = h.clk.Now()
+	h.s.Load(0, 1, 5, func(_ memory.Block, at sim.Slot) { doneAt = at })
+	h.settle(t, 10000)
+	if got := int(doneAt - start); got != 65 {
+		t.Fatalf("local cluster read took %d cycles, want 65 (Table 5.6)", got)
+	}
+}
+
+func TestL1HitIsFree(t *testing.T) {
+	h := newHW(t, table55Config())
+	h.s.Load(0, 0, 5, nil)
+	h.settle(t, 10000)
+	start := h.clk.Now()
+	var doneAt sim.Slot = -1
+	h.s.Load(0, 0, 5, func(_ memory.Block, at sim.Slot) { doneAt = at })
+	h.settle(t, 10000)
+	if got := int(doneAt - start); got > 1 {
+		t.Fatalf("L1 hit took %d cycles", got)
+	}
+	if h.s.L1Hits != 1 {
+		t.Fatalf("L1Hits = %d, want 1", h.s.L1Hits)
+	}
+}
+
+func TestStoreVisibleAcrossHierarchy(t *testing.T) {
+	h := newHW(t, table55Config())
+	h.s.Store(0, 0, 7, 3, 123, nil)
+	h.settle(t, 10000)
+	var got memory.Block
+	h.s.Load(3, 2, 7, func(b memory.Block, _ sim.Slot) { got = b })
+	h.settle(t, 10000)
+	if got[3] != 123 {
+		t.Fatalf("remote cluster read %v, want word 3 = 123", got)
+	}
+	// After the triggered flush chain the old owner holds a valid copy
+	// and global memory is up to date.
+	if h.s.PeekMemory(7)[3] != 123 {
+		t.Fatal("global memory not updated by flush chain")
+	}
+}
+
+func TestStoreInvalidatesOtherClusters(t *testing.T) {
+	h := newHW(t, table55Config())
+	// All clusters read block 2.
+	for cl := 0; cl < 4; cl++ {
+		h.s.Load(cl, 0, 2, nil)
+	}
+	h.settle(t, 20000)
+	h.s.Store(1, 0, 2, 0, 5, nil)
+	h.settle(t, 20000)
+	for cl := 0; cl < 4; cl++ {
+		if cl == 1 {
+			continue
+		}
+		if st := h.s.L2State(cl, 2); st != cache.Invalid {
+			t.Fatalf("cluster %d L2 = %v after remote store, want invalid", cl, st)
+		}
+		if st := h.s.L1State(cl, 0, 2); st != cache.Invalid {
+			t.Fatalf("cluster %d L1 = %v after remote store, want invalid", cl, st)
+		}
+	}
+	if h.s.L2State(1, 2) != cache.Dirty || h.s.L1State(1, 0, 2) != cache.Dirty {
+		t.Fatal("owner states wrong")
+	}
+}
+
+func TestSiblingStoreTriggersIntraClusterWriteBack(t *testing.T) {
+	h := newHW(t, table55Config())
+	h.s.Store(0, 0, 1, 0, 10, nil)
+	h.settle(t, 10000)
+	h.s.Store(0, 3, 1, 1, 11, nil) // sibling in same cluster
+	h.settle(t, 10000)
+	if h.s.L1State(0, 0, 1) == cache.Dirty {
+		t.Fatal("old owner still dirty after sibling store")
+	}
+	d := h.s.l1Line(0, 3, 1).data
+	if d[0] != 10 || d[1] != 11 {
+		t.Fatalf("sibling sees %v, want both stores", d)
+	}
+}
+
+func TestL2EvictionFlushesToGlobal(t *testing.T) {
+	cfg := table55Config()
+	cfg.L2Lines = 1 // every block collides in L2
+	h := newHW(t, cfg)
+	h.s.Store(0, 0, 0, 0, 42, nil)
+	h.settle(t, 10000)
+	h.s.Load(0, 1, 1, nil) // evicts dirty block 0 from L2
+	h.settle(t, 20000)
+	if h.s.PeekMemory(0)[0] != 42 {
+		t.Fatal("evicted dirty L2 block not flushed to global memory")
+	}
+}
+
+// TestSequentialStoreLoadChains: alternating stores from different
+// clusters to the same block; each store must see all predecessors.
+func TestSequentialStoreLoadChains(t *testing.T) {
+	h := newHW(t, table55Config())
+	for i := 0; i < 8; i++ {
+		cl := i % 4
+		h.s.Store(cl, i%4, 3, i, memory.Word(i+1), nil)
+		h.settle(t, 50000)
+	}
+	var got memory.Block
+	h.s.Load(2, 1, 3, func(b memory.Block, _ sim.Slot) { got = b })
+	h.settle(t, 50000)
+	for i := 0; i < 8; i++ {
+		if got[i] != memory.Word(i+1) {
+			t.Fatalf("word %d = %d, want %d (store lost crossing clusters)", i, got[i], i+1)
+		}
+	}
+}
+
+// TestHierRandomTraffic: random loads/stores across the hierarchy keep
+// all invariants (checked every slot) and quiesce.
+func TestHierRandomTraffic(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		s := NewSystem(Config{Clusters: 3, ProcsPerCluster: 3, BankCycle: 1, L1Lines: 2, L2Lines: 4}, nil)
+		clk := sim.NewClock()
+		clk.Register(s)
+		bad := false
+		clk.RegisterPrio(sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+			if ph == sim.PhaseUpdate && s.CheckInvariants() != nil {
+				bad = true
+				clk.Stop()
+			}
+		}), 10)
+		for i := 0; i < 30; i++ {
+			cl, p, off := rng.Intn(3), rng.Intn(3), rng.Intn(5)
+			if rng.Bernoulli(0.5) {
+				s.Load(cl, p, off, nil)
+			} else {
+				s.Store(cl, p, off, rng.Intn(3), memory.Word(rng.Intn(100)), nil)
+			}
+		}
+		clk.RunUntil(s.Idle, 100000)
+		return !bad && s.Idle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := table55Config().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bads := []Config{
+		{Clusters: 1, ProcsPerCluster: 1, BankCycle: 1, L1Lines: 1, L2Lines: 1},
+		{Clusters: 2, ProcsPerCluster: 0, BankCycle: 1, L1Lines: 1, L2Lines: 1},
+		{Clusters: 2, ProcsPerCluster: 1, BankCycle: 0, L1Lines: 1, L2Lines: 1},
+		{Clusters: 2, ProcsPerCluster: 1, BankCycle: 1, L1Lines: 0, L2Lines: 1},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestHierPanics(t *testing.T) {
+	s := NewSystem(table55Config(), nil)
+	for name, fn := range map[string]func(){
+		"newBad":  func() { NewSystem(Config{}, nil) },
+		"badID":   func() { s.Load(9, 0, 0, nil) },
+		"badWord": func() { s.Store(0, 0, 0, 99, 1, nil) },
+		"badPoke": func() { s.PokeMemory(0, memory.Block{1}) },
+		"badLat":  func() { NewLatencyModel(0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,102 @@
+// Package hier implements the hierarchical CFM extension of §5.4: clusters
+// of processors whose memory banks act as second-level caches, network
+// controllers operating as pseudo-processors on a global CFM, and the
+// recursively applied write-back cache coherence protocol. It also
+// provides the read-latency model behind Tables 5.5 (CFM vs DASH) and 5.6
+// (CFM vs KSR1).
+package hier
+
+import "fmt"
+
+// LatencyModel gives the read latencies of a two-level CFM architecture
+// in CPU cycles. With β = b + c − 1 for a cluster of b cache banks and a
+// matching global configuration, the three scenarios of Table 5.5 cost:
+//
+//	local cluster (L1 miss, L2 hit):   1 block access            =  β
+//	global memory (clean, L2 miss):    3 block accesses          = 3β
+//	  miss pass + network-controller global read + local refill
+//	dirty remote:                      7 block accesses          = 7β
+//	  miss pass            — the local pass that discovers the miss
+//	  global pass          — the NC read that discovers the dirty copy
+//	  remote trigger pass  — the remote NC signalling its processor
+//	  remote L1 write-back — processor flushes to its L2
+//	  remote L2 write-back — remote NC flushes to global memory
+//	  global retry         — the local NC's read now succeeds
+//	  local refill         — the processor reads its refilled L2
+//
+// which reproduces the paper's 9/27/63 (β = 9) and 65/195 (β = 65).
+type LatencyModel struct {
+	ClusterBeta int // β within a cluster
+	GlobalBeta  int // β of the global CFM (network controllers ↔ memory)
+}
+
+// NewLatencyModel derives the model from the cluster shape: b = c·n banks
+// per cluster gives β = b + c − 1; the global level is configured
+// symmetrically in the dissertation's comparisons.
+func NewLatencyModel(procsPerCluster, bankCycle int) LatencyModel {
+	if procsPerCluster < 1 || bankCycle < 1 {
+		panic(fmt.Sprintf("hier: invalid cluster shape n=%d c=%d", procsPerCluster, bankCycle))
+	}
+	beta := bankCycle*procsPerCluster + bankCycle - 1
+	return LatencyModel{ClusterBeta: beta, GlobalBeta: beta}
+}
+
+// LocalCluster returns the latency of a read served by the local cluster
+// (first-level read miss, second-level hit).
+func (m LatencyModel) LocalCluster() int { return m.ClusterBeta }
+
+// GlobalClean returns the latency of a read retrieving a clean block from
+// global memory.
+func (m LatencyModel) GlobalClean() int {
+	return m.ClusterBeta + m.GlobalBeta + m.ClusterBeta
+}
+
+// DirtyRemote returns the latency of a read whose block is dirty in a
+// remote cluster's processor cache.
+func (m LatencyModel) DirtyRemote() int {
+	return m.ClusterBeta + // miss pass
+		m.GlobalBeta + // global read discovers the dirty copy
+		m.ClusterBeta + // remote trigger pass
+		m.ClusterBeta + // remote L1 write-back
+		m.GlobalBeta + // remote L2 write-back
+		m.GlobalBeta + // global read retry
+		m.ClusterBeta // local refill
+}
+
+// ComparisonRow is one row of Table 5.5/5.6.
+type ComparisonRow struct {
+	Access string
+	CFM    int
+	Other  int
+}
+
+// DASH read latencies from the published DASH numbers used by the
+// dissertation's Table 5.5 (16 processors, 4 clusters, 16-byte lines).
+var dashLatencies = []int{29, 100, 130}
+
+// KSR1 read latencies used by Table 5.6 (1024 processors, 32 rings,
+// 128-byte lines).
+var ksr1Latencies = []int{175, 600}
+
+// Table55 reproduces Table 5.5: a two-level CFM with 16 processors in 4
+// clusters (4 per cluster), bank cycle 2, 16-byte (128-bit) cache lines —
+// 8 banks/cluster, β = 9 — against the DASH multiprocessor.
+func Table55() []ComparisonRow {
+	m := NewLatencyModel(4, 2)
+	return []ComparisonRow{
+		{"Retrieve from local cluster", m.LocalCluster(), dashLatencies[0]},
+		{"Retrieve from global memory (remote cluster)", m.GlobalClean(), dashLatencies[1]},
+		{"Retrieve from dirty remote", m.DirtyRemote(), dashLatencies[2]},
+	}
+}
+
+// Table56 reproduces Table 5.6: 1024 processors in 32 clusters (32 per
+// cluster), bank cycle 2, 128-byte (1024-bit) lines — 64 banks/cluster,
+// β = 65 — against the KSR1.
+func Table56() []ComparisonRow {
+	m := NewLatencyModel(32, 2)
+	return []ComparisonRow{
+		{"Retrieve from local cluster", m.LocalCluster(), ksr1Latencies[0]},
+		{"Retrieve from global memory (remote cluster)", m.GlobalClean(), ksr1Latencies[1]},
+	}
+}

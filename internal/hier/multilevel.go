@@ -1,0 +1,80 @@
+package hier
+
+import "fmt"
+
+// MultiLevel generalizes the two-level latency model to the recursive
+// hierarchy of §5.4.3: "The CFM cache coherence protocol can be applied
+// recursively to hierarchical CFM architectures with more levels of
+// caches. The memory access latency of the worst cache miss situation
+// increases logarithmically with the total number of processors."
+//
+// Level 0 is the processor cluster; each higher level groups Fanout
+// units of the level below behind a network controller, with its own
+// conflict-free block pipeline of the same β.
+type MultiLevel struct {
+	ProcsPerCluster int // n at level 0
+	BankCycle       int // c (same at every level)
+	Levels          int // cache levels above L1 (2-level system ⇒ 2)
+	Fanout          int // clusters (or sub-trees) grouped per level
+}
+
+// Validate reports a descriptive error for an unusable model.
+func (m MultiLevel) Validate() error {
+	switch {
+	case m.ProcsPerCluster < 1 || m.BankCycle < 1:
+		return fmt.Errorf("hier: invalid cluster shape n=%d c=%d", m.ProcsPerCluster, m.BankCycle)
+	case m.Levels < 1:
+		return fmt.Errorf("hier: need >=1 level, got %d", m.Levels)
+	case m.Fanout < 2:
+		return fmt.Errorf("hier: fanout %d < 2", m.Fanout)
+	}
+	return nil
+}
+
+// Beta returns the per-level block access time.
+func (m MultiLevel) Beta() int {
+	return m.BankCycle*m.ProcsPerCluster + m.BankCycle - 1
+}
+
+// Processors returns the total processor count: n × Fanout^(Levels−1).
+func (m MultiLevel) Processors() int {
+	total := m.ProcsPerCluster
+	for i := 1; i < m.Levels; i++ {
+		total *= m.Fanout
+	}
+	return total
+}
+
+// CleanMissLatency returns the latency of a read that misses every cache
+// level and hits clean data at the root: the generalization of the
+// two-level 3β — each level adds one pass up (the miss/fetch) and the
+// refill comes back down, so k levels cost (2k−1)β.
+func (m MultiLevel) CleanMissLatency() int {
+	return (2*m.Levels - 1) * m.Beta()
+}
+
+// WorstMissLatency returns the dirty-remote worst case: the two-level
+// 7β generalizes by adding, per extra level, an up-and-down flush pair
+// and a retry pass: 7β + 4β per level beyond the second.
+func (m MultiLevel) WorstMissLatency() int {
+	if m.Levels == 1 {
+		return m.Beta()
+	}
+	return (7 + 4*(m.Levels-2)) * m.Beta()
+}
+
+// LevelsFor returns the hierarchy depth needed to connect at least
+// `processors` processors with the given cluster size and fanout — the
+// quantity that grows logarithmically.
+func LevelsFor(processors, procsPerCluster, fanout int) int {
+	if processors <= procsPerCluster {
+		return 1
+	}
+	levels := 1
+	total := procsPerCluster
+	for total < processors {
+		total *= fanout
+		levels++
+	}
+	return levels
+}

@@ -1,0 +1,88 @@
+package hier
+
+import "testing"
+
+func TestMultiLevelValidate(t *testing.T) {
+	good := MultiLevel{ProcsPerCluster: 4, BankCycle: 2, Levels: 2, Fanout: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bads := []MultiLevel{
+		{ProcsPerCluster: 0, BankCycle: 1, Levels: 1, Fanout: 2},
+		{ProcsPerCluster: 1, BankCycle: 0, Levels: 1, Fanout: 2},
+		{ProcsPerCluster: 1, BankCycle: 1, Levels: 0, Fanout: 2},
+		{ProcsPerCluster: 1, BankCycle: 1, Levels: 1, Fanout: 1},
+	}
+	for i, m := range bads {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestMultiLevelMatchesTwoLevel(t *testing.T) {
+	// The 2-level instance must agree with the Table 5.5 model: β = 9,
+	// clean global miss = 3β = 27, dirty remote = 7β = 63.
+	m := MultiLevel{ProcsPerCluster: 4, BankCycle: 2, Levels: 2, Fanout: 4}
+	if m.Beta() != 9 {
+		t.Fatalf("β = %d", m.Beta())
+	}
+	if m.CleanMissLatency() != 27 {
+		t.Fatalf("clean miss = %d, want 27", m.CleanMissLatency())
+	}
+	if m.WorstMissLatency() != 63 {
+		t.Fatalf("worst miss = %d, want 63", m.WorstMissLatency())
+	}
+	if m.Processors() != 16 {
+		t.Fatalf("processors = %d, want 16", m.Processors())
+	}
+}
+
+// TestWorstCaseGrowsLogarithmically is the §5.4.3 scalability claim: as
+// the processor count multiplies by the fanout, the worst-case miss
+// latency grows by a CONSTANT increment (4β), i.e. logarithmically in
+// the total number of processors.
+func TestWorstCaseGrowsLogarithmically(t *testing.T) {
+	const fanout = 4
+	base := MultiLevel{ProcsPerCluster: 4, BankCycle: 2, Levels: 2, Fanout: fanout}
+	prevLat := base.WorstMissLatency()
+	prevProcs := base.Processors()
+	for levels := 3; levels <= 6; levels++ {
+		m := base
+		m.Levels = levels
+		procs, lat := m.Processors(), m.WorstMissLatency()
+		if procs != prevProcs*fanout {
+			t.Fatalf("levels %d: processors %d, want %d", levels, procs, prevProcs*fanout)
+		}
+		if lat-prevLat != 4*m.Beta() {
+			t.Fatalf("levels %d: latency increment %d, want constant 4β = %d",
+				levels, lat-prevLat, 4*m.Beta())
+		}
+		prevProcs, prevLat = procs, lat
+	}
+}
+
+func TestLevelsFor(t *testing.T) {
+	cases := []struct{ procs, per, fanout, want int }{
+		{4, 4, 4, 1},
+		{16, 4, 4, 2},
+		{64, 4, 4, 3},
+		{1024, 32, 32, 2},
+		{5, 4, 2, 2},
+	}
+	for _, c := range cases {
+		if got := LevelsFor(c.procs, c.per, c.fanout); got != c.want {
+			t.Errorf("LevelsFor(%d,%d,%d) = %d, want %d", c.procs, c.per, c.fanout, got, c.want)
+		}
+	}
+}
+
+func TestSingleLevelWorstCase(t *testing.T) {
+	m := MultiLevel{ProcsPerCluster: 8, BankCycle: 1, Levels: 1, Fanout: 2}
+	if m.WorstMissLatency() != m.Beta() {
+		t.Fatal("single level worst case should be one β")
+	}
+	if m.CleanMissLatency() != m.Beta() {
+		t.Fatal("single level clean miss should be one β")
+	}
+}

@@ -1,0 +1,210 @@
+// Package linda implements the Linda coordination language reviewed in
+// §6.1.3 (Fig. 6.1): concurrent processes communicate through a shared
+// tuple space with four primitives —
+//
+//	out  places a tuple in tuple space
+//	in   matches a tuple and removes it (blocking)
+//	rd   matches a tuple and returns a copy (blocking)
+//	eval creates an active tuple (a process whose result is out-ed)
+//
+// It exists as the comparison baseline for the resource binding paradigm:
+// the dissertation's critique — Linda's decoupling forces an associative
+// SEARCH of the tuple space on every match, and the lack of
+// sender/receiver knowledge defeats deadlock detection — is made
+// measurable here by counting tuple scans (Scans), which the binding
+// runtime's active-list check avoids growing with data size.
+package linda
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tuple is an ordered collection of data items identified by content.
+type Tuple []any
+
+// wildcard is the formal-parameter marker for match patterns.
+type wildcard struct{}
+
+// W matches any value in its position (a Linda "formal").
+var W = wildcard{}
+
+// Matches reports whether a concrete tuple matches a pattern: same
+// length, and each pattern position is either W or equal to the tuple's
+// actual value.
+func Matches(pattern, tuple Tuple) bool {
+	if len(pattern) != len(tuple) {
+		return false
+	}
+	for i, p := range pattern {
+		if _, any := p.(wildcard); any {
+			continue
+		}
+		if p != tuple[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Space is a tuple space, safe for concurrent use.
+type Space struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	tuples []Tuple
+	evals  sync.WaitGroup
+
+	// Scans counts tuples examined during matching — the search overhead
+	// §6.1.3 charges against Linda ("its complexity is some order of the
+	// tuple space size").
+	Scans int64
+	// Outs and Ins count completed operations.
+	Outs, Ins, Rds int64
+}
+
+// NewSpace returns an empty tuple space.
+func NewSpace() *Space {
+	s := &Space{}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Out places a tuple in tuple space.
+func (s *Space) Out(t Tuple) {
+	if len(t) == 0 {
+		panic("linda: empty tuple")
+	}
+	for _, v := range t {
+		if _, any := v.(wildcard); any {
+			panic("linda: out of a tuple containing a formal")
+		}
+	}
+	s.mu.Lock()
+	s.tuples = append(s.tuples, append(Tuple(nil), t...))
+	s.Outs++
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// match scans for a pattern match; remove extracts it. Caller holds mu.
+func (s *Space) match(pattern Tuple, remove bool) (Tuple, bool) {
+	for i, t := range s.tuples {
+		s.Scans++
+		if Matches(pattern, t) {
+			out := append(Tuple(nil), t...)
+			if remove {
+				s.tuples = append(s.tuples[:i], s.tuples[i+1:]...)
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// In matches a tuple and removes it, blocking until one is available.
+func (s *Space) In(pattern Tuple) Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if t, ok := s.match(pattern, true); ok {
+			s.Ins++
+			return t
+		}
+		s.cond.Wait()
+	}
+}
+
+// InNB is the non-blocking in (Linda's inp).
+func (s *Space) InNB(pattern Tuple) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.match(pattern, true)
+	if ok {
+		s.Ins++
+	}
+	return t, ok
+}
+
+// Rd matches a tuple and returns a copy, blocking until one is available.
+func (s *Space) Rd(pattern Tuple) Tuple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if t, ok := s.match(pattern, false); ok {
+			s.Rds++
+			return t
+		}
+		s.cond.Wait()
+	}
+}
+
+// RdNB is the non-blocking rd (Linda's rdp).
+func (s *Space) RdNB(pattern Tuple) (Tuple, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.match(pattern, false)
+	if ok {
+		s.Rds++
+	}
+	return t, ok
+}
+
+// Eval creates an active tuple: f runs in its own process and its result
+// is placed in tuple space when it completes.
+func (s *Space) Eval(f func() Tuple) {
+	s.evals.Add(1)
+	go func() {
+		defer s.evals.Done()
+		s.Out(f())
+	}()
+}
+
+// WaitEvals blocks until every active tuple has turned passive.
+func (s *Space) WaitEvals() { s.evals.Wait() }
+
+// Len returns the number of passive tuples currently in the space.
+func (s *Space) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.tuples)
+}
+
+// String renders the space for debugging.
+func (s *Space) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("tuple space with %d tuples", len(s.tuples))
+}
+
+// DiningTable is the Fig. 6.4 setup: num chopstick tuples and num−1 room
+// tickets — Linda's way of preventing the dining-philosophers deadlock is
+// the explicit ticket arrangement the programmer must remember, in
+// contrast to data binding's atomic multi-chopstick region (Fig. 6.5).
+func DiningTable(s *Space, num int) {
+	if num < 2 {
+		panic(fmt.Sprintf("linda: %d philosophers", num))
+	}
+	for i := 0; i < num; i++ {
+		s.Out(Tuple{"chopstick", i})
+		if i < num-1 {
+			s.Out(Tuple{"room ticket"})
+		}
+	}
+}
+
+// Philosopher runs one Fig. 6.4 philosopher for the given number of
+// meals: acquire a room ticket, take both chopsticks one at a time, eat,
+// return everything.
+func Philosopher(s *Space, i, num, meals int, eat func()) {
+	for m := 0; m < meals; m++ {
+		s.In(Tuple{"room ticket"})
+		s.In(Tuple{"chopstick", i})
+		s.In(Tuple{"chopstick", (i + 1) % num})
+		if eat != nil {
+			eat()
+		}
+		s.Out(Tuple{"chopstick", i})
+		s.Out(Tuple{"chopstick", (i + 1) % num})
+		s.Out(Tuple{"room ticket"})
+	}
+}

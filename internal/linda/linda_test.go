@@ -1,0 +1,237 @@
+package linda
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMatches(t *testing.T) {
+	cases := []struct {
+		pattern, tuple Tuple
+		want           bool
+	}{
+		{Tuple{"x", 5}, Tuple{"x", 5}, true},
+		{Tuple{"x", 5}, Tuple{"x", 6}, false},
+		{Tuple{"x", W}, Tuple{"x", 6}, true},
+		{Tuple{W, W}, Tuple{"y", 3.5}, true},
+		{Tuple{"x"}, Tuple{"x", 5}, false},
+		{Tuple{"x", 5, W}, Tuple{"x", 5}, false},
+	}
+	for i, c := range cases {
+		if got := Matches(c.pattern, c.tuple); got != c.want {
+			t.Errorf("case %d: Matches(%v, %v) = %v, want %v", i, c.pattern, c.tuple, got, c.want)
+		}
+	}
+}
+
+func TestOutInRoundTrip(t *testing.T) {
+	s := NewSpace()
+	s.Out(Tuple{"x", 5, 3.5})
+	got := s.In(Tuple{"x", W, W})
+	if got[1] != 5 || got[2] != 3.5 {
+		t.Fatalf("In returned %v", got)
+	}
+	if s.Len() != 0 {
+		t.Fatal("In did not remove the tuple")
+	}
+}
+
+func TestRdLeavesTuple(t *testing.T) {
+	s := NewSpace()
+	s.Out(Tuple{"y", 1})
+	if got := s.Rd(Tuple{"y", W}); got[1] != 1 {
+		t.Fatalf("Rd returned %v", got)
+	}
+	if s.Len() != 1 {
+		t.Fatal("Rd removed the tuple")
+	}
+}
+
+func TestNonBlockingVariants(t *testing.T) {
+	s := NewSpace()
+	if _, ok := s.InNB(Tuple{"absent"}); ok {
+		t.Fatal("InNB matched nothing")
+	}
+	if _, ok := s.RdNB(Tuple{"absent"}); ok {
+		t.Fatal("RdNB matched nothing")
+	}
+	s.Out(Tuple{"present", 9})
+	if got, ok := s.InNB(Tuple{"present", W}); !ok || got[1] != 9 {
+		t.Fatalf("InNB = %v, %v", got, ok)
+	}
+}
+
+func TestInBlocksUntilOut(t *testing.T) {
+	s := NewSpace()
+	got := make(chan Tuple, 1)
+	go func() { got <- s.In(Tuple{"later", W}) }()
+	select {
+	case <-got:
+		t.Fatal("In returned before Out")
+	case <-time.After(20 * time.Millisecond):
+	}
+	s.Out(Tuple{"later", 42})
+	select {
+	case tu := <-got:
+		if tu[1] != 42 {
+			t.Fatalf("got %v", tu)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("In never woke")
+	}
+}
+
+func TestInConsumesExactlyOnce(t *testing.T) {
+	// N competing In's over N tuples: each tuple consumed exactly once.
+	s := NewSpace()
+	const n = 20
+	for i := 0; i < n; i++ {
+		s.Out(Tuple{"job", i})
+	}
+	seen := make([]atomic.Int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tu := s.In(Tuple{"job", W})
+			seen[tu[1].(int)].Add(1)
+		}()
+	}
+	wg.Wait()
+	for i := range seen {
+		if seen[i].Load() != 1 {
+			t.Fatalf("job %d consumed %d times", i, seen[i].Load())
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	s := NewSpace()
+	s.Eval(func() Tuple { return Tuple{"result", 7 * 6} })
+	got := s.In(Tuple{"result", W})
+	if got[1] != 42 {
+		t.Fatalf("eval result %v", got)
+	}
+	s.WaitEvals()
+}
+
+func TestPanics(t *testing.T) {
+	s := NewSpace()
+	for name, fn := range map[string]func(){
+		"empty":  func() { s.Out(Tuple{}) },
+		"formal": func() { s.Out(Tuple{"x", W}) },
+		"table":  func() { DiningTable(s, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestDiningPhilosophersFig64: the Fig. 6.4 Linda solution terminates —
+// the num−1 room tickets prevent the circular wait.
+func TestDiningPhilosophersFig64(t *testing.T) {
+	const num, meals = 5, 10
+	s := NewSpace()
+	DiningTable(s, num)
+	if s.Len() != num+num-1 {
+		t.Fatalf("table has %d tuples, want %d", s.Len(), num+num-1)
+	}
+	eaten := make([]atomic.Int32, num)
+	var wg sync.WaitGroup
+	for i := 0; i < num; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			Philosopher(s, i, num, meals, func() { eaten[i].Add(1) })
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("philosophers deadlocked despite room tickets")
+	}
+	for i := range eaten {
+		if eaten[i].Load() != meals {
+			t.Fatalf("philosopher %d ate %d", i, eaten[i].Load())
+		}
+	}
+	// The table is restored afterwards.
+	if s.Len() != num+num-1 {
+		t.Fatalf("table left with %d tuples", s.Len())
+	}
+}
+
+// TestScanOverheadGrowsWithSpaceSize quantifies §6.1.3's critique: the
+// cost of matching grows with the number of resident tuples, because
+// every in/rd must search the space.
+func TestScanOverheadGrowsWithSpaceSize(t *testing.T) {
+	scansFor := func(resident int) int64 {
+		s := NewSpace()
+		for i := 0; i < resident; i++ {
+			s.Out(Tuple{"ballast", i})
+		}
+		s.Out(Tuple{"target", 1})
+		before := s.Scans
+		s.Rd(Tuple{"target", W})
+		return s.Scans - before
+	}
+	small, large := scansFor(10), scansFor(1000)
+	if large < 50*small {
+		t.Fatalf("scan cost did not grow with space size: %d vs %d", small, large)
+	}
+}
+
+func TestMatchesProperty(t *testing.T) {
+	// A pattern of all wildcards matches any same-length tuple.
+	f := func(vals []int) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		tu := make(Tuple, len(vals))
+		pat := make(Tuple, len(vals))
+		for i, v := range vals {
+			tu[i] = v
+			pat[i] = W
+		}
+		return Matches(pat, tu) && Matches(tu, tu)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSharedCounterSimulation: the shared-memory simulation of §6.1.3 —
+// a variable protected by holding its tuple.
+func TestSharedCounterSimulation(t *testing.T) {
+	s := NewSpace()
+	s.Out(Tuple{"counter", 0})
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				tu := s.In(Tuple{"counter", W})
+				s.Out(Tuple{"counter", tu[1].(int) + 1})
+			}
+		}()
+	}
+	wg.Wait()
+	tu := s.In(Tuple{"counter", W})
+	if tu[1] != workers*rounds {
+		t.Fatalf("counter = %v, want %d", tu[1], workers*rounds)
+	}
+}

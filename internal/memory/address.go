@@ -1,0 +1,83 @@
+package memory
+
+import "fmt"
+
+// Addr is a linear word address in the shared physical address space.
+type Addr int
+
+// Layout describes how linear addresses map onto modules, banks, and
+// offsets. The dissertation contrasts two practical arrangements (§1.2):
+// sequential address assignment within each module with banks interleaved
+// inside the module, versus full interleaving across modules. The CFM
+// itself addresses blocks: an address is an offset plus a bank number,
+// where the bank number is supplied by the time slot rather than by the
+// request (§3.1.1).
+type Layout struct {
+	Modules      int // m
+	BanksPerMod  int // b/m
+	WordsPerBank int // bank depth (offsets per bank)
+}
+
+// Validate reports a descriptive error for an unusable layout.
+func (l Layout) Validate() error {
+	if l.Modules < 1 {
+		return fmt.Errorf("memory: layout needs >=1 module, got %d", l.Modules)
+	}
+	if l.BanksPerMod < 1 {
+		return fmt.Errorf("memory: layout needs >=1 bank per module, got %d", l.BanksPerMod)
+	}
+	if l.WordsPerBank < 1 {
+		return fmt.Errorf("memory: layout needs >=1 word per bank, got %d", l.WordsPerBank)
+	}
+	return nil
+}
+
+// Words returns the total number of addressable words.
+func (l Layout) Words() int { return l.Modules * l.BanksPerMod * l.WordsPerBank }
+
+// Banks returns the total number of banks b.
+func (l Layout) Banks() int { return l.Modules * l.BanksPerMod }
+
+// Decomposed is an address split into its architectural components.
+type Decomposed struct {
+	Module int // which memory module
+	Bank   int // bank within the module
+	Offset int // word offset within the bank (the block number)
+}
+
+// BlockInterleaved decomposes a linear address under the CFM/block view:
+// consecutive words of a block live at the same offset in consecutive
+// banks of one module, and consecutive blocks fill a module sequentially
+// before spilling to the next module (module number is the high-order
+// part of the address, matching Fig. 3.9/3.10 header layouts where the
+// header carries module and offset and the clock selects the bank).
+func (l Layout) BlockInterleaved(a Addr) Decomposed {
+	if a < 0 || int(a) >= l.Words() {
+		panic(fmt.Sprintf("memory: address %d out of range [0,%d)", a, l.Words()))
+	}
+	bank := int(a) % l.BanksPerMod
+	block := int(a) / l.BanksPerMod
+	offset := block % l.WordsPerBank
+	module := block / l.WordsPerBank
+	return Decomposed{Module: module, Bank: bank, Offset: offset}
+}
+
+// ModuleInterleaved decomposes a linear address under the conventional
+// fully word-interleaved view: consecutive words hit consecutive modules
+// (low-order bits select the module), as in the machines of §2.1.
+func (l Layout) ModuleInterleaved(a Addr) Decomposed {
+	if a < 0 || int(a) >= l.Words() {
+		panic(fmt.Sprintf("memory: address %d out of range [0,%d)", a, l.Words()))
+	}
+	module := int(a) % l.Modules
+	rest := int(a) / l.Modules
+	bank := rest % l.BanksPerMod
+	offset := rest / l.BanksPerMod
+	return Decomposed{Module: module, Bank: bank, Offset: offset}
+}
+
+// Compose is the inverse of BlockInterleaved.
+func (l Layout) Compose(d Decomposed) Addr {
+	block := d.Module*l.WordsPerBank + d.Offset
+	return Addr(block*l.BanksPerMod + d.Bank)
+}

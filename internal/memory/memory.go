@@ -1,0 +1,126 @@
+// Package memory models the storage substrate of a shared-memory
+// multiprocessor: memory words, blocks, banks with a configurable bank
+// cycle, interleaved modules, and the conventional interleaved memory
+// system that serves as the baseline the CFM is evaluated against
+// (dissertation §3.4.1, Figs. 3.13–3.15).
+//
+// Terminology follows Table 3.2 of the dissertation:
+//
+//	n  number of processors
+//	b  number of memory banks
+//	m  number of memory modules
+//	l  block (and cache line) size in bits
+//	w  memory word width in bits
+//	c  memory bank cycle in CPU cycles
+//	β  block access time in CPU cycles (β = b + c − 1)
+//
+// A memory word is the data unit retrieved from or stored in a memory
+// bank within one memory access; a block is the set of memory locations
+// with the same offset in all banks of a module.
+package memory
+
+import (
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// Word is one memory word. The simulator fixes the in-memory
+// representation at 64 bits regardless of the modelled word width w; w
+// matters only for configuration arithmetic (l = b·w), not for storage.
+type Word uint64
+
+// Block is a sequence of words with the same offset across the banks of a
+// module, transferred as a unit by every CFM access.
+type Block []Word
+
+// Clone returns an independent copy of the block.
+func (b Block) Clone() Block {
+	out := make(Block, len(b))
+	copy(out, b)
+	return out
+}
+
+// Equal reports whether two blocks have identical length and contents.
+func (b Block) Equal(o Block) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bank is a single memory bank: word-addressed storage plus the timing
+// state needed to model a bank cycle of c CPU cycles. A bank can accept a
+// new word access only when it is not busy; accepting one makes it busy
+// for the next c slots.
+type Bank struct {
+	id       int
+	cycle    int // c, in CPU cycles
+	words    map[int]Word
+	busyTill sim.Slot // first slot at which the bank is free again
+
+	// Statistics.
+	Accesses  int64 // accepted word accesses
+	Conflicts int64 // rejected attempts while busy
+}
+
+// NewBank returns an idle bank with the given id and bank cycle c (≥ 1).
+func NewBank(id, c int) *Bank {
+	if c < 1 {
+		panic(fmt.Sprintf("memory: bank cycle %d < 1", c))
+	}
+	return &Bank{id: id, cycle: c, words: make(map[int]Word)}
+}
+
+// ID returns the bank number.
+func (bk *Bank) ID() int { return bk.id }
+
+// Cycle returns the bank cycle c.
+func (bk *Bank) Cycle() int { return bk.cycle }
+
+// Busy reports whether the bank is still serving an access at slot t.
+func (bk *Bank) Busy(t sim.Slot) bool { return t < bk.busyTill }
+
+// Peek reads a word without touching timing state (for tests and
+// assertions, not for simulated accesses).
+func (bk *Bank) Peek(offset int) Word { return bk.words[offset] }
+
+// Poke writes a word without touching timing state.
+func (bk *Bank) Poke(offset int, w Word) { bk.words[offset] = w }
+
+// Read performs a timed word read at slot t. ok is false (and the access
+// is rejected, counting a conflict) if the bank is busy.
+func (bk *Bank) Read(t sim.Slot, offset int) (w Word, ok bool) {
+	if bk.Busy(t) {
+		bk.Conflicts++
+		return 0, false
+	}
+	bk.busyTill = t + sim.Slot(bk.cycle)
+	bk.Accesses++
+	return bk.words[offset], true
+}
+
+// Write performs a timed word write at slot t. ok is false (and the
+// access is rejected, counting a conflict) if the bank is busy.
+func (bk *Bank) Write(t sim.Slot, offset int, w Word) bool {
+	if bk.Busy(t) {
+		bk.Conflicts++
+		return false
+	}
+	bk.busyTill = t + sim.Slot(bk.cycle)
+	bk.Accesses++
+	bk.words[offset] = w
+	return true
+}
+
+// Reset clears timing state and statistics but keeps contents.
+func (bk *Bank) Reset() {
+	bk.busyTill = 0
+	bk.Accesses = 0
+	bk.Conflicts = 0
+}

@@ -1,0 +1,270 @@
+package network
+
+import (
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// Packet is one memory access request traversing a buffered MIN.
+type Packet struct {
+	Dest int
+	Born sim.Slot
+	Hot  bool // part of the hot-spot traffic, for separate accounting
+}
+
+// BufferedConfig parameterizes the buffered packet-switched MIN used to
+// reproduce the tree-saturation effect of Fig. 2.1.
+type BufferedConfig struct {
+	Terminals   int     // N processors and N memory modules
+	QueueCap    int     // per-switch-output queue capacity
+	ServiceTime int     // module service time per request, CPU cycles
+	Rate        float64 // per-processor injection rate, requests/cycle
+	HotFraction float64 // fraction of requests directed at HotModule
+	HotModule   int
+	Seed        uint64
+}
+
+// Validate reports a descriptive error for an unusable configuration.
+func (c BufferedConfig) Validate() error {
+	if _, err := Log2(c.Terminals); err != nil {
+		return err
+	}
+	switch {
+	case c.QueueCap < 1:
+		return fmt.Errorf("network: queue capacity %d < 1", c.QueueCap)
+	case c.ServiceTime < 1:
+		return fmt.Errorf("network: service time %d < 1", c.ServiceTime)
+	case c.Rate < 0 || c.Rate > 1:
+		return fmt.Errorf("network: rate %v out of [0,1]", c.Rate)
+	case c.HotFraction < 0 || c.HotFraction > 1:
+		return fmt.Errorf("network: hot fraction %v out of [0,1]", c.HotFraction)
+	case c.HotModule < 0 || c.HotModule >= c.Terminals:
+		return fmt.Errorf("network: hot module %d out of range", c.HotModule)
+	}
+	return nil
+}
+
+// BufferedOmega simulates a packet-switched omega network with finite
+// per-output queues at every switch, the architecture in which a hot spot
+// causes tree saturation (§2.1, Fig. 2.1): the queues feeding the hot
+// memory module fill, back-pressure blocks the switches behind them, and
+// eventually traffic to *other* modules stalls in the saturated tree.
+// It implements sim.Ticker.
+type BufferedOmega struct {
+	cfg BufferedConfig
+	o   *Omega
+	rng *sim.RNG
+
+	inject [][]Packet   // unbounded source queues (one per processor)
+	q      [][][]Packet // q[column][outputPosition], bounded by QueueCap
+	rr     [][]int      // round-robin arbiter state per switch
+	busy   []sim.Slot   // per-module busy-until
+
+	// Measurements, split by traffic class.
+	Injected        int64
+	DeliveredBg     int64
+	DeliveredHot    int64
+	LatencyBgTotal  int64
+	LatencyHotTotal int64
+}
+
+// NewBufferedOmega builds the simulator. It panics on invalid
+// configuration.
+func NewBufferedOmega(cfg BufferedConfig) *BufferedOmega {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	o := MustOmega(cfg.Terminals)
+	b := &BufferedOmega{
+		cfg:    cfg,
+		o:      o,
+		rng:    sim.NewRNG(cfg.Seed),
+		inject: make([][]Packet, cfg.Terminals),
+		q:      make([][][]Packet, o.Columns()),
+		rr:     make([][]int, o.Columns()),
+		busy:   make([]sim.Slot, cfg.Terminals),
+	}
+	for j := range b.q {
+		b.q[j] = make([][]Packet, cfg.Terminals)
+		b.rr[j] = make([]int, o.SwitchesPerColumn())
+	}
+	return b
+}
+
+// Tick implements sim.Ticker. Injection happens in PhaseIssue; movement
+// (sinks first, then columns back to front, so freed space propagates
+// upstream within the slot like combinational back-pressure) happens in
+// PhaseTransfer.
+func (b *BufferedOmega) Tick(t sim.Slot, ph sim.Phase) {
+	switch ph {
+	case sim.PhaseIssue:
+		b.injectNew(t)
+	case sim.PhaseTransfer:
+		b.drainSinks(t)
+		for j := b.o.Columns() - 1; j >= 0; j-- {
+			b.advanceColumn(t, j)
+		}
+	}
+}
+
+// injectNew generates this slot's new requests.
+func (b *BufferedOmega) injectNew(t sim.Slot) {
+	for p := 0; p < b.cfg.Terminals; p++ {
+		if !b.rng.Bernoulli(b.cfg.Rate) {
+			continue
+		}
+		pk := Packet{Born: t}
+		if b.rng.Bernoulli(b.cfg.HotFraction) {
+			pk.Dest = b.cfg.HotModule
+			pk.Hot = true
+		} else {
+			pk.Dest = b.rng.Intn(b.cfg.Terminals)
+		}
+		b.inject[p] = append(b.inject[p], pk)
+		b.Injected++
+	}
+}
+
+// drainSinks lets each idle memory module consume the packet at the head
+// of its last-column queue.
+func (b *BufferedOmega) drainSinks(t sim.Slot) {
+	last := b.o.Columns() - 1
+	for m := 0; m < b.cfg.Terminals; m++ {
+		if t < b.busy[m] || len(b.q[last][m]) == 0 {
+			continue
+		}
+		pk := b.q[last][m][0]
+		b.q[last][m] = b.q[last][m][1:]
+		b.busy[m] = t + sim.Slot(b.cfg.ServiceTime)
+		lat := int64(t + sim.Slot(b.cfg.ServiceTime) - pk.Born)
+		if pk.Hot {
+			b.DeliveredHot++
+			b.LatencyHotTotal += lat
+		} else {
+			b.DeliveredBg++
+			b.LatencyBgTotal += lat
+		}
+	}
+}
+
+// upstreamHead returns the packet feeding input line pos of column j, if
+// any, plus a closure that removes it from its queue.
+func (b *BufferedOmega) upstreamHead(j, pos int) (Packet, func(), bool) {
+	src := unshuffle(pos, b.o.Columns())
+	var qp *[]Packet
+	if j == 0 {
+		qp = &b.inject[src]
+	} else {
+		qp = &b.q[j-1][src]
+	}
+	if len(*qp) == 0 {
+		return Packet{}, nil, false
+	}
+	pk := (*qp)[0]
+	return pk, func() { *qp = (*qp)[1:] }, true
+}
+
+// advanceColumn moves up to one packet through each switch output of
+// column j, honouring queue capacities and a per-switch round-robin
+// arbiter when both inputs contend for the same output.
+func (b *BufferedOmega) advanceColumn(t sim.Slot, j int) {
+	k := b.o.Columns()
+	for sw := 0; sw < b.o.SwitchesPerColumn(); sw++ {
+		type cand struct {
+			pk   Packet
+			take func()
+			out  int
+		}
+		var cands []cand
+		for in := 0; in < 2; in++ {
+			if pk, take, ok := b.upstreamHead(j, sw<<1|in); ok {
+				out := sw<<1 | (pk.Dest>>(k-1-j))&1
+				cands = append(cands, cand{pk: pk, take: take, out: out})
+			}
+		}
+		switch len(cands) {
+		case 0:
+			continue
+		case 1:
+			b.tryMove(j, cands[0].out, cands[0].pk, cands[0].take)
+		case 2:
+			if cands[0].out != cands[1].out {
+				b.tryMove(j, cands[0].out, cands[0].pk, cands[0].take)
+				b.tryMove(j, cands[1].out, cands[1].pk, cands[1].take)
+				continue
+			}
+			// Contention for one output: alternate which input wins.
+			first := b.rr[j][sw] & 1
+			b.rr[j][sw]++
+			if b.tryMove(j, cands[first].out, cands[first].pk, cands[first].take) {
+				continue
+			}
+			b.tryMove(j, cands[1-first].out, cands[1-first].pk, cands[1-first].take)
+		}
+	}
+}
+
+// tryMove pushes pk into q[j][out] if there is room, consuming it from
+// its source queue. It reports whether the move happened.
+func (b *BufferedOmega) tryMove(j, out int, pk Packet, take func()) bool {
+	if len(b.q[j][out]) >= b.cfg.QueueCap {
+		return false
+	}
+	take()
+	b.q[j][out] = append(b.q[j][out], pk)
+	return true
+}
+
+// FullQueues returns, per column, how many switch-output queues are at
+// capacity — the footprint of the saturation tree.
+func (b *BufferedOmega) FullQueues() []int {
+	out := make([]int, b.o.Columns())
+	for j := range b.q {
+		for _, q := range b.q[j] {
+			if len(q) >= b.cfg.QueueCap {
+				out[j]++
+			}
+		}
+	}
+	return out
+}
+
+// QueuedPackets returns the total number of packets buffered inside the
+// network (excluding source queues).
+func (b *BufferedOmega) QueuedPackets() int {
+	total := 0
+	for j := range b.q {
+		for _, q := range b.q[j] {
+			total += len(q)
+		}
+	}
+	return total
+}
+
+// SourceBacklog returns the total number of packets still waiting at the
+// processors' injection queues.
+func (b *BufferedOmega) SourceBacklog() int {
+	total := 0
+	for _, q := range b.inject {
+		total += len(q)
+	}
+	return total
+}
+
+// MeanLatencyBg returns the mean delivered latency of background
+// (non-hot-spot) packets, the quantity tree saturation destroys.
+func (b *BufferedOmega) MeanLatencyBg() float64 {
+	if b.DeliveredBg == 0 {
+		return 0
+	}
+	return float64(b.LatencyBgTotal) / float64(b.DeliveredBg)
+}
+
+// MeanLatencyHot returns the mean delivered latency of hot-spot packets.
+func (b *BufferedOmega) MeanLatencyHot() float64 {
+	if b.DeliveredHot == 0 {
+		return 0
+	}
+	return float64(b.LatencyHotTotal) / float64(b.DeliveredHot)
+}

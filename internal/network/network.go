@@ -1,0 +1,117 @@
+// Package network models the interconnection fabrics of the dissertation:
+//
+//   - SyncSwitch: the n×n synchronous switch box of Fig. 3.4, whose
+//     connection state is driven purely by the system clock
+//     (input i → output (t+i) mod n at slot t);
+//   - Omega: the multistage omega network of Fig. 3.7 with destination-tag
+//     routing, usable in circuit-switched mode (path holding and blocking,
+//     as in the BBN Butterfly) — the conventional comparator;
+//   - SyncOmega: the synchronous omega network of §3.2.1, realizing the
+//     slot permutation with provably zero switch conflicts (Table 3.4,
+//     Fig. 3.8);
+//   - PartialOmega: the partially synchronous omega of §3.2.2, with the
+//     first k columns circuit-switched by module number and the remaining
+//     columns clock-driven (Figs. 3.10–3.11, Table 3.5);
+//   - BufferedOmega: a packet-switched MIN with finite switch queues used
+//     to reproduce the tree-saturation effect of Fig. 2.1.
+//
+// All omega variants share the same topology: N = 2^k terminals, k columns
+// of N/2 two-by-two switches, with a perfect shuffle preceding every
+// column. Destination-tag routing uses bit (k−1−j) of the destination at
+// column j.
+package network
+
+import "fmt"
+
+// SwitchState is the connection state of a 2×2 switch box.
+type SwitchState int
+
+// The two states of a 2×2 switch (Fig. 3.7): straight passes input i to
+// output i; interchange crosses them.
+const (
+	Straight    SwitchState = 0
+	Interchange SwitchState = 1
+)
+
+// String returns "0" or "1" to match the dissertation's Table 3.4.
+func (s SwitchState) String() string {
+	if s == Straight {
+		return "0"
+	}
+	return "1"
+}
+
+// Log2 returns k such that n == 2^k, or an error if n is not a power of
+// two (omega networks require power-of-two sizes).
+func Log2(n int) (int, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("network: size %d is not a positive power of two", n)
+	}
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k, nil
+}
+
+// shuffle is the perfect-shuffle permutation on k-bit line numbers:
+// rotate left by one bit.
+func shuffle(x, k int) int {
+	msb := (x >> (k - 1)) & 1
+	return ((x << 1) | msb) & (1<<k - 1)
+}
+
+// unshuffle is the inverse perfect shuffle: rotate right by one bit.
+func unshuffle(x, k int) int {
+	lsb := x & 1
+	return (x >> 1) | (lsb << (k - 1))
+}
+
+// SyncSwitch is the n×n synchronous switch box of Fig. 3.4. It needs no
+// routing information: at time slot t, input port i is connected to output
+// port (t+i) mod n, driven by the system clock. Every n slots it completes
+// one fully deterministic time period.
+type SyncSwitch struct {
+	n int
+}
+
+// NewSyncSwitch returns a synchronous switch with n ports per side.
+func NewSyncSwitch(n int) *SyncSwitch {
+	if n < 1 {
+		panic(fmt.Sprintf("network: switch size %d < 1", n))
+	}
+	return &SyncSwitch{n: n}
+}
+
+// Size returns the number of ports per side.
+func (s *SyncSwitch) Size() int { return s.n }
+
+// Out returns the output port connected to input port in at slot t.
+func (s *SyncSwitch) Out(t int64, in int) int {
+	if in < 0 || in >= s.n {
+		panic(fmt.Sprintf("network: input port %d out of range [0,%d)", in, s.n))
+	}
+	return int((t%int64(s.n) + int64(in)) % int64(s.n))
+}
+
+// In returns the input port connected to output port out at slot t (the
+// inverse of Out).
+func (s *SyncSwitch) In(t int64, out int) int {
+	if out < 0 || out >= s.n {
+		panic(fmt.Sprintf("network: output port %d out of range [0,%d)", out, s.n))
+	}
+	v := (int64(out) - t%int64(s.n)) % int64(s.n)
+	if v < 0 {
+		v += int64(s.n)
+	}
+	return int(v)
+}
+
+// Permutation returns the full input→output mapping at slot t.
+func (s *SyncSwitch) Permutation(t int64) []int {
+	p := make([]int, s.n)
+	for i := range p {
+		p[i] = s.Out(t, i)
+	}
+	return p
+}

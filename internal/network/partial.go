@@ -1,0 +1,167 @@
+package network
+
+import "fmt"
+
+// PartialOmega is the partially synchronous omega network of §3.2.2: the
+// first CircuitColumns columns are ordinary circuit-switched crossbars
+// routed by the memory module number, and the remaining ClockColumns
+// columns are clock-driven synchronous switches that select the bank
+// within the module by time slot.
+//
+// With N banks and k = log2(N) total columns, choosing cc circuit-switched
+// columns yields 2^cc conflict-free memory modules of 2^(k−cc) banks each
+// (Table 3.5: cc = 0 is the fully conflict-free CFM; cc = k is a
+// conventional word-interleaved system).
+type PartialOmega struct {
+	o              *Omega
+	circuitColumns int
+}
+
+// NewPartialOmega builds a partially synchronous omega network over N
+// banks with the given number of circuit-switched columns (0 ≤ cc ≤
+// log2 N).
+func NewPartialOmega(n, circuitColumns int) (*PartialOmega, error) {
+	o, err := NewOmega(n)
+	if err != nil {
+		return nil, err
+	}
+	if circuitColumns < 0 || circuitColumns > o.Columns() {
+		return nil, fmt.Errorf("network: %d circuit columns out of [0,%d]", circuitColumns, o.Columns())
+	}
+	return &PartialOmega{o: o, circuitColumns: circuitColumns}, nil
+}
+
+// MustPartialOmega is NewPartialOmega for compile-time-known parameters.
+func MustPartialOmega(n, circuitColumns int) *PartialOmega {
+	po, err := NewPartialOmega(n, circuitColumns)
+	if err != nil {
+		panic(err)
+	}
+	return po
+}
+
+// Size returns the number of banks N.
+func (p *PartialOmega) Size() int { return p.o.Size() }
+
+// CircuitColumns returns the number of circuit-switched columns.
+func (p *PartialOmega) CircuitColumns() int { return p.circuitColumns }
+
+// ClockColumns returns the number of clock-driven columns.
+func (p *PartialOmega) ClockColumns() int { return p.o.Columns() - p.circuitColumns }
+
+// Modules returns the number of conflict-free memory modules, 2^cc.
+func (p *PartialOmega) Modules() int { return 1 << p.circuitColumns }
+
+// BanksPerModule returns the module (and block) size in banks/words.
+func (p *PartialOmega) BanksPerModule() int { return p.o.Size() / p.Modules() }
+
+// Module returns the module containing a bank: destination-tag routing
+// consumes the high-order bits first, so a module is a contiguous group
+// of banks identified by the top cc bits of the bank number.
+func (p *PartialOmega) Module(bank int) int {
+	if bank < 0 || bank >= p.o.Size() {
+		panic(fmt.Sprintf("network: bank %d out of range [0,%d)", bank, p.o.Size()))
+	}
+	return bank >> p.ClockColumns()
+}
+
+// ContentionSet returns the contention set of a processor: the group of
+// processors that reach every module through the same final clock-driven
+// port and therefore share AT-space divisions. From Fig. 3.11, processors
+// p and q are in the same set iff p ≡ q (mod banks-per-module).
+func (p *PartialOmega) ContentionSet(proc int) int {
+	if proc < 0 || proc >= p.o.Size() {
+		panic(fmt.Sprintf("network: processor %d out of range [0,%d)", proc, p.o.Size()))
+	}
+	return proc % p.BanksPerModule()
+}
+
+// ContentionSets returns the number of distinct contention sets
+// (= banks per module).
+func (p *PartialOmega) ContentionSets() int { return p.BanksPerModule() }
+
+// ArrivalPort returns the line position at which processor proc's route
+// into module mod leaves the last circuit-switched column (equivalently,
+// enters the module's clock-driven sub-network), numbered 0..s−1 within
+// the module, where s is the module size. Processors with equal arrival
+// ports at every module form a contention set.
+func (p *PartialOmega) ArrivalPort(proc, mod int) int {
+	if mod < 0 || mod >= p.Modules() {
+		panic(fmt.Sprintf("network: module %d out of range [0,%d)", mod, p.Modules()))
+	}
+	// Route to any bank of the module; the first cc hops are determined
+	// entirely by the module bits.
+	bank := mod << p.ClockColumns()
+	pos := proc
+	k := p.o.Columns()
+	for j := 0; j < p.circuitColumns; j++ {
+		pos = shuffle(pos, k)
+		out := (bank >> (k - 1 - j)) & 1
+		pos = pos&^1 | out
+	}
+	// After the circuit prefix, the position's low cc bits hold the module
+	// number and its high (k−cc) bits are the bits the clock-driven suffix
+	// will successively rotate down and consume — they are the input port
+	// of the module's synchronous sub-network.
+	return pos >> p.circuitColumns
+}
+
+// ConflictFree reports whether two processors can access modules m1 and
+// m2 concurrently without any possibility of contention: always, unless
+// they target the same module from the same contention set.
+func (p *PartialOmega) ConflictFree(p1, m1, p2, m2 int) bool {
+	if m1 != m2 {
+		return true
+	}
+	return p.ContentionSet(p1) != p.ContentionSet(p2)
+}
+
+// Header describes the message header a memory access request must carry
+// on a given network variant (Figs. 3.9 and 3.10): circuit-switched
+// columns need the module number for routing; the offset is always
+// carried; the bank number is never carried on clock-driven columns — the
+// system clock selects it.
+type Header struct {
+	ModuleBits int // routing information for circuit-switched columns
+	OffsetBits int // address offset within a bank
+	BankBits   int // explicit bank number (conventional networks only)
+}
+
+// Bits returns the total header size.
+func (h Header) Bits() int { return h.ModuleBits + h.OffsetBits + h.BankBits }
+
+// RequestHeader returns the header needed on this partially synchronous
+// network for a memory space of wordsPerBank offsets per bank.
+func (p *PartialOmega) RequestHeader(wordsPerBank int) Header {
+	return Header{
+		ModuleBits: p.circuitColumns,
+		OffsetBits: bitsFor(wordsPerBank),
+		BankBits:   0, // selected by the system clock
+	}
+}
+
+// ConventionalHeader returns the header a fully circuit-switched omega
+// network of the same size would need: module bits for routing plus bank
+// bits, since nothing is clock-selected.
+func ConventionalHeader(banks, wordsPerBank int) Header {
+	k, err := Log2(banks)
+	if err != nil {
+		panic(err)
+	}
+	return Header{ModuleBits: k, OffsetBits: bitsFor(wordsPerBank), BankBits: 0}
+	// In a conventional word-interleaved MIN the full bank address is the
+	// routing tag, so ModuleBits covers it and no separate BankBits are
+	// needed; k bits versus the synchronous network's zero is the saving.
+}
+
+// bitsFor returns ceil(log2(n)) for n ≥ 1.
+func bitsFor(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("network: bitsFor(%d)", n))
+	}
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,90 @@
+package network
+
+import "fmt"
+
+// SyncOmega is the synchronous omega network of §3.2.1: an omega network
+// whose switches are all driven by the system clock so that, at time slot
+// t, input port p is connected to output port (t+p) mod N — the same state
+// transition pattern as a single N×N synchronous switch box, with neither
+// setup time nor propagation delay, and provably no switch contention.
+type SyncOmega struct {
+	o *Omega
+	// states[t][column][switch] for t in one time period of N slots.
+	states [][][]SwitchState
+}
+
+// NewSyncOmega builds the synchronous omega network and precomputes the
+// switch states for all N slots of the time period. Construction fails
+// only if some slot permutation were unrealizable, which Lawrie's theorem
+// rules out; an error therefore indicates a topology bug.
+func NewSyncOmega(n int) (*SyncOmega, error) {
+	o, err := NewOmega(n)
+	if err != nil {
+		return nil, err
+	}
+	so := &SyncOmega{o: o, states: make([][][]SwitchState, n)}
+	for t := 0; t < n; t++ {
+		perm := make([]int, n)
+		for p := range perm {
+			perm[p] = (t + p) % n
+		}
+		st, err := o.PermutationStates(perm)
+		if err != nil {
+			return nil, fmt.Errorf("network: slot %d permutation unrealizable: %w", t, err)
+		}
+		so.states[t] = st
+	}
+	return so, nil
+}
+
+// MustSyncOmega is NewSyncOmega for compile-time-known sizes.
+func MustSyncOmega(n int) *SyncOmega {
+	so, err := NewSyncOmega(n)
+	if err != nil {
+		panic(err)
+	}
+	return so
+}
+
+// Size returns N.
+func (s *SyncOmega) Size() int { return s.o.Size() }
+
+// Columns returns log2(N).
+func (s *SyncOmega) Columns() int { return s.o.Columns() }
+
+// Out returns the output terminal connected to input terminal p at slot
+// t: (t+p) mod N, by construction.
+func (s *SyncOmega) Out(t int64, p int) int {
+	n := int64(s.o.Size())
+	tt := t % n
+	if tt < 0 {
+		tt += n
+	}
+	return int((tt + int64(p)) % n)
+}
+
+// States returns the state of every switch at slot t, indexed
+// [column][switch]. The returned slices are shared; do not modify.
+func (s *SyncOmega) States(t int64) [][]SwitchState {
+	n := int64(s.o.Size())
+	tt := t % n
+	if tt < 0 {
+		tt += n
+	}
+	return s.states[tt]
+}
+
+// StateTable renders the per-slot switch states in the layout of the
+// dissertation's Table 3.4: one row per slot, columns grouped by network
+// column then switch index.
+func (s *SyncOmega) StateTable() [][]SwitchState {
+	rows := make([][]SwitchState, s.o.Size())
+	for t := range rows {
+		var row []SwitchState
+		for _, col := range s.states[t] {
+			row = append(row, col...)
+		}
+		rows[t] = row
+	}
+	return rows
+}

@@ -1,0 +1,157 @@
+// Package sim provides the cycle-driven simulation kernel used by every
+// subsystem of the CFM reproduction.
+//
+// The Conflict-Free Memory architecture is fully synchronous: processors,
+// switches, demultiplexers, and memory banks all advance in lock step with
+// the system clock, one "time slot" per CPU cycle (dissertation §3.1.1).
+// The kernel therefore models time as a single monotonically increasing
+// integer slot counter and advances all registered components once per
+// slot, in a fixed phase order that mirrors the hardware's intra-cycle
+// structure:
+//
+//	PhaseIssue    processors decide whether to issue a request this slot
+//	PhaseConnect  switches compute their clock-driven connection state
+//	PhaseTransfer one word moves between a line buffer and a memory bank
+//	PhaseUpdate   ATTs shift, directories settle, statistics accumulate
+//
+// Components implement Ticker and are invoked for every phase; most care
+// about only one or two phases and ignore the rest.
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Slot is a point in simulated time, measured in CPU cycles. A constant
+// number of slots (usually the number of memory banks) composes a time
+// period, the fourth dimension of the AT-space.
+type Slot int64
+
+// Phase identifies a sub-step within one time slot. Phases run in
+// ascending order; all components see phase k before any component sees
+// phase k+1.
+type Phase int
+
+// Intra-slot phases in execution order.
+const (
+	PhaseIssue Phase = iota
+	PhaseConnect
+	PhaseTransfer
+	PhaseUpdate
+	numPhases
+)
+
+// String returns the phase name for traces and test failures.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIssue:
+		return "issue"
+	case PhaseConnect:
+		return "connect"
+	case PhaseTransfer:
+		return "transfer"
+	case PhaseUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// Ticker is a component driven by the system clock. Tick is called once
+// per phase per slot.
+type Ticker interface {
+	Tick(t Slot, ph Phase)
+}
+
+// TickerFunc adapts a function to the Ticker interface.
+type TickerFunc func(t Slot, ph Phase)
+
+// Tick implements Ticker.
+func (f TickerFunc) Tick(t Slot, ph Phase) { f(t, ph) }
+
+// Clock owns simulated time and the ordered set of components it drives.
+// The zero value is a clock at slot 0 with no components.
+type Clock struct {
+	now     Slot
+	tickers []tickerEntry
+	stopped bool
+	// Stats
+	slotsRun int64
+}
+
+type tickerEntry struct {
+	prio int // lower runs first within a phase
+	seq  int // registration order breaks priority ties
+	t    Ticker
+}
+
+// NewClock returns a clock at slot 0.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current slot. During a tick it is the slot being
+// executed; between Run calls it is the next slot to execute.
+func (c *Clock) Now() Slot { return c.now }
+
+// SlotsRun reports how many complete slots have been executed.
+func (c *Clock) SlotsRun() int64 { return c.slotsRun }
+
+// Register adds a component at priority 0.
+func (c *Clock) Register(t Ticker) { c.RegisterPrio(t, 0) }
+
+// RegisterPrio adds a component with an explicit priority. Within each
+// phase, lower priorities tick first; ties run in registration order. The
+// CFM hardware has no such ordering (everything is combinational within a
+// slot) but a software model needs a deterministic schedule: e.g. switches
+// must compute connections before banks sample their inputs.
+func (c *Clock) RegisterPrio(t Ticker, prio int) {
+	c.tickers = append(c.tickers, tickerEntry{prio: prio, seq: len(c.tickers), t: t})
+	sort.SliceStable(c.tickers, func(i, j int) bool {
+		if c.tickers[i].prio != c.tickers[j].prio {
+			return c.tickers[i].prio < c.tickers[j].prio
+		}
+		return c.tickers[i].seq < c.tickers[j].seq
+	})
+}
+
+// Stop requests that Run return at the end of the current slot. It may be
+// called by a component from inside a Tick.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Step executes exactly one slot: every phase, every component.
+func (c *Clock) Step() {
+	for ph := Phase(0); ph < numPhases; ph++ {
+		for _, e := range c.tickers {
+			e.t.Tick(c.now, ph)
+		}
+	}
+	c.now++
+	c.slotsRun++
+}
+
+// Run executes up to n slots, stopping early if Stop is called. It
+// returns the number of slots actually executed.
+func (c *Clock) Run(n int64) int64 {
+	c.stopped = false
+	var done int64
+	for done < n && !c.stopped {
+		c.Step()
+		done++
+	}
+	return done
+}
+
+// RunUntil executes slots until pred returns true (checked between slots)
+// or the slot budget is exhausted. It returns the number of slots executed
+// and whether pred was satisfied.
+func (c *Clock) RunUntil(pred func() bool, budget int64) (int64, bool) {
+	var done int64
+	for done < budget {
+		if pred() {
+			return done, true
+		}
+		c.Step()
+		done++
+	}
+	return done, pred()
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event is one record in a simulation trace: something a component did at
+// a particular slot. Traces are how tests assert the timing diagrams of
+// the dissertation (e.g. Fig. 3.6, Figs. 4.3–4.6, Fig. 5.4).
+type Event struct {
+	Slot Slot
+	Who  string // component, e.g. "P0", "Bank3", "ATT1", "NC2"
+	What string // action, e.g. "issue read", "abort", "write-back"
+}
+
+// String renders the event in the "slot who: what" form used throughout
+// test goldens.
+func (e Event) String() string {
+	return fmt.Sprintf("%4d %s: %s", e.Slot, e.Who, e.What)
+}
+
+// Trace accumulates events. The zero value is an empty, enabled trace.
+// A nil *Trace is valid and discards everything, so components can take a
+// trace unconditionally.
+type Trace struct {
+	events   []Event
+	disabled bool
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Add records an event. Safe on a nil receiver.
+func (tr *Trace) Add(t Slot, who, format string, args ...any) {
+	if tr == nil || tr.disabled {
+		return
+	}
+	tr.events = append(tr.events, Event{Slot: t, Who: who, What: fmt.Sprintf(format, args...)})
+}
+
+// Disable stops recording (existing events are kept).
+func (tr *Trace) Disable() {
+	if tr != nil {
+		tr.disabled = true
+	}
+}
+
+// Events returns the recorded events in order.
+func (tr *Trace) Events() []Event {
+	if tr == nil {
+		return nil
+	}
+	return tr.events
+}
+
+// Len returns the number of recorded events.
+func (tr *Trace) Len() int {
+	if tr == nil {
+		return 0
+	}
+	return len(tr.events)
+}
+
+// Filter returns the events whose Who field equals who.
+func (tr *Trace) Filter(who string) []Event {
+	if tr == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range tr.events {
+		if e.Who == who {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Contains reports whether some event by who has What containing substr.
+func (tr *Trace) Contains(who, substr string) bool {
+	if tr == nil {
+		return false
+	}
+	for _, e := range tr.events {
+		if e.Who == who && strings.Contains(e.What, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the whole trace, one event per line.
+func (tr *Trace) String() string {
+	if tr == nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, e := range tr.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

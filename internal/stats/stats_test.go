@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.Var()-1.25) > 1e-12 {
+		t.Fatalf("Var = %v, want 1.25", s.Var())
+	}
+	if math.Abs(s.Std()-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("Std = %v", s.Std())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary not zero")
+	}
+}
+
+func TestSummaryProperties(t *testing.T) {
+	f := func(vsRaw []int8) bool {
+		if len(vsRaw) == 0 {
+			return true
+		}
+		var s Summary
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range vsRaw {
+			fv := float64(v)
+			s.Add(fv)
+			lo = math.Min(lo, fv)
+			hi = math.Max(hi, fv)
+		}
+		return s.Min() == lo && s.Max() == hi &&
+			s.Mean() >= lo-1e-9 && s.Mean() <= hi+1e-9 && s.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{0, 5, 9, 10, 19, 25} {
+		h.Add(v)
+	}
+	edges, counts := h.Bins()
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if edges[0] != 0 || counts[0] != 3 {
+		t.Fatalf("bin 0: edge %d count %d", edges[0], counts[0])
+	}
+	if edges[1] != 10 || counts[1] != 2 {
+		t.Fatalf("bin 1: edge %d count %d", edges[1], counts[1])
+	}
+	if edges[2] != 20 || counts[2] != 1 {
+		t.Fatalf("bin 2: edge %d count %d", edges[2], counts[2])
+	}
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(0)
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"Banks", "Latency"}}
+	tb.AddRow(256, 257)
+	tb.AddRow(8, 9)
+	out := tb.String()
+	if !strings.Contains(out, "| Banks | Latency |") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| 256") || !strings.Contains(out, "| 8  ") {
+		t.Fatalf("rows missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableFloatsTrimmed(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow(0.5000, 1.0, 0.1942)
+	out := tb.String()
+	if !strings.Contains(out, "0.5") || strings.Contains(out, "0.5000") {
+		t.Fatalf("float not trimmed:\n%s", out)
+	}
+	if !strings.Contains(out, "| 1 ") {
+		t.Fatalf("1.0 should render as 1:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{1.0: "1", 0.5: "0.5", 0.1942: "0.1942", 0.12345: "0.1235"}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestPlotRendersAllSeries(t *testing.T) {
+	out := Plot(40, 10, []PlotSeries{
+		{Label: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Label: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	})
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("marks missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if out := Plot(40, 10, nil); out != "(no data)\n" {
+		t.Fatalf("empty plot = %q", out)
+	}
+}
+
+func TestPlotPanicsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Plot(2, 2, nil)
+}
+
+func TestPlotFlatLine(t *testing.T) {
+	// ymax == ymin must not divide by zero.
+	out := Plot(20, 5, []PlotSeries{{Label: "flat", X: []float64{0, 1}, Y: []float64{1, 1}}})
+	if !strings.Contains(out, "flat") {
+		t.Fatalf("flat plot broken:\n%s", out)
+	}
+}

@@ -1,0 +1,142 @@
+package syncprim
+
+import (
+	"fmt"
+
+	"cfm/internal/cache"
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// barrierState tracks one processor's progress through a barrier episode.
+type barrierState int
+
+const (
+	bsOutside  barrierState = iota // not participating yet
+	bsArriving                     // fetch-and-increment in flight
+	bsWaiting                      // spinning on the sense word
+	bsReading                      // spin read in flight
+	bsPassed                       // released by the episode
+)
+
+// Barrier is a sense-reversing barrier built from the CFM synchronization
+// operations: arrival is a fetch-and-add on the count word, waiting is a
+// cached read loop on the sense word, and the last arriver flips the
+// sense with a single store — each of which costs a constant number of
+// conflict-free block accesses regardless of the number of waiters (the
+// hot-spot-free property of §4.2.2/§5.3 applied to barriers).
+//
+// Block layout: word 0 = arrival count, word 1 = sense.
+type Barrier struct {
+	c       *cache.Protocol
+	offset  int
+	parties int
+	state   []barrierState
+	sense   []memory.Word // each processor's expected release sense
+	arrived []bool
+
+	// OnRelease, if set, runs once per processor as it passes the barrier.
+	OnRelease func(p int, t sim.Slot)
+
+	// Episodes counts completed barrier episodes.
+	Episodes int64
+}
+
+// NewBarrier builds a barrier for the given number of parties over the
+// block at offset.
+func NewBarrier(c *cache.Protocol, offset, parties int) *Barrier {
+	if parties < 1 || parties > c.Banks() {
+		panic(fmt.Sprintf("syncprim: %d parties out of range [1,%d]", parties, c.Banks()))
+	}
+	b := &Barrier{
+		c:       c,
+		offset:  offset,
+		parties: parties,
+		state:   make([]barrierState, c.Banks()),
+		sense:   make([]memory.Word, c.Banks()),
+		arrived: make([]bool, c.Banks()),
+	}
+	for p := range b.sense {
+		b.sense[p] = 1 // first episode releases with sense 1
+	}
+	return b
+}
+
+// Arrive registers processor p at the barrier.
+func (b *Barrier) Arrive(p int) {
+	if b.arrived[p] || b.state[p] != bsOutside && b.state[p] != bsPassed {
+		panic(fmt.Sprintf("syncprim: P%d arrived twice", p))
+	}
+	b.arrived[p] = true
+}
+
+// Passed reports whether p has been released by its latest episode.
+func (b *Barrier) Passed(p int) bool { return b.state[p] == bsPassed }
+
+// Tick implements sim.Ticker.
+func (b *Barrier) Tick(t sim.Slot, ph sim.Phase) {
+	if ph != sim.PhaseIssue {
+		return
+	}
+	for p := range b.state {
+		if b.c.Busy(p) {
+			continue
+		}
+		switch b.state[p] {
+		case bsOutside, bsPassed:
+			if b.arrived[p] {
+				b.arrived[p] = false
+				b.startArrive(t, p)
+			}
+		case bsWaiting:
+			b.startSpin(t, p)
+		}
+	}
+}
+
+// startArrive performs the atomic arrival: increment the count; the last
+// arriver resets the count and flips the sense in the same atomic
+// operation (one RMW, so no separate race window).
+func (b *Barrier) startArrive(t sim.Slot, p int) {
+	b.state[p] = bsArriving
+	var released bool
+	b.c.RMW(p, b.offset, func(old memory.Block) memory.Block {
+		nw := old.Clone()
+		nw[0]++
+		if int(nw[0]) == b.parties {
+			nw[0] = 0
+			nw[1] = 1 - nw[1] // flip sense
+			released = true
+		}
+		return nw
+	}, func(old memory.Block) {
+		if released {
+			b.Episodes++
+			b.pass(t, p)
+			return
+		}
+		b.state[p] = bsWaiting
+	})
+}
+
+// startSpin loads the barrier block and checks the sense word.
+func (b *Barrier) startSpin(t sim.Slot, p int) {
+	b.state[p] = bsReading
+	want := b.sense[p]
+	b.c.Load(p, b.offset, func(blk memory.Block) {
+		if blk[1] == want {
+			b.pass(t, p)
+		} else {
+			b.state[p] = bsWaiting
+		}
+	})
+}
+
+// pass releases p from the current episode and reverses its sense.
+func (b *Barrier) pass(t sim.Slot, p int) {
+	b.state[p] = bsPassed
+	b.sense[p] = 1 - b.sense[p]
+	if b.OnRelease != nil {
+		b.OnRelease(p, t)
+	}
+}

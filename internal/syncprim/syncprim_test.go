@@ -1,0 +1,473 @@
+package syncprim
+
+import (
+	"testing"
+
+	"cfm/internal/cache"
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// rig wires a cache protocol, a clock, and an invariant check.
+type rig struct {
+	c   *cache.Protocol
+	clk *sim.Clock
+}
+
+func newRig(t *testing.T, procs int) *rig {
+	r := &rig{c: cache.New(cache.Config{Processors: procs, Lines: 4, RetryDelay: 1}, nil), clk: sim.NewClock()}
+	r.clk.RegisterPrio(r.c, 5) // automata tick first, protocol second
+	r.clk.RegisterPrio(sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+		if ph == sim.PhaseUpdate {
+			if err := r.c.CheckCoherence(); err != nil {
+				t.Fatalf("slot %d: %v", tt, err)
+			}
+		}
+	}), 10)
+	return r
+}
+
+func TestLockerSingleAcquireRelease(t *testing.T) {
+	r := newRig(t, 8)
+	lk := NewLocker(r.c, 0)
+	r.clk.Register(lk)
+	lk.Request(3)
+	if _, ok := r.clk.RunUntil(func() bool { return lk.Holding(3) }, 5000); !ok {
+		t.Fatal("lock never acquired")
+	}
+	lk.Release(3)
+	if _, ok := r.clk.RunUntil(func() bool {
+		return !lk.Holding(3) && r.c.Idle()
+	}, 5000); !ok {
+		t.Fatal("release never completed")
+	}
+	// After release + write-back the lock word in the coherent view is 0.
+	if v := r.c.PeekMemory(0)[0]; v != 0 {
+		// The free value may still be dirty in P3's cache.
+		if d := r.c.CachedData(3, 0); d == nil || d[0] != 0 {
+			t.Fatalf("lock word %d after release", v)
+		}
+	}
+}
+
+func TestLockerMutualExclusionAndFairness(t *testing.T) {
+	r := newRig(t, 8)
+	lk := NewLocker(r.c, 0)
+	r.clk.Register(lk)
+
+	const rounds = 3
+	remaining := map[int]int{1: rounds, 4: rounds, 6: rounds}
+	var order []int
+	releaseAt := make(map[int]sim.Slot)
+	lk.OnAcquire = func(p int, tt sim.Slot) {
+		order = append(order, p)
+		releaseAt[p] = tt + 5
+	}
+	maxHold := 0
+	r.clk.Register(sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		holders := 0
+		for p := 0; p < 8; p++ {
+			if lk.Holding(p) {
+				holders++
+			}
+		}
+		if holders > maxHold {
+			maxHold = holders
+		}
+		for p, at := range releaseAt {
+			if lk.Holding(p) && tt >= at {
+				remaining[p]--
+				lk.Release(p)
+				delete(releaseAt, p)
+				if remaining[p] > 0 {
+					lk.Request(p)
+				}
+			}
+		}
+	}))
+	for p := range remaining {
+		lk.Request(p)
+	}
+	done := func() bool {
+		for _, n := range remaining {
+			if n > 0 {
+				return false
+			}
+		}
+		return r.c.Idle()
+	}
+	if _, ok := r.clk.RunUntil(done, 200000); !ok {
+		t.Fatalf("lock traffic did not drain; acquisitions so far: %v", order)
+	}
+	if maxHold > 1 {
+		t.Fatalf("%d simultaneous holders", maxHold)
+	}
+	if len(order) != 9 {
+		t.Fatalf("%d acquisitions, want 9", len(order))
+	}
+}
+
+// TestLockTransferFig54: the dissertation's claim that a lock transfer
+// costs about three memory accesses — write-back by the holder, read by
+// the new holder, read-invalidate by the new holder — i.e. ~3n slots for
+// n banks, excluding protocol retries.
+func TestLockTransferFig54(t *testing.T) {
+	r := newRig(t, 4)
+	lk := NewLocker(r.c, 0)
+	r.clk.Register(lk)
+
+	var acquires []sim.Slot
+	lk.OnAcquire = func(p int, tt sim.Slot) { acquires = append(acquires, tt) }
+	lk.Request(0)
+	if _, ok := r.clk.RunUntil(func() bool { return lk.Holding(0) }, 1000); !ok {
+		t.Fatal("P0 never acquired")
+	}
+	// P1 and P3 contend while P0 holds (they reach the spin loop).
+	lk.Request(1)
+	lk.Request(3)
+	r.clk.Run(100) // let them settle into spinning
+	releaseSlot := r.clk.Now()
+	lk.Release(0)
+	if _, ok := r.clk.RunUntil(func() bool { return lk.Holding(1) || lk.Holding(3) }, 2000); !ok {
+		t.Fatal("lock never transferred")
+	}
+	transfer := int64(r.clk.Now() - releaseSlot)
+	// Fig. 5.4 bound: ≈3 block accesses of n=4 slots each, plus protocol
+	// slack (triggered write-backs, retries). Enforce the right order of
+	// magnitude: between 2 and 16 accesses' worth.
+	if transfer < 8 || transfer > 64 {
+		t.Fatalf("lock transfer took %d slots; expected ≈3 accesses (12 slots) ±slack", transfer)
+	}
+}
+
+// TestLockerSpinnersHitInCache: while a lock is held, waiting processors
+// spin on their cached copy — cache hits, not memory traffic (the no-hot-
+// spot property).
+func TestLockerSpinnersHitInCache(t *testing.T) {
+	r := newRig(t, 8)
+	lk := NewLocker(r.c, 0)
+	r.clk.Register(lk)
+	lk.Request(0)
+	if _, ok := r.clk.RunUntil(func() bool { return lk.Holding(0) }, 1000); !ok {
+		t.Fatal("no acquire")
+	}
+	lk.Request(2)
+	r.clk.Run(200) // P2 spins while P0 holds
+	hitsBefore := r.c.Hits
+	r.clk.Run(400)
+	if r.c.Hits-hitsBefore < 20 {
+		t.Fatalf("spinning generated only %d cache hits in 400 slots; expected continuous local spinning", r.c.Hits-hitsBefore)
+	}
+}
+
+func TestLockerReleaseWithoutHoldPanics(t *testing.T) {
+	r := newRig(t, 4)
+	lk := NewLocker(r.c, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	lk.Release(0)
+}
+
+// TestMultiLockFig55 reproduces Fig. 5.5 exactly: target block 01010110,
+// first request 10100001 succeeds setting 11110111, second request fails
+// (conflicting bits), unlock of the first restores 01010110.
+func TestMultiLockFig55(t *testing.T) {
+	r := newRig(t, 8)
+	ml := NewMultiLocker(r.c, 0)
+	r.clk.Register(ml)
+	init := make(memory.Block, 8)
+	init[0] = 0b01010110
+	r.c.PokeMemory(0, init)
+
+	ml.Request(0, 0b10100001)
+	if _, ok := r.clk.RunUntil(func() bool { return ml.Holding(0) != 0 }, 2000); !ok {
+		t.Fatal("first multiple lock not granted")
+	}
+	// The block now holds the OR of target and pattern.
+	word := func() Pattern {
+		if d := ml.c.CachedData(0, 0); d != nil {
+			return Pattern(d[0])
+		}
+		return Pattern(r.c.PeekMemory(0)[0])
+	}
+	// Find the current coherent value (may be dirty in any cache).
+	cur := func() Pattern {
+		for p := 0; p < 8; p++ {
+			if r.c.State(p, 0) == cache.Dirty {
+				return Pattern(r.c.CachedData(p, 0)[0])
+			}
+		}
+		return Pattern(r.c.PeekMemory(0)[0])
+	}
+	_ = word
+	if got := cur(); got != 0b11110111 {
+		t.Fatalf("block after first lock = %08b, want 11110111", got)
+	}
+
+	// Second request overlaps (bit 0 and bit 2 taken): must fail and spin.
+	ml.Request(1, 0b00000101)
+	r.clk.Run(3000)
+	if ml.Holding(1) != 0 {
+		t.Fatal("conflicting multiple lock was granted")
+	}
+	if ml.Failures == 0 {
+		t.Fatal("no multiple test-and-set failure recorded")
+	}
+
+	// Unlock the first: 11110111 &^ 10100001 = 01010110; then the second
+	// pattern (00000101 vs 01010110) still conflicts on bit 2... it does
+	// (bit 2 = 1 in 0110). So release and check the restored value via a
+	// third processor's request for free bits.
+	ml.Release(0)
+	if _, ok := r.clk.RunUntil(func() bool { return ml.Holding(0) == 0 && !r.c.Busy(0) }, 3000); !ok {
+		t.Fatal("unlock did not complete")
+	}
+	// Request 1 still conflicts (bit 2 set in the base pattern): P1 spins.
+	ml.Request(2, 0b10000001) // free bits: must succeed
+	if _, ok := r.clk.RunUntil(func() bool { return ml.Holding(2) != 0 }, 5000); !ok {
+		t.Fatalf("non-conflicting multiple lock not granted; block = %08b", cur())
+	}
+}
+
+// TestMultiLockAllOrNothing: a request never acquires a strict subset.
+func TestMultiLockAllOrNothing(t *testing.T) {
+	r := newRig(t, 8)
+	ml := NewMultiLocker(r.c, 0)
+	r.clk.Register(ml)
+
+	// P0 holds bits {0,1}; P1 wants {1,2}: must get nothing, and bit 2
+	// must remain free for P2.
+	ml.Request(0, 0b011)
+	if _, ok := r.clk.RunUntil(func() bool { return ml.Holding(0) != 0 }, 2000); !ok {
+		t.Fatal("P0 not granted")
+	}
+	ml.Request(1, 0b110)
+	r.clk.Run(2000)
+	if ml.Holding(1) != 0 {
+		t.Fatal("P1 granted despite conflict")
+	}
+	ml.Request(2, 0b100)
+	if _, ok := r.clk.RunUntil(func() bool { return ml.Holding(2) != 0 }, 5000); !ok {
+		t.Fatal("P2 not granted despite free bit (P1 must not hold partial locks)")
+	}
+}
+
+// TestMultiLockEventuallyGranted: after the conflicting holder releases,
+// the spinner gets its full pattern.
+func TestMultiLockEventuallyGranted(t *testing.T) {
+	r := newRig(t, 8)
+	ml := NewMultiLocker(r.c, 0)
+	r.clk.Register(ml)
+	ml.Request(0, 0b011)
+	if _, ok := r.clk.RunUntil(func() bool { return ml.Holding(0) != 0 }, 2000); !ok {
+		t.Fatal("P0 not granted")
+	}
+	ml.Request(1, 0b110)
+	r.clk.Run(500)
+	ml.Release(0)
+	if _, ok := r.clk.RunUntil(func() bool { return ml.Holding(1) == 0b110 }, 20000); !ok {
+		t.Fatal("P1 never granted after release")
+	}
+}
+
+// TestMultiLockNoDeadlockDiningPattern: the dining-philosophers pattern —
+// each of 5 philosophers needs chopsticks {i, (i+1) mod 5} as one atomic
+// pattern; atomic multiple lock makes the classic deadlock impossible.
+func TestMultiLockNoDeadlockDiningPattern(t *testing.T) {
+	r := newRig(t, 8)
+	ml := NewMultiLocker(r.c, 0)
+	r.clk.Register(ml)
+
+	meals := make([]int, 5)
+	const want = 3
+	release := make(map[int]sim.Slot)
+	ml.OnAcquire = func(p int, pat Pattern, tt sim.Slot) { release[p] = tt + 7 }
+	driver := sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for p := 0; p < 5; p++ {
+			if ml.Holding(p) != 0 {
+				if at, ok := release[p]; ok && tt >= at {
+					meals[p]++
+					delete(release, p)
+					ml.Release(p)
+				}
+			} else if meals[p] < want && !r.c.Busy(p) && ml.state[p] == msIdle && ml.want[p] == 0 {
+				ml.Request(p, Pattern(1<<p|1<<((p+1)%5)))
+			}
+		}
+	})
+	r.clk.Register(driver)
+	done := func() bool {
+		for _, m := range meals {
+			if m < want {
+				return false
+			}
+		}
+		return true
+	}
+	if _, ok := r.clk.RunUntil(done, 500000); !ok {
+		t.Fatalf("philosophers starved: meals=%v", meals)
+	}
+}
+
+func TestMultiLockPanics(t *testing.T) {
+	r := newRig(t, 4)
+	ml := NewMultiLocker(r.c, 0)
+	for name, fn := range map[string]func(){
+		"empty":   func() { ml.Request(0, 0) },
+		"release": func() { ml.Release(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBarrierReleasesAllTogether(t *testing.T) {
+	r := newRig(t, 8)
+	bar := NewBarrier(r.c, 0, 4)
+	r.clk.Register(bar)
+
+	released := map[int]sim.Slot{}
+	bar.OnRelease = func(p int, tt sim.Slot) { released[p] = tt }
+	// Staggered arrivals.
+	arrivals := map[sim.Slot][]int{0: {0}, 30: {1}, 60: {2}, 90: {3}}
+	r.clk.Register(sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for _, p := range arrivals[tt] {
+			bar.Arrive(p)
+		}
+	}))
+	if _, ok := r.clk.RunUntil(func() bool { return len(released) == 4 }, 50000); !ok {
+		t.Fatalf("only %d of 4 released", len(released))
+	}
+	// Nobody released before the last arrival (slot 90).
+	for p, at := range released {
+		if at < 90 {
+			t.Fatalf("P%d released at %d, before the last arrival", p, at)
+		}
+	}
+	if bar.Episodes != 1 {
+		t.Fatalf("Episodes = %d, want 1", bar.Episodes)
+	}
+}
+
+func TestBarrierReusableAcrossEpisodes(t *testing.T) {
+	r := newRig(t, 4)
+	bar := NewBarrier(r.c, 0, 3)
+	r.clk.Register(bar)
+	passes := make([]int, 4)
+	bar.OnRelease = func(p int, tt sim.Slot) { passes[p]++ }
+	const episodes = 3
+	r.clk.Register(sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for p := 0; p < 3; p++ {
+			if passes[p] < episodes && bar.state[p] != bsArriving && bar.state[p] != bsWaiting &&
+				bar.state[p] != bsReading && !bar.arrived[p] && passes[p] == minPass(passes[:3]) {
+				bar.Arrive(p)
+			}
+		}
+	}))
+	if _, ok := r.clk.RunUntil(func() bool {
+		return passes[0] == episodes && passes[1] == episodes && passes[2] == episodes
+	}, 200000); !ok {
+		t.Fatalf("episodes did not complete: %v", passes)
+	}
+	if bar.Episodes != episodes {
+		t.Fatalf("Episodes = %d, want %d", bar.Episodes, episodes)
+	}
+}
+
+func minPass(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestBarrierPanics(t *testing.T) {
+	r := newRig(t, 4)
+	for name, fn := range map[string]func(){
+		"parties0":  func() { NewBarrier(r.c, 0, 0) },
+		"partiesN":  func() { NewBarrier(r.c, 0, 5) },
+		"dblArrive": func() { b := NewBarrier(r.c, 0, 2); b.Arrive(0); b.Arrive(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestLockTransferEventSequence reproduces Fig. 5.4's step structure from
+// the protocol trace: after the release, the order of protocol-level
+// events is (1) the holder's read-invalidate + store of the free value,
+// (2) its triggered write-back publishing the lock, (3) the new holder's
+// read observing it free, (4) the new holder's read-invalidate taking
+// ownership.
+func TestLockTransferEventSequence(t *testing.T) {
+	trace := sim.NewTrace()
+	c := cache.New(cache.Config{Processors: 4, Lines: 4, RetryDelay: 1}, trace)
+	lk := NewLocker(c, 0)
+	clk := sim.NewClock()
+	clk.Register(lk)
+	clk.Register(c)
+	lk.Request(0)
+	clk.RunUntil(func() bool { return lk.Holding(0) }, 1000)
+	lk.Request(1)
+	clk.Run(100)
+	markIdx := trace.Len()
+	lk.Release(0)
+	clk.RunUntil(func() bool { return lk.Holding(1) }, 2000)
+
+	var order []string
+	for _, e := range trace.Events()[markIdx:] {
+		switch {
+		case e.Who == "P0" && e.What == "start read-invalidate block 0":
+			order = append(order, "holder-readinv")
+		case e.Who == "P0" && e.What == "start write-back block 0":
+			order = append(order, "holder-writeback")
+		case e.Who == "P1" && e.What == "read block 0 complete":
+			order = append(order, "waiter-read")
+		case e.Who == "P1" && e.What == "read-invalidate block 0 complete":
+			order = append(order, "waiter-readinv")
+		}
+	}
+	// The essential Fig. 5.4 milestones must appear, in order (reads may
+	// START earlier but can only COMPLETE after the write-back publishes
+	// the free lock; extra retries in between are fine).
+	want := []string{"holder-readinv", "holder-writeback", "waiter-read", "waiter-readinv"}
+	wi := 0
+	for _, ev := range order {
+		if wi < len(want) && ev == want[wi] {
+			wi++
+		}
+	}
+	if wi != len(want) {
+		t.Fatalf("lock transfer sequence %v missing milestones %v", order, want[wi:])
+	}
+}
