@@ -11,6 +11,7 @@ package cfm_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"cfm"
@@ -780,5 +781,54 @@ func BenchmarkOrderingFrontends(b *testing.B) {
 			b.ReportMetric(lastLoad, "last-load-slot")
 			b.ReportMetric(drain, "drain-slots")
 		})
+	}
+}
+
+// engineBenchShapes are the fleet configurations of the engine guard
+// benchmarks: the Fig. 3.14 (n=64, m=8) and Fig. 3.15 (n=128, m=16)
+// machine shapes of the partially conflict-free system.
+var engineBenchShapes = []struct{ n, m int }{{64, 8}, {128, 16}}
+
+func engineBenchRun(b *testing.B, mk func() cfm.Engine, n, m int) {
+	cfg := cfm.PartialConfig{
+		Processors: n, Modules: m, BlockWords: 2 * (n / m), BankCycle: 2,
+		Locality: 0.9, AccessRate: 0.2, RetryMean: 4, Seed: 42}
+	const slots = 500
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := mk()
+		p := cfm.NewPartial(cfg)
+		eng.Register(p)
+		if got := eng.Run(slots); got != slots {
+			b.Fatalf("ran %d slots, want %d", got, slots)
+		}
+	}
+	b.ReportMetric(float64(slots), "slots/op")
+}
+
+// BenchmarkEngineSerial is the serial baseline of the engine guard pair:
+// 500 slots of the partially conflict-free system under the plain Clock.
+// cmd/benchdiff compares it against BenchmarkEngineParallel across
+// commits (see BENCH_engine.json).
+func BenchmarkEngineSerial(b *testing.B) {
+	for _, sh := range engineBenchShapes {
+		b.Run(fmt.Sprintf("n%d_m%d", sh.n, sh.m), func(b *testing.B) {
+			engineBenchRun(b, func() cfm.Engine { return cfm.NewClock() }, sh.n, sh.m)
+		})
+	}
+}
+
+// BenchmarkEngineParallel runs the identical simulation under the
+// parallel engine at several worker counts. On a multicore host the
+// n=128/m=16 shape with >=4 workers is the headline speedup case; on a
+// single-CPU host it degenerates to measuring barrier overhead (the
+// worker counts still exercise the full scheduling machinery).
+func BenchmarkEngineParallel(b *testing.B) {
+	for _, sh := range engineBenchShapes {
+		for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+			b.Run(fmt.Sprintf("n%d_m%d/workers%d", sh.n, sh.m, w), func(b *testing.B) {
+				engineBenchRun(b, func() cfm.Engine { return cfm.NewParallelClock(w) }, sh.n, sh.m)
+			})
+		}
 	}
 }

@@ -43,12 +43,25 @@ import (
 type (
 	// Clock drives a cycle-accurate simulation, one time slot at a time.
 	Clock = sim.Clock
+	// ParallelClock drives the same simulation on a worker pool with
+	// barrier synchronization, bit-for-bit equivalent to Clock.
+	ParallelClock = sim.ParallelClock
+	// Engine is the common interface of Clock and ParallelClock.
+	Engine = sim.Engine
+	// Timebase is the read-only clock interface (Now only) components
+	// hold when they just need the current slot.
+	Timebase = sim.Timebase
+	// Shardable is the opt-in interface by which a component declares
+	// conflict-free shard affinity to the parallel engine.
+	Shardable = sim.Shardable
 	// Slot is a point in simulated time (one CPU cycle).
 	Slot = sim.Slot
 	// Phase is the intra-slot phase of a Tick.
 	Phase = sim.Phase
 	// Ticker is a clock-driven simulation component.
 	Ticker = sim.Ticker
+	// TickerFunc adapts a plain function to the Ticker interface.
+	TickerFunc = sim.TickerFunc
 	// Trace records simulation events for timing diagrams.
 	Trace = sim.Trace
 	// RNG is the deterministic generator used by stochastic workloads.
@@ -57,6 +70,20 @@ type (
 
 // NewClock returns a clock at slot 0.
 func NewClock() *Clock { return sim.NewClock() }
+
+// NewParallelClock returns a parallel engine at slot 0 with the given
+// worker count (<= 0 selects GOMAXPROCS).
+func NewParallelClock(workers int) *ParallelClock { return sim.NewParallelClock(workers) }
+
+// NewEngine returns a ParallelClock with the given worker count when
+// parallel is true, else a serial Clock — the one-liner behind the
+// cmd/* -parallel / -workers flags.
+func NewEngine(parallel bool, workers int) Engine {
+	if parallel {
+		return sim.NewParallelClock(workers)
+	}
+	return sim.NewClock()
+}
 
 // NewTrace returns an empty event trace.
 func NewTrace() *Trace { return sim.NewTrace() }
@@ -246,6 +273,8 @@ type (
 	// Frontend is a processor issue engine enforcing a §2.2 memory
 	// ordering over the cache protocol.
 	Frontend = cache.Frontend
+	// FrontendGroup bundles per-processor front-ends into one Shardable.
+	FrontendGroup = cache.FrontendGroup
 	// Ordering selects the front-end's discipline (SC/PC/WC).
 	Ordering = cache.Ordering
 )
@@ -258,10 +287,16 @@ const (
 	ReleaseOrder  = cache.ReleaseOrder
 )
 
-// NewFrontend attaches an ordering front-end for one processor.
-func NewFrontend(c *CacheProtocol, clk *Clock, proc int, mode Ordering) *Frontend {
+// NewFrontend attaches an ordering front-end for one processor. clk may
+// be a serial or parallel engine (anything with Now).
+func NewFrontend(c *CacheProtocol, clk Timebase, proc int, mode Ordering) *Frontend {
 	return cache.NewFrontend(c, clk, proc, mode)
 }
+
+// NewFrontendGroup bundles per-processor front-ends into one Shardable
+// so the parallel engine can tick them concurrently. Register the group
+// BEFORE the protocol, in place of the individual front-ends.
+func NewFrontendGroup(fes ...*Frontend) *FrontendGroup { return cache.NewFrontendGroup(fes...) }
 
 // FrontendExecution assembles recorded operations for consistency checks.
 func FrontendExecution(fes ...*Frontend) *Execution { return cache.Execution(fes...) }

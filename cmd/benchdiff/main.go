@@ -1,0 +1,163 @@
+// Command benchdiff compares two `go test -bench -json` outputs and
+// fails when any benchmark shared by both regressed by more than a
+// threshold. It is the guard behind BENCH_engine.json: record a baseline
+// with
+//
+//	go test -run=none -bench=BenchmarkEngine -benchtime=3x -json . > BENCH_engine.json
+//
+// and after a change compare the fresh run against it:
+//
+//	go test -run=none -bench=BenchmarkEngine -benchtime=3x -json . > /tmp/new.json
+//	go run ./cmd/benchdiff -old BENCH_engine.json -new /tmp/new.json
+//
+// The exit status is 1 on regression (or parse failure), 0 otherwise.
+// Benchmarks present in only one file are reported but never fatal, so
+// adding or renaming benchmarks does not break the guard.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the test2json record shape; only Output lines matter here.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// parseBench extracts benchmark name → ns/op from a -json stream. Plain
+// (non-JSON) `go test -bench` output is accepted too: any line that does
+// not parse as JSON is scanned directly, so the tool works on both.
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	// test2json emits the benchmark name and its result line as separate
+	// output events ("BenchmarkX/sub  \t" then "  3\t 123 ns/op ...\n"),
+	// so carry the most recent bare name forward and join it with the
+	// next measurement-only line.
+	pending := ""
+	for sc.Scan() {
+		line := sc.Text()
+		var ev testEvent
+		if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action != "" {
+			line = ev.Output
+		}
+		if name, ns, ok := parseBenchLine(line); ok {
+			out[name] = ns
+			pending = ""
+			continue
+		}
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "Benchmark") && len(strings.Fields(trimmed)) == 1 {
+			pending = trimmed
+			continue
+		}
+		if pending != "" && trimmed != "" {
+			if name, ns, ok := parseBenchLine(pending + " " + trimmed); ok {
+				out[name] = ns
+			}
+			pending = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseBenchLine parses one "BenchmarkX-8  10  123 ns/op ..." line.
+func parseBenchLine(line string) (string, float64, bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			// Strip the -GOMAXPROCS suffix so runs from hosts with
+			// different core counts stay comparable.
+			name := fields[0]
+			if j := strings.LastIndex(name, "-"); j > 0 {
+				if _, err := strconv.Atoi(name[j+1:]); err == nil {
+					name = name[:j]
+				}
+			}
+			return name, ns, true
+		}
+	}
+	return "", 0, false
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline bench output (JSON or plain)")
+	newPath := flag.String("new", "", "candidate bench output (JSON or plain)")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional slowdown before failing")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old baseline.json -new candidate.json [-threshold 0.10]")
+		os.Exit(2)
+	}
+	oldNs, err := parseBench(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newNs, err := parseBench(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if len(oldNs) == 0 || len(newNs) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark results in %s (%d) / %s (%d)\n",
+			*oldPath, len(oldNs), *newPath, len(newNs))
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(oldNs))
+	for n := range oldNs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressed := 0
+	for _, n := range names {
+		nv, ok := newNs[n]
+		if !ok {
+			fmt.Printf("%-60s baseline only (%.0f ns/op)\n", n, oldNs[n])
+			continue
+		}
+		delta := nv/oldNs[n] - 1
+		mark := "ok"
+		if delta > *threshold {
+			mark = "REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", n, oldNs[n], nv, 100*delta, mark)
+	}
+	for n := range newNs {
+		if _, ok := oldNs[n]; !ok {
+			fmt.Printf("%-60s new benchmark (%.0f ns/op)\n", n, newNs[n])
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n",
+			regressed, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% of baseline\n", len(names), 100**threshold)
+}

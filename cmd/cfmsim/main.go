@@ -93,7 +93,12 @@ commands:
   alloc         §7.2 processor allocation strategy comparison
   sharing       §7.2 slot-sharing factor sweep
   topology      §3.3 inter-cluster topology comparison
-  ordering      §2.2 memory ordering disciplines vs the formal models`)
+  ordering      §2.2 memory ordering disciplines vs the formal models
+
+simulation-heavy commands (efficiency, treesat, alloc) accept
+  -parallel         run on the parallel cycle engine (same results,
+                    bit for bit, by the engine equivalence guarantee)
+  -workers N        parallel engine workers (0 = GOMAXPROCS)`)
 }
 
 func cmdATSpace(args []string) {
@@ -228,6 +233,8 @@ func cmdEfficiency(args []string) {
 	steps := fs.Int("steps", 12, "rate sweep steps")
 	simulate := fs.Bool("sim", true, "cross-check with discrete-event simulation")
 	slots := fs.Int64("slots", 300000, "simulation slots per point")
+	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	var series []cfm.Series
@@ -269,12 +276,15 @@ func cmdEfficiency(args []string) {
 
 	if *simulate {
 		fmt.Println("\ndiscrete-event simulation cross-check:")
-		simEfficiency(*fig, *slots)
+		simEfficiency(*fig, *slots, func() cfm.Engine { return cfm.NewEngine(*parallel, *workers) })
 	}
 }
 
 // simEfficiency runs the matching simulators at a few anchor rates.
-func simEfficiency(fig string, slots int64) {
+// newEngine builds a fresh cycle engine per point (serial or parallel,
+// per the -parallel/-workers flags; the results are identical either
+// way by the engine equivalence guarantee).
+func simEfficiency(fig string, slots int64, newEngine func() cfm.Engine) {
 	rates := []float64{0.01, 0.03, 0.05}
 	tb := &stats.Table{Header: []string{"r", "simulated", "analytic", "system"}}
 	switch fig {
@@ -285,7 +295,7 @@ func simEfficiency(fig string, slots int64) {
 				Processors: 8, Modules: 8, BlockTime: 17,
 				AccessRate: r, RetryMean: 8, Seed: 11,
 			})
-			clk := cfm.NewClock()
+			clk := newEngine()
 			clk.Register(cs)
 			clk.Run(slots)
 			tb.AddRow(stats.FormatFloat(r), cs.Efficiency(), model.Efficiency(r), "conventional 8p/8m")
@@ -302,7 +312,7 @@ func simEfficiency(fig string, slots int64) {
 					Processors: n, Modules: m, BlockWords: 16, BankCycle: 2,
 					Locality: lam, AccessRate: r, RetryMean: 8, Seed: 11,
 				})
-				clk := cfm.NewClock()
+				clk := newEngine()
 				clk.Register(p)
 				clk.Run(slots)
 				tb.AddRow(stats.FormatFloat(r), p.Efficiency(), model.Efficiency(r, lam),
@@ -318,6 +328,8 @@ func cmdTreeSat(args []string) {
 	n := fs.Int("n", 16, "terminals")
 	rate := fs.Float64("rate", 0.1, "injection rate")
 	slots := fs.Int64("slots", 30000, "simulation slots")
+	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	fmt.Printf("Fig 2.1 — tree saturation from a hot spot (%dx%d buffered omega, rate %.2f)\n\n", *n, *n, *rate)
@@ -327,7 +339,7 @@ func cmdTreeSat(args []string) {
 			Terminals: *n, QueueCap: 4, ServiceTime: 2,
 			Rate: *rate, HotFraction: hot, Seed: 7,
 		})
-		clk := cfm.NewClock()
+		clk := cfm.NewEngine(*parallel, *workers)
 		clk.Register(b)
 		clk.Run(*slots)
 		tb.AddRow(hot, b.MeanLatencyBg(), b.MeanLatencyHot(),
@@ -498,6 +510,8 @@ func cmdLatency(args []string) {
 func cmdAlloc(args []string) {
 	fs := flag.NewFlagSet("alloc", flag.ExitOnError)
 	slots := fs.Int64("slots", 100000, "simulation slots")
+	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
 	cfg := core.PartialConfig{
@@ -528,7 +542,7 @@ func cmdAlloc(args []string) {
 		c := cfg
 		c.Homes = pl
 		p := cfm.NewPartial(c)
-		clk := cfm.NewClock()
+		clk := cfm.NewEngine(*parallel, *workers)
 		clk.Register(p)
 		clk.Run(*slots)
 		tb.AddRow(st.name, pl.LocalityOf(cfg), p.Efficiency(), p.Retries)

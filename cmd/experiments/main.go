@@ -1,9 +1,14 @@
 // Command experiments regenerates every table and figure of the
 // dissertation's evaluation and reports paper-expected versus measured
 // values. Its output is the data behind EXPERIMENTS.md.
+//
+// With -parallel, every simulation runs on the parallel cycle engine
+// instead of the serial clock; results are identical either way (the
+// engine equivalence guarantee, proven by engine_equiv_test.go).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -13,6 +18,15 @@ import (
 	"cfm/internal/hier"
 	"cfm/internal/stats"
 )
+
+var (
+	parallel = flag.Bool("parallel", false, "run simulations on the parallel cycle engine")
+	workers  = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+)
+
+// newEngine builds the cycle engine each experiment registers its
+// components on, honoring the -parallel/-workers flags.
+func newEngine() cfm.Engine { return cfm.NewEngine(*parallel, *workers) }
 
 var failures int
 
@@ -26,7 +40,11 @@ func check(name string, ok bool, detail string) {
 }
 
 func main() {
+	flag.Parse()
 	fmt.Println("# CFM reproduction — experiment report")
+	if *parallel {
+		fmt.Printf("(simulations on the parallel cycle engine, workers=%d)\n", *workers)
+	}
 	table31()
 	table33()
 	table34()
@@ -126,7 +144,7 @@ func fig21() {
 			Terminals: 16, QueueCap: 4, ServiceTime: 2, Rate: 0.1,
 			HotFraction: hot, Seed: 7,
 		})
-		clk := cfm.NewClock()
+		clk := newEngine()
 		clk.Register(b)
 		clk.Run(30000)
 		return b
@@ -155,7 +173,7 @@ func fig313() {
 		fmt.Sprintf("E = %s", stats.FormatFloat(e)))
 	cs := cfm.NewConventional(cfm.ConventionalConfig{
 		Processors: 8, Modules: 8, BlockTime: 17, AccessRate: 0.05, RetryMean: 8, Seed: 3})
-	clk := cfm.NewClock()
+	clk := newEngine()
 	clk.Register(cs)
 	clk.Run(400000)
 	check("simulation confirms the degradation at r=0.05", cs.Efficiency() < 0.75,
@@ -187,7 +205,7 @@ func fig314and315() {
 		p := cfm.NewPartial(core.PartialConfig{
 			Processors: f.n, Modules: f.m, BlockWords: 16, BankCycle: 2,
 			Locality: 1.0, AccessRate: 0.05, RetryMean: 8, Seed: 4})
-		clk := cfm.NewClock()
+		clk := newEngine()
 		clk.Register(p)
 		clk.Run(150000)
 		check(fmt.Sprintf("Fig %s: λ=1 simulation is perfectly conflict-free", f.name),
@@ -210,7 +228,7 @@ func chapter4() {
 	fmt.Println("\n## Chapter 4 — address tracking (Figs 4.1, 4.3–4.6)")
 	// Fig 4.1: torn block without tracking.
 	mem := cfm.NewMemory(cfm.Config{Processors: 4, BankCycle: 1, WordWidth: 64}, nil)
-	clk := cfm.NewClock()
+	clk := newEngine()
 	clk.Register(mem)
 	mem.StartWrite(0, 0, 0, cfm.Block{1, 1, 1, 1}, nil)
 	mem.StartWrite(0, 1, 0, cfm.Block{2, 2, 2, 2}, nil)
@@ -226,7 +244,7 @@ func chapter4() {
 
 	// Fig 4.3/4.4: with tracking, exactly one writer wins.
 	tr := cfm.NewTracked(8, cfm.LatestWins, nil)
-	clk2 := cfm.NewClock()
+	clk2 := newEngine()
 	clk2.Register(tr)
 	var aborted, completed int
 	cb := func(r cfm.TrackedResult) {
@@ -252,7 +270,7 @@ func chapter4() {
 
 	// Fig 4.6: swap atomicity chain.
 	tr2 := cfm.NewTracked(8, cfm.EarliestWins, nil)
-	clk3 := cfm.NewClock()
+	clk3 := newEngine()
 	clk3.Register(tr2)
 	tr2.PokeBlock(0, uniformBlock(8, 100))
 	var rets []cfm.Word
@@ -277,7 +295,7 @@ func fig54() {
 	fmt.Println("\n## Fig 5.4 — lock transfer")
 	proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: 4, Lines: 4, RetryDelay: 1}, nil)
 	lock := cfm.NewLocker(proto, 0)
-	clk := cfm.NewClock()
+	clk := newEngine()
 	clk.Register(lock)
 	clk.Register(proto)
 	lock.Request(0)
@@ -298,7 +316,7 @@ func fig55() {
 	fmt.Println("\n## Fig 5.5 — atomic multiple lock/unlock")
 	proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: 8, Lines: 4, RetryDelay: 1}, nil)
 	ml := cfm.NewMultiLocker(proto, 0)
-	clk := cfm.NewClock()
+	clk := newEngine()
 	clk.Register(ml)
 	clk.Register(proto)
 	init := make(cfm.Block, 8)
@@ -333,7 +351,7 @@ func tables55and56() {
 		fmt.Sprintf("vs KSR1 %d/%d", t56[0].Other, t56[1].Other))
 
 	s := cfm.NewHierSystem(cfm.HierConfig{Clusters: 4, ProcsPerCluster: 4, BankCycle: 2, L1Lines: 4, L2Lines: 8}, nil)
-	clk := cfm.NewClock()
+	clk := newEngine()
 	clk.Register(s)
 	var at cfm.Slot
 	start := clk.Now()
@@ -426,7 +444,7 @@ func extensions() {
 		c := cfg
 		c.Homes = pl
 		p := cfm.NewPartial(c)
-		clk := cfm.NewClock()
+		clk := newEngine()
 		clk.Register(p)
 		clk.Run(80000)
 		return p.Efficiency()
@@ -443,7 +461,7 @@ func extensions() {
 			Divisions: 8, Sharing: sharing, BlockWords: 16, BankCycle: 2,
 			AccessRate: 0.02, RetryMean: 4, Seed: 1,
 		})
-		clk := cfm.NewClock()
+		clk := newEngine()
 		clk.Register(s)
 		clk.Run(80000)
 		return s
@@ -475,7 +493,7 @@ func extensions() {
 	stair := true
 	for i, mode := range []cfm.Ordering{cfm.StrictOrder, cfm.BufferedOrder, cfm.WeakOrder, cfm.ReleaseOrder} {
 		proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: 4, Lines: 8, RetryDelay: 1}, nil)
-		clk := cfm.NewClock()
+		clk := newEngine()
 		fe := cfm.NewFrontend(proto, clk, 0, mode)
 		clk.Register(fe)
 		clk.Register(proto)

@@ -1,0 +1,266 @@
+// Differential determinism suite: every scenario below is executed once
+// under the serial Clock and once under ParallelClock at several worker
+// counts, and the results — trace digests, final memory contents, and
+// every stats counter — must match bit for bit. This is the proof
+// obligation of the parallel engine: parallelism may only change wall
+// time, never a single simulated observable.
+package cfm_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"cfm"
+	"cfm/internal/sim"
+)
+
+// equivWorkers is the worker-count sweep of the differential suite.
+func equivWorkers() []int {
+	return []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+}
+
+// runDifferential executes scenario once per engine and compares the
+// returned observation strings (digests, counters, memory fingerprints —
+// anything the simulation is supposed to determine).
+func runDifferential(t *testing.T, scenario func(eng cfm.Engine) string) {
+	t.Helper()
+	want := scenario(cfm.NewClock())
+	for _, w := range equivWorkers() {
+		got := scenario(cfm.NewParallelClock(w))
+		if got != want {
+			t.Fatalf("parallel run (workers=%d) diverged from serial:\nserial   %s\nparallel %s",
+				w, want, got)
+		}
+	}
+}
+
+// TestEquivConventionalFig313 runs the conventional interleaved baseline
+// at the Fig. 3.13 operating point under both engines.
+func TestEquivConventionalFig313(t *testing.T) {
+	runDifferential(t, func(eng cfm.Engine) string {
+		conv := cfm.NewConventional(cfm.ConventionalConfig{
+			Processors: 16, Modules: 16, BlockTime: 8,
+			AccessRate: 0.2, RetryMean: 4, Seed: 313})
+		eng.Register(conv)
+		eng.Run(3000)
+		return fmt.Sprint(eng.Now(), conv.Completed, conv.Retries, conv.TotalLatency)
+	})
+}
+
+// TestEquivPartialFig314 runs the partially conflict-free system at the
+// Fig. 3.14 machine shape (n = 64, m = 8).
+func TestEquivPartialFig314(t *testing.T) {
+	runDifferential(t, func(eng cfm.Engine) string {
+		p := cfm.NewPartial(cfm.PartialConfig{
+			Processors: 64, Modules: 8, BlockWords: 16, BankCycle: 2,
+			Locality: 0.9, AccessRate: 0.1, RetryMean: 4, Seed: 314})
+		eng.Register(p)
+		eng.Run(2000)
+		return fmt.Sprint(p.Completed, p.Retries, p.TotalLatency, p.LocalAcc, p.RemoteAcc)
+	})
+}
+
+// TestEquivPartialFig315 runs the Fig. 3.15 shape (n = 128, m = 16).
+func TestEquivPartialFig315(t *testing.T) {
+	runDifferential(t, func(eng cfm.Engine) string {
+		p := cfm.NewPartial(cfm.PartialConfig{
+			Processors: 128, Modules: 16, BlockWords: 16, BankCycle: 2,
+			Locality: 0.75, AccessRate: 0.15, RetryMean: 8, Seed: 315})
+		eng.Register(p)
+		eng.Run(1500)
+		return fmt.Sprint(p.Completed, p.Retries, p.TotalLatency, p.LocalAcc, p.RemoteAcc)
+	})
+}
+
+// TestEquivCFMemoryTraced drives the conflict-free memory with a
+// deterministic per-processor access pattern, tracing enabled, and
+// requires identical trace digests and final block contents.
+func TestEquivCFMemoryTraced(t *testing.T) {
+	runDifferential(t, func(eng cfm.Engine) string {
+		cfg := cfm.Config{Processors: 8, BankCycle: 2, WordWidth: 16}
+		tr := cfm.NewTrace()
+		mem := cfm.NewMemory(cfg, tr)
+		left := make([]int, cfg.Processors)
+		for p := range left {
+			left[p] = 6
+		}
+		eng.Register(sim.TickerFunc(func(tt cfm.Slot, ph cfm.Phase) {
+			if ph != sim.PhaseIssue {
+				return
+			}
+			for p := 0; p < cfg.Processors; p++ {
+				if left[p] == 0 || !mem.CanStart(tt, p) {
+					continue
+				}
+				left[p]--
+				if left[p]%2 == 0 {
+					blk := make(cfm.Block, cfg.Banks())
+					for k := range blk {
+						blk[k] = cfm.Word(p*100 + left[p])
+					}
+					mem.StartWrite(tt, p, p, blk, nil)
+				} else {
+					mem.StartRead(tt, p, (p+1)%cfg.Processors, nil)
+				}
+			}
+		}))
+		eng.Register(mem)
+		eng.Run(4000)
+		fp := ""
+		for p := 0; p < cfg.Processors; p++ {
+			fp += fmt.Sprint(mem.PeekBlock(p)[0], ",")
+		}
+		return fmt.Sprint(mem.Completed, " ", tr.Digest(), " ", fp)
+	})
+}
+
+// TestEquivCacheCoherenceTraffic runs a cache-coherence traffic schedule
+// through per-processor front-ends bundled into a FrontendGroup — the
+// sharded issue path — over the invalidation protocol, with tracing on.
+func TestEquivCacheCoherenceTraffic(t *testing.T) {
+	runDifferential(t, func(eng cfm.Engine) string {
+		const procs = 4
+		tr := cfm.NewTrace()
+		proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: procs, Lines: 8, RetryDelay: 2}, tr)
+		fes := make([]*cfm.Frontend, procs)
+		for p := range fes {
+			fes[p] = cfm.NewFrontend(proto, eng, p, cfm.BufferedOrder)
+		}
+		eng.Register(cfm.NewFrontendGroup(fes...))
+		eng.Register(proto)
+		// Every processor writes its own line, reads a shared line, and
+		// then writes the shared line — invalidation storms included.
+		for p, fe := range fes {
+			fe.Store(p, 0, cfm.Word(10+p))
+			fe.Load(procs, 0, nil)
+			fe.Store(procs, p, cfm.Word(100+p))
+			fe.Load(p, 0, nil)
+		}
+		eng.RunUntil(func() bool {
+			for _, fe := range fes {
+				if !fe.Idle() {
+					return false
+				}
+			}
+			return proto.Idle()
+		}, 100000)
+		fp := ""
+		for off := 0; off <= procs; off++ {
+			fp += fmt.Sprint(proto.PeekMemory(off), ";")
+		}
+		ops := 0
+		for _, fe := range fes {
+			ops += len(cfm.FrontendExecution(fe).Ops)
+		}
+		return fmt.Sprint(eng.Now(), " ", tr.Digest(), " ", ops, " ", fp)
+	})
+}
+
+// TestEquivBufferedOmega runs hot-spot traffic through the buffered MIN
+// (per-terminal shards, serial column sweep) under both engines.
+func TestEquivBufferedOmega(t *testing.T) {
+	runDifferential(t, func(eng cfm.Engine) string {
+		net := cfm.NewBufferedOmega(cfm.BufferedConfig{
+			Terminals: 16, QueueCap: 4, ServiceTime: 2,
+			Rate: 0.3, HotFraction: 0.125, HotModule: 3, Seed: 21})
+		eng.Register(net)
+		eng.Run(3000)
+		return fmt.Sprint(net.Injected, net.DeliveredBg, net.DeliveredHot,
+			net.LatencyBgTotal, net.LatencyHotTotal)
+	})
+}
+
+// TestEquivClusterSystem exercises the multi-cluster extension: local
+// writes into every cluster followed by cross-cluster remote reads whose
+// replies re-enter the requesting side.
+func TestEquivClusterSystem(t *testing.T) {
+	runDifferential(t, func(eng cfm.Engine) string {
+		const clusters = 4
+		cfg := cfm.Config{Processors: 4, BankCycle: 2, WordWidth: 16}
+		cs := cfm.NewClusterSystem(cfg, clusters, cfg.Processors-1, 3)
+		got := make([]cfm.Word, clusters)
+		var gotAt [clusters]cfm.Slot
+		step := 0
+		eng.Register(sim.TickerFunc(func(tt cfm.Slot, ph cfm.Phase) {
+			if ph != sim.PhaseIssue {
+				return
+			}
+			switch {
+			case step == 0:
+				for cl := 0; cl < clusters; cl++ {
+					blk := make(cfm.Block, cfg.Banks())
+					for k := range blk {
+						blk[k] = cfm.Word(1000 + cl)
+					}
+					cs.LocalWrite(tt, cl, 0, 0, blk, nil)
+				}
+				step = 1
+			case step == 1 && tt == 60:
+				for cl := 0; cl < clusters; cl++ {
+					cl := cl
+					cs.RemoteRead(tt, cl, 0, func(b cfm.Block, at cfm.Slot) {
+						got[cl] = b[0]
+						gotAt[cl] = at
+					})
+				}
+				step = 2
+			}
+		}))
+		eng.Register(cs)
+		eng.Run(500)
+		sum := int64(0)
+		for cl := 0; cl < clusters; cl++ {
+			sum += cs.Cluster(cl).Completed
+		}
+		return fmt.Sprint(cs.RemoteCompleted, sum, got, gotAt)
+	})
+}
+
+// TestEquivRandomWorkloads sweeps 50 random seeds and machine shapes of
+// the partially conflict-free system through both engines — the bulk
+// statistical evidence behind the serial-equivalence guarantee.
+func TestEquivRandomWorkloads(t *testing.T) {
+	meta := cfm.NewRNG(0xd1f)
+	shapes := []cfm.PartialConfig{
+		{Modules: 2, BlockWords: 2, BankCycle: 1},
+		{Modules: 4, BlockWords: 4, BankCycle: 2},
+		{Modules: 2, BlockWords: 8, BankCycle: 2},
+		{Modules: 8, BlockWords: 4, BankCycle: 1},
+	}
+	workers := []int{2, runtime.GOMAXPROCS(0)}
+	for i := 0; i < 50; i++ {
+		cfg := shapes[meta.Intn(len(shapes))]
+		cfg.Processors = cfg.Modules * (cfg.BlockWords / cfg.BankCycle)
+		cfg.Locality = 0.5 + float64(meta.Intn(5))/10
+		cfg.AccessRate = 0.05 + float64(meta.Intn(4))/20
+		cfg.RetryMean = 1 + meta.Intn(8)
+		cfg.Seed = meta.Uint64()
+		slots := int64(200 + meta.Intn(400))
+
+		run := func(eng cfm.Engine) string {
+			p := cfm.NewPartial(cfg)
+			eng.Register(p)
+			eng.Run(slots)
+			return fmt.Sprint(p.Completed, p.Retries, p.TotalLatency, p.LocalAcc, p.RemoteAcc)
+		}
+		want := run(cfm.NewClock())
+		for _, w := range workers {
+			if got := run(cfm.NewParallelClock(w)); got != want {
+				t.Fatalf("seed sweep %d (cfg %+v, %d slots, workers=%d) diverged:\nserial   %s\nparallel %s",
+					i, cfg, slots, w, want, got)
+			}
+		}
+	}
+}
+
+// TestEquivEngineFacade pins the NewEngine dispatcher: parallel=false
+// must return a serial Clock, parallel=true a ParallelClock.
+func TestEquivEngineFacade(t *testing.T) {
+	if _, ok := cfm.NewEngine(false, 0).(*cfm.Clock); !ok {
+		t.Fatal("NewEngine(false, _) did not return a *Clock")
+	}
+	if _, ok := cfm.NewEngine(true, 2).(*cfm.ParallelClock); !ok {
+		t.Fatal("NewEngine(true, _) did not return a *ParallelClock")
+	}
+}

@@ -54,7 +54,7 @@ func (o Ordering) String() string {
 // the resulting execution can be checked against the Chapter 2 models.
 type Frontend struct {
 	c    *Protocol
-	clk  *sim.Clock
+	clk  sim.Timebase
 	proc int
 	mode Ordering
 
@@ -80,9 +80,11 @@ type feOp struct {
 	done   func(memory.Word)
 }
 
-// NewFrontend attaches a front-end for processor proc. Register it on
-// the clock BEFORE the protocol.
-func NewFrontend(c *Protocol, clk *sim.Clock, proc int, mode Ordering) *Frontend {
+// NewFrontend attaches a front-end for processor proc. clk is any
+// timebase (serial or parallel engine). Register it on the clock BEFORE
+// the protocol — or register a FrontendGroup instead to let the parallel
+// engine tick front-ends concurrently.
+func NewFrontend(c *Protocol, clk sim.Timebase, proc int, mode Ordering) *Frontend {
 	return &Frontend{c: c, clk: clk, proc: proc, mode: mode}
 }
 
@@ -301,6 +303,40 @@ func (f *Frontend) issueSync(t sim.Slot, op feOp) {
 		f.busy = false
 		f.record(op, f.clk.Now())
 	})
+}
+
+// FrontendGroup bundles the per-processor front-ends of one machine into
+// a single sim.Shardable, one shard per processor. Each front-end's
+// issue logic touches only its own program/buffer state and its own
+// processor's request queue inside the cache protocol (Protocol.Load/
+// Store/RMW append to reqs[proc]; Busy reads per-processor state), so
+// distinct front-ends are conflict-free and the parallel engine may tick
+// them concurrently. Register the group on the clock BEFORE the
+// protocol, in place of registering each front-end individually.
+type FrontendGroup struct {
+	fes []*Frontend
+}
+
+// NewFrontendGroup bundles front-ends; shard i ticks fes[i].
+func NewFrontendGroup(fes ...*Frontend) *FrontendGroup {
+	return &FrontendGroup{fes: fes}
+}
+
+// Frontend returns member i.
+func (g *FrontendGroup) Frontend(i int) *Frontend { return g.fes[i] }
+
+// Tick implements sim.Ticker by delegating to the shard path.
+func (g *FrontendGroup) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(g, t, ph) }
+
+// ActivePhases implements sim.PhaseAware: front-ends only issue.
+func (g *FrontendGroup) ActivePhases() []sim.Phase { return []sim.Phase{sim.PhaseIssue} }
+
+// Shards implements sim.Shardable: one shard per front-end.
+func (g *FrontendGroup) Shards() int { return len(g.fes) }
+
+// TickShard implements sim.Shardable.
+func (g *FrontendGroup) TickShard(t sim.Slot, ph sim.Phase, s int) {
+	g.fes[s].Tick(t, ph)
 }
 
 // Execution assembles the recorded operations (from any number of

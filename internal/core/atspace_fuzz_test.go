@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"cfm/internal/sim"
+)
+
+// FuzzATSpacePartition checks the §3.1.2/§3.1.3 partitioning invariants
+// for arbitrary (n, c, t): at every slot the processor→bank address map
+// is injective (conflict-free), AddressProcessor is its exact inverse,
+// and the per-slot subsets are mutually exclusive and exhaustive — every
+// bank is either mid-cycle (−1) or owned by exactly one processor, and
+// every processor owns exactly one bank.
+func FuzzATSpacePartition(f *testing.F) {
+	f.Add(uint8(1), uint8(1), int64(0))
+	f.Add(uint8(4), uint8(1), int64(3))
+	f.Add(uint8(8), uint8(2), int64(17))
+	f.Add(uint8(64), uint8(2), int64(-5))
+	f.Add(uint8(16), uint8(4), int64(1<<40))
+	f.Fuzz(func(t *testing.T, nb, cb uint8, slot int64) {
+		n := int(nb)%64 + 1
+		c := int(cb)%4 + 1
+		at := NewATSpace(Config{Processors: n, BankCycle: c, WordWidth: 32})
+		b := at.Banks()
+		if b != c*n {
+			t.Fatalf("Banks() = %d, want c·n = %d", b, c*n)
+		}
+		ts := sim.Slot(slot)
+
+		// Injectivity + inverse: each processor's bank maps back to it.
+		owned := make(map[int]int, n)
+		for p := 0; p < n; p++ {
+			bank := at.AddressBank(ts, p)
+			if bank < 0 || bank >= b {
+				t.Fatalf("AddressBank(%d,%d) = %d out of [0,%d)", slot, p, bank, b)
+			}
+			if prev, dup := owned[bank]; dup {
+				t.Fatalf("slot %d: processors %d and %d both address bank %d", slot, prev, p, bank)
+			}
+			owned[bank] = p
+			if inv := at.AddressProcessor(ts, bank); inv != p {
+				t.Fatalf("slot %d: AddressProcessor(bank %d) = %d, want %d", slot, bank, inv, p)
+			}
+		}
+
+		// Exhaustiveness: banks not owned this slot must report −1, and
+		// exactly n of the b banks are owned.
+		for bank := 0; bank < b; bank++ {
+			p := at.AddressProcessor(ts, bank)
+			if want, ok := owned[bank]; ok {
+				if p != want {
+					t.Fatalf("slot %d bank %d: inverse %d, want %d", slot, bank, p, want)
+				}
+			} else if p != -1 {
+				t.Fatalf("slot %d bank %d: unowned bank mapped to processor %d", slot, bank, p)
+			}
+		}
+		if len(owned) != n {
+			t.Fatalf("slot %d: %d banks owned, want %d", slot, len(owned), n)
+		}
+
+		// A block access visits all b banks exactly once, starting from
+		// the processor's slot-t0 bank, and completes at t0 + b + c − 2.
+		p := int(uint64(slot) % uint64(n))
+		seen := make([]bool, b)
+		for k := 0; k < b; k++ {
+			bank := at.VisitBank(ts, p, k)
+			if seen[bank] {
+				t.Fatalf("VisitBank revisits bank %d", bank)
+			}
+			seen[bank] = true
+		}
+		if last := at.DataSlot(ts, b-1); last != at.CompletionSlot(ts) {
+			t.Fatalf("last word slot %d != CompletionSlot %d", last, at.CompletionSlot(ts))
+		}
+		// The partition period is b slots: slot t and t+b agree everywhere.
+		for p := 0; p < n; p++ {
+			if at.AddressBank(ts, p) != at.AddressBank(ts+sim.Slot(b), p) {
+				t.Fatalf("partition not periodic with period b=%d", b)
+			}
+		}
+	})
+}

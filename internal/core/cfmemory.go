@@ -54,9 +54,21 @@ type CFMemory struct {
 	cur   [][]*access
 	free  []sim.Slot // per-processor slot at which the address path frees
 	trace *sim.Trace
+	// stage holds each processor shard's deferred side effects (trace
+	// events, completion counts, done callbacks); FinishShards folds them
+	// in ascending processor order, reproducing the serial engine's
+	// observable order exactly.
+	stage []procStage
 
 	// Completed counts finished block accesses.
 	Completed int64
+}
+
+// procStage buffers one processor shard's per-phase side effects.
+type procStage struct {
+	events    []sim.Event
+	completed int64
+	done      []*access
 }
 
 // NewCFMemory builds the memory for a configuration. trace may be nil.
@@ -71,6 +83,7 @@ func NewCFMemory(cfg Config, trace *sim.Trace) *CFMemory {
 		cur:   make([][]*access, cfg.Processors),
 		free:  make([]sim.Slot, cfg.Processors),
 		trace: trace,
+		stage: make([]procStage, cfg.Processors),
 	}
 	for i := range m.banks {
 		m.banks[i] = memory.NewBank(i, cfg.BankCycle)
@@ -134,6 +147,11 @@ func (m *CFMemory) StartWrite(t sim.Slot, p, offset int, data memory.Block, done
 	return m.at.CompletionSlot(t)
 }
 
+// begin admits a new access. It records the issue trace event directly,
+// so StartRead/StartWrite are serial-context operations: a Shardable
+// driver may call them concurrently for distinct processors only while
+// tracing is disabled (nil or Disabled trace); with tracing on, issue
+// from single-threaded code so event order stays deterministic.
 func (m *CFMemory) begin(t sim.Slot, p int, a *access) {
 	if !m.CanStart(t, p) {
 		panic(fmt.Sprintf("core: processor %d started an access at slot %d while busy", p, t))
@@ -144,41 +162,83 @@ func (m *CFMemory) begin(t sim.Slot, p int, a *access) {
 	m.trace.Add(t, fmt.Sprintf("P%d", p), "issue %s offset %d", a.kind, a.offset)
 }
 
-// Tick implements sim.Ticker. Bank visits happen in PhaseTransfer;
-// completions fire in PhaseUpdate of the completion slot.
-func (m *CFMemory) Tick(t sim.Slot, ph sim.Phase) {
+// Tick implements sim.Ticker by delegating to the shard path, so the
+// serial and parallel engines execute identical code. Bank visits
+// happen in PhaseTransfer; completions fire in PhaseUpdate of the
+// completion slot.
+func (m *CFMemory) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(m, t, ph) }
+
+// ActivePhases implements sim.PhaseAware: the memory is idle during
+// PhaseIssue and PhaseConnect.
+func (m *CFMemory) ActivePhases() []sim.Phase {
+	return []sim.Phase{sim.PhaseTransfer, sim.PhaseUpdate}
+}
+
+// Shards implements sim.Shardable: one shard per processor. The AT-space
+// theorem (§3.1.2) is what makes this sound — at any slot, distinct
+// processors' in-flight accesses address distinct banks, so processor
+// shards never touch the same bank concurrently.
+func (m *CFMemory) Shards() int { return m.cfg.Processors }
+
+// TickShard implements sim.Shardable: processor p's bank visits
+// (PhaseTransfer) and completion detection (PhaseUpdate). Side effects
+// that must appear in global processor order — trace events, Completed,
+// done callbacks — are staged per shard and folded by FinishShards.
+func (m *CFMemory) TickShard(t sim.Slot, ph sim.Phase, p int) {
 	switch ph {
 	case sim.PhaseTransfer:
-		for p, q := range m.cur {
-			for _, a := range q {
-				k := int(t - a.start)
-				if k < 0 || k >= m.cfg.Banks() {
-					continue // waiting out the final pipeline stages (c > 1)
-				}
-				bank := m.at.VisitBank(a.start, p, k)
-				m.visit(t, a, bank)
+		for _, a := range m.cur[p] {
+			k := int(t - a.start)
+			if k < 0 || k >= m.cfg.Banks() {
+				continue // waiting out the final pipeline stages (c > 1)
 			}
+			bank := m.at.VisitBank(a.start, p, k)
+			m.visit(t, a, bank)
 		}
 	case sim.PhaseUpdate:
-		for p, q := range m.cur {
-			keep := q[:0]
-			for _, a := range q {
-				if t < m.at.CompletionSlot(a.start) {
-					keep = append(keep, a)
-					continue
-				}
-				m.Completed++
-				m.trace.Add(t, fmt.Sprintf("P%d", p), "complete %s offset %d", a.kind, a.offset)
-				if a.done != nil {
-					a.done(a.buf)
-				}
+		q := m.cur[p]
+		keep := q[:0]
+		st := &m.stage[p]
+		for _, a := range q {
+			if t < m.at.CompletionSlot(a.start) {
+				keep = append(keep, a)
+				continue
 			}
-			m.cur[p] = keep
+			st.completed++
+			if m.trace.Enabled() {
+				st.events = append(st.events, sim.Event{Slot: t, Who: fmt.Sprintf("P%d", p),
+					What: fmt.Sprintf("complete %s offset %d", a.kind, a.offset)})
+			}
+			if a.done != nil {
+				st.done = append(st.done, a)
+			}
 		}
+		m.cur[p] = keep
 	}
 }
 
-// visit performs one word transfer between access a and bank.
+// FinishShards implements sim.ShardFinalizer: fold each processor's
+// staged effects in ascending order — first its trace events, then its
+// completion count, then its done callbacks — matching the serial
+// engine's historical event order byte for byte.
+func (m *CFMemory) FinishShards(t sim.Slot, ph sim.Phase) {
+	for p := range m.stage {
+		st := &m.stage[p]
+		for _, e := range st.events {
+			m.trace.AddEvent(e)
+		}
+		st.events = st.events[:0]
+		m.Completed += st.completed
+		st.completed = 0
+		for _, a := range st.done {
+			a.done(a.buf)
+		}
+		st.done = st.done[:0]
+	}
+}
+
+// visit performs one word transfer between access a and bank; the trace
+// event goes into the owning processor's stage buffer.
 func (m *CFMemory) visit(t sim.Slot, a *access, bank int) {
 	bk := m.banks[bank]
 	switch a.kind {
@@ -193,7 +253,10 @@ func (m *CFMemory) visit(t sim.Slot, a *access, bank int) {
 			panic(fmt.Sprintf("core: CFM invariant violated: bank %d busy at slot %d (write by P%d)", bank, t, a.proc))
 		}
 	}
-	m.trace.Add(t, fmt.Sprintf("Bank%d", bank), "%s word (P%d, offset %d)", a.kind, a.proc, a.offset)
+	if m.trace.Enabled() {
+		m.stage[a.proc].events = append(m.stage[a.proc].events, sim.Event{Slot: t,
+			Who: fmt.Sprintf("Bank%d", bank), What: fmt.Sprintf("%s word (P%d, offset %d)", a.kind, a.proc, a.offset)})
+	}
 }
 
 // Busy reports whether processor p has any access in flight (including

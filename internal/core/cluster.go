@@ -28,9 +28,19 @@ type ClusterSystem struct {
 	// Hops × perHop instead of the flat linkDelay.
 	topo   Topology
 	perHop int
+	// stage buffers each cluster shard's deferred side effects (remote
+	// completion counts and reply callbacks); FinishShards folds them in
+	// ascending cluster order.
+	stage []clusterStage
 
 	// RemoteCompleted counts served remote accesses.
 	RemoteCompleted int64
+}
+
+// clusterStage buffers one cluster shard's per-phase side effects.
+type clusterStage struct {
+	remote  int64
+	replies []func()
 }
 
 type remoteReq struct {
@@ -68,6 +78,7 @@ func NewClusterSystem(cfg Config, numClusters, localProc, linkDelay int) *Cluste
 		linkDelay: linkDelay,
 		freeDiv:   localProc,
 		queues:    make([][]*remoteReq, numClusters),
+		stage:     make([]clusterStage, numClusters),
 	}
 	for i := 0; i < numClusters; i++ {
 		cs.clusters = append(cs.clusters, NewCFMemory(cfg, nil))
@@ -116,17 +127,47 @@ func (cs *ClusterSystem) RemoteWrite(t sim.Slot, toCluster, offset int, data mem
 	})
 }
 
-// Tick implements sim.Ticker: it drives every cluster's memory and, in
-// the issue phase, dispatches queued remote requests onto each cluster's
-// free AT-space division.
-func (cs *ClusterSystem) Tick(t sim.Slot, ph sim.Phase) {
+// Tick implements sim.Ticker by delegating to the shard path, so the
+// serial and parallel engines execute identical code: it drives every
+// cluster's memory and, in the issue phase, dispatches queued remote
+// requests onto each cluster's free AT-space division.
+func (cs *ClusterSystem) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(cs, t, ph) }
+
+// ActivePhases implements sim.PhaseAware: dispatch happens in PhaseIssue
+// and the member CFMemories only work in PhaseTransfer/PhaseUpdate.
+func (cs *ClusterSystem) ActivePhases() []sim.Phase {
+	return []sim.Phase{sim.PhaseIssue, sim.PhaseTransfer, sim.PhaseUpdate}
+}
+
+// Shards implements sim.Shardable: one shard per cluster. Clusters share
+// no memory, queues, or bank state; the only cross-cluster effects —
+// RemoteCompleted and reply callbacks into the requesting cluster — are
+// staged per shard and folded by FinishShards.
+func (cs *ClusterSystem) Shards() int { return len(cs.clusters) }
+
+// TickShard implements sim.Shardable: cluster ci's remote dispatch and
+// memory work for this phase.
+func (cs *ClusterSystem) TickShard(t sim.Slot, ph sim.Phase, ci int) {
 	if ph == sim.PhaseIssue {
-		for ci := range cs.clusters {
-			cs.dispatch(t, ci)
-		}
+		cs.dispatch(t, ci)
 	}
-	for _, cl := range cs.clusters {
-		cl.Tick(t, ph)
+	cs.clusters[ci].Tick(t, ph)
+}
+
+// FinishShards implements sim.ShardFinalizer: fold remote completion
+// counts and run reply callbacks in ascending cluster order. Replies run
+// here — single-threaded — because they re-enter the requesting
+// cluster's state (recording arrival, chaining a next access), which
+// would race with that cluster's own shard.
+func (cs *ClusterSystem) FinishShards(t sim.Slot, ph sim.Phase) {
+	for ci := range cs.stage {
+		st := &cs.stage[ci]
+		cs.RemoteCompleted += st.remote
+		st.remote = 0
+		for _, reply := range st.replies {
+			reply()
+		}
+		st.replies = st.replies[:0]
 	}
 }
 
@@ -144,14 +185,19 @@ func (cs *ClusterSystem) dispatch(t sim.Slot, ci int) {
 	req := q[0]
 	cs.queues[ci] = q[1:]
 	reply := func(blk memory.Block) {
-		cs.RemoteCompleted++
+		st := &cs.stage[ci]
+		st.remote++
 		if req.replyTo != nil {
-			// The reply crosses the link back to the requester.
+			// The reply crosses the link back to the requester. It is
+			// staged (not fired inline) because replyTo re-enters the
+			// requesting cluster; FinishShards runs it single-threaded.
 			back := cs.linkDelay
 			if req.replyDelay >= 0 {
 				back = req.replyDelay
 			}
-			req.replyTo(blk.Clone(), cl.ATSpace().CompletionSlot(t)+sim.Slot(back))
+			at := cl.ATSpace().CompletionSlot(t) + sim.Slot(back)
+			data := blk.Clone()
+			st.replies = append(st.replies, func() { req.replyTo(data, at) })
 		}
 	}
 	switch req.kind {

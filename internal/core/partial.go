@@ -101,7 +101,11 @@ func (c PartialConfig) ContentionSet(p int) int { return p % c.ClusterSize() }
 // conventional baseline, so efficiencies are directly comparable.
 type Partial struct {
 	cfg PartialConfig
-	rng *sim.RNG
+	// rngs holds one independent stream per processor (split from the
+	// config seed), so a processor's stochastic behaviour never depends
+	// on the order in which other processors draw — the property that
+	// lets contention-set shards run concurrently.
+	rngs []*sim.RNG
 
 	// ports[(module, set)] busy-until slot.
 	ports []sim.Slot
@@ -114,12 +118,24 @@ type Partial struct {
 	backlog     [][]sim.Slot
 	targetMod   []int
 
+	// stage buffers per-shard measurement deltas, folded by FinishShards.
+	stage []partialStage
+
 	// Measurements.
 	Completed    int64
 	Retries      int64
 	TotalLatency int64
 	LocalAcc     int64
 	RemoteAcc    int64
+}
+
+// partialStage buffers one contention-set shard's measurement deltas.
+type partialStage struct {
+	completed    int64
+	retries      int64
+	totalLatency int64
+	localAcc     int64
+	remoteAcc    int64
 }
 
 type procState int
@@ -138,7 +154,7 @@ func NewPartial(cfg PartialConfig) *Partial {
 	n := cfg.Processors
 	p := &Partial{
 		cfg:         cfg,
-		rng:         sim.NewRNG(cfg.Seed),
+		rngs:        make([]*sim.RNG, n),
 		ports:       make([]sim.Slot, cfg.Modules*cfg.ClusterSize()),
 		state:       make([]procState, n),
 		wakeAt:      make([]sim.Slot, n),
@@ -147,24 +163,27 @@ func NewPartial(cfg PartialConfig) *Partial {
 		nextArrival: make([]sim.Slot, n),
 		backlog:     make([][]sim.Slot, n),
 		targetMod:   make([]int, n),
+		stage:       make([]partialStage, cfg.ClusterSize()),
 	}
+	seeder := sim.NewRNG(cfg.Seed)
 	for i := 0; i < n; i++ {
+		p.rngs[i] = seeder.Split()
 		if cfg.Home(i) < 0 {
 			p.nextArrival[i] = 1 << 60 // idle processor: no traffic
 			continue
 		}
-		p.nextArrival[i] = sim.Slot(p.thinkTime())
+		p.nextArrival[i] = sim.Slot(p.thinkTime(i))
 	}
 	return p
 }
 
-func (p *Partial) thinkTime() int {
+func (p *Partial) thinkTime(proc int) int {
 	r := p.cfg.AccessRate
 	if r <= 0 {
 		return 1 << 30
 	}
 	t := 1
-	for !p.rng.Bernoulli(r) {
+	for !p.rngs[proc].Bernoulli(r) {
 		t++
 		if t > 1<<20 {
 			break
@@ -173,26 +192,28 @@ func (p *Partial) thinkTime() int {
 	return t
 }
 
-func (p *Partial) retryDelay() int {
+func (p *Partial) retryDelay(proc int) int {
 	g := p.cfg.RetryMean
 	if g == 1 {
 		return 1
 	}
-	return 1 + p.rng.Intn(2*g-1)
+	return 1 + p.rngs[proc].Intn(2*g-1)
 }
 
 // pickModule applies the locality model: probability λ of the HOME
 // module (the placed job's data), otherwise uniform over the m−1 other
 // modules. LocalAcc counts home-module accesses whether or not the home
-// coincides with the processor's own cluster.
+// coincides with the processor's own cluster; the counts are staged in
+// the processor's contention-set shard.
 func (p *Partial) pickModule(proc int) int {
 	local := p.cfg.Home(proc)
-	if p.cfg.Modules == 1 || p.rng.Bernoulli(p.cfg.Locality) {
-		p.LocalAcc++
+	st := &p.stage[p.cfg.ContentionSet(proc)]
+	if p.cfg.Modules == 1 || p.rngs[proc].Bernoulli(p.cfg.Locality) {
+		st.localAcc++
 		return local
 	}
-	p.RemoteAcc++
-	mod := p.rng.Intn(p.cfg.Modules - 1)
+	st.remoteAcc++
+	mod := p.rngs[proc].Intn(p.cfg.Modules - 1)
 	if mod >= local {
 		mod++
 	}
@@ -201,21 +222,34 @@ func (p *Partial) pickModule(proc int) int {
 
 func (p *Partial) portIndex(mod, set int) int { return mod*p.cfg.ClusterSize() + set }
 
-// Tick implements sim.Ticker.
-func (p *Partial) Tick(t sim.Slot, ph sim.Phase) {
-	if ph != sim.PhaseIssue {
-		return
-	}
-	for i := range p.state {
+// Tick implements sim.Ticker by delegating to the shard path, so the
+// serial and parallel engines execute identical code.
+func (p *Partial) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(p, t, ph) }
+
+// ActivePhases implements sim.PhaseAware: all the work is in PhaseIssue.
+func (p *Partial) ActivePhases() []sim.Phase { return []sim.Phase{sim.PhaseIssue} }
+
+// Shards implements sim.Shardable: one shard per contention set. Two
+// processors interact only through the busy-until state of (module, set)
+// ports, and a processor in set s only ever touches set-s ports — so
+// partitioning by ContentionSet puts every pair of potentially
+// conflicting processors in the same shard.
+func (p *Partial) Shards() int { return p.cfg.ClusterSize() }
+
+// TickShard implements sim.Shardable: advance every processor of
+// contention set s, in ascending processor order.
+func (p *Partial) TickShard(t sim.Slot, ph sim.Phase, s int) {
+	st := &p.stage[s]
+	for i := s; i < p.cfg.Processors; i += p.cfg.ClusterSize() {
 		for t >= p.nextArrival[i] {
 			p.backlog[i] = append(p.backlog[i], p.nextArrival[i])
-			p.nextArrival[i] += sim.Slot(p.thinkTime())
+			p.nextArrival[i] += sim.Slot(p.thinkTime(i))
 		}
 		switch p.state[i] {
 		case procInFlight:
 			if t >= p.doneAt[i] {
-				p.Completed++
-				p.TotalLatency += int64(p.doneAt[i] - p.issuedAt[i])
+				st.completed++
+				st.totalLatency += int64(p.doneAt[i] - p.issuedAt[i])
 				p.state[i] = procIdle
 			}
 		case procWaiting:
@@ -232,12 +266,27 @@ func (p *Partial) Tick(t sim.Slot, ph sim.Phase) {
 	}
 }
 
+// FinishShards implements sim.ShardFinalizer: fold the per-shard
+// measurement deltas into the public counters in shard order.
+func (p *Partial) FinishShards(t sim.Slot, ph sim.Phase) {
+	for s := range p.stage {
+		st := &p.stage[s]
+		p.Completed += st.completed
+		p.Retries += st.retries
+		p.TotalLatency += st.totalLatency
+		p.LocalAcc += st.localAcc
+		p.RemoteAcc += st.remoteAcc
+		*st = partialStage{}
+	}
+}
+
 func (p *Partial) attempt(t sim.Slot, proc int) {
-	port := p.portIndex(p.targetMod[proc], p.cfg.ContentionSet(proc))
+	set := p.cfg.ContentionSet(proc)
+	port := p.portIndex(p.targetMod[proc], set)
 	if t < p.ports[port] {
-		p.Retries++
+		p.stage[set].retries++
 		p.state[proc] = procWaiting
-		p.wakeAt[proc] = t + sim.Slot(p.retryDelay())
+		p.wakeAt[proc] = t + sim.Slot(p.retryDelay(proc))
 		return
 	}
 	p.ports[port] = t + sim.Slot(p.cfg.BlockTime())

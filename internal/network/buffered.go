@@ -54,12 +54,18 @@ func (c BufferedConfig) Validate() error {
 type BufferedOmega struct {
 	cfg BufferedConfig
 	o   *Omega
-	rng *sim.RNG
+	// rngs holds one independent injection stream per processor (split
+	// from the config seed), so terminal shards draw independently.
+	rngs []*sim.RNG
 
 	inject [][]Packet   // unbounded source queues (one per processor)
 	q      [][][]Packet // q[column][outputPosition], bounded by QueueCap
 	rr     [][]int      // round-robin arbiter state per switch
 	busy   []sim.Slot   // per-module busy-until
+
+	// stage buffers per-terminal measurement deltas, folded by
+	// FinishShards.
+	stage []bufferedStage
 
 	// Measurements, split by traffic class.
 	Injected        int64
@@ -67,6 +73,15 @@ type BufferedOmega struct {
 	DeliveredHot    int64
 	LatencyBgTotal  int64
 	LatencyHotTotal int64
+}
+
+// bufferedStage buffers one terminal shard's measurement deltas.
+type bufferedStage struct {
+	injected        int64
+	deliveredBg     int64
+	deliveredHot    int64
+	latencyBgTotal  int64
+	latencyHotTotal int64
 }
 
 // NewBufferedOmega builds the simulator. It panics on invalid
@@ -79,11 +94,16 @@ func NewBufferedOmega(cfg BufferedConfig) *BufferedOmega {
 	b := &BufferedOmega{
 		cfg:    cfg,
 		o:      o,
-		rng:    sim.NewRNG(cfg.Seed),
+		rngs:   make([]*sim.RNG, cfg.Terminals),
 		inject: make([][]Packet, cfg.Terminals),
 		q:      make([][][]Packet, o.Columns()),
 		rr:     make([][]int, o.Columns()),
 		busy:   make([]sim.Slot, cfg.Terminals),
+		stage:  make([]bufferedStage, cfg.Terminals),
+	}
+	seeder := sim.NewRNG(cfg.Seed)
+	for p := range b.rngs {
+		b.rngs[p] = seeder.Split()
 	}
 	for j := range b.q {
 		b.q[j] = make([][]Packet, cfg.Terminals)
@@ -92,59 +112,91 @@ func NewBufferedOmega(cfg BufferedConfig) *BufferedOmega {
 	return b
 }
 
-// Tick implements sim.Ticker. Injection happens in PhaseIssue; movement
-// (sinks first, then columns back to front, so freed space propagates
-// upstream within the slot like combinational back-pressure) happens in
-// PhaseTransfer.
-func (b *BufferedOmega) Tick(t sim.Slot, ph sim.Phase) {
+// Tick implements sim.Ticker by delegating to the shard path, so the
+// serial and parallel engines execute identical code. Injection happens
+// in PhaseIssue; movement (sinks first, then columns back to front, so
+// freed space propagates upstream within the slot like combinational
+// back-pressure) happens in PhaseTransfer.
+func (b *BufferedOmega) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(b, t, ph) }
+
+// ActivePhases implements sim.PhaseAware: the network is idle during
+// PhaseConnect and PhaseUpdate.
+func (b *BufferedOmega) ActivePhases() []sim.Phase {
+	return []sim.Phase{sim.PhaseIssue, sim.PhaseTransfer}
+}
+
+// Shards implements sim.Shardable: one shard per terminal. Injection
+// touches only source queue p and its private stream; sink draining
+// touches only module m's busy state and last-column queue. The
+// store-and-forward column sweep, which couples every queue through
+// back-pressure, stays single-threaded in FinishShards.
+func (b *BufferedOmega) Shards() int { return b.cfg.Terminals }
+
+// TickShard implements sim.Shardable.
+func (b *BufferedOmega) TickShard(t sim.Slot, ph sim.Phase, s int) {
 	switch ph {
 	case sim.PhaseIssue:
-		b.injectNew(t)
+		b.injectNew(t, s)
 	case sim.PhaseTransfer:
-		b.drainSinks(t)
+		b.drainSink(t, s)
+	}
+}
+
+// FinishShards implements sim.ShardFinalizer: fold the per-terminal
+// measurement deltas and, in PhaseTransfer, run the sequential column
+// sweep that the drained sinks just made room for.
+func (b *BufferedOmega) FinishShards(t sim.Slot, ph sim.Phase) {
+	for s := range b.stage {
+		st := &b.stage[s]
+		b.Injected += st.injected
+		b.DeliveredBg += st.deliveredBg
+		b.DeliveredHot += st.deliveredHot
+		b.LatencyBgTotal += st.latencyBgTotal
+		b.LatencyHotTotal += st.latencyHotTotal
+		*st = bufferedStage{}
+	}
+	if ph == sim.PhaseTransfer {
 		for j := b.o.Columns() - 1; j >= 0; j-- {
 			b.advanceColumn(t, j)
 		}
 	}
 }
 
-// injectNew generates this slot's new requests.
-func (b *BufferedOmega) injectNew(t sim.Slot) {
-	for p := 0; p < b.cfg.Terminals; p++ {
-		if !b.rng.Bernoulli(b.cfg.Rate) {
-			continue
-		}
-		pk := Packet{Born: t}
-		if b.rng.Bernoulli(b.cfg.HotFraction) {
-			pk.Dest = b.cfg.HotModule
-			pk.Hot = true
-		} else {
-			pk.Dest = b.rng.Intn(b.cfg.Terminals)
-		}
-		b.inject[p] = append(b.inject[p], pk)
-		b.Injected++
+// injectNew generates terminal p's new request for this slot, if any.
+func (b *BufferedOmega) injectNew(t sim.Slot, p int) {
+	rng := b.rngs[p]
+	if !rng.Bernoulli(b.cfg.Rate) {
+		return
 	}
+	pk := Packet{Born: t}
+	if rng.Bernoulli(b.cfg.HotFraction) {
+		pk.Dest = b.cfg.HotModule
+		pk.Hot = true
+	} else {
+		pk.Dest = rng.Intn(b.cfg.Terminals)
+	}
+	b.inject[p] = append(b.inject[p], pk)
+	b.stage[p].injected++
 }
 
-// drainSinks lets each idle memory module consume the packet at the head
-// of its last-column queue.
-func (b *BufferedOmega) drainSinks(t sim.Slot) {
+// drainSink lets memory module m, if idle, consume the packet at the
+// head of its last-column queue.
+func (b *BufferedOmega) drainSink(t sim.Slot, m int) {
 	last := b.o.Columns() - 1
-	for m := 0; m < b.cfg.Terminals; m++ {
-		if t < b.busy[m] || len(b.q[last][m]) == 0 {
-			continue
-		}
-		pk := b.q[last][m][0]
-		b.q[last][m] = b.q[last][m][1:]
-		b.busy[m] = t + sim.Slot(b.cfg.ServiceTime)
-		lat := int64(t + sim.Slot(b.cfg.ServiceTime) - pk.Born)
-		if pk.Hot {
-			b.DeliveredHot++
-			b.LatencyHotTotal += lat
-		} else {
-			b.DeliveredBg++
-			b.LatencyBgTotal += lat
-		}
+	if t < b.busy[m] || len(b.q[last][m]) == 0 {
+		return
+	}
+	pk := b.q[last][m][0]
+	b.q[last][m] = b.q[last][m][1:]
+	b.busy[m] = t + sim.Slot(b.cfg.ServiceTime)
+	lat := int64(t + sim.Slot(b.cfg.ServiceTime) - pk.Born)
+	st := &b.stage[m]
+	if pk.Hot {
+		st.deliveredHot++
+		st.latencyHotTotal += lat
+	} else {
+		st.deliveredBg++
+		st.latencyBgTotal += lat
 	}
 }
 

@@ -1,0 +1,481 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the parallel cycle engine. The CFM is a fully
+// synchronous machine: within one time slot every bank, switch column,
+// and cache frontend is combinational and mutually independent, so the
+// hardware evaluates them simultaneously (dissertation §3.1.1). The
+// serial Clock linearizes that simultaneity into an arbitrary but fixed
+// order; ParallelClock recovers the hardware's concurrency while
+// guaranteeing the exact same observable simulation, bit for bit.
+//
+// The guarantee rests on three rules:
+//
+//  1. Phases are global barriers: every component finishes phase k of a
+//     slot before any component starts phase k+1, exactly as on Clock.
+//  2. Priority order is honored across shards: tickers are grouped into
+//     priority bands (equal RegisterPrio priority), and band k fully
+//     precedes band k+1 within each phase. Components that do not opt
+//     in to sharding run single-threaded, in registration order.
+//  3. Within one priority band, a component opts in by implementing
+//     Shardable: it partitions its per-phase work into shards and
+//     promises the shards are conflict-free — against each other AND
+//     against the shards of any other Shardable in the same band. The
+//     engine may then run shards concurrently in any order. Work that
+//     is inherently ordered (statistics folding, trace emission,
+//     completion callbacks) goes into FinishShards, which the engine
+//     runs single-threaded after all of the band's shards.
+//
+// Under those rules any shard interleaving — including the fully serial
+// one — yields the same machine state, so Clock and ParallelClock are
+// interchangeable. The top-level differential suite
+// (engine_equiv_test.go) proves it for every configuration of the
+// dissertation's evaluation.
+
+// Shardable is the optional interface by which a composite Ticker
+// declares conflict-free shard affinity. Shards returns the number of
+// independent units; TickShard performs unit `shard`'s portion of
+// Tick(t, ph). The contract:
+//
+//   - For every slot and phase, running TickShard for all shards (in
+//     any order, possibly concurrently) followed by FinishShards (if
+//     implemented) must leave the component — and every component it
+//     touches — in exactly the state Tick(t, ph) would.
+//   - Distinct shards must not write state read or written by another
+//     shard of this component during the same phase, nor state touched
+//     by any shard of another Shardable registered in the same
+//     priority band.
+//
+// Components typically implement Tick by delegating to SerialTick so
+// the serial and parallel engines execute identical code paths.
+type Shardable interface {
+	Ticker
+	Shards() int
+	TickShard(t Slot, ph Phase, shard int)
+}
+
+// ShardFinalizer is implemented by Shardables that need a
+// single-threaded epilogue per (slot, phase): folding per-shard
+// statistics into public counters, flushing staged trace events in
+// deterministic order, and running completion callbacks. The engine
+// calls it exactly once after every shard of the phase has finished.
+type ShardFinalizer interface {
+	FinishShards(t Slot, ph Phase)
+}
+
+// PhaseAware is an optional interface that narrows the phases in which
+// a component does any work, letting ParallelClock omit it from the
+// other phases' schedules (and skip their barriers) entirely. Tick and
+// TickShard MUST be no-ops in phases not listed. The serial Clock
+// ignores this interface, so a wrong ActivePhases shows up as a
+// serial/parallel divergence in the differential suite.
+type PhaseAware interface {
+	ActivePhases() []Phase
+}
+
+// SerialTick executes a Shardable exactly as the engines do: every
+// shard in ascending order, then the finalizer. Components delegate
+// their Tick to it so both engines share one code path.
+func SerialTick(s Shardable, t Slot, ph Phase) {
+	for i, n := 0, s.Shards(); i < n; i++ {
+		s.TickShard(t, ph, i)
+	}
+	if f, ok := s.(ShardFinalizer); ok {
+		f.FinishShards(t, ph)
+	}
+}
+
+// parUnit is one Shardable inside a merged parallel segment.
+type parUnit struct {
+	s      Shardable
+	fin    ShardFinalizer // nil when the component has no finalizer
+	shards int
+	offset int // first global shard index of this unit in the segment
+}
+
+// segment is one barrier-delimited step of a phase schedule: either a
+// run of single-threaded tickers or a merged group of Shardables from
+// one priority band.
+type segment struct {
+	serial []Ticker  // non-nil: worker 0 runs these in order
+	units  []parUnit // non-nil: shards distributed across workers
+	total  int       // total shards across units
+	anyFin bool
+}
+
+// ParallelClock drives the same Ticker population as Clock but executes
+// each phase with a pool of workers and barrier synchronization. It
+// implements Engine; see the file comment for the equivalence
+// guarantee. The zero value is not usable — construct with
+// NewParallelClock.
+//
+// Registration must happen between runs, never from inside a Tick.
+type ParallelClock struct {
+	now     Slot
+	tickers []tickerEntry
+	workers int
+	plan    [numPhases][]segment
+	planned bool
+	stopped atomic.Bool
+	// cont is the worker control word: written by worker 0 between the
+	// end-of-slot barriers, read by everyone after them.
+	cont bool
+	// Stats
+	slotsRun int64
+}
+
+// NewParallelClock returns a parallel engine at slot 0 running on
+// `workers` OS-thread-backed goroutines; workers <= 0 selects
+// GOMAXPROCS. workers == 1 executes the parallel schedule inline with
+// no goroutines (useful as the differential baseline).
+func NewParallelClock(workers int) *ParallelClock {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelClock{workers: workers}
+}
+
+// Workers returns the configured worker count.
+func (pc *ParallelClock) Workers() int { return pc.workers }
+
+// Now returns the current slot (the slot being executed during a tick).
+func (pc *ParallelClock) Now() Slot { return pc.now }
+
+// SlotsRun reports how many complete slots have been executed.
+func (pc *ParallelClock) SlotsRun() int64 { return pc.slotsRun }
+
+// Register adds a component at priority 0.
+func (pc *ParallelClock) Register(t Ticker) { pc.RegisterPrio(t, 0) }
+
+// RegisterPrio adds a component with an explicit priority; semantics
+// match Clock.RegisterPrio.
+func (pc *ParallelClock) RegisterPrio(t Ticker, prio int) {
+	pc.tickers = append(pc.tickers, tickerEntry{prio: prio, seq: len(pc.tickers), t: t})
+	pc.planned = false
+}
+
+// Stop requests that Run return at the end of the current slot. Safe to
+// call from any worker (i.e. from inside a TickShard).
+func (pc *ParallelClock) Stop() { pc.stopped.Store(true) }
+
+// activePhases returns the phases a ticker participates in.
+func activePhases(t Ticker) []Phase {
+	if pa, ok := t.(PhaseAware); ok {
+		return pa.ActivePhases()
+	}
+	all := make([]Phase, numPhases)
+	for i := range all {
+		all[i] = Phase(i)
+	}
+	return all
+}
+
+// compile builds the per-phase schedule: tickers sorted into priority
+// bands, consecutive Shardables of one band merged into parallel
+// segments, everything else into single-threaded segments.
+func (pc *ParallelClock) compile() {
+	sortTickers(pc.tickers)
+	for ph := Phase(0); ph < numPhases; ph++ {
+		pc.plan[ph] = nil
+	}
+	// lastBand[ph] is the priority of the last segment appended to
+	// phase ph's schedule; parallel merging never crosses bands.
+	var lastBand [numPhases]int
+	for _, e := range pc.tickers {
+		sh, shardable := e.t.(Shardable)
+		if shardable && sh.Shards() < 1 {
+			shardable = false
+		}
+		for _, ph := range activePhases(e.t) {
+			segs := pc.plan[ph]
+			if shardable {
+				fin, _ := e.t.(ShardFinalizer)
+				u := parUnit{s: sh, fin: fin, shards: sh.Shards()}
+				if n := len(segs); n > 0 && segs[n-1].units != nil && lastBand[ph] == e.prio {
+					last := &segs[n-1]
+					u.offset = last.total
+					last.units = append(last.units, u)
+					last.total += u.shards
+					last.anyFin = last.anyFin || fin != nil
+				} else {
+					segs = append(segs, segment{units: []parUnit{u}, total: u.shards, anyFin: fin != nil})
+				}
+			} else {
+				if n := len(segs); n > 0 && segs[n-1].serial != nil {
+					segs[n-1].serial = append(segs[n-1].serial, e.t)
+				} else {
+					segs = append(segs, segment{serial: []Ticker{e.t}})
+				}
+			}
+			pc.plan[ph] = segs
+			lastBand[ph] = e.prio
+		}
+	}
+	pc.planned = true
+}
+
+// runShards executes the global shard range [lo, hi) of a merged
+// parallel segment.
+func (seg *segment) runShards(t Slot, ph Phase, lo, hi int) {
+	for _, u := range seg.units {
+		if lo >= u.offset+u.shards || hi <= u.offset {
+			continue
+		}
+		s, e := lo-u.offset, hi-u.offset
+		if s < 0 {
+			s = 0
+		}
+		if e > u.shards {
+			e = u.shards
+		}
+		for i := s; i < e; i++ {
+			u.s.TickShard(t, ph, i)
+		}
+	}
+}
+
+// finish runs the segment's finalizers in registration order.
+func (seg *segment) finish(t Slot, ph Phase) {
+	for _, u := range seg.units {
+		if u.fin != nil {
+			u.fin.FinishShards(t, ph)
+		}
+	}
+}
+
+// stepSerial executes one slot of the compiled schedule inline — the
+// workers == 1 path and the implementation of Step.
+func (pc *ParallelClock) stepSerial() {
+	t := pc.now
+	for ph := Phase(0); ph < numPhases; ph++ {
+		for i := range pc.plan[ph] {
+			seg := &pc.plan[ph][i]
+			if seg.serial != nil {
+				for _, tk := range seg.serial {
+					tk.Tick(t, ph)
+				}
+				continue
+			}
+			seg.runShards(t, ph, 0, seg.total)
+			seg.finish(t, ph)
+		}
+	}
+	pc.now++
+	pc.slotsRun++
+}
+
+// Step executes exactly one slot (inline, without spawning workers —
+// identical semantics to a one-slot Run by the equivalence guarantee).
+func (pc *ParallelClock) Step() {
+	if !pc.planned {
+		pc.compile()
+	}
+	pc.stepSerial()
+}
+
+// Run executes up to n slots, stopping early if Stop is called. It
+// returns the number of slots actually executed.
+func (pc *ParallelClock) Run(n int64) int64 {
+	pc.stopped.Store(false)
+	done, _ := pc.run(n, nil)
+	return done
+}
+
+// RunUntil executes slots until pred returns true (checked between
+// slots, single-threaded) or the budget is exhausted.
+func (pc *ParallelClock) RunUntil(pred func() bool, budget int64) (int64, bool) {
+	done, _ := pc.run(budget, pred)
+	return done, pred()
+}
+
+// hasParallelWork reports whether the schedule contains any shard work.
+func (pc *ParallelClock) hasParallelWork() bool {
+	for ph := Phase(0); ph < numPhases; ph++ {
+		for i := range pc.plan[ph] {
+			if pc.plan[ph][i].units != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (pc *ParallelClock) run(n int64, pred func() bool) (int64, bool) {
+	if !pc.planned {
+		pc.compile()
+	}
+	if pc.workers == 1 || !pc.hasParallelWork() {
+		var done int64
+		for done < n {
+			if pred != nil {
+				if pred() {
+					return done, true
+				}
+			} else if pc.stopped.Load() {
+				break
+			}
+			pc.stepSerial()
+			done++
+			// Match Clock.Run: Stop takes effect at the end of the slot.
+			if pred == nil && pc.stopped.Load() {
+				break
+			}
+		}
+		return done, false
+	}
+	return pc.runWorkers(n, pred)
+}
+
+// poisonedBarrier is the sentinel panic a worker raises when it
+// observes that another worker has already panicked; the original
+// panic value is re-raised on the caller's goroutine.
+type poisonedBarrier struct{}
+
+// barrier is a generation-counting sense-reversing spin barrier. All
+// synchronization goes through sync/atomic, so the race detector sees
+// the happens-before edges; waiters yield the processor between polls,
+// which keeps the engine live even when workers exceed GOMAXPROCS.
+type barrier struct {
+	n       int32
+	arrived atomic.Int32
+	gen     atomic.Uint64
+	poison  *atomic.Bool
+}
+
+func (b *barrier) await(local *uint64) {
+	g := *local + 1
+	*local = g
+	if b.arrived.Add(1) == b.n {
+		b.arrived.Store(0)
+		b.gen.Store(g)
+		return
+	}
+	for b.gen.Load() < g {
+		if b.poison.Load() {
+			panic(poisonedBarrier{})
+		}
+		runtime.Gosched()
+	}
+}
+
+// runWorkers is the SPMD execution path: the caller becomes worker 0
+// and W−1 goroutines are spawned for the duration of this run. Every
+// worker walks the identical schedule; barriers separate segments,
+// phases, and slots; worker 0 alone runs serial segments, finalizers,
+// predicate checks, and the slot-count bookkeeping.
+func (pc *ParallelClock) runWorkers(n int64, pred func() bool) (int64, bool) {
+	var (
+		poison   atomic.Bool
+		panicVal any
+		panicMu  sync.Mutex
+		wg       sync.WaitGroup
+		done     int64
+		predHit  bool
+	)
+	bar := &barrier{n: int32(pc.workers), poison: &poison}
+	record := func(r any) {
+		if _, sentinel := r.(poisonedBarrier); sentinel {
+			return
+		}
+		panicMu.Lock()
+		if panicVal == nil {
+			panicVal = r
+		}
+		panicMu.Unlock()
+	}
+
+	// Decide on the caller whether slot 0 runs at all.
+	pc.cont = n > 0
+	if pc.cont && pred != nil && pred() {
+		predHit = true
+		pc.cont = false
+	}
+	if !pc.cont {
+		return 0, predHit
+	}
+
+	body := func(w int) {
+		var sense uint64
+		t := pc.now
+		for {
+			for ph := Phase(0); ph < numPhases; ph++ {
+				for i := range pc.plan[ph] {
+					seg := &pc.plan[ph][i]
+					if seg.serial != nil {
+						if w == 0 {
+							for _, tk := range seg.serial {
+								tk.Tick(t, ph)
+							}
+						}
+						bar.await(&sense)
+						continue
+					}
+					lo := w * seg.total / pc.workers
+					hi := (w + 1) * seg.total / pc.workers
+					seg.runShards(t, ph, lo, hi)
+					bar.await(&sense)
+					if seg.anyFin {
+						if w == 0 {
+							seg.finish(t, ph)
+						}
+						bar.await(&sense)
+					}
+				}
+			}
+			t++
+			bar.await(&sense) // slot's work complete everywhere
+			if w == 0 {
+				pc.now = t
+				pc.slotsRun++
+				done++
+				pc.cont = done < n
+				if pred != nil {
+					if pred() {
+						predHit = true
+						pc.cont = false
+					}
+				} else if pc.stopped.Load() {
+					pc.cont = false
+				}
+			}
+			bar.await(&sense) // control word published
+			if !pc.cont {
+				return
+			}
+		}
+	}
+
+	for w := 1; w < pc.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer func() {
+				if r := recover(); r != nil {
+					record(r)
+					poison.Store(true)
+				}
+				wg.Done()
+			}()
+			body(w)
+		}(w)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				record(r)
+				poison.Store(true)
+			}
+		}()
+		body(0)
+	}()
+	wg.Wait()
+	if panicVal != nil {
+		panic(fmt.Sprintf("sim: worker panic during parallel run at slot %d: %v", pc.now, panicVal))
+	}
+	return done, predHit
+}

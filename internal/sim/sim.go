@@ -70,11 +70,36 @@ type TickerFunc func(t Slot, ph Phase)
 // Tick implements Ticker.
 func (f TickerFunc) Tick(t Slot, ph Phase) { f(t, ph) }
 
+// Timebase is the read-only clock interface components keep a reference
+// to when they only need the current slot (both Clock and ParallelClock
+// satisfy it).
+type Timebase interface {
+	Now() Slot
+}
+
+// Engine is the common cycle-engine interface of Clock (serial) and
+// ParallelClock: everything a harness needs to register components and
+// advance simulated time. The two implementations are guaranteed to
+// produce bit-for-bit identical simulations for components that honor
+// the Shardable contract (see parallel.go and the top-level differential
+// suite engine_equiv_test.go).
+type Engine interface {
+	Register(t Ticker)
+	RegisterPrio(t Ticker, prio int)
+	Now() Slot
+	SlotsRun() int64
+	Stop()
+	Step()
+	Run(n int64) int64
+	RunUntil(pred func() bool, budget int64) (int64, bool)
+}
+
 // Clock owns simulated time and the ordered set of components it drives.
 // The zero value is a clock at slot 0 with no components.
 type Clock struct {
 	now     Slot
 	tickers []tickerEntry
+	sorted  bool // tickers are in (prio, seq) order
 	stopped bool
 	// Stats
 	slotsRun int64
@@ -84,6 +109,19 @@ type tickerEntry struct {
 	prio int // lower runs first within a phase
 	seq  int // registration order breaks priority ties
 	t    Ticker
+}
+
+// sortTickers orders entries by (prio, seq). Registration only appends,
+// so engines sort lazily before the first slot executes instead of
+// re-sorting on every RegisterPrio call (which made setting up large
+// configurations O(n² log n)).
+func sortTickers(entries []tickerEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].prio != entries[j].prio {
+			return entries[i].prio < entries[j].prio
+		}
+		return entries[i].seq < entries[j].seq
+	})
 }
 
 // NewClock returns a clock at slot 0.
@@ -106,12 +144,7 @@ func (c *Clock) Register(t Ticker) { c.RegisterPrio(t, 0) }
 // must compute connections before banks sample their inputs.
 func (c *Clock) RegisterPrio(t Ticker, prio int) {
 	c.tickers = append(c.tickers, tickerEntry{prio: prio, seq: len(c.tickers), t: t})
-	sort.SliceStable(c.tickers, func(i, j int) bool {
-		if c.tickers[i].prio != c.tickers[j].prio {
-			return c.tickers[i].prio < c.tickers[j].prio
-		}
-		return c.tickers[i].seq < c.tickers[j].seq
-	})
+	c.sorted = false
 }
 
 // Stop requests that Run return at the end of the current slot. It may be
@@ -120,6 +153,10 @@ func (c *Clock) Stop() { c.stopped = true }
 
 // Step executes exactly one slot: every phase, every component.
 func (c *Clock) Step() {
+	if !c.sorted {
+		sortTickers(c.tickers)
+		c.sorted = true
+	}
 	for ph := Phase(0); ph < numPhases; ph++ {
 		for _, e := range c.tickers {
 			e.t.Tick(c.now, ph)

@@ -39,6 +39,60 @@ func (tr *Trace) Add(t Slot, who, format string, args ...any) {
 	tr.events = append(tr.events, Event{Slot: t, Who: who, What: fmt.Sprintf(format, args...)})
 }
 
+// AddEvent appends an already-built event. Safe on a nil receiver. Used
+// by Shardable components that stage events in per-shard buffers and
+// flush them in deterministic order from FinishShards.
+func (tr *Trace) AddEvent(e Event) {
+	if tr == nil || tr.disabled {
+		return
+	}
+	tr.events = append(tr.events, e)
+}
+
+// Enabled reports whether the trace records events; components use it to
+// skip building per-shard event buffers entirely when tracing is off.
+func (tr *Trace) Enabled() bool {
+	return tr != nil && !tr.disabled
+}
+
+// Digest returns an order-sensitive 64-bit FNV-1a hash over every
+// recorded event. Two traces have the same digest iff they recorded the
+// same events in the same order (modulo hash collisions), which is the
+// bit-for-bit equivalence check of the serial/parallel differential
+// suite. Safe on a nil receiver (digest of the empty trace).
+func (tr *Trace) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // field separator outside the byte alphabet
+		h *= prime64
+	}
+	if tr == nil {
+		return h
+	}
+	var buf [8]byte
+	for _, e := range tr.events {
+		v := uint64(e.Slot)
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		for _, b := range buf {
+			h ^= uint64(b)
+			h *= prime64
+		}
+		mix(e.Who)
+		mix(e.What)
+	}
+	return h
+}
+
 // Disable stops recording (existing events are kept).
 func (tr *Trace) Disable() {
 	if tr != nil {
