@@ -24,6 +24,9 @@
 package cfm
 
 import (
+	"io"
+	"net/http"
+
 	"cfm/internal/analytic"
 	"cfm/internal/att"
 	"cfm/internal/binding"
@@ -33,6 +36,7 @@ import (
 	"cfm/internal/hier"
 	"cfm/internal/linda"
 	"cfm/internal/memory"
+	"cfm/internal/metrics"
 	"cfm/internal/network"
 	"cfm/internal/sim"
 	"cfm/internal/syncprim"
@@ -87,6 +91,51 @@ func NewEngine(parallel bool, workers int) Engine {
 
 // NewTrace returns an empty event trace.
 func NewTrace() *Trace { return sim.NewTrace() }
+
+// Observability (the simulation observatory).
+type (
+	// Registry is the central store of named counters, gauges, and
+	// histograms every instrumented subsystem reports into. A nil
+	// *Registry is valid and disables observation at zero cost.
+	Registry = metrics.Registry
+	// MetricsSnapshot is a deterministic point-in-time copy of a
+	// registry, sorted by name, with a Digest for differential tests.
+	MetricsSnapshot = metrics.Snapshot
+	// Sampler records registry snapshots every N slots, forming the
+	// slot-sampled time series behind the JSONL export and ASCII views.
+	Sampler = metrics.Sampler
+	// MetricsSample is one time-series point: every counter and gauge
+	// value at the end of a slot.
+	MetricsSample = metrics.Sample
+)
+
+// PrometheusText renders a metrics snapshot in the Prometheus text
+// exposition format (byte-stable for a given snapshot).
+func PrometheusText(s MetricsSnapshot) string { return metrics.Prometheus(s) }
+
+// WriteMetricsJSONL writes a sampler's slot-stamped time series as JSON
+// lines, one sample per line.
+func WriteMetricsJSONL(w io.Writer, samples []MetricsSample) error {
+	return metrics.WriteSeriesJSONL(w, samples)
+}
+
+// WriteTraceJSONL writes an event trace as JSON lines, one event per
+// line; a nil trace writes nothing.
+func WriteTraceJSONL(w io.Writer, tr *Trace) error { return metrics.WriteTraceJSONL(w, tr) }
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return metrics.New() }
+
+// NewSampler returns a sampler reading reg every `every` slots; register
+// it on an engine with its Attach method so it runs after all
+// instrumented components.
+func NewSampler(reg *Registry, every int64) *Sampler { return metrics.NewSampler(reg, every) }
+
+// ServeMetrics starts a live observability endpoint (/metrics, expvar,
+// pprof) on addr; close the returned server when done.
+func ServeMetrics(addr string, reg *Registry) (*http.Server, error) {
+	return metrics.Serve(addr, reg)
+}
 
 // NewRNG returns a seeded deterministic generator.
 func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }

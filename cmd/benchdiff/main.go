@@ -3,11 +3,11 @@
 // threshold. It is the guard behind BENCH_engine.json: record a baseline
 // with
 //
-//	go test -run=none -bench=BenchmarkEngine -benchtime=3x -json . > BENCH_engine.json
+//	go test -run=none -bench=BenchmarkEngine -benchtime=30x -json . > BENCH_engine.json
 //
 // and after a change compare the fresh run against it:
 //
-//	go test -run=none -bench=BenchmarkEngine -benchtime=3x -json . > /tmp/new.json
+//	go test -run=none -bench=BenchmarkEngine -benchtime=30x -json . > /tmp/new.json
 //	go run ./cmd/benchdiff -old BENCH_engine.json -new /tmp/new.json
 //
 // The exit status is 1 on regression (or parse failure), 0 otherwise.

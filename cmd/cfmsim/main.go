@@ -18,6 +18,10 @@
 //	att           Figs 4.1/4.3: address tracking demonstrations
 //	locktransfer  Fig 5.4: lock transfer walkthrough
 //	latency       Tables 5.5/5.6: hierarchical read latencies vs DASH/KSR1
+//	observe       instrumented run with bank-conflict / network heatmaps
+//
+// The simulation-heavy commands accept the observability flags
+// -metrics-out, -trace-out, -http, and -sample (see usage).
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"cfm"
 	"cfm/internal/analytic"
 	"cfm/internal/core"
+	"cfm/internal/obsflags"
 	"cfm/internal/stats"
 )
 
@@ -68,6 +73,8 @@ func main() {
 		cmdTopology(args)
 	case "ordering":
 		cmdOrdering(args)
+	case "observe":
+		cmdObserve(args)
 	default:
 		fmt.Fprintf(os.Stderr, "cfmsim: unknown command %q\n\n", cmd)
 		usage()
@@ -94,11 +101,21 @@ commands:
   sharing       §7.2 slot-sharing factor sweep
   topology      §3.3 inter-cluster topology comparison
   ordering      §2.2 memory ordering disciplines vs the formal models
+  observe       instrumented simulation: bank-conflict heatmap and
+                network-occupancy view from the sampled time series
 
-simulation-heavy commands (efficiency, treesat, alloc) accept
+simulation-heavy commands (efficiency, treesat, alloc, observe) accept
   -parallel         run on the parallel cycle engine (same results,
                     bit for bit, by the engine equivalence guarantee)
-  -workers N        parallel engine workers (0 = GOMAXPROCS)`)
+  -workers N        parallel engine workers (0 = GOMAXPROCS)
+
+observability flags (efficiency, treesat, alloc, observe):
+  -metrics-out F    write metrics to F: *.jsonl gets the slot-sampled
+                    time series, anything else the Prometheus exposition
+  -trace-out F      write the event trace as JSONL (observe, att)
+  -http ADDR        serve /metrics, /debug/vars and /debug/pprof on
+                    ADDR (e.g. :8080) during the run
+  -sample N         slots between time-series samples (default 1000)`)
 }
 
 func cmdATSpace(args []string) {
@@ -235,7 +252,9 @@ func cmdEfficiency(args []string) {
 	slots := fs.Int64("slots", 300000, "simulation slots per point")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	obs := obsflags.Flags(fs)
 	fs.Parse(args)
+	openObservatory(obs, false)
 
 	var series []cfm.Series
 	switch *fig {
@@ -276,15 +295,16 @@ func cmdEfficiency(args []string) {
 
 	if *simulate {
 		fmt.Println("\ndiscrete-event simulation cross-check:")
-		simEfficiency(*fig, *slots, func() cfm.Engine { return cfm.NewEngine(*parallel, *workers) })
+		simEfficiency(*fig, *slots, func() cfm.Engine { return cfm.NewEngine(*parallel, *workers) }, obs)
 	}
+	closeObservatory(obs)
 }
 
 // simEfficiency runs the matching simulators at a few anchor rates.
 // newEngine builds a fresh cycle engine per point (serial or parallel,
 // per the -parallel/-workers flags; the results are identical either
 // way by the engine equivalence guarantee).
-func simEfficiency(fig string, slots int64, newEngine func() cfm.Engine) {
+func simEfficiency(fig string, slots int64, newEngine func() cfm.Engine, obs *obsflags.Observatory) {
 	rates := []float64{0.01, 0.03, 0.05}
 	tb := &stats.Table{Header: []string{"r", "simulated", "analytic", "system"}}
 	switch fig {
@@ -295,8 +315,10 @@ func simEfficiency(fig string, slots int64, newEngine func() cfm.Engine) {
 				Processors: 8, Modules: 8, BlockTime: 17,
 				AccessRate: r, RetryMean: 8, Seed: 11,
 			})
+			cs.Instrument(obs.Reg)
 			clk := newEngine()
 			clk.Register(cs)
+			obs.Attach(clk)
 			clk.Run(slots)
 			tb.AddRow(stats.FormatFloat(r), cs.Efficiency(), model.Efficiency(r), "conventional 8p/8m")
 		}
@@ -312,8 +334,10 @@ func simEfficiency(fig string, slots int64, newEngine func() cfm.Engine) {
 					Processors: n, Modules: m, BlockWords: 16, BankCycle: 2,
 					Locality: lam, AccessRate: r, RetryMean: 8, Seed: 11,
 				})
+				p.Instrument(obs.Reg)
 				clk := newEngine()
 				clk.Register(p)
+				obs.Attach(clk)
 				clk.Run(slots)
 				tb.AddRow(stats.FormatFloat(r), p.Efficiency(), model.Efficiency(r, lam),
 					fmt.Sprintf("partial CFM λ=%.1f", lam))
@@ -323,6 +347,23 @@ func simEfficiency(fig string, slots int64, newEngine func() cfm.Engine) {
 	fmt.Print(tb)
 }
 
+// openObservatory opens the -metrics-out/-trace-out/-http observatory,
+// exiting on a bad flag combination (e.g. an unbindable -http address).
+func openObservatory(obs *obsflags.Observatory, force bool) {
+	if err := obs.Open(force); err != nil {
+		fmt.Fprintln(os.Stderr, "cfmsim:", err)
+		os.Exit(1)
+	}
+}
+
+// closeObservatory flushes the observatory's output files.
+func closeObservatory(obs *obsflags.Observatory) {
+	if err := obs.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "cfmsim:", err)
+		os.Exit(1)
+	}
+}
+
 func cmdTreeSat(args []string) {
 	fs := flag.NewFlagSet("treesat", flag.ExitOnError)
 	n := fs.Int("n", 16, "terminals")
@@ -330,7 +371,9 @@ func cmdTreeSat(args []string) {
 	slots := fs.Int64("slots", 30000, "simulation slots")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	obs := obsflags.Flags(fs)
 	fs.Parse(args)
+	openObservatory(obs, false)
 
 	fmt.Printf("Fig 2.1 — tree saturation from a hot spot (%dx%d buffered omega, rate %.2f)\n\n", *n, *n, *rate)
 	tb := &stats.Table{Header: []string{"hot-spot fraction", "bg latency", "hot latency", "full queues/col", "backlog"}}
@@ -339,14 +382,17 @@ func cmdTreeSat(args []string) {
 			Terminals: *n, QueueCap: 4, ServiceTime: 2,
 			Rate: *rate, HotFraction: hot, Seed: 7,
 		})
+		b.Instrument(obs.Reg)
 		clk := cfm.NewEngine(*parallel, *workers)
 		clk.Register(b)
+		obs.Attach(clk)
 		clk.Run(*slots)
 		tb.AddRow(hot, b.MeanLatencyBg(), b.MeanLatencyHot(),
 			fmt.Sprint(b.FullQueues()), b.QueuedPackets())
 	}
 	fmt.Print(tb)
 	fmt.Println("\nthe CFM eliminates the effect: every access costs β regardless of pattern.")
+	closeObservatory(obs)
 }
 
 func cmdHeaders(args []string) {
@@ -379,6 +425,7 @@ func cmdHeaders(args []string) {
 func cmdATT(args []string) {
 	fs := flag.NewFlagSet("att", flag.ExitOnError)
 	demo := fs.String("demo", "inconsistency", "inconsistency | tracking")
+	traceOut := fs.String("trace-out", "", "write the event trace to this file as JSONL")
 	fs.Parse(args)
 
 	switch *demo {
@@ -406,6 +453,20 @@ func cmdATT(args []string) {
 		fmt.Println("\nevent trace:")
 		for _, e := range trace.Events() {
 			fmt.Println(" ", e)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = cfm.WriteTraceJSONL(f, trace)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cfmsim:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote trace to %s\n", *traceOut)
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "cfmsim: unknown demo %q\n", *demo)
@@ -512,7 +573,9 @@ func cmdAlloc(args []string) {
 	slots := fs.Int64("slots", 100000, "simulation slots")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	obs := obsflags.Flags(fs)
 	fs.Parse(args)
+	openObservatory(obs, false)
 
 	cfg := core.PartialConfig{
 		Processors: 32, Modules: 4, BlockWords: 16, BankCycle: 2,
@@ -542,12 +605,15 @@ func cmdAlloc(args []string) {
 		c := cfg
 		c.Homes = pl
 		p := cfm.NewPartial(c)
+		p.Instrument(obs.Reg)
 		clk := cfm.NewEngine(*parallel, *workers)
 		clk.Register(p)
+		obs.Attach(clk)
 		clk.Run(*slots)
 		tb.AddRow(st.name, pl.LocalityOf(cfg), p.Efficiency(), p.Retries)
 	}
 	fmt.Print(tb)
+	closeObservatory(obs)
 }
 
 func cmdSharing(args []string) {
@@ -591,6 +657,71 @@ func cmdTopology(args []string) {
 		tb.AddRow(topo.String(), core.Diameter(topo), mean, fmt.Sprintf("%.1f cycles", 2*3*mean))
 	}
 	fmt.Print(tb)
+}
+
+// cmdObserve runs one instrumented simulation — a conventional
+// interleaved memory, a buffered omega network with a hot spot, and the
+// CFM cache protocol — and renders the registry's sampled time series
+// as ASCII heatmaps: where the bank conflicts land over time, and how
+// the hot spot's congestion tree occupies the network stages.
+func cmdObserve(args []string) {
+	fs := flag.NewFlagSet("observe", flag.ExitOnError)
+	n := fs.Int("n", 16, "processors (= network terminals = cache processors)")
+	modules := fs.Int("modules", 8, "memory modules of the conventional system")
+	rate := fs.Float64("rate", 0.05, "per-processor access rate")
+	hot := fs.Float64("hot", 0.2, "hot-spot fraction on the buffered network")
+	slots := fs.Int64("slots", 24000, "simulation slots")
+	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	obs := obsflags.Flags(fs)
+	fs.Parse(args)
+	openObservatory(obs, true) // observe always needs the registry
+
+	conv := cfm.NewConventional(cfm.ConventionalConfig{
+		Processors: *n, Modules: *modules, BlockTime: 17,
+		AccessRate: *rate, RetryMean: 8, Seed: 11,
+	})
+	conv.Instrument(obs.Reg)
+	net := cfm.NewBufferedOmega(cfm.BufferedConfig{
+		Terminals: *n, QueueCap: 4, ServiceTime: 2,
+		Rate: *rate, HotFraction: *hot, Seed: 7,
+	})
+	net.Instrument(obs.Reg)
+	proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: *n, Lines: 8, RetryDelay: 1}, obs.Trace)
+	proto.Instrument(obs.Reg)
+
+	clk := cfm.NewEngine(*parallel, *workers)
+	clk.Register(conv)
+	clk.Register(net)
+	clk.Register(proto)
+	obs.Attach(clk)
+
+	// Some sharing traffic so the cache protocol has work to count
+	// (and, with -trace-out, events to trace).
+	for i := 0; i < 4**n; i++ {
+		if p, off := i%*n, i%16; i%3 == 0 {
+			proto.Store(p, off, 0, cfm.Word(i), nil)
+		} else {
+			proto.Load(p, off, nil)
+		}
+	}
+	clk.Run(*slots)
+
+	fmt.Printf("simulation observatory — %d slots, %d processors, %d modules, hot=%.2f\n\n",
+		*slots, *n, *modules, *hot)
+	fmt.Printf("bank conflicts on the conventional interleaved memory (per %d-slot interval):\n", obs.Every)
+	labels, rows := obs.HeatRows("conv_module_conflicts", "module", true)
+	fmt.Print(stats.Heatmap(labels, rows))
+	fmt.Printf("\nnetwork occupancy, buffered omega (queued packets per stage, sampled every %d slots):\n", obs.Every)
+	labels, rows = obs.HeatRows("net_stage_queued", "stage", false)
+	fmt.Print(stats.Heatmap(labels, rows))
+
+	snap := obs.Reg.Snapshot()
+	fmt.Printf("\nregistry: %d counters, %d gauges, %d histograms; digest %016x\n",
+		len(snap.Counters), len(snap.Gauges), len(snap.Histograms), snap.Digest())
+	fmt.Printf("conventional efficiency %.3f; network backlog %d packets\n",
+		conv.Efficiency(), net.QueuedPackets())
+	closeObservatory(obs)
 }
 
 func cmdOrdering(args []string) {

@@ -5,6 +5,10 @@
 // With -parallel, every simulation runs on the parallel cycle engine
 // instead of the serial clock; results are identical either way (the
 // engine equivalence guarantee, proven by engine_equiv_test.go).
+//
+// The observability flags -metrics-out, -trace-out, -http, and -sample
+// instrument the simulation-heavy experiments (Figs 2.1, 3.13–3.15 and
+// the Chapter 4 traces) through the metrics registry.
 package main
 
 import (
@@ -16,12 +20,14 @@ import (
 	"cfm/internal/analytic"
 	"cfm/internal/core"
 	"cfm/internal/hier"
+	"cfm/internal/obsflags"
 	"cfm/internal/stats"
 )
 
 var (
 	parallel = flag.Bool("parallel", false, "run simulations on the parallel cycle engine")
 	workers  = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	obs      = obsflags.Flags(flag.CommandLine)
 )
 
 // newEngine builds the cycle engine each experiment registers its
@@ -41,6 +47,10 @@ func check(name string, ok bool, detail string) {
 
 func main() {
 	flag.Parse()
+	if err := obs.Open(false); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	fmt.Println("# CFM reproduction — experiment report")
 	if *parallel {
 		fmt.Printf("(simulations on the parallel cycle engine, workers=%d)\n", *workers)
@@ -61,6 +71,10 @@ func main() {
 	chapter6()
 	extensions()
 	fmt.Println()
+	if err := obs.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	if failures > 0 {
 		fmt.Printf("%d experiment(s) diverged from the paper\n", failures)
 		os.Exit(1)
@@ -144,8 +158,10 @@ func fig21() {
 			Terminals: 16, QueueCap: 4, ServiceTime: 2, Rate: 0.1,
 			HotFraction: hot, Seed: 7,
 		})
+		b.Instrument(obs.Reg)
 		clk := newEngine()
 		clk.Register(b)
+		obs.Attach(clk)
 		clk.Run(30000)
 		return b
 	}
@@ -173,8 +189,10 @@ func fig313() {
 		fmt.Sprintf("E = %s", stats.FormatFloat(e)))
 	cs := cfm.NewConventional(cfm.ConventionalConfig{
 		Processors: 8, Modules: 8, BlockTime: 17, AccessRate: 0.05, RetryMean: 8, Seed: 3})
+	cs.Instrument(obs.Reg)
 	clk := newEngine()
 	clk.Register(cs)
+	obs.Attach(clk)
 	clk.Run(400000)
 	check("simulation confirms the degradation at r=0.05", cs.Efficiency() < 0.75,
 		fmt.Sprintf("simulated E = %s, analytic %s", stats.FormatFloat(cs.Efficiency()),
@@ -205,8 +223,10 @@ func fig314and315() {
 		p := cfm.NewPartial(core.PartialConfig{
 			Processors: f.n, Modules: f.m, BlockWords: 16, BankCycle: 2,
 			Locality: 1.0, AccessRate: 0.05, RetryMean: 8, Seed: 4})
+		p.Instrument(obs.Reg)
 		clk := newEngine()
 		clk.Register(p)
+		obs.Attach(clk)
 		clk.Run(150000)
 		check(fmt.Sprintf("Fig %s: λ=1 simulation is perfectly conflict-free", f.name),
 			p.Retries == 0 && p.Efficiency() == 1,
@@ -227,7 +247,7 @@ func fig39() {
 func chapter4() {
 	fmt.Println("\n## Chapter 4 — address tracking (Figs 4.1, 4.3–4.6)")
 	// Fig 4.1: torn block without tracking.
-	mem := cfm.NewMemory(cfm.Config{Processors: 4, BankCycle: 1, WordWidth: 64}, nil)
+	mem := cfm.NewMemory(cfm.Config{Processors: 4, BankCycle: 1, WordWidth: 64}, obs.Trace)
 	clk := newEngine()
 	clk.Register(mem)
 	mem.StartWrite(0, 0, 0, cfm.Block{1, 1, 1, 1}, nil)
@@ -243,7 +263,7 @@ func chapter4() {
 	check("Fig 4.1: simultaneous writes tear a block WITHOUT tracking", torn, fmt.Sprint(blk))
 
 	// Fig 4.3/4.4: with tracking, exactly one writer wins.
-	tr := cfm.NewTracked(8, cfm.LatestWins, nil)
+	tr := cfm.NewTracked(8, cfm.LatestWins, obs.Trace)
 	clk2 := newEngine()
 	clk2.Register(tr)
 	var aborted, completed int

@@ -42,9 +42,12 @@ func TestEquivConventionalFig313(t *testing.T) {
 		conv := cfm.NewConventional(cfm.ConventionalConfig{
 			Processors: 16, Modules: 16, BlockTime: 8,
 			AccessRate: 0.2, RetryMean: 4, Seed: 313})
+		reg := cfm.NewRegistry()
+		conv.Instrument(reg)
 		eng.Register(conv)
 		eng.Run(3000)
-		return fmt.Sprint(eng.Now(), conv.Completed, conv.Retries, conv.TotalLatency)
+		return fmt.Sprint(eng.Now(), conv.Completed, conv.Retries, conv.TotalLatency,
+			" reg:", reg.Snapshot().Digest())
 	})
 }
 
@@ -55,9 +58,12 @@ func TestEquivPartialFig314(t *testing.T) {
 		p := cfm.NewPartial(cfm.PartialConfig{
 			Processors: 64, Modules: 8, BlockWords: 16, BankCycle: 2,
 			Locality: 0.9, AccessRate: 0.1, RetryMean: 4, Seed: 314})
+		reg := cfm.NewRegistry()
+		p.Instrument(reg)
 		eng.Register(p)
 		eng.Run(2000)
-		return fmt.Sprint(p.Completed, p.Retries, p.TotalLatency, p.LocalAcc, p.RemoteAcc)
+		return fmt.Sprint(p.Completed, p.Retries, p.TotalLatency, p.LocalAcc, p.RemoteAcc,
+			" reg:", reg.Snapshot().Digest())
 	})
 }
 
@@ -67,9 +73,12 @@ func TestEquivPartialFig315(t *testing.T) {
 		p := cfm.NewPartial(cfm.PartialConfig{
 			Processors: 128, Modules: 16, BlockWords: 16, BankCycle: 2,
 			Locality: 0.75, AccessRate: 0.15, RetryMean: 8, Seed: 315})
+		reg := cfm.NewRegistry()
+		p.Instrument(reg)
 		eng.Register(p)
 		eng.Run(1500)
-		return fmt.Sprint(p.Completed, p.Retries, p.TotalLatency, p.LocalAcc, p.RemoteAcc)
+		return fmt.Sprint(p.Completed, p.Retries, p.TotalLatency, p.LocalAcc, p.RemoteAcc,
+			" reg:", reg.Snapshot().Digest())
 	})
 }
 
@@ -81,6 +90,8 @@ func TestEquivCFMemoryTraced(t *testing.T) {
 		cfg := cfm.Config{Processors: 8, BankCycle: 2, WordWidth: 16}
 		tr := cfm.NewTrace()
 		mem := cfm.NewMemory(cfg, tr)
+		reg := cfm.NewRegistry()
+		mem.Instrument(reg)
 		left := make([]int, cfg.Processors)
 		for p := range left {
 			left[p] = 6
@@ -111,7 +122,7 @@ func TestEquivCFMemoryTraced(t *testing.T) {
 		for p := 0; p < cfg.Processors; p++ {
 			fp += fmt.Sprint(mem.PeekBlock(p)[0], ",")
 		}
-		return fmt.Sprint(mem.Completed, " ", tr.Digest(), " ", fp)
+		return fmt.Sprint(mem.Completed, " ", tr.Digest(), " ", fp, " reg:", reg.Snapshot().Digest())
 	})
 }
 
@@ -123,6 +134,8 @@ func TestEquivCacheCoherenceTraffic(t *testing.T) {
 		const procs = 4
 		tr := cfm.NewTrace()
 		proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: procs, Lines: 8, RetryDelay: 2}, tr)
+		reg := cfm.NewRegistry()
+		proto.Instrument(reg)
 		fes := make([]*cfm.Frontend, procs)
 		for p := range fes {
 			fes[p] = cfm.NewFrontend(proto, eng, p, cfm.BufferedOrder)
@@ -153,7 +166,7 @@ func TestEquivCacheCoherenceTraffic(t *testing.T) {
 		for _, fe := range fes {
 			ops += len(cfm.FrontendExecution(fe).Ops)
 		}
-		return fmt.Sprint(eng.Now(), " ", tr.Digest(), " ", ops, " ", fp)
+		return fmt.Sprint(eng.Now(), " ", tr.Digest(), " ", ops, " ", fp, " reg:", reg.Snapshot().Digest())
 	})
 }
 
@@ -164,10 +177,13 @@ func TestEquivBufferedOmega(t *testing.T) {
 		net := cfm.NewBufferedOmega(cfm.BufferedConfig{
 			Terminals: 16, QueueCap: 4, ServiceTime: 2,
 			Rate: 0.3, HotFraction: 0.125, HotModule: 3, Seed: 21})
+		reg := cfm.NewRegistry()
+		net.Instrument(reg)
 		eng.Register(net)
 		eng.Run(3000)
 		return fmt.Sprint(net.Injected, net.DeliveredBg, net.DeliveredHot,
-			net.LatencyBgTotal, net.LatencyHotTotal)
+			net.LatencyBgTotal, net.LatencyHotTotal,
+			" reg:", reg.Snapshot().Digest())
 	})
 }
 
@@ -179,6 +195,8 @@ func TestEquivClusterSystem(t *testing.T) {
 		const clusters = 4
 		cfg := cfm.Config{Processors: 4, BankCycle: 2, WordWidth: 16}
 		cs := cfm.NewClusterSystem(cfg, clusters, cfg.Processors-1, 3)
+		reg := cfm.NewRegistry()
+		cs.Instrument(reg)
 		got := make([]cfm.Word, clusters)
 		var gotAt [clusters]cfm.Slot
 		step := 0
@@ -213,7 +231,7 @@ func TestEquivClusterSystem(t *testing.T) {
 		for cl := 0; cl < clusters; cl++ {
 			sum += cs.Cluster(cl).Completed
 		}
-		return fmt.Sprint(cs.RemoteCompleted, sum, got, gotAt)
+		return fmt.Sprint(cs.RemoteCompleted, sum, got, gotAt, " reg:", reg.Snapshot().Digest())
 	})
 }
 

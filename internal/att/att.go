@@ -36,6 +36,7 @@ import (
 	"fmt"
 
 	"cfm/internal/memory"
+	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
 
@@ -148,6 +149,13 @@ type Tracked struct {
 	CompletedReads  int64
 	CompletedSwaps  int64
 	Restarts        int64
+
+	// Registry handles (nil when unobserved) plus the counter values at
+	// the last flush; flushMetrics adds the deltas once per slot from
+	// Tick's PhaseUpdate (a serial context — deterministic on both
+	// engines).
+	mWrites, mAborts, mReads, mSwaps, mRestarts int64
+	cWrites, cAborts, cReads, cSwaps, cRestarts *metrics.Counter
 }
 
 // NewTracked builds a tracked memory with m banks. trace may be nil.
@@ -168,6 +176,40 @@ func NewTracked(m int, pri Priority, trace *sim.Trace) *Tracked {
 		tr.banks[i] = memory.NewBank(i, 1)
 	}
 	return tr
+}
+
+// Instrument attaches registry counters for the tracked memory's
+// statistics plus shared access/conflict counters on all its banks.
+// Call before running; a nil registry leaves the memory unobserved.
+func (tr *Tracked) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	tr.cWrites = r.Counter("att_completed_writes_total")
+	tr.cAborts = r.Counter("att_aborted_writes_total")
+	tr.cReads = r.Counter("att_completed_reads_total")
+	tr.cSwaps = r.Counter("att_completed_swaps_total")
+	tr.cRestarts = r.Counter("att_restarts_total")
+	acc := r.Counter("att_bank_accesses_total")
+	conf := r.Counter("att_bank_conflicts_total")
+	for _, bk := range tr.banks {
+		bk.Observe(acc, conf)
+	}
+}
+
+// flushMetrics pushes the statistics accumulated since the last flush
+// into the registry, once per slot from Tick's PhaseUpdate.
+func (tr *Tracked) flushMetrics() {
+	if tr.cWrites == nil {
+		return
+	}
+	tr.cWrites.Add(tr.CompletedWrites - tr.mWrites)
+	tr.cAborts.Add(tr.AbortedWrites - tr.mAborts)
+	tr.cReads.Add(tr.CompletedReads - tr.mReads)
+	tr.cSwaps.Add(tr.CompletedSwaps - tr.mSwaps)
+	tr.cRestarts.Add(tr.Restarts - tr.mRestarts)
+	tr.mWrites, tr.mAborts, tr.mReads = tr.CompletedWrites, tr.AbortedWrites, tr.CompletedReads
+	tr.mSwaps, tr.mRestarts = tr.CompletedSwaps, tr.Restarts
 }
 
 // Banks returns m.
@@ -256,6 +298,7 @@ func (tr *Tracked) Tick(t sim.Slot, ph sim.Phase) {
 		}
 	case sim.PhaseUpdate:
 		tr.shift()
+		tr.flushMetrics()
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"cfm/internal/metrics"
 )
 
 // Errors returned by Bind.
@@ -53,6 +55,12 @@ type Binder struct {
 
 	// Statistics.
 	Binds, Unbinds, ConflictsSeen, Deadlocks int64
+
+	// Registry handles (nil when unobserved). Updates happen under b.mu,
+	// and the wait-rounds histogram's internal mutex makes concurrent
+	// observers safe; final totals are deterministic for a fixed workload.
+	mBinds, mUnbinds, mConflicts, mDeadlocks *metrics.Counter
+	mWaitRounds                              *metrics.Histogram
 }
 
 // NewBinder returns an empty binder with deadlock detection enabled.
@@ -64,6 +72,24 @@ func NewBinder() *Binder {
 	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
+}
+
+// Instrument attaches registry metrics: bind/unbind/conflict/deadlock
+// counters and a histogram of how many wait rounds (condition-variable
+// wake-ups) each successful blocking bind endured before acquiring its
+// region — the bind-wait time signal. Call before use; a nil registry
+// leaves the binder unobserved.
+func (b *Binder) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mBinds = r.Counter("bind_binds_total")
+	b.mUnbinds = r.Counter("bind_unbinds_total")
+	b.mConflicts = r.Counter("bind_conflicts_total")
+	b.mDeadlocks = r.Counter("bind_deadlocks_total")
+	b.mWaitRounds = r.Histogram("bind_wait_rounds", 1)
 }
 
 // conflicting returns the active bindings of OTHER owners that conflict
@@ -132,6 +158,7 @@ func (b *Binder) Bind(owner string, r Region, a Access, blocking bool) (*Binding
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	waitRounds := int64(0)
 	for {
 		blockers := b.conflicting(owner, r, a)
 		if len(blockers) == 0 {
@@ -139,15 +166,21 @@ func (b *Binder) Bind(owner string, r Region, a Access, blocking bool) (*Binding
 			nb := &Binding{id: b.nextID, owner: owner, region: r, access: a}
 			b.active[nb.id] = nb
 			b.Binds++
+			b.mBinds.Inc()
+			if blocking {
+				b.mWaitRounds.Observe(waitRounds)
+			}
 			delete(b.waitsFor, owner)
 			return nb, nil
 		}
 		b.ConflictsSeen++
+		b.mConflicts.Inc()
 		if !blocking {
 			return nil, ErrConflict
 		}
 		if b.DetectDeadlock && b.wouldDeadlock(owner, blockers) {
 			b.Deadlocks++
+			b.mDeadlocks.Inc()
 			return nil, ErrDeadlock
 		}
 		set := map[string]bool{}
@@ -155,6 +188,7 @@ func (b *Binder) Bind(owner string, r Region, a Access, blocking bool) (*Binding
 			set[bl.owner] = true
 		}
 		b.waitsFor[owner] = set
+		waitRounds++
 		b.cond.Wait()
 		delete(b.waitsFor, owner)
 	}
@@ -172,6 +206,7 @@ func (b *Binder) Unbind(nb *Binding) {
 	}
 	delete(b.active, nb.id)
 	b.Unbinds++
+	b.mUnbinds.Inc()
 	b.cond.Broadcast()
 }
 

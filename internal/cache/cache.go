@@ -30,6 +30,7 @@ import (
 	"fmt"
 
 	"cfm/internal/memory"
+	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
 
@@ -149,6 +150,15 @@ type Protocol struct {
 	Retries       int64
 	TriggeredWBs  int64
 	Prefetches    int64
+
+	// Registry handles (nil when unobserved) plus the counter values at
+	// the last flush: rather than editing every counter site, flushMetrics
+	// adds the deltas once per slot from Tick's PhaseUpdate — a serial
+	// context, so registry totals are deterministic on both engines.
+	mHits, mMisses, mInvalidations, mWriteBacks *metrics.Counter
+	mRetries, mTriggeredWBs, mPrefetches        *metrics.Counter
+	lastHits, lastMisses, lastInvs, lastWBs     int64
+	lastRetries, lastTrigWBs, lastPrefetches    int64
 }
 
 // New builds a protocol engine; it panics on invalid configuration.
@@ -172,6 +182,38 @@ func New(cfg Config, trace *sim.Trace) *Protocol {
 		p.rmwLocked[i] = -1
 	}
 	return p
+}
+
+// Instrument attaches registry counters for the protocol's statistics.
+// Call before running; a nil registry leaves the protocol unobserved.
+func (c *Protocol) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	c.mHits = r.Counter("cache_hits_total")
+	c.mMisses = r.Counter("cache_misses_total")
+	c.mInvalidations = r.Counter("cache_invalidations_total")
+	c.mWriteBacks = r.Counter("cache_writebacks_total")
+	c.mRetries = r.Counter("cache_retries_total")
+	c.mTriggeredWBs = r.Counter("cache_triggered_writebacks_total")
+	c.mPrefetches = r.Counter("cache_prefetches_total")
+}
+
+// flushMetrics pushes the statistics accumulated since the last flush
+// into the registry. Called once per slot from Tick's PhaseUpdate.
+func (c *Protocol) flushMetrics() {
+	if c.mHits == nil {
+		return
+	}
+	c.mHits.Add(c.Hits - c.lastHits)
+	c.mMisses.Add(c.Misses - c.lastMisses)
+	c.mInvalidations.Add(c.Invalidations - c.lastInvs)
+	c.mWriteBacks.Add(c.WriteBacks - c.lastWBs)
+	c.mRetries.Add(c.Retries - c.lastRetries)
+	c.mTriggeredWBs.Add(c.TriggeredWBs - c.lastTrigWBs)
+	c.mPrefetches.Add(c.Prefetches - c.lastPrefetches)
+	c.lastHits, c.lastMisses, c.lastInvs, c.lastWBs = c.Hits, c.Misses, c.Invalidations, c.WriteBacks
+	c.lastRetries, c.lastTrigWBs, c.lastPrefetches = c.Retries, c.TriggeredWBs, c.Prefetches
 }
 
 // Banks returns the bank count (= processors).

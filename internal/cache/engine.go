@@ -28,6 +28,7 @@ func (c *Protocol) Tick(t sim.Slot, ph sim.Phase) {
 				c.complete(t, p, op)
 			}
 		}
+		c.flushMetrics()
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cfm/internal/memory"
+	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
 
@@ -62,6 +63,10 @@ type CFMemory struct {
 
 	// Completed counts finished block accesses.
 	Completed int64
+
+	// Registry handle (nil when unobserved); added to in FinishShards,
+	// so totals are deterministic at any worker count.
+	mCompleted *metrics.Counter
 }
 
 // procStage buffers one processor shard's per-phase side effects.
@@ -89,6 +94,23 @@ func NewCFMemory(cfg Config, trace *sim.Trace) *CFMemory {
 		m.banks[i] = memory.NewBank(i, cfg.BankCycle)
 	}
 	return m
+}
+
+// Instrument attaches registry metrics: a completed-access counter plus
+// shared bank access/conflict counters across all banks (conflicts stay
+// zero while the conflict-free invariant holds — the metric is a
+// cross-check, not an expectation). Bank counters are atomic, so shard-
+// context bank visits remain deterministic in total.
+func (m *CFMemory) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	m.mCompleted = r.Counter("cfm_completed_total")
+	acc := r.Counter("cfm_bank_accesses_total")
+	conf := r.Counter("cfm_bank_conflicts_total")
+	for _, bk := range m.banks {
+		bk.Observe(acc, conf)
+	}
 }
 
 // Config returns the configuration.
@@ -229,6 +251,7 @@ func (m *CFMemory) FinishShards(t sim.Slot, ph sim.Phase) {
 		}
 		st.events = st.events[:0]
 		m.Completed += st.completed
+		m.mCompleted.Add(st.completed)
 		st.completed = 0
 		for _, a := range st.done {
 			a.done(a.buf)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cfm/internal/memory"
+	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
 
@@ -35,6 +36,9 @@ type ClusterSystem struct {
 
 	// RemoteCompleted counts served remote accesses.
 	RemoteCompleted int64
+
+	// Registry handle (nil when unobserved); added to in FinishShards.
+	mRemote *metrics.Counter
 }
 
 // clusterStage buffers one cluster shard's per-phase side effects.
@@ -84,6 +88,20 @@ func NewClusterSystem(cfg Config, numClusters, localProc, linkDelay int) *Cluste
 		cs.clusters = append(cs.clusters, NewCFMemory(cfg, nil))
 	}
 	return cs
+}
+
+// Instrument attaches registry metrics: a served-remote-access counter
+// plus every member cluster's CFMemory instrumentation (bank counters
+// aggregate across clusters because Registry.Counter returns one shared
+// handle per name).
+func (cs *ClusterSystem) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	cs.mRemote = r.Counter("cluster_remote_completed_total")
+	for _, cl := range cs.clusters {
+		cl.Instrument(r)
+	}
 }
 
 // Cluster exposes cluster i's memory.
@@ -163,6 +181,7 @@ func (cs *ClusterSystem) FinishShards(t sim.Slot, ph sim.Phase) {
 	for ci := range cs.stage {
 		st := &cs.stage[ci]
 		cs.RemoteCompleted += st.remote
+		cs.mRemote.Add(st.remote)
 		st.remote = 0
 		for _, reply := range st.replies {
 			reply()

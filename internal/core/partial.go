@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
 
@@ -127,6 +128,18 @@ type Partial struct {
 	TotalLatency int64
 	LocalAcc     int64
 	RemoteAcc    int64
+
+	// Registry handles (nil when unobserved). All adds happen in
+	// FinishShards from staged deltas, so snapshots are deterministic at
+	// any worker count; latencies for the histogram are staged per shard
+	// only when instrumented, keeping the uninstrumented hot path free of
+	// extra work (the <2% engine-bench budget).
+	mCompleted *metrics.Counter
+	mRetries   *metrics.Counter
+	mLatency   *metrics.Counter
+	mLocal     *metrics.Counter
+	mRemote    *metrics.Counter
+	mLatHist   *metrics.Histogram
 }
 
 // partialStage buffers one contention-set shard's measurement deltas.
@@ -136,6 +149,7 @@ type partialStage struct {
 	totalLatency int64
 	localAcc     int64
 	remoteAcc    int64
+	lats         []int64 // per-access latencies, staged only when instrumented
 }
 
 type procState int
@@ -175,6 +189,22 @@ func NewPartial(cfg PartialConfig) *Partial {
 		p.nextArrival[i] = sim.Slot(p.thinkTime(i))
 	}
 	return p
+}
+
+// Instrument attaches registry metrics: completion/retry/latency and
+// local-vs-remote counters plus an access-latency histogram (bin width
+// β, so the first bin is the conflict-free service time). Call before
+// running; a nil registry leaves the simulator unobserved.
+func (p *Partial) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	p.mCompleted = r.Counter("partial_completed_total")
+	p.mRetries = r.Counter("partial_retries_total")
+	p.mLatency = r.Counter("partial_latency_cycles_total")
+	p.mLocal = r.Counter("partial_local_accesses_total")
+	p.mRemote = r.Counter("partial_remote_accesses_total")
+	p.mLatHist = r.Histogram("partial_access_latency", int64(p.cfg.BlockTime()))
 }
 
 func (p *Partial) thinkTime(proc int) int {
@@ -250,6 +280,9 @@ func (p *Partial) TickShard(t sim.Slot, ph sim.Phase, s int) {
 			if t >= p.doneAt[i] {
 				st.completed++
 				st.totalLatency += int64(p.doneAt[i] - p.issuedAt[i])
+				if p.mLatHist != nil {
+					st.lats = append(st.lats, int64(p.doneAt[i]-p.issuedAt[i]))
+				}
 				p.state[i] = procIdle
 			}
 		case procWaiting:
@@ -276,6 +309,14 @@ func (p *Partial) FinishShards(t sim.Slot, ph sim.Phase) {
 		p.TotalLatency += st.totalLatency
 		p.LocalAcc += st.localAcc
 		p.RemoteAcc += st.remoteAcc
+		p.mCompleted.Add(st.completed)
+		p.mRetries.Add(st.retries)
+		p.mLatency.Add(st.totalLatency)
+		p.mLocal.Add(st.localAcc)
+		p.mRemote.Add(st.remoteAcc)
+		for _, l := range st.lats {
+			p.mLatHist.Observe(l)
+		}
 		*st = partialStage{}
 	}
 }

@@ -3,6 +3,7 @@ package memory
 import (
 	"fmt"
 
+	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
 
@@ -75,6 +76,14 @@ type Conventional struct {
 	Retries      int64 // rejected attempts
 	TotalLatency int64 // Σ (completion − first attempt) over completed accesses
 	TotalQueued  int64 // Σ (first attempt − arrival): open-loop queue wait
+
+	// Registry handles (nil when unobserved). Conventional is a serial
+	// Ticker, so direct adds are deterministic on both engines.
+	mCompleted   *metrics.Counter
+	mRetries     *metrics.Counter
+	mLatency     *metrics.Counter
+	mQueued      *metrics.Counter
+	mModConflict []*metrics.Counter // per-module, feeds the conflict heatmap
 }
 
 // NewConventional builds the baseline simulator. It panics on an invalid
@@ -100,6 +109,25 @@ func NewConventional(cfg ConventionalConfig) *Conventional {
 		c.nextArrival[p] = sim.Slot(c.thinkTime())
 	}
 	return c
+}
+
+// Instrument attaches registry metrics: completion/retry/latency/queue
+// counters plus a per-module conflict counter
+// (conv_module_conflicts{module="i"}) whose sampled time series renders
+// the bank-conflict heatmap. Call before running; a nil registry leaves
+// the simulator unobserved.
+func (c *Conventional) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	c.mCompleted = r.Counter("conv_completed_total")
+	c.mRetries = r.Counter("conv_retries_total")
+	c.mLatency = r.Counter("conv_latency_cycles_total")
+	c.mQueued = r.Counter("conv_queue_wait_cycles_total")
+	c.mModConflict = make([]*metrics.Counter, c.cfg.Modules)
+	for m := range c.mModConflict {
+		c.mModConflict[m] = r.Counter(fmt.Sprintf(`conv_module_conflicts{module="%d"}`, m))
+	}
 }
 
 // thinkTime samples the idle gap between accesses so the offered load is
@@ -159,6 +187,8 @@ func (c *Conventional) Tick(t sim.Slot, ph sim.Phase) {
 			if t >= c.doneAt[p] {
 				c.Completed++
 				c.TotalLatency += int64(c.doneAt[p] - c.issuedAt[p])
+				c.mCompleted.Inc()
+				c.mLatency.Add(int64(c.doneAt[p] - c.issuedAt[p]))
 				c.state[p] = procIdle
 			}
 		case procWaiting:
@@ -170,6 +200,7 @@ func (c *Conventional) Tick(t sim.Slot, ph sim.Phase) {
 			arrived := c.backlog[p][0]
 			c.backlog[p] = c.backlog[p][1:]
 			c.TotalQueued += int64(t - arrived)
+			c.mQueued.Add(int64(t - arrived))
 			c.targetMod[p] = c.pickModule(p)
 			c.issuedAt[p] = t
 			c.attempt(t, p)
@@ -183,6 +214,10 @@ func (c *Conventional) attempt(t sim.Slot, p int) {
 	if t < c.mods[mod] {
 		// Module busy: conflict, retry later (BBN-style abort-and-retry).
 		c.Retries++
+		c.mRetries.Inc()
+		if c.mModConflict != nil {
+			c.mModConflict[mod].Inc()
+		}
 		c.state[p] = procWaiting
 		c.wakeAt[p] = t + sim.Slot(c.retryDelay())
 		return

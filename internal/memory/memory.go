@@ -22,6 +22,7 @@ package memory
 import (
 	"fmt"
 
+	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
 
@@ -67,6 +68,12 @@ type Bank struct {
 	// Statistics.
 	Accesses  int64 // accepted word accesses
 	Conflicts int64 // rejected attempts while busy
+
+	// Registry handles (nil when unobserved — nil-safe no-ops). Counter
+	// adds are atomic and commutative, so banks ticked from parallel
+	// shards still produce deterministic registry totals.
+	mAccesses  *metrics.Counter
+	mConflicts *metrics.Counter
 }
 
 // NewBank returns an idle bank with the given id and bank cycle c (≥ 1).
@@ -83,6 +90,15 @@ func (bk *Bank) ID() int { return bk.id }
 // Cycle returns the bank cycle c.
 func (bk *Bank) Cycle() int { return bk.cycle }
 
+// Observe attaches registry counters for accepted accesses and rejected
+// conflicts. Several banks may share the same handles to aggregate into
+// one metric (e.g. all banks of a CFMemory). Nil handles disable
+// observation.
+func (bk *Bank) Observe(accesses, conflicts *metrics.Counter) {
+	bk.mAccesses = accesses
+	bk.mConflicts = conflicts
+}
+
 // Busy reports whether the bank is still serving an access at slot t.
 func (bk *Bank) Busy(t sim.Slot) bool { return t < bk.busyTill }
 
@@ -98,10 +114,12 @@ func (bk *Bank) Poke(offset int, w Word) { bk.words[offset] = w }
 func (bk *Bank) Read(t sim.Slot, offset int) (w Word, ok bool) {
 	if bk.Busy(t) {
 		bk.Conflicts++
+		bk.mConflicts.Inc()
 		return 0, false
 	}
 	bk.busyTill = t + sim.Slot(bk.cycle)
 	bk.Accesses++
+	bk.mAccesses.Inc()
 	return bk.words[offset], true
 }
 
@@ -110,10 +128,12 @@ func (bk *Bank) Read(t sim.Slot, offset int) (w Word, ok bool) {
 func (bk *Bank) Write(t sim.Slot, offset int, w Word) bool {
 	if bk.Busy(t) {
 		bk.Conflicts++
+		bk.mConflicts.Inc()
 		return false
 	}
 	bk.busyTill = t + sim.Slot(bk.cycle)
 	bk.Accesses++
+	bk.mAccesses.Inc()
 	bk.words[offset] = w
 	return true
 }

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"cfm/internal/sim"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Output is fully deterministic: families and series are sorted
+// by name (Snapshot already sorts), so two runs with identical registry
+// state produce byte-identical expositions — the property the CI golden
+// check pins down.
+//
+// Counter and gauge names may embed a label set ("name{k=\"v\"}"); the
+// `# TYPE` header is emitted once per family, keyed on the part before
+// the brace. Histograms expose cumulative `_bucket{le="..."}` series
+// plus `_sum` and `_count`, with bucket upper edges at bin boundaries.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var lastFamily string
+	emitHeader := func(name, typ string) error {
+		family := name
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
+		if family == lastFamily {
+			return nil
+		}
+		lastFamily = family
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, typ)
+		return err
+	}
+	for _, nv := range s.Counters {
+		if err := emitHeader(nv.Name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", nv.Name, nv.Value); err != nil {
+			return err
+		}
+	}
+	for _, nv := range s.Gauges {
+		if err := emitHeader(nv.Name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", nv.Name, nv.Value); err != nil {
+			return err
+		}
+	}
+	for _, hv := range s.Histograms {
+		if err := emitHeader(hv.Name, "histogram"); err != nil {
+			return err
+		}
+		var cum int64
+		for i, edge := range hv.Edges {
+			cum += hv.Counts[i]
+			// Upper edge of the bin: low edge + width (exclusive low
+			// edges would misreport le for exact-boundary values, but
+			// integer observations in [edge, edge+width) are all <= the
+			// inclusive upper bound edge+width-1).
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", hv.Name, edge+hv.BinWidth-1, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", hv.Name, hv.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", hv.Name, hv.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", hv.Name, hv.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prometheus returns the text exposition as a string.
+func Prometheus(s Snapshot) string {
+	var b strings.Builder
+	_ = WritePrometheus(&b, s)
+	return b.String()
+}
+
+// WriteSeriesJSONL writes the sampler's time series as one JSON object
+// per line ({"slot":..,"values":{..}}). encoding/json sorts map keys,
+// so the output is byte-stable.
+func WriteSeriesJSONL(w io.Writer, samples []Sample) error {
+	enc := json.NewEncoder(w)
+	for _, sm := range samples {
+		if err := enc.Encode(sm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceEventJSON mirrors sim.Event for the structured trace export.
+type traceEventJSON struct {
+	Slot int64  `json:"slot"`
+	Who  string `json:"who"`
+	What string `json:"what"`
+}
+
+// WriteTraceJSONL writes every trace event as one JSON object per line,
+// in recording order. A nil or empty trace writes nothing.
+func WriteTraceJSONL(w io.Writer, tr *sim.Trace) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range tr.Events() {
+		e := traceEventJSON{Slot: int64(ev.Slot), Who: ev.Who, What: ev.What}
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package metrics
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve starts a live observability endpoint on addr (e.g. ":8080"):
+//
+//	/metrics       Prometheus text exposition of reg's current state
+//	/debug/vars    expvar JSON
+//	/debug/pprof/  CPU/heap/goroutine profiles (net/http/pprof)
+//
+// It listens immediately (so a ":0" addr gets its real port resolved in
+// the returned server's Addr) and serves in a background goroutine, so
+// long simulations can be profiled while running. Callers should
+// srv.Close() when done. The handlers snapshot the registry per request;
+// concurrent simulation writes are safe (atomics / mutexes).
+func Serve(addr string, reg *Registry) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = WritePrometheus(w, reg.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"cfm/internal/sim"
+)
+
+// SamplerPrio is the registration priority Attach uses. It is far above
+// any component band, so within PhaseUpdate the sampler ticks after all
+// simulation work of the slot has settled — on both engines, since
+// priority bands are fully ordered in the serial Clock and never merged
+// across in ParallelClock's phase plans.
+const SamplerPrio = 1 << 20
+
+// Sample is one time-series point: every counter and gauge value at the
+// end of a slot. A map keeps the JSON encoding byte-stable (encoding/json
+// sorts map keys).
+type Sample struct {
+	Slot   int64            `json:"slot"`
+	Values map[string]int64 `json:"values"`
+}
+
+// Sampler records registry snapshots every N slots, forming the
+// slot-sampled time series behind the JSONL export and the ASCII views.
+// It is a serial Ticker (single-threaded on both engines), so sampling
+// never perturbs determinism.
+type Sampler struct {
+	reg     *Registry
+	every   sim.Slot
+	Samples []Sample
+}
+
+// NewSampler returns a sampler reading reg every `every` slots
+// (minimum 1). Register it with Attach, not Engine.Register, so it runs
+// after all instrumented components.
+func NewSampler(reg *Registry, every int64) *Sampler {
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{reg: reg, every: sim.Slot(every)}
+}
+
+// Attach registers s on eng at SamplerPrio.
+func (s *Sampler) Attach(eng sim.Engine) { eng.RegisterPrio(s, SamplerPrio) }
+
+// Every returns the sampling period in slots.
+func (s *Sampler) Every() int64 { return int64(s.every) }
+
+// ActivePhases marks the sampler PhaseUpdate-only so ParallelClock can
+// drop it from the other phases' schedules.
+func (s *Sampler) ActivePhases() []sim.Phase { return []sim.Phase{sim.PhaseUpdate} }
+
+// Tick implements sim.Ticker: at the end of every Nth slot it copies all
+// counter and gauge values into a new Sample.
+func (s *Sampler) Tick(t sim.Slot, ph sim.Phase) {
+	if ph != sim.PhaseUpdate || t%s.every != 0 {
+		return
+	}
+	snap := s.reg.Snapshot()
+	vals := make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
+	for _, nv := range snap.Counters {
+		vals[nv.Name] = nv.Value
+	}
+	for _, nv := range snap.Gauges {
+		vals[nv.Name] = nv.Value
+	}
+	s.Samples = append(s.Samples, Sample{Slot: int64(t), Values: vals})
+}
+
+// Series extracts one metric's time series as parallel slot/value
+// slices, for feeding stats.Plot or the heatmap views. Metrics absent
+// from a sample (not yet registered at that slot) read as 0.
+func (s *Sampler) Series(name string) (slots, values []int64) {
+	for _, sm := range s.Samples {
+		slots = append(slots, sm.Slot)
+		values = append(values, sm.Values[name])
+	}
+	return slots, values
+}

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
 
@@ -73,6 +74,21 @@ type BufferedOmega struct {
 	DeliveredHot    int64
 	LatencyBgTotal  int64
 	LatencyHotTotal int64
+
+	// Registry handles (nil when unobserved). Counters are added to and
+	// gauges set from FinishShards — the single-threaded column sweep —
+	// so snapshots are deterministic at any worker count. The per-stage
+	// occupancy gauges drive the network-occupancy observatory view.
+	mInjected   *metrics.Counter
+	mDelivBg    *metrics.Counter
+	mDelivHot   *metrics.Counter
+	mLatBg      *metrics.Counter
+	mLatHot     *metrics.Counter
+	mBlocked    *metrics.Counter
+	mQueued     *metrics.Gauge
+	mBacklog    *metrics.Gauge
+	mStageQueue []*metrics.Gauge // packets buffered per column
+	mStageFull  []*metrics.Gauge // full queues per column (saturation tree)
 }
 
 // bufferedStage buffers one terminal shard's measurement deltas.
@@ -110,6 +126,31 @@ func NewBufferedOmega(cfg BufferedConfig) *BufferedOmega {
 		b.rr[j] = make([]int, o.SwitchesPerColumn())
 	}
 	return b
+}
+
+// Instrument attaches registry metrics: injection/delivery/latency
+// counters split by traffic class, a blocked-move counter (back-pressure
+// events), and occupancy gauges overall and per network stage. Call
+// before running; a nil registry leaves the network unobserved.
+func (b *BufferedOmega) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	b.mInjected = r.Counter("net_injected_total")
+	b.mDelivBg = r.Counter("net_delivered_bg_total")
+	b.mDelivHot = r.Counter("net_delivered_hot_total")
+	b.mLatBg = r.Counter("net_latency_bg_cycles_total")
+	b.mLatHot = r.Counter("net_latency_hot_cycles_total")
+	b.mBlocked = r.Counter("net_blocked_moves_total")
+	b.mQueued = r.Gauge("net_queued_packets")
+	b.mBacklog = r.Gauge("net_source_backlog")
+	cols := b.o.Columns()
+	b.mStageQueue = make([]*metrics.Gauge, cols)
+	b.mStageFull = make([]*metrics.Gauge, cols)
+	for j := 0; j < cols; j++ {
+		b.mStageQueue[j] = r.Gauge(fmt.Sprintf(`net_stage_queued{stage="%d"}`, j))
+		b.mStageFull[j] = r.Gauge(fmt.Sprintf(`net_stage_full_queues{stage="%d"}`, j))
+	}
 }
 
 // Tick implements sim.Ticker by delegating to the shard path, so the
@@ -153,11 +194,29 @@ func (b *BufferedOmega) FinishShards(t sim.Slot, ph sim.Phase) {
 		b.DeliveredHot += st.deliveredHot
 		b.LatencyBgTotal += st.latencyBgTotal
 		b.LatencyHotTotal += st.latencyHotTotal
+		b.mInjected.Add(st.injected)
+		b.mDelivBg.Add(st.deliveredBg)
+		b.mDelivHot.Add(st.deliveredHot)
+		b.mLatBg.Add(st.latencyBgTotal)
+		b.mLatHot.Add(st.latencyHotTotal)
 		*st = bufferedStage{}
 	}
 	if ph == sim.PhaseTransfer {
 		for j := b.o.Columns() - 1; j >= 0; j-- {
 			b.advanceColumn(t, j)
+		}
+		if b.mQueued != nil {
+			b.mQueued.Set(int64(b.QueuedPackets()))
+			b.mBacklog.Set(int64(b.SourceBacklog()))
+			full := b.FullQueues()
+			for j := range b.mStageQueue {
+				n := 0
+				for _, q := range b.q[j] {
+					n += len(q)
+				}
+				b.mStageQueue[j].Set(int64(n))
+				b.mStageFull[j].Set(int64(full[j]))
+			}
 		}
 	}
 }
@@ -261,6 +320,7 @@ func (b *BufferedOmega) advanceColumn(t sim.Slot, j int) {
 // its source queue. It reports whether the move happened.
 func (b *BufferedOmega) tryMove(j, out int, pk Packet, take func()) bool {
 	if len(b.q[j][out]) >= b.cfg.QueueCap {
+		b.mBlocked.Inc() // runs inside FinishShards' sweep: deterministic
 		return false
 	}
 	take()

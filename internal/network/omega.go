@@ -1,6 +1,10 @@
 package network
 
-import "fmt"
+import (
+	"fmt"
+
+	"cfm/internal/metrics"
+)
 
 // Omega is the topology and routing engine of an N×N omega network
 // (Fig. 3.7): k = log2(N) columns of N/2 two-by-two switches with a
@@ -158,6 +162,10 @@ type Circuit struct {
 	// Statistics.
 	Established int64
 	Blocked     int64
+
+	// Registry handles (nil when unobserved).
+	mEstablished *metrics.Counter
+	mBlocked     *metrics.Counter
 }
 
 // NewCircuit returns an empty circuit tracker for the network.
@@ -169,6 +177,17 @@ func NewCircuit(o *Omega) *Circuit {
 	return &Circuit{o: o, heldUntil: h}
 }
 
+// Instrument attaches registry counters for established and blocked
+// paths. Callers drive Circuit from serial contexts, so direct adds are
+// deterministic.
+func (c *Circuit) Instrument(r *metrics.Registry) {
+	if r == nil {
+		return
+	}
+	c.mEstablished = r.Counter("circuit_established_total")
+	c.mBlocked = r.Counter("circuit_blocked_total")
+}
+
 // TryEstablish attempts to set up the path src→dst at slot t, holding it
 // for hold slots. It reports whether the path was free; on failure
 // nothing is held (abort-and-retry, not buffering).
@@ -177,6 +196,7 @@ func (c *Circuit) TryEstablish(t int64, src, dst, hold int) bool {
 	for _, h := range hops {
 		if t < c.heldUntil[h.Column][h.OutPos()] {
 			c.Blocked++
+			c.mBlocked.Inc()
 			return false
 		}
 	}
@@ -185,6 +205,7 @@ func (c *Circuit) TryEstablish(t int64, src, dst, hold int) bool {
 		c.heldUntil[h.Column][h.OutPos()] = until
 	}
 	c.Established++
+	c.mEstablished.Inc()
 	return true
 }
 

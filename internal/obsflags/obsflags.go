@@ -1,0 +1,163 @@
+// Package obsflags wires the observability command-line flags shared by
+// the cmd/ tools (-metrics-out, -trace-out, -http, -sample) to the
+// concrete objects behind them: the metrics registry, the slot-sampled
+// time-series recorder, the event trace, and the live profiling
+// endpoint.
+package obsflags
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"cfm/internal/metrics"
+	"cfm/internal/sim"
+)
+
+// Observatory holds the parsed observability flags and, once Open has
+// run, the live objects behind them. When no flag is set (and Open is
+// not forced) every field stays nil, so the nil fast paths keep the
+// simulation unobserved at zero cost.
+type Observatory struct {
+	MetricsOut string // -metrics-out: metrics file (*.jsonl: series; else Prometheus)
+	TraceOut   string // -trace-out: event trace file (JSONL)
+	HTTPAddr   string // -http: live /metrics + expvar + pprof address
+	Every      int64  // -sample: slots between time-series samples
+
+	Reg     *metrics.Registry
+	Sampler *metrics.Sampler
+	Trace   *sim.Trace
+	srv     *http.Server
+}
+
+// Flags registers the observability flags on fs and returns the
+// observatory they fill in. Call Open after fs.Parse.
+func Flags(fs *flag.FlagSet) *Observatory {
+	ob := &Observatory{}
+	fs.StringVar(&ob.MetricsOut, "metrics-out", "",
+		"write metrics to this file: *.jsonl gets the sampled time series, anything else the Prometheus exposition")
+	fs.StringVar(&ob.TraceOut, "trace-out", "",
+		"write the event trace to this file as JSONL (traced commands only)")
+	fs.StringVar(&ob.HTTPAddr, "http", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address during the run")
+	fs.Int64Var(&ob.Every, "sample", 1000, "slots between time-series samples")
+	return ob
+}
+
+// Wanted reports whether any observability flag was set.
+func (ob *Observatory) Wanted() bool {
+	return ob.MetricsOut != "" || ob.TraceOut != "" || ob.HTTPAddr != ""
+}
+
+// Open builds the registry and sampler (and the trace and live endpoint
+// when requested). With force=false and no flags set it is a no-op:
+// everything stays nil and instrumentation remains free.
+func (ob *Observatory) Open(force bool) error {
+	if !force && !ob.Wanted() {
+		return nil
+	}
+	ob.Reg = metrics.New()
+	ob.Sampler = metrics.NewSampler(ob.Reg, ob.Every)
+	if ob.TraceOut != "" {
+		ob.Trace = sim.NewTrace()
+	}
+	if ob.HTTPAddr != "" {
+		srv, err := metrics.Serve(ob.HTTPAddr, ob.Reg)
+		if err != nil {
+			return err
+		}
+		ob.srv = srv
+		fmt.Fprintf(os.Stderr, "serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr)
+	}
+	return nil
+}
+
+// Attach registers the sampler on an engine so the time series records
+// during the run; a no-op when observation is off. Attaching to several
+// engines in sequence appends their runs to one series (each run's
+// samples restart at slot 0).
+func (ob *Observatory) Attach(eng sim.Engine) {
+	if ob.Sampler != nil {
+		ob.Sampler.Attach(eng)
+	}
+}
+
+// Close writes the requested output files and shuts the live endpoint
+// down. Call once, after the last simulation has finished.
+func (ob *Observatory) Close() error {
+	if ob.MetricsOut != "" {
+		if err := ob.writeMetrics(); err != nil {
+			return err
+		}
+	}
+	if ob.TraceOut != "" {
+		f, err := os.Create(ob.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteTraceJSONL(f, ob.Trace); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", ob.TraceOut)
+	}
+	if ob.srv != nil {
+		return ob.srv.Close()
+	}
+	return nil
+}
+
+func (ob *Observatory) writeMetrics() error {
+	f, err := os.Create(ob.MetricsOut)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(ob.MetricsOut, ".jsonl") {
+		err = metrics.WriteSeriesJSONL(f, ob.Sampler.Samples)
+	} else {
+		_, err = io.WriteString(f, metrics.Prometheus(ob.Reg.Snapshot()))
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", ob.MetricsOut)
+	return nil
+}
+
+// HeatRows extracts one heat-map row per labelled instance of a metric
+// family from the sampled series, probing instance labels 0,1,2,...
+// until one is absent. With diff=true consecutive samples are
+// differenced, turning cumulative counters into per-interval activity;
+// gauges should be read as-is (diff=false).
+func (ob *Observatory) HeatRows(family, label string, diff bool) (labels []string, rows [][]int64) {
+	if ob.Sampler == nil || len(ob.Sampler.Samples) == 0 {
+		return nil, nil
+	}
+	last := ob.Sampler.Samples[len(ob.Sampler.Samples)-1]
+	for i := 0; ; i++ {
+		name := fmt.Sprintf(`%s{%s="%d"}`, family, label, i)
+		if _, ok := last.Values[name]; !ok {
+			break
+		}
+		_, vals := ob.Sampler.Series(name)
+		if diff {
+			prev := int64(0)
+			for j, v := range vals {
+				vals[j], prev = v-prev, v
+			}
+		}
+		labels = append(labels, fmt.Sprintf("%s %d", label, i))
+		rows = append(rows, vals)
+	}
+	return labels, rows
+}

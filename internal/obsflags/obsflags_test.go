@@ -1,0 +1,148 @@
+package obsflags
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cfm/internal/metrics"
+	"cfm/internal/sim"
+)
+
+func TestUnsetFlagsStayDisabled(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Wanted() {
+		t.Fatal("no flags set, but Wanted() = true")
+	}
+	if err := ob.Open(false); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Reg != nil || ob.Sampler != nil || ob.Trace != nil {
+		t.Fatal("Open(false) with no flags must leave everything nil")
+	}
+	ob.Attach(sim.NewClock()) // must not panic
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetricsOutFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		file, want string
+	}{
+		{"out.prom", "# TYPE hits counter\nhits 3\n"},
+		{"out.jsonl", `{"slot":0,"values":{"hits":3}}` + "\n"},
+	} {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		ob := Flags(fs)
+		path := filepath.Join(dir, tc.file)
+		if err := fs.Parse([]string{"-metrics-out", path, "-sample", "10"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ob.Open(false); err != nil {
+			t.Fatal(err)
+		}
+		ob.Reg.Counter("hits").Add(3)
+		ob.Sampler.Tick(0, sim.PhaseUpdate)
+		if err := ob.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s: got %q, want %q", tc.file, got, tc.want)
+		}
+	}
+}
+
+func TestTraceOut(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := fs.Parse([]string{"-trace-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Open(false); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Trace == nil {
+		t.Fatal("-trace-out must allocate the trace")
+	}
+	ob.Trace.AddEvent(sim.Event{Slot: 4, Who: "P1", What: "read"})
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"slot":4,"who":"P1","what":"read"}` + "\n"
+	if string(got) != want {
+		t.Errorf("trace file: got %q, want %q", got, want)
+	}
+}
+
+func TestHeatRows(t *testing.T) {
+	ob := &Observatory{}
+	if labels, rows := ob.HeatRows("x", "module", true); labels != nil || rows != nil {
+		t.Fatal("nil sampler must yield no rows")
+	}
+
+	reg := metrics.New()
+	c0 := reg.Counter(`conf{module="0"}`)
+	c1 := reg.Counter(`conf{module="1"}`)
+	ob.Sampler = metrics.NewSampler(reg, 10)
+	for i, add := range []int64{0, 3, 1} {
+		c0.Add(add)
+		c1.Add(2 * add)
+		ob.Sampler.Tick(sim.Slot(10*i), sim.PhaseUpdate)
+	}
+
+	labels, rows := ob.HeatRows("conf", "module", true)
+	if len(labels) != 2 || labels[0] != "module 0" || labels[1] != "module 1" {
+		t.Fatalf("labels = %v", labels)
+	}
+	// Cumulative 0,3,4 differenced back to per-interval 0,3,1.
+	if got := rows[0]; got[0] != 0 || got[1] != 3 || got[2] != 1 {
+		t.Errorf("diffed row 0 = %v, want [0 3 1]", got)
+	}
+	if got := rows[1]; got[0] != 0 || got[1] != 6 || got[2] != 2 {
+		t.Errorf("diffed row 1 = %v, want [0 6 2]", got)
+	}
+
+	// Without differencing the cumulative values come through as-is.
+	labels, rows = ob.HeatRows("conf", "module", false)
+	if len(labels) != 2 || rows[0][2] != 4 || rows[1][2] != 8 {
+		t.Errorf("raw rows = %v %v", rows[0], rows[1])
+	}
+
+	if l, r := ob.HeatRows("absent", "module", false); l != nil || r != nil {
+		t.Errorf("absent family must yield no rows, got %v %v", l, r)
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	if err := fs.Parse([]string{"-http", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Open(false); err != nil {
+		t.Fatal(err)
+	}
+	if ob.srv == nil || !strings.Contains(ob.srv.Addr, "127.0.0.1") {
+		t.Fatalf("server not started: %+v", ob.srv)
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -219,10 +219,10 @@ type recordingShardable struct {
 	shards int
 }
 
-func (r *recordingShardable) Tick(t Slot, ph Phase)              { SerialTick(r, t, ph) }
-func (r *recordingShardable) Shards() int                        { return r.shards }
-func (r *recordingShardable) TickShard(t Slot, ph Phase, s int)  { r.record(t, ph) }
-func (r *recordingShardable) FinishShards(t Slot, ph Phase)      {}
+func (r *recordingShardable) Tick(t Slot, ph Phase)             { SerialTick(r, t, ph) }
+func (r *recordingShardable) Shards() int                       { return r.shards }
+func (r *recordingShardable) TickShard(t Slot, ph Phase, s int) { r.record(t, ph) }
+func (r *recordingShardable) FinishShards(t Slot, ph Phase)     {}
 
 // FuzzShardSchedule feeds the parallel engine arbitrary mixes of
 // priorities and shard affinities and asserts the scheduling contract:

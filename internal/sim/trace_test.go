@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// The digest mixes a 0xff separator after each string field, so event
+// boundaries cannot be shifted without changing the hash: ("ab","c")
+// and ("a","bc") concatenate identically but must digest differently.
+func TestTraceDigestFieldSeparator(t *testing.T) {
+	tr1 := NewTrace()
+	tr1.Add(0, "ab", "c")
+	tr2 := NewTrace()
+	tr2.Add(0, "a", "bc")
+	if tr1.Digest() == tr2.Digest() {
+		t.Fatalf("digest must separate Who/What fields: %x", tr1.Digest())
+	}
+
+	// The same shift across event boundaries must also differ.
+	tr3 := NewTrace()
+	tr3.Add(0, "p", "ab")
+	tr3.Add(0, "c", "d")
+	tr4 := NewTrace()
+	tr4.Add(0, "p", "a")
+	tr4.Add(0, "bc", "d")
+	if tr3.Digest() == tr4.Digest() {
+		t.Fatalf("digest must separate event boundaries: %x", tr3.Digest())
+	}
+}
+
+func TestTraceNilReceiverSafety(t *testing.T) {
+	var tr *Trace
+	// Every method must be callable on a nil trace without panicking.
+	tr.Add(1, "P0", "issue %s", "read")
+	tr.AddEvent(Event{Slot: 2, Who: "P1", What: "x"})
+	tr.Disable()
+	if tr.Enabled() {
+		t.Fatal("nil trace must report disabled")
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("nil Len = %d", tr.Len())
+	}
+	if tr.Events() != nil {
+		t.Fatalf("nil Events = %v", tr.Events())
+	}
+	if tr.Filter("P0") != nil {
+		t.Fatalf("nil Filter = %v", tr.Filter("P0"))
+	}
+	if tr.Contains("P0", "read") {
+		t.Fatal("nil Contains must be false")
+	}
+	if tr.String() != "" {
+		t.Fatalf("nil String = %q", tr.String())
+	}
+	if tr.Digest() != NewTrace().Digest() {
+		t.Fatal("nil digest must equal the empty trace's digest")
+	}
+}
+
+func TestTraceDisableKeepsEvents(t *testing.T) {
+	tr := NewTrace()
+	tr.Add(1, "P0", "before")
+	tr.Disable()
+	if tr.Enabled() {
+		t.Fatal("trace still enabled after Disable")
+	}
+	tr.Add(2, "P0", "after")
+	tr.AddEvent(Event{Slot: 3, Who: "P0", What: "also after"})
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after Disable, want 1 (existing events kept, new dropped)", tr.Len())
+	}
+	if got := tr.Events()[0].What; got != "before" {
+		t.Fatalf("surviving event = %q, want \"before\"", got)
+	}
+	if !strings.Contains(tr.String(), "before") {
+		t.Fatalf("String lost kept event:\n%s", tr.String())
+	}
+}

@@ -79,9 +79,16 @@ func NewHistogram(binWidth int) *Histogram {
 	return &Histogram{BinWidth: binWidth, bins: make(map[int]int64)}
 }
 
-// Add records one observation.
+// Add records one observation. Binning uses floor division so negative
+// observations land in the bin whose low edge is at or below them
+// (plain v/BinWidth truncates toward zero, putting −1 and +1 in bin 0
+// and misreporting low edges for negatives).
 func (h *Histogram) Add(v int) {
-	h.bins[v/h.BinWidth]++
+	k := v / h.BinWidth
+	if v%h.BinWidth != 0 && v < 0 {
+		k--
+	}
+	h.bins[k]++
 	h.total++
 }
 
@@ -207,9 +214,13 @@ func Plot(width, height int, series []PlotSeries) string {
 			ymax = math.Max(ymax, s.Y[i])
 		}
 	}
-	if first || xmax == xmin {
+	if first {
 		return "(no data)\n"
 	}
+	// Degenerate ranges still render: a single-X data set collapses to
+	// one column (mirroring the ymax==ymin widening below) instead of
+	// claiming there is no data.
+	xflat := xmax == xmin
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
@@ -220,7 +231,10 @@ func Plot(width, height int, series []PlotSeries) string {
 	for si, s := range series {
 		mark := marks[si%len(marks)]
 		for i := range s.X {
-			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			col := 0
+			if !xflat {
+				col = int((s.X[i] - xmin) / (xmax - xmin) * float64(width-1))
+			}
 			row := height - 1 - int((s.Y[i]-ymin)/(ymax-ymin)*float64(height-1))
 			grid[row][col] = mark
 		}
@@ -237,5 +251,67 @@ func Plot(width, height int, series []PlotSeries) string {
 	for si, s := range series {
 		fmt.Fprintf(&b, "          %c %s\n", marks[si%len(marks)], s.Label)
 	}
+	return b.String()
+}
+
+// heatRamp maps intensity 0..1 to a cell rune, dimmest to brightest.
+const heatRamp = " .:-=+*#%@"
+
+// Heatmap renders a labelled matrix of non-negative values as an ASCII
+// intensity grid — one row per label, one column per entry — used for
+// the bank-conflict and network-occupancy observatory views. Intensity
+// is scaled to the global maximum; zero cells stay blank, and any
+// non-zero cell renders at least the dimmest non-blank rune so sparse
+// activity is never invisible. Rows shorter than the widest row are
+// padded with blanks.
+func Heatmap(rowLabels []string, rows [][]int64) string {
+	if len(rowLabels) != len(rows) {
+		panic(fmt.Sprintf("stats: %d labels for %d heatmap rows", len(rowLabels), len(rows)))
+	}
+	var max int64
+	cols := 0
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+		for _, v := range r {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if cols == 0 {
+		return "(no data)\n"
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	ramp := []rune(heatRamp)
+	var b strings.Builder
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%-*s │", labelW, rowLabels[i])
+		for c := 0; c < cols; c++ {
+			var v int64
+			if c < len(r) {
+				v = r[c]
+			}
+			switch {
+			case v <= 0 || max == 0:
+				b.WriteRune(ramp[0])
+			default:
+				idx := int(v * int64(len(ramp)-1) / max)
+				if idx == 0 {
+					idx = 1 // non-zero activity must be visible
+				}
+				b.WriteRune(ramp[idx])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-*s └%s\n", labelW, "", strings.Repeat("─", cols))
+	fmt.Fprintf(&b, "%-*s  scale: max=%d, ramp=%q\n", labelW, "", max, heatRamp)
 	return b.String()
 }

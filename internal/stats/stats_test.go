@@ -162,3 +162,73 @@ func TestPlotFlatLine(t *testing.T) {
 		t.Fatalf("flat plot broken:\n%s", out)
 	}
 }
+
+func TestHistogramNegativeFloorBinning(t *testing.T) {
+	// Regression: v/BinWidth truncates toward zero, so −1 and +1 used to
+	// share bin 0 and negative low edges were off by one bin.
+	h := NewHistogram(10)
+	for _, v := range []int{-15, -10, -1, 1, 9, 10} {
+		h.Add(v)
+	}
+	edges, counts := h.Bins()
+	wantEdges := []int{-20, -10, 0, 10}
+	wantCounts := []int64{1, 2, 2, 1}
+	if len(edges) != len(wantEdges) {
+		t.Fatalf("edges = %v, want %v", edges, wantEdges)
+	}
+	for i := range wantEdges {
+		if edges[i] != wantEdges[i] || counts[i] != wantCounts[i] {
+			t.Fatalf("bin %d = (%d,%d), want (%d,%d)",
+				i, edges[i], counts[i], wantEdges[i], wantCounts[i])
+		}
+	}
+}
+
+func TestPlotSingleXColumn(t *testing.T) {
+	// Regression: xmax == xmin with real data used to return "(no data)";
+	// it must render a single column instead, like the flat-Y case.
+	out := Plot(20, 5, []PlotSeries{{Label: "col", X: []float64{3, 3, 3}, Y: []float64{0, 1, 2}}})
+	if strings.Contains(out, "(no data)") {
+		t.Fatalf("single-X plot reported no data:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "col") {
+		t.Fatalf("single-X plot missing marks or legend:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap([]string{"bank0", "bank1"}, [][]int64{
+		{0, 1, 9},
+		{9, 0}, // short row pads with blanks
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "bank0 │") || !strings.HasPrefix(lines[1], "bank1 │") {
+		t.Fatalf("labels wrong:\n%s", out)
+	}
+	row0 := strings.TrimPrefix(lines[0], "bank0 │")
+	if row0 != " .@" {
+		t.Fatalf("row0 cells = %q, want \" .@\"", row0)
+	}
+	row1 := strings.TrimPrefix(lines[1], "bank1 │")
+	if row1 != "@  " {
+		t.Fatalf("row1 cells = %q, want \"@  \"", row1)
+	}
+	if !strings.Contains(out, "max=9") {
+		t.Fatalf("scale line missing:\n%s", out)
+	}
+}
+
+func TestHeatmapEmptyAndMismatch(t *testing.T) {
+	if out := Heatmap(nil, nil); out != "(no data)\n" {
+		t.Fatalf("empty heatmap = %q", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on label/row mismatch")
+		}
+	}()
+	Heatmap([]string{"a"}, nil)
+}

@@ -1,0 +1,168 @@
+// Differential and golden-file tests for the simulation observatory:
+// the metrics registry must be a simulated observable like any other —
+// identical between the serial Clock and ParallelClock at every worker
+// count, down to the bytes of the Prometheus exposition and the sampled
+// time series — and the exposition format itself is pinned by a golden
+// file so exporter drift is caught in CI.
+package cfm_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"cfm"
+	"cfm/internal/sim"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/metrics_golden.prom from the current exposition")
+
+// observatoryScenario runs one deterministic simulation with every
+// instrumented subsystem reporting into a single registry — the
+// conventional interleaved memory, the partially conflict-free system,
+// the buffered omega under a hot spot, the cache coherence protocol,
+// the conflict-free memory, and the address-tracking memory — plus a
+// slot sampler. It returns the full Prometheus exposition and the
+// sampled time series as JSONL.
+func observatoryScenario(eng cfm.Engine) (exposition, series string) {
+	reg := cfm.NewRegistry()
+
+	conv := cfm.NewConventional(cfm.ConventionalConfig{
+		Processors: 8, Modules: 8, BlockTime: 8,
+		AccessRate: 0.2, RetryMean: 4, Seed: 99})
+	conv.Instrument(reg)
+
+	p := cfm.NewPartial(cfm.PartialConfig{
+		Processors: 16, Modules: 4, BlockWords: 8, BankCycle: 2,
+		Locality: 0.8, AccessRate: 0.1, RetryMean: 4, Seed: 98})
+	p.Instrument(reg)
+
+	net := cfm.NewBufferedOmega(cfm.BufferedConfig{
+		Terminals: 16, QueueCap: 4, ServiceTime: 2,
+		Rate: 0.3, HotFraction: 0.125, HotModule: 3, Seed: 21})
+	net.Instrument(reg)
+
+	proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: 4, Lines: 8, RetryDelay: 2}, nil)
+	proto.Instrument(reg)
+	for i := 0; i < 24; i++ {
+		if pr, off := i%4, i%6; i%3 == 0 {
+			proto.Store(pr, off, 0, cfm.Word(i), nil)
+		} else {
+			proto.Load(pr, off, nil)
+		}
+	}
+
+	cfg := cfm.Config{Processors: 8, BankCycle: 2, WordWidth: 16}
+	mem := cfm.NewMemory(cfg, nil)
+	mem.Instrument(reg)
+	left := make([]int, cfg.Processors)
+	for i := range left {
+		left[i] = 4
+	}
+	eng.Register(sim.TickerFunc(func(t cfm.Slot, ph cfm.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for pr := 0; pr < cfg.Processors; pr++ {
+			if left[pr] == 0 || !mem.CanStart(t, pr) {
+				continue
+			}
+			left[pr]--
+			if left[pr]%2 == 0 {
+				blk := make(cfm.Block, cfg.Banks())
+				for k := range blk {
+					blk[k] = cfm.Word(pr*10 + left[pr])
+				}
+				mem.StartWrite(t, pr, pr, blk, nil)
+			} else {
+				mem.StartRead(t, pr, (pr+1)%cfg.Processors, nil)
+			}
+		}
+	}))
+
+	tracked := cfm.NewTracked(8, cfm.LatestWins, nil)
+	tracked.Instrument(reg)
+	tracked.StartWrite(0, 1, 0, make(cfm.Block, 8), nil)
+	tracked.StartWrite(0, 5, 0, make(cfm.Block, 8), nil)
+
+	eng.Register(conv)
+	eng.Register(p)
+	eng.Register(net)
+	eng.Register(proto)
+	eng.Register(mem)
+	eng.Register(tracked)
+	sampler := cfm.NewSampler(reg, 500)
+	sampler.Attach(eng)
+	eng.Run(2000)
+
+	var sb strings.Builder
+	if err := cfm.WriteMetricsJSONL(&sb, sampler.Samples); err != nil {
+		panic(err)
+	}
+	return cfm.PrometheusText(reg.Snapshot()), sb.String()
+}
+
+// TestMetricsSerialParallelIdentical requires the full Prometheus
+// exposition AND the sampled time series to be byte-for-byte identical
+// between the serial Clock and ParallelClock at every worker count —
+// the observatory's determinism guarantee.
+func TestMetricsSerialParallelIdentical(t *testing.T) {
+	wantExp, wantSeries := observatoryScenario(cfm.NewClock())
+	if !strings.Contains(wantExp, "# TYPE") {
+		t.Fatalf("serial exposition looks empty:\n%s", wantExp)
+	}
+	for _, w := range equivWorkers() {
+		gotExp, gotSeries := observatoryScenario(cfm.NewParallelClock(w))
+		if gotExp != wantExp {
+			t.Fatalf("Prometheus exposition diverged at workers=%d:\nserial:\n%s\nparallel:\n%s",
+				w, wantExp, gotExp)
+		}
+		if gotSeries != wantSeries {
+			t.Fatalf("sampled series diverged at workers=%d:\nserial:\n%s\nparallel:\n%s",
+				w, wantSeries, gotSeries)
+		}
+	}
+}
+
+// TestMetricsGoldenExposition pins the exposition bytes of the
+// observatory scenario to testdata/metrics_golden.prom, produced by
+// both engines. A deliberate format or instrumentation change must
+// regenerate the file with -update-golden.
+func TestMetricsGoldenExposition(t *testing.T) {
+	const path = "testdata/metrics_golden.prom"
+	serial, _ := observatoryScenario(cfm.NewClock())
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(serial), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run Golden -update-golden .): %v", err)
+	}
+	if serial != string(want) {
+		t.Errorf("serial exposition drifted from %s (regenerate with -update-golden if deliberate):\n%s",
+			path, diffHint(string(want), serial))
+	}
+	parallel, _ := observatoryScenario(cfm.NewParallelClock(0))
+	if parallel != string(want) {
+		t.Errorf("parallel exposition drifted from %s:\n%s", path, diffHint(string(want), parallel))
+	}
+}
+
+// diffHint points at the first differing line of two expositions.
+func diffHint(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  golden: %q\n  got:    %q", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: golden %d, got %d", len(wl), len(gl))
+}
