@@ -75,8 +75,13 @@ type (
 // NewClock returns a clock at slot 0.
 func NewClock() *Clock { return sim.NewClock() }
 
+// WorkersAuto asks NewParallelClock to choose its own worker count: it
+// inspects the registered fleet and falls back to serial execution when
+// the parallel sections are too narrow to pay for the barriers.
+const WorkersAuto = sim.WorkersAuto
+
 // NewParallelClock returns a parallel engine at slot 0 with the given
-// worker count (<= 0 selects GOMAXPROCS).
+// worker count (WorkersAuto = heuristic, < 0 = GOMAXPROCS).
 func NewParallelClock(workers int) *ParallelClock { return sim.NewParallelClock(workers) }
 
 // NewEngine returns a ParallelClock with the given worker count when

@@ -10,6 +10,14 @@
 //	go test -run=none -bench=BenchmarkEngine -benchtime=30x -json . > /tmp/new.json
 //	go run ./cmd/benchdiff -old BENCH_engine.json -new /tmp/new.json
 //
+// The one-step form runs the fresh benchmark itself and compares it
+// against the committed baseline — the CI advisory job:
+//
+//	go run ./cmd/benchdiff -against BENCH_engine.json -threshold 0.25
+//
+// (-bench and -benchtime tune the fresh run; the generous default
+// threshold absorbs shared-runner noise.)
+//
 // The exit status is 1 on regression (or parse failure), 0 otherwise.
 // Benchmarks present in only one file are reported but never fatal, so
 // adding or renaming benchmarks does not break the guard.
@@ -17,10 +25,13 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"sort"
 	"strconv"
 	"strings"
@@ -41,6 +52,10 @@ func parseBench(path string) (map[string]float64, error) {
 		return nil, err
 	}
 	defer f.Close()
+	return parseBenchStream(f)
+}
+
+func parseBenchStream(f io.Reader) (map[string]float64, error) {
 	out := map[string]float64{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -104,28 +119,51 @@ func parseBenchLine(line string) (string, float64, bool) {
 	return "", 0, false
 }
 
+// runFresh executes a fresh in-process benchmark run of the repository
+// in the current directory and parses its output.
+func runFresh(pattern, benchtime string) (map[string]float64, error) {
+	cmd := exec.Command("go", "test", "-run=none", "-bench="+pattern, "-benchtime="+benchtime, ".")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("fresh bench run: %w", err)
+	}
+	os.Stdout.Write(out)
+	return parseBenchStream(bytes.NewReader(out))
+}
+
 func main() {
 	oldPath := flag.String("old", "", "baseline bench output (JSON or plain)")
 	newPath := flag.String("new", "", "candidate bench output (JSON or plain)")
+	against := flag.String("against", "", "baseline to compare a FRESH benchmark run against (one-step mode; replaces -old/-new)")
+	pattern := flag.String("bench", "BenchmarkEngine", "benchmark pattern for the fresh run (-against mode)")
+	benchtime := flag.String("benchtime", "10x", "benchtime for the fresh run (-against mode)")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional slowdown before failing")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
+
+	var oldNs, newNs map[string]float64
+	var err error
+	switch {
+	case *against != "":
+		if oldNs, err = parseBench(*against); err == nil {
+			newNs, err = runFresh(*pattern, *benchtime)
+		}
+	case *oldPath != "" && *newPath != "":
+		if oldNs, err = parseBench(*oldPath); err == nil {
+			newNs, err = parseBench(*newPath)
+		}
+	default:
 		fmt.Fprintln(os.Stderr, "usage: benchdiff -old baseline.json -new candidate.json [-threshold 0.10]")
+		fmt.Fprintln(os.Stderr, "       benchdiff -against baseline.json [-bench BenchmarkEngine] [-benchtime 10x] [-threshold 0.25]")
 		os.Exit(2)
 	}
-	oldNs, err := parseBench(*oldPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
-	}
-	newNs, err := parseBench(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 	if len(oldNs) == 0 || len(newNs) == 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark results in %s (%d) / %s (%d)\n",
-			*oldPath, len(oldNs), *newPath, len(newNs))
+		fmt.Fprintf(os.Stderr, "benchdiff: no benchmark results (baseline %d, candidate %d)\n",
+			len(oldNs), len(newNs))
 		os.Exit(1)
 	}
 

@@ -107,7 +107,8 @@ commands:
 simulation-heavy commands (efficiency, treesat, alloc, observe) accept
   -parallel         run on the parallel cycle engine (same results,
                     bit for bit, by the engine equivalence guarantee)
-  -workers N        parallel engine workers (0 = GOMAXPROCS)
+  -workers N        parallel engine workers (0 = auto: serial fallback
+                    for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)
 
 observability flags (efficiency, treesat, alloc, observe):
   -metrics-out F    write metrics to F: *.jsonl gets the slot-sampled
@@ -251,7 +252,7 @@ func cmdEfficiency(args []string) {
 	simulate := fs.Bool("sim", true, "cross-check with discrete-event simulation")
 	slots := fs.Int64("slots", 300000, "simulation slots per point")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
-	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -370,7 +371,7 @@ func cmdTreeSat(args []string) {
 	rate := fs.Float64("rate", 0.1, "injection rate")
 	slots := fs.Int64("slots", 30000, "simulation slots")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
-	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -572,7 +573,7 @@ func cmdAlloc(args []string) {
 	fs := flag.NewFlagSet("alloc", flag.ExitOnError)
 	slots := fs.Int64("slots", 100000, "simulation slots")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
-	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -672,7 +673,7 @@ func cmdObserve(args []string) {
 	hot := fs.Float64("hot", 0.2, "hot-spot fraction on the buffered network")
 	slots := fs.Int64("slots", 24000, "simulation slots")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
-	workers := fs.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, true) // observe always needs the registry

@@ -26,7 +26,7 @@ import (
 
 var (
 	parallel = flag.Bool("parallel", false, "run simulations on the parallel cycle engine")
-	workers  = flag.Int("workers", 0, "parallel engine workers (0 = GOMAXPROCS)")
+	workers  = flag.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	obs      = obsflags.Flags(flag.CommandLine)
 )
 

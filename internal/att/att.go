@@ -302,6 +302,12 @@ func (tr *Tracked) Tick(t sim.Slot, ph sim.Phase) {
 	}
 }
 
+// PhaseMask implements sim.PhaseMasker: nothing happens in PhaseIssue or
+// PhaseConnect.
+func (tr *Tracked) PhaseMask() sim.PhaseMask {
+	return sim.MaskOf(sim.PhaseTransfer, sim.PhaseUpdate)
+}
+
 // shift advances every ATT by one slot, materializing this slot's
 // insertions (blank where no write started).
 func (tr *Tracked) shift() {

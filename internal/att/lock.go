@@ -103,6 +103,9 @@ func (l *Locker) Tick(t sim.Slot, ph sim.Phase) {
 	}
 }
 
+// PhaseMask implements sim.PhaseMasker.
+func (l *Locker) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
+
 // startSwap issues swap(LOCKED, s): store the locked value, observe the
 // old one.
 func (l *Locker) startSwap(t sim.Slot, p int) {

@@ -1,0 +1,42 @@
+package cache
+
+import (
+	"testing"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// TestFrontendTickLoopAllocFree guards the zero-allocation steady state
+// of the front-end + protocol issue path: persistent completion
+// closures, borrow-mode block passing, pooled primitives, and the
+// program/request queues mean a load/store stream runs without touching
+// the heap. The recorded Ops slice is trimmed (capacity kept) between
+// runs — the execution log is the one deliberately unbounded output.
+func TestFrontendTickLoopAllocFree(t *testing.T) {
+	c := New(Config{Processors: 4, Lines: 8, RetryDelay: 1}, nil)
+	clk := sim.NewClock()
+	fe := NewFrontend(c, clk, 0, BufferedOrder)
+	g := NewFrontendGroup(fe)
+	clk.Register(g)
+	clk.Register(c)
+
+	feed := func() {
+		for j := 0; j < 8; j++ {
+			fe.Store(j%4, 0, memory.Word(j))
+			fe.Load((j+1)%4, 0, nil)
+		}
+	}
+	feed()
+	clk.Run(400) // warm-up: size queues, pools, and the Ops log
+	if avg := testing.AllocsPerRun(20, func() {
+		fe.Ops = fe.Ops[:0]
+		feed()
+		clk.Run(200)
+	}); avg != 0 {
+		t.Fatalf("front-end tick loop allocates %v times per burst, want 0", avg)
+	}
+	if !fe.Idle() {
+		t.Fatal("front-end did not drain: guard is vacuous")
+	}
+}

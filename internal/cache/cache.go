@@ -120,11 +120,18 @@ type primitive struct {
 type request struct {
 	isStore  bool
 	prefetch bool // software prefetch: a read with no consumer
-	offset   int
-	word     int
-	value    memory.Word
-	modify   func(memory.Block) memory.Block // non-nil for RMW
-	done     func(memory.Block)
+	// borrow marks an internal (same-package) request whose done and
+	// modify callbacks promise not to retain the block they receive (and
+	// done additionally not to mutate it): the protocol
+	// may then pass its own line/scratch storage instead of a clone. The
+	// public Load/Store/RMW never set it — their callbacks may keep the
+	// block (integration tests do), so they always get a private copy.
+	borrow bool
+	offset int
+	word   int
+	value  memory.Word
+	modify func(memory.Block) memory.Block // non-nil for RMW
+	done   func(memory.Block)
 }
 
 // Protocol is the cache coherence engine. It implements sim.Ticker.
@@ -134,13 +141,21 @@ type Protocol struct {
 	dirs  [][]line             // dirs[p][lineIdx]
 	ops   []*primitive         // in-flight primitive per processor
 	susp  []*primitive         // primitive suspended by a priority write-back
-	reqs  [][]request          // per-processor FIFO of processor requests
+	reqs  []sim.Queue[request] // per-processor FIFO of processor requests
 	wbReq [][]int              // pending remotely-triggered write-backs (offsets)
 	// rmwLocked[p] = offset whose remotely-triggered write-back is
 	// disabled because p is in the modify phase of an atomic operation
 	// (−1 when none): §5.3.1's premature-write-back guard.
 	rmwLocked []int
 	trace     *sim.Trace
+	// pool recycles primitive records (the protocol is a serial ticker, so
+	// one free list suffices); scratch is the block handed to borrow-mode
+	// store callbacks, valid only during the callback.
+	pool    []*primitive
+	scratch memory.Block
+	// id is the engine's parking handle (nil when unregistered): the
+	// protocol parks when Idle() and is woken by the next queued request.
+	id *sim.Idler
 
 	// Statistics.
 	Hits          int64
@@ -172,7 +187,7 @@ func New(cfg Config, trace *sim.Trace) *Protocol {
 		dirs:      make([][]line, cfg.Processors),
 		ops:       make([]*primitive, cfg.Processors),
 		susp:      make([]*primitive, cfg.Processors),
-		reqs:      make([][]request, cfg.Processors),
+		reqs:      make([]sim.Queue[request], cfg.Processors),
 		wbReq:     make([][]int, cfg.Processors),
 		rmwLocked: make([]int, cfg.Processors),
 		trace:     trace,
@@ -268,7 +283,7 @@ func (c *Protocol) CachedData(p, offset int) memory.Block {
 // Busy reports whether processor p has a primitive in flight or requests
 // queued.
 func (c *Protocol) Busy(p int) bool {
-	return c.ops[p] != nil || c.susp[p] != nil || len(c.reqs[p]) > 0 || len(c.wbReq[p]) > 0
+	return c.ops[p] != nil || c.susp[p] != nil || !c.reqs[p].Empty() || len(c.wbReq[p]) > 0
 }
 
 // Idle reports whether the whole system has quiesced.
@@ -281,9 +296,20 @@ func (c *Protocol) Idle() bool {
 	return true
 }
 
+// push queues a request for processor p, waking a parked protocol. Safe
+// to call from concurrent front-end shards for distinct p: each shard
+// touches only its own queue, and Wake is an idempotent atomic store.
+func (c *Protocol) push(p int, r request) {
+	c.id.Wake()
+	c.reqs[p].Push(r)
+}
+
+// BindIdler implements sim.Parker.
+func (c *Protocol) BindIdler(id *sim.Idler) { c.id = id }
+
 // Load queues a processor-level block load; done receives the block.
 func (c *Protocol) Load(p, offset int, done func(memory.Block)) {
-	c.reqs[p] = append(c.reqs[p], request{offset: offset, done: done})
+	c.push(p, request{offset: offset, done: done})
 }
 
 // Store queues a processor-level word store into a block.
@@ -291,7 +317,7 @@ func (c *Protocol) Store(p, offset, word int, v memory.Word, done func(memory.Bl
 	if word < 0 || word >= c.blockSize() {
 		panic(fmt.Sprintf("cache: word %d out of block range [0,%d)", word, c.blockSize()))
 	}
-	c.reqs[p] = append(c.reqs[p], request{isStore: true, offset: offset, word: word, value: v, done: done})
+	c.push(p, request{isStore: true, offset: offset, word: word, value: v, done: done})
 }
 
 // RMW queues an atomic read-modify-write (§5.3.1): exclusive ownership is
@@ -301,5 +327,22 @@ func (c *Protocol) Store(p, offset, word int, v memory.Word, done func(memory.Bl
 // remains dirty in p's cache afterwards; coherence actions write it back
 // on demand.
 func (c *Protocol) RMW(p, offset int, modify func(memory.Block) memory.Block, done func(memory.Block)) {
-	c.reqs[p] = append(c.reqs[p], request{isStore: true, offset: offset, modify: modify, done: done})
+	c.push(p, request{isStore: true, offset: offset, modify: modify, done: done})
+}
+
+// allocPrimitive takes a primitive off the free list (or allocates one);
+// releasePrimitive returns a completed primitive to it. The protocol is a
+// serial ticker, so a single list needs no synchronization.
+func (c *Protocol) allocPrimitive() *primitive {
+	if n := len(c.pool); n > 0 {
+		op := c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		return op
+	}
+	return new(primitive)
+}
+
+func (c *Protocol) releasePrimitive(op *primitive) {
+	op.done = nil // drop the closure reference
+	c.pool = append(c.pool, op)
 }

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"cfm/internal/memory"
 	"cfm/internal/sim"
 )
 
@@ -29,7 +30,18 @@ func (c *Protocol) Tick(t sim.Slot, ph sim.Phase) {
 			}
 		}
 		c.flushMetrics()
+		if c.Idle() {
+			// Fully quiesced: park until the next Load/Store/RMW. A done
+			// callback in complete above may have queued a new request (and
+			// woken us), which Idle then sees.
+			c.id.Park()
+		}
 	}
+}
+
+// PhaseMask implements sim.PhaseMasker: nothing happens in PhaseConnect.
+func (c *Protocol) PhaseMask() sim.PhaseMask {
+	return sim.MaskOf(sim.PhaseIssue, sim.PhaseTransfer, sim.PhaseUpdate)
 }
 
 // launch starts the next primitive for processor p: remotely-triggered
@@ -57,7 +69,9 @@ func (c *Protocol) launch(t sim.Slot, p int) {
 		if c.ops[p] != nil {
 			c.susp[p] = c.ops[p]
 			c.ops[p] = nil
-			c.trace.Add(t, fmt.Sprintf("P%d", p), "%v suspended for priority write-back", c.susp[p].kind)
+			if c.trace.Enabled() {
+				c.trace.Add(t, fmt.Sprintf("P%d", p), "%v suspended for priority write-back", c.susp[p].kind)
+			}
 		}
 		c.startPrimitive(t, p, opWriteBack, offset, nil)
 		return
@@ -74,29 +88,37 @@ func (c *Protocol) launch(t sim.Slot, p int) {
 		op.wait = t
 		op.start = t
 		c.ops[p] = op
-		c.trace.Add(t, fmt.Sprintf("P%d", p), "%v resumed", op.kind)
+		if c.trace.Enabled() {
+			c.trace.Add(t, fmt.Sprintf("P%d", p), "%v resumed", op.kind)
+		}
 		return
 	}
-	if len(c.reqs[p]) == 0 {
+	if c.reqs[p].Empty() {
 		return
 	}
-	req := c.reqs[p][0]
+	req := *c.reqs[p].Peek()
 	ln := &c.dirs[p][c.lineOf(req.offset)]
 	st := c.State(p, req.offset)
 
 	// Table 5.1: hits need no memory access.
 	if !req.isStore && st != Invalid {
 		c.Hits++
-		c.reqs[p] = c.reqs[p][1:]
-		c.trace.Add(t, fmt.Sprintf("P%d", p), "read hit offset %d (%v)", req.offset, st)
+		c.reqs[p].Pop()
+		if c.trace.Enabled() {
+			c.trace.Add(t, fmt.Sprintf("P%d", p), "read hit offset %d (%v)", req.offset, st)
+		}
 		if req.done != nil {
-			req.done(ln.data.Clone())
+			if req.borrow {
+				req.done(ln.data)
+			} else {
+				req.done(ln.data.Clone())
+			}
 		}
 		return
 	}
 	if req.isStore && st == Dirty {
 		c.Hits++
-		c.reqs[p] = c.reqs[p][1:]
+		c.reqs[p].Pop()
 		c.applyStore(t, p, req)
 		return
 	}
@@ -108,14 +130,18 @@ func (c *Protocol) launch(t sim.Slot, p int) {
 		return // the request launches on a later tick
 	}
 	c.Misses++
-	c.reqs[p] = c.reqs[p][1:]
+	c.reqs[p].Pop()
 	if req.isStore {
 		// Write hit on valid or write miss: read-invalidate (Table 5.1).
 		c.startPrimitive(t, p, opReadInv, req.offset, func() { c.applyStore(t, p, req) })
 	} else {
 		c.startPrimitive(t, p, opRead, req.offset, func() {
 			if req.done != nil {
-				req.done(c.dirs[p][c.lineOf(req.offset)].data.Clone())
+				data := c.dirs[p][c.lineOf(req.offset)].data
+				if !req.borrow {
+					data = data.Clone()
+				}
+				req.done(data)
 			}
 		})
 	}
@@ -130,9 +156,28 @@ func (c *Protocol) applyStore(t sim.Slot, p int, req request) {
 	if ln.state != Dirty || ln.tag != req.offset {
 		panic(fmt.Sprintf("cache: store by P%d without ownership of block %d", p, req.offset))
 	}
-	old := ln.data.Clone()
+	// done receives the OLD block value; copy it only when someone will
+	// see it, into the reusable scratch block for borrow-mode callers.
+	var old memory.Block
+	if req.done != nil {
+		if req.borrow {
+			if len(c.scratch) != c.blockSize() {
+				c.scratch = make(memory.Block, c.blockSize())
+			}
+			copy(c.scratch, ln.data)
+			old = c.scratch
+		} else {
+			old = ln.data.Clone()
+		}
+	}
 	if req.modify != nil {
-		ln.data = req.modify(ln.data.Clone())
+		// Borrow-mode RMWs promise modify does not retain its argument,
+		// so the line's own storage can be handed over directly.
+		src := ln.data
+		if !req.borrow {
+			src = ln.data.Clone()
+		}
+		ln.data = req.modify(src)
 		if len(ln.data) != c.blockSize() {
 			panic("cache: RMW modify returned wrong block size")
 		}
@@ -140,7 +185,9 @@ func (c *Protocol) applyStore(t sim.Slot, p int, req request) {
 		ln.data[req.word] = req.value
 	}
 	c.rmwLocked[p] = -1
-	c.trace.Add(t, fmt.Sprintf("P%d", p), "store to dirty block %d", req.offset)
+	if c.trace.Enabled() {
+		c.trace.Add(t, fmt.Sprintf("P%d", p), "store to dirty block %d", req.offset)
+	}
 	if req.done != nil {
 		req.done(old)
 	}
@@ -148,13 +195,17 @@ func (c *Protocol) applyStore(t sim.Slot, p int, req request) {
 
 // startPrimitive begins a primitive operation pass for p.
 func (c *Protocol) startPrimitive(t sim.Slot, p int, kind opKind, offset int, done func()) {
-	c.ops[p] = &primitive{kind: kind, proc: p, offset: offset, start: t, issued: t, done: done}
+	op := c.allocPrimitive()
+	*op = primitive{kind: kind, proc: p, offset: offset, start: t, issued: t, done: done}
+	c.ops[p] = op
 	if kind == opReadInv {
 		// Guard the atomic window: between gaining ownership and the
 		// local modification, remote triggers must not flush the block.
 		c.rmwLocked[p] = offset
 	}
-	c.trace.Add(t, fmt.Sprintf("P%d", p), "start %v block %d", kind, offset)
+	if c.trace.Enabled() {
+		c.trace.Add(t, fmt.Sprintf("P%d", p), "start %v block %d", kind, offset)
+	}
 }
 
 // visit performs one bank visit of p's primitive: bank (t+p) mod n, whose
@@ -260,7 +311,9 @@ func (c *Protocol) retry(t sim.Slot, p int, op *primitive, why string) {
 	op.k = 0
 	op.wait = t + sim.Slot(c.cfg.RetryDelay)
 	op.start = op.wait
-	c.trace.Add(t, fmt.Sprintf("P%d", p), "%v retry: %s", op.kind, why)
+	if c.trace.Enabled() {
+		c.trace.Add(t, fmt.Sprintf("P%d", p), "%v retry: %s", op.kind, why)
+	}
 }
 
 // invalidate clears a remote valid copy.
@@ -269,7 +322,9 @@ func (c *Protocol) invalidate(t sim.Slot, q, offset int) {
 	if ln.tag == offset && ln.state == Valid {
 		ln.state = Invalid
 		c.Invalidations++
-		c.trace.Add(t, fmt.Sprintf("P%d", q), "copy of block %d invalidated", offset)
+		if c.trace.Enabled() {
+			c.trace.Add(t, fmt.Sprintf("P%d", q), "copy of block %d invalidated", offset)
+		}
 	}
 }
 
@@ -287,27 +342,39 @@ func (c *Protocol) queueWB(q, offset int) {
 func (c *Protocol) complete(t sim.Slot, p int, op *primitive) {
 	ln := &c.dirs[p][c.lineOf(op.offset)]
 	switch op.kind {
-	case opRead:
-		ln.state = Valid
+	case opRead, opReadInv:
+		if op.kind == opRead {
+			ln.state = Valid
+		} else {
+			ln.state = Dirty
+		}
 		ln.tag = op.offset
-		ln.data = c.memBlock(op.offset).Clone()
-	case opReadInv:
-		ln.state = Dirty
-		ln.tag = op.offset
-		ln.data = c.memBlock(op.offset).Clone()
+		// Refill in place when the line already owns block-sized storage.
+		// No aliasing is possible: line data and backing blocks only ever
+		// exchange contents by copy, and every block handed out through a
+		// non-borrow callback is a clone.
+		src := c.memBlock(op.offset)
+		if len(ln.data) == c.blockSize() {
+			copy(ln.data, src)
+		} else {
+			ln.data = src.Clone()
+		}
 	case opWriteBack:
 		if ln.state != Dirty || ln.tag != op.offset {
 			panic(fmt.Sprintf("cache: write-back by P%d of non-dirty block %d", p, op.offset))
 		}
-		c.mem[op.offset] = ln.data.Clone()
+		copy(c.memBlock(op.offset), ln.data)
 		ln.state = Valid
 		c.WriteBacks++
 	}
 	c.ops[p] = nil
-	c.trace.Add(t, fmt.Sprintf("P%d", p), "%v block %d complete", op.kind, op.offset)
+	if c.trace.Enabled() {
+		c.trace.Add(t, fmt.Sprintf("P%d", p), "%v block %d complete", op.kind, op.offset)
+	}
 	if op.done != nil {
 		op.done()
 	}
+	c.releasePrimitive(op)
 }
 
 // CheckCoherence verifies the protocol invariants (used by tests after

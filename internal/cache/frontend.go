@@ -60,11 +60,26 @@ type Frontend struct {
 
 	nextIndex int
 	// program is the queue of not-yet-issued program-order entries.
-	program []feOp
+	program sim.Queue[feOp]
 	// storeBuf holds issued-but-unperformed stores (write buffer).
-	storeBuf []*feOp
-	// loadWait is the in-flight load, if any (loads block the program).
+	storeBuf []feOp
+	// busy marks an in-flight access that blocks the program.
 	busy bool
+
+	// pending is the operation whose completion callback will clear busy
+	// and record it; pendingRel is the in-flight release (releases do not
+	// set busy, but the protocol's per-processor FIFO admits only one at a
+	// time). Keeping them in fields lets the three done callbacks below be
+	// allocated once instead of once per issued access.
+	pending    feOp
+	pendingRel feOp
+	doneLoad   func(memory.Block)
+	donePlain  func(memory.Block)
+	doneRel    func(memory.Block)
+
+	// id is the enclosing FrontendGroup's parking handle (shared by all
+	// members; nil when the group is unregistered or absent).
+	id *sim.Idler
 
 	// Ops accumulates the execution for consistency checking.
 	Ops []consistency.Op
@@ -85,18 +100,36 @@ type feOp struct {
 // the protocol — or register a FrontendGroup instead to let the parallel
 // engine tick front-ends concurrently.
 func NewFrontend(c *Protocol, clk sim.Timebase, proc int, mode Ordering) *Frontend {
-	return &Frontend{c: c, clk: clk, proc: proc, mode: mode}
+	f := &Frontend{c: c, clk: clk, proc: proc, mode: mode}
+	f.doneLoad = func(b memory.Block) {
+		f.busy = false
+		op := f.pending
+		f.record(op, f.clk.Now())
+		if op.done != nil {
+			op.done(b[op.word])
+		}
+	}
+	f.donePlain = func(memory.Block) {
+		f.busy = false
+		f.record(f.pending, f.clk.Now())
+	}
+	f.doneRel = func(memory.Block) {
+		f.record(f.pendingRel, f.clk.Now())
+	}
+	return f
 }
 
 // Load appends a program-order load of one word.
 func (f *Frontend) Load(offset, word int, done func(memory.Word)) {
-	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Load,
+	f.id.Wake()
+	f.program.Push(feOp{index: f.next(), kind: consistency.Load,
 		offset: offset, word: word, done: done})
 }
 
 // Store appends a program-order word store.
 func (f *Frontend) Store(offset, word int, v memory.Word) {
-	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Store,
+	f.id.Wake()
+	f.program.Push(feOp{index: f.next(), kind: consistency.Store,
 		offset: offset, word: word, value: v})
 }
 
@@ -104,7 +137,8 @@ func (f *Frontend) Store(offset, word int, v memory.Word) {
 // block); under every discipline it waits for all previous accesses and
 // blocks later ones.
 func (f *Frontend) Sync(offset int) {
-	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Sync, offset: offset})
+	f.id.Wake()
+	f.program.Push(feOp{index: f.next(), kind: consistency.Sync, offset: offset})
 }
 
 // Acquire appends an acquire synchronization access (§2.2.4): later
@@ -112,7 +146,8 @@ func (f *Frontend) Sync(offset int) {
 // accesses. Meaningful under ReleaseOrder; other disciplines treat it as
 // a full Sync.
 func (f *Frontend) Acquire(offset int) {
-	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Acquire, offset: offset})
+	f.id.Wake()
+	f.program.Push(feOp{index: f.next(), kind: consistency.Acquire, offset: offset})
 }
 
 // Release appends a release synchronization access (§2.2.4): it waits
@@ -120,7 +155,8 @@ func (f *Frontend) Acquire(offset int) {
 // wait for it. Meaningful under ReleaseOrder; other disciplines treat it
 // as a full Sync.
 func (f *Frontend) Release(offset int) {
-	f.program = append(f.program, feOp{index: f.next(), kind: consistency.Release_, offset: offset})
+	f.id.Wake()
+	f.program.Push(feOp{index: f.next(), kind: consistency.Release_, offset: offset})
 }
 
 func (f *Frontend) next() int {
@@ -131,7 +167,15 @@ func (f *Frontend) next() int {
 
 // Idle reports whether everything issued has performed.
 func (f *Frontend) Idle() bool {
-	return len(f.program) == 0 && len(f.storeBuf) == 0 && !f.busy && !f.c.Busy(f.proc)
+	return f.program.Empty() && len(f.storeBuf) == 0 && !f.busy && !f.c.Busy(f.proc)
+}
+
+// quiescent reports whether this front-end has nothing left to ISSUE: the
+// parking condition. Unlike Idle it ignores the protocol side — a parked
+// group needs no ticks while an access completes, because completion
+// happens in the protocol's own slot phases, not in front-end ticks.
+func (f *Frontend) quiescent() bool {
+	return f.program.Empty() && len(f.storeBuf) == 0 && !f.busy
 }
 
 // Tick implements sim.Ticker: it decides, each slot, what to issue next
@@ -143,14 +187,14 @@ func (f *Frontend) Tick(t sim.Slot, ph sim.Phase) {
 	// Drain the write buffer when the program has nothing ready to
 	// overtake it (letting stores accumulate is what buys the loads
 	// their bypass — and, under WeakOrder, what exposes the reordering).
-	if !f.busy && len(f.storeBuf) > 0 && !f.c.Busy(f.proc) && len(f.program) == 0 {
+	if !f.busy && len(f.storeBuf) > 0 && !f.c.Busy(f.proc) && f.program.Empty() {
 		f.issueBufferedStore(t)
 		return
 	}
-	if f.busy || len(f.program) == 0 {
+	if f.busy || f.program.Empty() {
 		return
 	}
-	op := f.program[0]
+	op := *f.program.Peek()
 	switch op.kind {
 	case consistency.Load:
 		f.issueLoad(t, op)
@@ -178,12 +222,11 @@ func (f *Frontend) Tick(t sim.Slot, ph sim.Phase) {
 // the write buffer — earlier ordinary stores may still perform after it
 // (Condition 2.4 allows it).
 func (f *Frontend) issueAcquire(t sim.Slot, op feOp) {
-	f.program = f.program[1:]
+	f.program.Pop()
 	f.busy = true
-	f.c.RMW(f.proc, op.offset, func(b memory.Block) memory.Block { return b }, func(memory.Block) {
-		f.busy = false
-		f.record(op, f.clk.Now())
-	})
+	f.pending = op
+	f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
+		modify: identityBlock, done: f.donePlain})
 }
 
 // issueRelease performs the release half: it waits for every earlier
@@ -198,7 +241,7 @@ func (f *Frontend) issueRelease(t sim.Slot, op feOp) {
 		}
 		return
 	}
-	f.program = f.program[1:]
+	f.program.Pop()
 	// The release itself enters the protocol, but the front-end does NOT
 	// mark itself busy: the next program entries may overtake it. The
 	// cache protocol serializes per-processor requests FIFO, so loads
@@ -206,9 +249,9 @@ func (f *Frontend) issueRelease(t sim.Slot, op feOp) {
 	// overtaking that matters for Condition 2.4 — buffered stores issued
 	// later performing before the release would — is exercised by the
 	// write buffer, which keeps absorbing stores while the release runs.
-	f.c.RMW(f.proc, op.offset, func(b memory.Block) memory.Block { return b }, func(memory.Block) {
-		f.record(op, f.clk.Now())
-	})
+	f.pendingRel = op
+	f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
+		modify: identityBlock, done: f.doneRel})
 }
 
 func (f *Frontend) record(op feOp, performedAt sim.Slot) {
@@ -220,14 +263,14 @@ func (f *Frontend) record(op feOp, performedAt sim.Slot) {
 }
 
 func (f *Frontend) issueLoad(t sim.Slot, op feOp) {
-	f.program = f.program[1:]
 	// Store forwarding: a buffered store to the same word satisfies the
 	// load without a memory access (and without ordering it after the
 	// store's eventual performance — the PC/WC relaxation).
 	if f.mode != StrictOrder {
 		for i := len(f.storeBuf) - 1; i >= 0; i-- {
-			sb := f.storeBuf[i]
+			sb := &f.storeBuf[i]
 			if sb.offset == op.offset && sb.word == op.word {
+				f.program.Pop()
 				f.record(op, t)
 				if op.done != nil {
 					op.done(sb.value)
@@ -237,33 +280,26 @@ func (f *Frontend) issueLoad(t sim.Slot, op feOp) {
 		}
 	}
 	if f.mode == StrictOrder && len(f.storeBuf) > 0 {
-		// SC: the load must wait for earlier stores; put it back.
-		f.program = append([]feOp{op}, f.program...)
+		// SC: the load must wait for earlier stores; leave it queued.
 		return
 	}
+	f.program.Pop()
 	f.busy = true
-	f.c.Load(f.proc, op.offset, func(b memory.Block) {
-		f.busy = false
-		f.record(op, f.clk.Now())
-		if op.done != nil {
-			op.done(b[op.word])
-		}
-	})
+	f.pending = op
+	f.c.push(f.proc, request{borrow: true, offset: op.offset, done: f.doneLoad})
 }
 
 func (f *Frontend) issueStore(t sim.Slot, op feOp) {
-	f.program = f.program[1:]
+	f.program.Pop()
 	switch f.mode {
 	case StrictOrder:
 		f.busy = true
-		f.c.Store(f.proc, op.offset, op.word, op.value, func(memory.Block) {
-			f.busy = false
-			f.record(op, f.clk.Now())
-		})
+		f.pending = op
+		f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
+			word: op.word, value: op.value, done: f.donePlain})
 	default:
 		// Enter the write buffer; performance happens at drain.
-		cp := op
-		f.storeBuf = append(f.storeBuf, &cp)
+		f.storeBuf = append(f.storeBuf, op)
 	}
 }
 
@@ -282,10 +318,9 @@ func (f *Frontend) issueBufferedStore(t sim.Slot) {
 	op := f.storeBuf[idx]
 	f.storeBuf = append(f.storeBuf[:idx], f.storeBuf[idx+1:]...)
 	f.busy = true
-	f.c.Store(f.proc, op.offset, op.word, op.value, func(memory.Block) {
-		f.busy = false
-		f.record(*op, f.clk.Now())
-	})
+	f.pending = op
+	f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
+		word: op.word, value: op.value, done: f.donePlain})
 }
 
 func (f *Frontend) issueSync(t sim.Slot, op feOp) {
@@ -297,13 +332,17 @@ func (f *Frontend) issueSync(t sim.Slot, op feOp) {
 		}
 		return
 	}
-	f.program = f.program[1:]
+	f.program.Pop()
 	f.busy = true
-	f.c.RMW(f.proc, op.offset, func(b memory.Block) memory.Block { return b }, func(memory.Block) {
-		f.busy = false
-		f.record(op, f.clk.Now())
-	})
+	f.pending = op
+	f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
+		modify: identityBlock, done: f.donePlain})
 }
+
+// identityBlock is the no-op RMW body used by synchronization accesses:
+// allocated once so sync issue stays allocation-free. Returning the input
+// unchanged is borrow-safe by construction.
+func identityBlock(b memory.Block) memory.Block { return b }
 
 // FrontendGroup bundles the per-processor front-ends of one machine into
 // a single sim.Shardable, one shard per processor. Each front-end's
@@ -315,6 +354,7 @@ func (f *Frontend) issueSync(t sim.Slot, op feOp) {
 // protocol, in place of registering each front-end individually.
 type FrontendGroup struct {
 	fes []*Frontend
+	id  *sim.Idler
 }
 
 // NewFrontendGroup bundles front-ends; shard i ticks fes[i].
@@ -328,8 +368,17 @@ func (g *FrontendGroup) Frontend(i int) *Frontend { return g.fes[i] }
 // Tick implements sim.Ticker by delegating to the shard path.
 func (g *FrontendGroup) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(g, t, ph) }
 
-// ActivePhases implements sim.PhaseAware: front-ends only issue.
-func (g *FrontendGroup) ActivePhases() []sim.Phase { return []sim.Phase{sim.PhaseIssue} }
+// PhaseMask implements sim.PhaseMasker: front-ends only issue.
+func (g *FrontendGroup) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
+
+// BindIdler implements sim.Parker. Every member shares the group's
+// handle, so appending work to any front-end wakes the whole group.
+func (g *FrontendGroup) BindIdler(id *sim.Idler) {
+	g.id = id
+	for _, f := range g.fes {
+		f.id = id
+	}
+}
 
 // Shards implements sim.Shardable: one shard per front-end.
 func (g *FrontendGroup) Shards() int { return len(g.fes) }
@@ -337,6 +386,21 @@ func (g *FrontendGroup) Shards() int { return len(g.fes) }
 // TickShard implements sim.Shardable.
 func (g *FrontendGroup) TickShard(t sim.Slot, ph sim.Phase, s int) {
 	g.fes[s].Tick(t, ph)
+}
+
+// FinishShards implements sim.ShardFinisher: once every member has
+// nothing left to issue, the group parks. This is the serial epilogue of
+// the group's tick (parking from TickShard would race); completion
+// callbacks run in the PROTOCOL's phases, so a parked group never stalls
+// in-flight accesses, and any new program entry wakes it via the shared
+// idler handle.
+func (g *FrontendGroup) FinishShards(t sim.Slot, ph sim.Phase) {
+	for _, f := range g.fes {
+		if !f.quiescent() {
+			return
+		}
+	}
+	g.id.Park()
 }
 
 // Execution assembles the recorded operations (from any number of

@@ -8,7 +8,7 @@ package cache
 // the prefetch completed and nobody invalidated the copy in between.
 func (c *Protocol) Prefetch(p, offset int) {
 	c.Prefetches++
-	c.reqs[p] = append(c.reqs[p], request{offset: offset, done: nil, prefetch: true})
+	c.push(p, request{offset: offset, done: nil, prefetch: true})
 }
 
 // PrefetchUseful reports whether a prefetched block is still present

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// TestBankTickLoopAllocFree guards the zero-allocation steady state of
+// the conflict-free memory's tick loop: after warm-up, every access
+// record and result buffer comes from the per-processor free lists, so
+// running slots allocates nothing. A regression here silently erodes the
+// throughput the bench suite (BenchmarkEngineSerial) is built on.
+func TestBankTickLoopAllocFree(t *testing.T) {
+	cfg := Config{Processors: 8, BankCycle: 2, WordWidth: 16}
+	m := NewCFMemory(cfg, nil)
+	clk := sim.NewClock()
+	blk := make(memory.Block, cfg.Banks())
+	clk.Register(sim.TickerFunc(func(tt sim.Slot, ph sim.Phase) {
+		if ph != sim.PhaseIssue {
+			return
+		}
+		for p := 0; p < cfg.Processors; p++ {
+			if m.CanStart(tt, p) {
+				if p%2 == 0 {
+					m.StartWrite(tt, p, p, blk, nil)
+				} else {
+					m.StartRead(tt, p, (p+1)%cfg.Processors, nil)
+				}
+			}
+		}
+	}))
+	clk.Register(m)
+	clk.Run(200) // warm-up: size the free lists
+	if avg := testing.AllocsPerRun(50, func() { clk.Run(20) }); avg != 0 {
+		t.Fatalf("bank tick loop allocates %v times per 20 slots, want 0", avg)
+	}
+	if m.Completed == 0 {
+		t.Fatal("no accesses completed: guard is vacuous")
+	}
+}

@@ -55,6 +55,13 @@ type CFMemory struct {
 	cur   [][]*access
 	free  []sim.Slot // per-processor slot at which the address path frees
 	trace *sim.Trace
+	// pool recycles access records per processor so the steady state
+	// allocates nothing; shard p only ever touches pool[p].
+	pool [][]*access
+	// id is the engine's parking handle (nil when driven manually, e.g.
+	// inside a ClusterSystem): the memory parks once every processor's
+	// in-flight list drains and is woken by the next begin.
+	id *sim.Idler
 	// stage holds each processor shard's deferred side effects (trace
 	// events, completion counts, done callbacks); FinishShards folds them
 	// in ascending processor order, reproducing the serial engine's
@@ -88,6 +95,7 @@ func NewCFMemory(cfg Config, trace *sim.Trace) *CFMemory {
 		cur:   make([][]*access, cfg.Processors),
 		free:  make([]sim.Slot, cfg.Processors),
 		trace: trace,
+		pool:  make([][]*access, cfg.Processors),
 		stage: make([]procStage, cfg.Processors),
 	}
 	for i := range m.banks {
@@ -153,8 +161,9 @@ func (m *CFMemory) CanStart(t sim.Slot, p int) bool {
 // the assembled block at the completion slot. It returns the completion
 // slot. Call only when CanStart.
 func (m *CFMemory) StartRead(t sim.Slot, p, offset int, done func(memory.Block)) sim.Slot {
-	m.begin(t, p, &access{kind: ReadBlock, proc: p, offset: offset,
-		buf: make(memory.Block, m.cfg.Banks()), done: done})
+	a := m.alloc(p)
+	a.kind, a.offset, a.done = ReadBlock, offset, done
+	m.begin(t, p, a)
 	return m.at.CompletionSlot(t)
 }
 
@@ -164,9 +173,39 @@ func (m *CFMemory) StartWrite(t sim.Slot, p, offset int, data memory.Block, done
 	if len(data) != m.cfg.Banks() {
 		panic(fmt.Sprintf("core: write block of %d words, want %d", len(data), m.cfg.Banks()))
 	}
-	m.begin(t, p, &access{kind: WriteBlock, proc: p, offset: offset,
-		buf: data.Clone(), done: done})
+	a := m.alloc(p)
+	a.kind, a.offset, a.done = WriteBlock, offset, done
+	copy(a.buf, data)
+	m.begin(t, p, a)
 	return m.at.CompletionSlot(t)
+}
+
+// alloc takes an access record off processor p's free list, ensuring its
+// buffer has block size (reads overwrite every word, writes copy over it,
+// so stale contents never leak).
+func (m *CFMemory) alloc(p int) *access {
+	var a *access
+	if n := len(m.pool[p]); n > 0 {
+		a = m.pool[p][n-1]
+		m.pool[p] = m.pool[p][:n-1]
+	} else {
+		a = &access{proc: p}
+	}
+	if len(a.buf) != m.cfg.Banks() {
+		a.buf = make(memory.Block, m.cfg.Banks())
+	}
+	return a
+}
+
+// recycle returns a completed access to its processor's free list. The
+// buffer is kept only when no callback saw it: done callbacks may retain
+// the block they were handed, so those buffers are surrendered to the GC.
+func (m *CFMemory) recycle(a *access) {
+	if a.done != nil {
+		a.buf = nil
+		a.done = nil
+	}
+	m.pool[a.proc] = append(m.pool[a.proc], a)
 }
 
 // begin admits a new access. It records the issue trace event directly,
@@ -181,8 +220,14 @@ func (m *CFMemory) begin(t sim.Slot, p int, a *access) {
 	a.start = t
 	m.cur[p] = append(m.cur[p], a)
 	m.free[p] = t + sim.Slot(m.cfg.Banks())
-	m.trace.Add(t, fmt.Sprintf("P%d", p), "issue %s offset %d", a.kind, a.offset)
+	m.id.Wake()
+	if m.trace.Enabled() {
+		m.trace.Add(t, fmt.Sprintf("P%d", p), "issue %s offset %d", a.kind, a.offset)
+	}
 }
+
+// BindIdler implements sim.Parker.
+func (m *CFMemory) BindIdler(id *sim.Idler) { m.id = id }
 
 // Tick implements sim.Ticker by delegating to the shard path, so the
 // serial and parallel engines execute identical code. Bank visits
@@ -190,10 +235,10 @@ func (m *CFMemory) begin(t sim.Slot, p int, a *access) {
 // completion slot.
 func (m *CFMemory) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(m, t, ph) }
 
-// ActivePhases implements sim.PhaseAware: the memory is idle during
+// PhaseMask implements sim.PhaseMasker: the memory is idle during
 // PhaseIssue and PhaseConnect.
-func (m *CFMemory) ActivePhases() []sim.Phase {
-	return []sim.Phase{sim.PhaseTransfer, sim.PhaseUpdate}
+func (m *CFMemory) PhaseMask() sim.PhaseMask {
+	return sim.MaskOf(sim.PhaseTransfer, sim.PhaseUpdate)
 }
 
 // Shards implements sim.Shardable: one shard per processor. The AT-space
@@ -233,6 +278,8 @@ func (m *CFMemory) TickShard(t sim.Slot, ph sim.Phase, p int) {
 			}
 			if a.done != nil {
 				st.done = append(st.done, a)
+			} else {
+				m.recycle(a) // shard context: a.proc == p, so pool[p] only
 			}
 		}
 		m.cur[p] = keep
@@ -255,8 +302,23 @@ func (m *CFMemory) FinishShards(t sim.Slot, ph sim.Phase) {
 		st.completed = 0
 		for _, a := range st.done {
 			a.done(a.buf)
+			m.recycle(a)
 		}
 		st.done = st.done[:0]
+	}
+	if ph == sim.PhaseUpdate {
+		// Park once fully drained. A done callback above may have begun a
+		// new access (and woken us), which this check then sees in cur.
+		drained := true
+		for p := range m.cur {
+			if len(m.cur[p]) > 0 {
+				drained = false
+				break
+			}
+		}
+		if drained {
+			m.id.Park()
+		}
 	}
 }
 

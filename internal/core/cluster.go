@@ -24,7 +24,7 @@ type ClusterSystem struct {
 	// each cluster (the first division not occupied by a local processor).
 	freeDiv int
 	// queue of pending remote requests per serving cluster.
-	queues [][]*remoteReq
+	queues []sim.Queue[*remoteReq]
 	// Optional inter-cluster topology (§3.3); when set, link delays are
 	// Hops × perHop instead of the flat linkDelay.
 	topo   Topology
@@ -39,6 +39,9 @@ type ClusterSystem struct {
 
 	// Registry handle (nil when unobserved); added to in FinishShards.
 	mRemote *metrics.Counter
+
+	// id is the engine's parking handle (nil when driven manually).
+	id *sim.Idler
 }
 
 // clusterStage buffers one cluster shard's per-phase side effects.
@@ -81,7 +84,7 @@ func NewClusterSystem(cfg Config, numClusters, localProc, linkDelay int) *Cluste
 		localProc: localProc,
 		linkDelay: linkDelay,
 		freeDiv:   localProc,
-		queues:    make([][]*remoteReq, numClusters),
+		queues:    make([]sim.Queue[*remoteReq], numClusters),
 		stage:     make([]clusterStage, numClusters),
 	}
 	for i := 0; i < numClusters; i++ {
@@ -116,6 +119,7 @@ func (cs *ClusterSystem) LocalRead(t sim.Slot, cluster, p, offset int, done func
 	if p >= cs.localProc {
 		panic(fmt.Sprintf("core: local processor %d out of range [0,%d)", p, cs.localProc))
 	}
+	cs.id.Wake()
 	return cs.clusters[cluster].StartRead(t, p, offset, done)
 }
 
@@ -124,6 +128,7 @@ func (cs *ClusterSystem) LocalWrite(t sim.Slot, cluster, p, offset int, data mem
 	if p >= cs.localProc {
 		panic(fmt.Sprintf("core: local processor %d out of range [0,%d)", p, cs.localProc))
 	}
+	cs.id.Wake()
 	return cs.clusters[cluster].StartWrite(t, p, offset, data, done)
 }
 
@@ -131,7 +136,8 @@ func (cs *ClusterSystem) LocalWrite(t sim.Slot, cluster, p, offset int, data mem
 // memory of toCluster via the memory-mapped inter-cluster port. done
 // receives the block and the slot at which the reply arrives back.
 func (cs *ClusterSystem) RemoteRead(t sim.Slot, toCluster, offset int, done func(memory.Block, sim.Slot)) {
-	cs.queues[toCluster] = append(cs.queues[toCluster], &remoteReq{
+	cs.id.Wake()
+	cs.queues[toCluster].Push(&remoteReq{
 		kind: ReadBlock, offset: offset,
 		arrive: t + sim.Slot(cs.linkDelay), replyTo: done, replyDelay: -1,
 	})
@@ -139,7 +145,8 @@ func (cs *ClusterSystem) RemoteRead(t sim.Slot, toCluster, offset int, done func
 
 // RemoteWrite issues a write against toCluster's memory.
 func (cs *ClusterSystem) RemoteWrite(t sim.Slot, toCluster, offset int, data memory.Block, done func(memory.Block, sim.Slot)) {
-	cs.queues[toCluster] = append(cs.queues[toCluster], &remoteReq{
+	cs.id.Wake()
+	cs.queues[toCluster].Push(&remoteReq{
 		kind: WriteBlock, offset: offset, data: data.Clone(),
 		arrive: t + sim.Slot(cs.linkDelay), replyTo: done, replyDelay: -1,
 	})
@@ -151,11 +158,16 @@ func (cs *ClusterSystem) RemoteWrite(t sim.Slot, toCluster, offset int, data mem
 // requests onto each cluster's free AT-space division.
 func (cs *ClusterSystem) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(cs, t, ph) }
 
-// ActivePhases implements sim.PhaseAware: dispatch happens in PhaseIssue
+// PhaseMask implements sim.PhaseMasker: dispatch happens in PhaseIssue
 // and the member CFMemories only work in PhaseTransfer/PhaseUpdate.
-func (cs *ClusterSystem) ActivePhases() []sim.Phase {
-	return []sim.Phase{sim.PhaseIssue, sim.PhaseTransfer, sim.PhaseUpdate}
+func (cs *ClusterSystem) PhaseMask() sim.PhaseMask {
+	return sim.MaskOf(sim.PhaseIssue, sim.PhaseTransfer, sim.PhaseUpdate)
 }
+
+// BindIdler implements sim.Parker. The member CFMemories are driven
+// manually (never registered), so their own handles stay nil; the system
+// parks as one unit once every cluster drains.
+func (cs *ClusterSystem) BindIdler(id *sim.Idler) { cs.id = id }
 
 // Shards implements sim.Shardable: one shard per cluster. Clusters share
 // no memory, queues, or bank state; the only cross-cluster effects —
@@ -188,21 +200,42 @@ func (cs *ClusterSystem) FinishShards(t sim.Slot, ph sim.Phase) {
 		}
 		st.replies = st.replies[:0]
 	}
+	if ph == sim.PhaseUpdate && cs.drained() {
+		// Replies above may have chained new local/remote accesses (and
+		// woken us); drained() runs after them, so parking is safe.
+		cs.id.Park()
+	}
+}
+
+// drained reports whether no cluster has queued or in-flight work.
+func (cs *ClusterSystem) drained() bool {
+	for ci := range cs.queues {
+		if !cs.queues[ci].Empty() {
+			return false
+		}
+	}
+	for _, cl := range cs.clusters {
+		for p := range cl.cur {
+			if len(cl.cur[p]) > 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // dispatch starts the oldest arrived remote request on cluster ci's free
 // division if that division's address path is free.
 func (cs *ClusterSystem) dispatch(t sim.Slot, ci int) {
-	q := cs.queues[ci]
-	if len(q) == 0 || t < q[0].arrive {
+	q := &cs.queues[ci]
+	if q.Empty() || t < (*q.Peek()).arrive {
 		return
 	}
 	cl := cs.clusters[ci]
 	if !cl.CanStart(t, cs.freeDiv) {
 		return
 	}
-	req := q[0]
-	cs.queues[ci] = q[1:]
+	req := q.Pop()
 	reply := func(blk memory.Block) {
 		st := &cs.stage[ci]
 		st.remote++
@@ -229,4 +262,4 @@ func (cs *ClusterSystem) dispatch(t sim.Slot, ci int) {
 
 // PendingRemote returns the number of queued remote requests for a
 // cluster (for tests).
-func (cs *ClusterSystem) PendingRemote(cluster int) int { return len(cs.queues[cluster]) }
+func (cs *ClusterSystem) PendingRemote(cluster int) int { return cs.queues[cluster].Len() }

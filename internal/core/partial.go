@@ -116,7 +116,7 @@ type Partial struct {
 	doneAt      []sim.Slot
 	issuedAt    []sim.Slot
 	nextArrival []sim.Slot
-	backlog     [][]sim.Slot
+	backlog     []sim.Queue[sim.Slot]
 	targetMod   []int
 
 	// stage buffers per-shard measurement deltas, folded by FinishShards.
@@ -175,7 +175,7 @@ func NewPartial(cfg PartialConfig) *Partial {
 		doneAt:      make([]sim.Slot, n),
 		issuedAt:    make([]sim.Slot, n),
 		nextArrival: make([]sim.Slot, n),
-		backlog:     make([][]sim.Slot, n),
+		backlog:     make([]sim.Queue[sim.Slot], n),
 		targetMod:   make([]int, n),
 		stage:       make([]partialStage, cfg.ClusterSize()),
 	}
@@ -256,8 +256,9 @@ func (p *Partial) portIndex(mod, set int) int { return mod*p.cfg.ClusterSize() +
 // serial and parallel engines execute identical code.
 func (p *Partial) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(p, t, ph) }
 
-// ActivePhases implements sim.PhaseAware: all the work is in PhaseIssue.
-func (p *Partial) ActivePhases() []sim.Phase { return []sim.Phase{sim.PhaseIssue} }
+// PhaseMask implements sim.PhaseMasker: all the work is in PhaseIssue, so
+// the engines skip the other three phases entirely.
+func (p *Partial) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
 
 // Shards implements sim.Shardable: one shard per contention set. Two
 // processors interact only through the busy-until state of (module, set)
@@ -272,7 +273,7 @@ func (p *Partial) TickShard(t sim.Slot, ph sim.Phase, s int) {
 	st := &p.stage[s]
 	for i := s; i < p.cfg.Processors; i += p.cfg.ClusterSize() {
 		for t >= p.nextArrival[i] {
-			p.backlog[i] = append(p.backlog[i], p.nextArrival[i])
+			p.backlog[i].Push(p.nextArrival[i])
 			p.nextArrival[i] += sim.Slot(p.thinkTime(i))
 		}
 		switch p.state[i] {
@@ -290,8 +291,8 @@ func (p *Partial) TickShard(t sim.Slot, ph sim.Phase, s int) {
 				p.attempt(t, i)
 			}
 		}
-		if p.state[i] == procIdle && len(p.backlog[i]) > 0 {
-			p.backlog[i] = p.backlog[i][1:]
+		if p.state[i] == procIdle && !p.backlog[i].Empty() {
+			p.backlog[i].Pop()
 			p.targetMod[i] = p.pickModule(i)
 			p.issuedAt[i] = t
 			p.attempt(t, i)
@@ -317,7 +318,10 @@ func (p *Partial) FinishShards(t sim.Slot, ph sim.Phase) {
 		for _, l := range st.lats {
 			p.mLatHist.Observe(l)
 		}
-		*st = partialStage{}
+		// Field-wise reset keeps the lats capacity for the next slot.
+		st.completed, st.retries, st.totalLatency = 0, 0, 0
+		st.localAcc, st.remoteAcc = 0, 0
+		st.lats = st.lats[:0]
 	}
 }
 

@@ -67,7 +67,7 @@ type Shared struct {
 	doneAt      []sim.Slot
 	issuedAt    []sim.Slot
 	nextArrival []sim.Slot
-	backlog     [][]sim.Slot
+	backlog     []sim.Queue[sim.Slot]
 
 	// Measurements.
 	Completed    int64
@@ -92,7 +92,7 @@ func NewShared(cfg SharedConfig) *Shared {
 		doneAt:      make([]sim.Slot, n),
 		issuedAt:    make([]sim.Slot, n),
 		nextArrival: make([]sim.Slot, n),
-		backlog:     make([][]sim.Slot, n),
+		backlog:     make([]sim.Queue[sim.Slot], n),
 	}
 	for i := range s.nextArrival {
 		s.nextArrival[i] = sim.Slot(s.thinkTime())
@@ -123,6 +123,9 @@ func (s *Shared) retryDelay() int {
 	return 1 + s.rng.Intn(2*g-1)
 }
 
+// PhaseMask implements sim.PhaseMasker: all the work is in PhaseIssue.
+func (s *Shared) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
+
 // Tick implements sim.Ticker.
 func (s *Shared) Tick(t sim.Slot, ph sim.Phase) {
 	if ph != sim.PhaseIssue {
@@ -131,7 +134,7 @@ func (s *Shared) Tick(t sim.Slot, ph sim.Phase) {
 	s.horizon = t + 1
 	for i := range s.state {
 		for t >= s.nextArrival[i] {
-			s.backlog[i] = append(s.backlog[i], s.nextArrival[i])
+			s.backlog[i].Push(s.nextArrival[i])
 			s.nextArrival[i] += sim.Slot(s.thinkTime())
 		}
 		switch s.state[i] {
@@ -146,8 +149,8 @@ func (s *Shared) Tick(t sim.Slot, ph sim.Phase) {
 				s.attempt(t, i)
 			}
 		}
-		if s.state[i] == procIdle && len(s.backlog[i]) > 0 {
-			s.backlog[i] = s.backlog[i][1:]
+		if s.state[i] == procIdle && !s.backlog[i].Empty() {
+			s.backlog[i].Pop()
 			s.issuedAt[i] = t
 			s.attempt(t, i)
 		}

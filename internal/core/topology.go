@@ -166,7 +166,8 @@ func (cs *ClusterSystem) linkDelayBetween(from, to int) int {
 // toCluster's memory, paying the topology's routing distance both ways.
 func (cs *ClusterSystem) RemoteReadFrom(t sim.Slot, fromCluster, toCluster, offset int, done func(memory.Block, sim.Slot)) {
 	d := cs.linkDelayBetween(fromCluster, toCluster)
-	cs.queues[toCluster] = append(cs.queues[toCluster], &remoteReq{
+	cs.id.Wake()
+	cs.queues[toCluster].Push(&remoteReq{
 		kind: ReadBlock, offset: offset,
 		arrive: t + sim.Slot(d), replyTo: done, replyDelay: d,
 	})
@@ -175,7 +176,8 @@ func (cs *ClusterSystem) RemoteReadFrom(t sim.Slot, fromCluster, toCluster, offs
 // RemoteWriteFrom issues a write from fromCluster against toCluster.
 func (cs *ClusterSystem) RemoteWriteFrom(t sim.Slot, fromCluster, toCluster, offset int, data memory.Block, done func(memory.Block, sim.Slot)) {
 	d := cs.linkDelayBetween(fromCluster, toCluster)
-	cs.queues[toCluster] = append(cs.queues[toCluster], &remoteReq{
+	cs.id.Wake()
+	cs.queues[toCluster].Push(&remoteReq{
 		kind: WriteBlock, offset: offset, data: data.Clone(),
 		arrive: t + sim.Slot(d), replyTo: done, replyDelay: d,
 	})

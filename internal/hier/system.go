@@ -176,6 +176,10 @@ func (s *System) schedule(at sim.Slot, fn func()) {
 	s.events[at] = append(s.events[at], fn)
 }
 
+// PhaseMask implements sim.PhaseMasker: the whole event machine runs in
+// PhaseTransfer.
+func (s *System) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseTransfer) }
+
 // Tick implements sim.Ticker.
 func (s *System) Tick(t sim.Slot, ph sim.Phase) {
 	if ph != sim.PhaseTransfer {

@@ -64,11 +64,11 @@ type Conventional struct {
 	mods []sim.Slot // per-module busy-until slot
 
 	state       []procState
-	wakeAt      []sim.Slot   // when procWaiting ends
-	doneAt      []sim.Slot   // when the in-flight access completes
-	issuedAt    []sim.Slot   // first attempt slot of the current access
-	nextArrival []sim.Slot   // next open-loop demand arrival
-	backlog     [][]sim.Slot // arrival times of queued demands
+	wakeAt      []sim.Slot            // when procWaiting ends
+	doneAt      []sim.Slot            // when the in-flight access completes
+	issuedAt    []sim.Slot            // first attempt slot of the current access
+	nextArrival []sim.Slot            // next open-loop demand arrival
+	backlog     []sim.Queue[sim.Slot] // arrival times of queued demands
 	targetMod   []int
 
 	// Measurements.
@@ -102,7 +102,7 @@ func NewConventional(cfg ConventionalConfig) *Conventional {
 		doneAt:      make([]sim.Slot, n),
 		issuedAt:    make([]sim.Slot, n),
 		nextArrival: make([]sim.Slot, n),
-		backlog:     make([][]sim.Slot, n),
+		backlog:     make([]sim.Queue[sim.Slot], n),
 		targetMod:   make([]int, n),
 	}
 	for p := 0; p < n; p++ {
@@ -170,6 +170,9 @@ func (c *Conventional) pickModule(p int) int {
 	return c.rng.Intn(c.cfg.Modules)
 }
 
+// PhaseMask implements sim.PhaseMasker: all the work is in PhaseIssue.
+func (c *Conventional) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
+
 // Tick implements sim.Ticker. All activity happens in PhaseIssue: the
 // conventional model has no intra-slot structure worth modelling.
 func (c *Conventional) Tick(t sim.Slot, ph sim.Phase) {
@@ -179,7 +182,7 @@ func (c *Conventional) Tick(t sim.Slot, ph sim.Phase) {
 	for p := range c.state {
 		// Open-loop demand arrivals, independent of service progress.
 		for t >= c.nextArrival[p] {
-			c.backlog[p] = append(c.backlog[p], c.nextArrival[p])
+			c.backlog[p].Push(c.nextArrival[p])
 			c.nextArrival[p] += sim.Slot(c.thinkTime())
 		}
 		switch c.state[p] {
@@ -196,9 +199,8 @@ func (c *Conventional) Tick(t sim.Slot, ph sim.Phase) {
 				c.attempt(t, p)
 			}
 		}
-		if c.state[p] == procIdle && len(c.backlog[p]) > 0 {
-			arrived := c.backlog[p][0]
-			c.backlog[p] = c.backlog[p][1:]
+		if c.state[p] == procIdle && !c.backlog[p].Empty() {
+			arrived := c.backlog[p].Pop()
 			c.TotalQueued += int64(t - arrived)
 			c.mQueued.Add(int64(t - arrived))
 			c.targetMod[p] = c.pickModule(p)

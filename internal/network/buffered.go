@@ -59,10 +59,19 @@ type BufferedOmega struct {
 	// from the config seed), so terminal shards draw independently.
 	rngs []*sim.RNG
 
-	inject [][]Packet   // unbounded source queues (one per processor)
-	q      [][][]Packet // q[column][outputPosition], bounded by QueueCap
-	rr     [][]int      // round-robin arbiter state per switch
-	busy   []sim.Slot   // per-module busy-until
+	inject []sim.Queue[Packet]   // unbounded source queues (one per processor)
+	q      [][]sim.Queue[Packet] // q[column][outputPosition], bounded by QueueCap
+	rr     [][]int               // round-robin arbiter state per switch
+	busy   []sim.Slot            // per-module busy-until
+
+	// Occupancy counts form the column sweep's active set: a column whose
+	// upstream (the previous column, or the source queues for column 0)
+	// holds no packets cannot move anything and is skipped. The counts are
+	// mutated only in serial context — tryMove during the sweep, and the
+	// FinishShards fold, which turns the per-shard injected/delivered
+	// deltas into source/last-column adjustments.
+	injectCount int
+	colCount    []int
 
 	// stage buffers per-terminal measurement deltas, folded by
 	// FinishShards.
@@ -110,19 +119,20 @@ func NewBufferedOmega(cfg BufferedConfig) *BufferedOmega {
 	b := &BufferedOmega{
 		cfg:    cfg,
 		o:      o,
-		rngs:   make([]*sim.RNG, cfg.Terminals),
-		inject: make([][]Packet, cfg.Terminals),
-		q:      make([][][]Packet, o.Columns()),
-		rr:     make([][]int, o.Columns()),
-		busy:   make([]sim.Slot, cfg.Terminals),
-		stage:  make([]bufferedStage, cfg.Terminals),
+		rngs:     make([]*sim.RNG, cfg.Terminals),
+		inject:   make([]sim.Queue[Packet], cfg.Terminals),
+		q:        make([][]sim.Queue[Packet], o.Columns()),
+		rr:       make([][]int, o.Columns()),
+		busy:     make([]sim.Slot, cfg.Terminals),
+		colCount: make([]int, o.Columns()),
+		stage:    make([]bufferedStage, cfg.Terminals),
 	}
 	seeder := sim.NewRNG(cfg.Seed)
 	for p := range b.rngs {
 		b.rngs[p] = seeder.Split()
 	}
 	for j := range b.q {
-		b.q[j] = make([][]Packet, cfg.Terminals)
+		b.q[j] = make([]sim.Queue[Packet], cfg.Terminals)
 		b.rr[j] = make([]int, o.SwitchesPerColumn())
 	}
 	return b
@@ -160,10 +170,10 @@ func (b *BufferedOmega) Instrument(r *metrics.Registry) {
 // back-pressure) happens in PhaseTransfer.
 func (b *BufferedOmega) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(b, t, ph) }
 
-// ActivePhases implements sim.PhaseAware: the network is idle during
+// PhaseMask implements sim.PhaseMasker: the network is idle during
 // PhaseConnect and PhaseUpdate.
-func (b *BufferedOmega) ActivePhases() []sim.Phase {
-	return []sim.Phase{sim.PhaseIssue, sim.PhaseTransfer}
+func (b *BufferedOmega) PhaseMask() sim.PhaseMask {
+	return sim.MaskOf(sim.PhaseIssue, sim.PhaseTransfer)
 }
 
 // Shards implements sim.Shardable: one shard per terminal. Injection
@@ -187,6 +197,7 @@ func (b *BufferedOmega) TickShard(t sim.Slot, ph sim.Phase, s int) {
 // measurement deltas and, in PhaseTransfer, run the sequential column
 // sweep that the drained sinks just made room for.
 func (b *BufferedOmega) FinishShards(t sim.Slot, ph sim.Phase) {
+	last := b.o.Columns() - 1
 	for s := range b.stage {
 		st := &b.stage[s]
 		b.Injected += st.injected
@@ -194,6 +205,8 @@ func (b *BufferedOmega) FinishShards(t sim.Slot, ph sim.Phase) {
 		b.DeliveredHot += st.deliveredHot
 		b.LatencyBgTotal += st.latencyBgTotal
 		b.LatencyHotTotal += st.latencyHotTotal
+		b.injectCount += int(st.injected)
+		b.colCount[last] -= int(st.deliveredBg + st.deliveredHot)
 		b.mInjected.Add(st.injected)
 		b.mDelivBg.Add(st.deliveredBg)
 		b.mDelivHot.Add(st.deliveredHot)
@@ -202,7 +215,16 @@ func (b *BufferedOmega) FinishShards(t sim.Slot, ph sim.Phase) {
 		*st = bufferedStage{}
 	}
 	if ph == sim.PhaseTransfer {
-		for j := b.o.Columns() - 1; j >= 0; j-- {
+		for j := last; j >= 0; j-- {
+			// Active set: a column with an empty upstream has no candidate
+			// moves — nothing to arbitrate, block, or count.
+			upstream := b.injectCount
+			if j > 0 {
+				upstream = b.colCount[j-1]
+			}
+			if upstream == 0 {
+				continue
+			}
 			b.advanceColumn(t, j)
 		}
 		if b.mQueued != nil {
@@ -211,8 +233,8 @@ func (b *BufferedOmega) FinishShards(t sim.Slot, ph sim.Phase) {
 			full := b.FullQueues()
 			for j := range b.mStageQueue {
 				n := 0
-				for _, q := range b.q[j] {
-					n += len(q)
+				for i := range b.q[j] {
+					n += b.q[j][i].Len()
 				}
 				b.mStageQueue[j].Set(int64(n))
 				b.mStageFull[j].Set(int64(full[j]))
@@ -234,7 +256,7 @@ func (b *BufferedOmega) injectNew(t sim.Slot, p int) {
 	} else {
 		pk.Dest = rng.Intn(b.cfg.Terminals)
 	}
-	b.inject[p] = append(b.inject[p], pk)
+	b.inject[p].Push(pk)
 	b.stage[p].injected++
 }
 
@@ -242,11 +264,10 @@ func (b *BufferedOmega) injectNew(t sim.Slot, p int) {
 // head of its last-column queue.
 func (b *BufferedOmega) drainSink(t sim.Slot, m int) {
 	last := b.o.Columns() - 1
-	if t < b.busy[m] || len(b.q[last][m]) == 0 {
+	if t < b.busy[m] || b.q[last][m].Empty() {
 		return
 	}
-	pk := b.q[last][m][0]
-	b.q[last][m] = b.q[last][m][1:]
+	pk := b.q[last][m].Pop()
 	b.busy[m] = t + sim.Slot(b.cfg.ServiceTime)
 	lat := int64(t + sim.Slot(b.cfg.ServiceTime) - pk.Born)
 	st := &b.stage[m]
@@ -259,21 +280,21 @@ func (b *BufferedOmega) drainSink(t sim.Slot, m int) {
 	}
 }
 
-// upstreamHead returns the packet feeding input line pos of column j, if
-// any, plus a closure that removes it from its queue.
-func (b *BufferedOmega) upstreamHead(j, pos int) (Packet, func(), bool) {
+// upstreamHead returns the queue feeding input line pos of column j, or
+// nil if that queue is empty. The caller peeks the head and pops it only
+// when the move succeeds — no per-call closures.
+func (b *BufferedOmega) upstreamHead(j, pos int) *sim.Queue[Packet] {
 	src := unshuffle(pos, b.o.Columns())
-	var qp *[]Packet
+	var qp *sim.Queue[Packet]
 	if j == 0 {
 		qp = &b.inject[src]
 	} else {
 		qp = &b.q[j-1][src]
 	}
-	if len(*qp) == 0 {
-		return Packet{}, nil, false
+	if qp.Empty() {
+		return nil
 	}
-	pk := (*qp)[0]
-	return pk, func() { *qp = (*qp)[1:] }, true
+	return qp
 }
 
 // advanceColumn moves up to one packet through each switch output of
@@ -281,50 +302,57 @@ func (b *BufferedOmega) upstreamHead(j, pos int) (Packet, func(), bool) {
 // arbiter when both inputs contend for the same output.
 func (b *BufferedOmega) advanceColumn(t sim.Slot, j int) {
 	k := b.o.Columns()
+	type cand struct {
+		src *sim.Queue[Packet]
+		out int
+	}
 	for sw := 0; sw < b.o.SwitchesPerColumn(); sw++ {
-		type cand struct {
-			pk   Packet
-			take func()
-			out  int
-		}
-		var cands []cand
+		var cands [2]cand
+		nc := 0
 		for in := 0; in < 2; in++ {
-			if pk, take, ok := b.upstreamHead(j, sw<<1|in); ok {
-				out := sw<<1 | (pk.Dest>>(k-1-j))&1
-				cands = append(cands, cand{pk: pk, take: take, out: out})
+			if src := b.upstreamHead(j, sw<<1|in); src != nil {
+				out := sw<<1 | (src.Peek().Dest>>(k-1-j))&1
+				cands[nc] = cand{src: src, out: out}
+				nc++
 			}
 		}
-		switch len(cands) {
+		switch nc {
 		case 0:
 			continue
 		case 1:
-			b.tryMove(j, cands[0].out, cands[0].pk, cands[0].take)
+			b.tryMove(j, cands[0].out, cands[0].src)
 		case 2:
 			if cands[0].out != cands[1].out {
-				b.tryMove(j, cands[0].out, cands[0].pk, cands[0].take)
-				b.tryMove(j, cands[1].out, cands[1].pk, cands[1].take)
+				b.tryMove(j, cands[0].out, cands[0].src)
+				b.tryMove(j, cands[1].out, cands[1].src)
 				continue
 			}
 			// Contention for one output: alternate which input wins.
 			first := b.rr[j][sw] & 1
 			b.rr[j][sw]++
-			if b.tryMove(j, cands[first].out, cands[first].pk, cands[first].take) {
+			if b.tryMove(j, cands[first].out, cands[first].src) {
 				continue
 			}
-			b.tryMove(j, cands[1-first].out, cands[1-first].pk, cands[1-first].take)
+			b.tryMove(j, cands[1-first].out, cands[1-first].src)
 		}
 	}
 }
 
-// tryMove pushes pk into q[j][out] if there is room, consuming it from
-// its source queue. It reports whether the move happened.
-func (b *BufferedOmega) tryMove(j, out int, pk Packet, take func()) bool {
-	if len(b.q[j][out]) >= b.cfg.QueueCap {
+// tryMove pushes src's head packet into q[j][out] if there is room,
+// consuming it from its source queue and updating the occupancy counts.
+// It reports whether the move happened.
+func (b *BufferedOmega) tryMove(j, out int, src *sim.Queue[Packet]) bool {
+	if b.q[j][out].Len() >= b.cfg.QueueCap {
 		b.mBlocked.Inc() // runs inside FinishShards' sweep: deterministic
 		return false
 	}
-	take()
-	b.q[j][out] = append(b.q[j][out], pk)
+	b.q[j][out].Push(src.Pop())
+	if j == 0 {
+		b.injectCount--
+	} else {
+		b.colCount[j-1]--
+	}
+	b.colCount[j]++
 	return true
 }
 
@@ -333,8 +361,8 @@ func (b *BufferedOmega) tryMove(j, out int, pk Packet, take func()) bool {
 func (b *BufferedOmega) FullQueues() []int {
 	out := make([]int, b.o.Columns())
 	for j := range b.q {
-		for _, q := range b.q[j] {
-			if len(q) >= b.cfg.QueueCap {
+		for i := range b.q[j] {
+			if b.q[j][i].Len() >= b.cfg.QueueCap {
 				out[j]++
 			}
 		}
@@ -347,8 +375,8 @@ func (b *BufferedOmega) FullQueues() []int {
 func (b *BufferedOmega) QueuedPackets() int {
 	total := 0
 	for j := range b.q {
-		for _, q := range b.q[j] {
-			total += len(q)
+		for i := range b.q[j] {
+			total += b.q[j][i].Len()
 		}
 	}
 	return total
@@ -358,8 +386,8 @@ func (b *BufferedOmega) QueuedPackets() int {
 // processors' injection queues.
 func (b *BufferedOmega) SourceBacklog() int {
 	total := 0
-	for _, q := range b.inject {
-		total += len(q)
+	for i := range b.inject {
+		total += b.inject[i].Len()
 	}
 	return total
 }

@@ -143,9 +143,9 @@ func TestBufferedQueueCapacityRespected(t *testing.T) {
 	clk.Register(b)
 	clk.Run(2000)
 	for j := range b.q {
-		for pos, q := range b.q[j] {
-			if len(q) > 2 {
-				t.Fatalf("queue [%d][%d] holds %d > capacity 2", j, pos, len(q))
+		for pos := range b.q[j] {
+			if n := b.q[j][pos].Len(); n > 2 {
+				t.Fatalf("queue [%d][%d] holds %d > capacity 2", j, pos, n)
 			}
 		}
 	}

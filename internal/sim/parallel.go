@@ -37,6 +37,18 @@ import (
 // interchangeable. The top-level differential suite
 // (engine_equiv_test.go) proves it for every configuration of the
 // dissertation's evaluation.
+//
+// Execution model: a pool of persistent workers is spawned lazily at
+// the first parallel run and parked on the pool barrier between runs —
+// a run costs no goroutine creation. All synchronization is one
+// two-counter sense-reversing barrier (atomic fan-in counter plus a
+// generation word); waiters spin briefly and then block on a condition
+// variable, so an idle engine consumes no CPU. Barriers are inserted by
+// the compiler only where the schedule actually needs them: before
+// parallel shard work (so it cannot overtake preceding work) and before
+// serial work that follows parallel work. A schedule whose slot is one
+// sharded segment plus its finalizer costs two barrier crossings per
+// slot, not eight.
 
 // Shardable is the optional interface by which a composite Ticker
 // declares conflict-free shard affinity. Shards returns the number of
@@ -69,12 +81,11 @@ type ShardFinalizer interface {
 	FinishShards(t Slot, ph Phase)
 }
 
-// PhaseAware is an optional interface that narrows the phases in which
-// a component does any work, letting ParallelClock omit it from the
-// other phases' schedules (and skip their barriers) entirely. Tick and
-// TickShard MUST be no-ops in phases not listed. The serial Clock
-// ignores this interface, so a wrong ActivePhases shows up as a
-// serial/parallel divergence in the differential suite.
+// PhaseAware is the slice-valued predecessor of PhaseMasker: a
+// component lists the phases in which it does any work and both engines
+// omit it from the other phases' schedules entirely. Tick and TickShard
+// MUST be no-ops in phases not listed. New code should implement
+// PhaseMasker; when both are present the mask wins.
 type PhaseAware interface {
 	ActivePhases() []Phase
 }
@@ -91,58 +102,110 @@ func SerialTick(s Shardable, t Slot, ph Phase) {
 	}
 }
 
+// WorkersAuto, passed to NewParallelClock, selects the worker count
+// automatically: the engine inspects the compiled schedule and runs
+// serially unless some parallel segment is at least autoSerialShards
+// wide — small configurations never pay the coordination tax (the
+// recorded baseline showed workers=4 nearly 3x SLOWER than workers=1 on
+// the dissertation shapes; see EXPERIMENTS.md).
+const WorkersAuto = 0
+
+// autoSerialShards is the WorkersAuto threshold: the widest parallel
+// segment must have at least this many shards before auto mode turns on
+// worker goroutines at all.
+const autoSerialShards = 32
+
+// barrierSpins bounds the spin phase of a barrier wait before the
+// waiter blocks on the condition variable.
+const barrierSpins = 2048
+
 // parUnit is one Shardable inside a merged parallel segment.
 type parUnit struct {
 	s      Shardable
 	fin    ShardFinalizer // nil when the component has no finalizer
+	id     *Idler         // nil when the component never parks
 	shards int
 	offset int // first global shard index of this unit in the segment
 }
 
-// segment is one barrier-delimited step of a phase schedule: either a
-// run of single-threaded tickers or a merged group of Shardables from
-// one priority band.
+// segment is one compiled step of a phase schedule: either a run of
+// single-threaded tickers or a merged group of Shardables from one
+// priority band.
 type segment struct {
-	serial []Ticker  // non-nil: worker 0 runs these in order
-	units  []parUnit // non-nil: shards distributed across workers
-	total  int       // total shards across units
+	serial []planEntry // non-nil: worker 0 runs these in order
+	units  []parUnit   // non-nil: shards distributed across workers
+	total  int         // total shards across units
 	anyFin bool
+	// barBefore makes every worker sync before this segment's work —
+	// set by the compiler only where ordering demands it.
+	barBefore bool
 }
 
 // ParallelClock drives the same Ticker population as Clock but executes
-// each phase with a pool of workers and barrier synchronization. It
-// implements Engine; see the file comment for the equivalence
-// guarantee. The zero value is not usable — construct with
+// each phase with a pool of persistent workers and barrier
+// synchronization. It implements Engine; see the file comment for the
+// equivalence guarantee. The zero value is not usable — construct with
 // NewParallelClock.
 //
-// Registration must happen between runs, never from inside a Tick.
+// Registration, Run, Step, and Close must all happen on one goroutine;
+// Stop alone is safe to call from inside a Tick on any worker.
 type ParallelClock struct {
 	now     Slot
 	tickers []tickerEntry
-	workers int
-	plan    [numPhases][]segment
+	// cfgWorkers is the constructor argument (WorkersAuto = resolve per
+	// plan); workers is the resolved count for the current plan.
+	cfgWorkers int
+	workers    int
+	plan       [numPhases][]segment
+	// ctrlBar makes workers sync before worker 0's end-of-slot
+	// bookkeeping (needed when the slot's last work was parallel).
+	ctrlBar bool
 	planned bool
 	stopped atomic.Bool
+	// Per-run state, published to workers through the pool barrier.
+	runN    int64
+	runDone int64
+	runPred func() bool
+	predHit bool
 	// cont is the worker control word: written by worker 0 between the
 	// end-of-slot barriers, read by everyone after them.
 	cont bool
+	// Panic collection.
+	panicMu  sync.Mutex
+	panicVal any
+	// Persistent worker pool (nil until the first parallel run).
+	pool   *workerPool
+	sense0 uint64 // worker 0's barrier sense, persists across runs
 	// Stats
 	slotsRun int64
 }
 
-// NewParallelClock returns a parallel engine at slot 0 running on
-// `workers` OS-thread-backed goroutines; workers <= 0 selects
-// GOMAXPROCS. workers == 1 executes the parallel schedule inline with
-// no goroutines (useful as the differential baseline).
-func NewParallelClock(workers int) *ParallelClock {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	return &ParallelClock{workers: workers}
+// workerPool holds the persistent worker goroutines of one resolved
+// worker count. Workers park on bar between runs; the owner releases
+// them by arriving at the same barrier.
+type workerPool struct {
+	n    int // total workers including the caller (worker 0)
+	bar  barrier
+	stop bool // written by the owner before the release that retires the pool
+	wg   sync.WaitGroup
 }
 
-// Workers returns the configured worker count.
-func (pc *ParallelClock) Workers() int { return pc.workers }
+// NewParallelClock returns a parallel engine at slot 0. workers > 0
+// fixes the worker count; WorkersAuto (0) sizes it from the compiled
+// schedule (serial below the autoSerialShards threshold, else
+// GOMAXPROCS); workers < 0 selects GOMAXPROCS unconditionally.
+// workers == 1 executes the parallel schedule inline with no goroutines
+// (useful as the differential baseline).
+func NewParallelClock(workers int) *ParallelClock {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ParallelClock{cfgWorkers: workers}
+}
+
+// Workers returns the configured worker count (WorkersAuto when the
+// engine sizes itself).
+func (pc *ParallelClock) Workers() int { return pc.cfgWorkers }
 
 // Now returns the current slot (the slot being executed during a tick).
 func (pc *ParallelClock) Now() Slot { return pc.now }
@@ -164,21 +227,10 @@ func (pc *ParallelClock) RegisterPrio(t Ticker, prio int) {
 // call from any worker (i.e. from inside a TickShard).
 func (pc *ParallelClock) Stop() { pc.stopped.Store(true) }
 
-// activePhases returns the phases a ticker participates in.
-func activePhases(t Ticker) []Phase {
-	if pa, ok := t.(PhaseAware); ok {
-		return pa.ActivePhases()
-	}
-	all := make([]Phase, numPhases)
-	for i := range all {
-		all[i] = Phase(i)
-	}
-	return all
-}
-
 // compile builds the per-phase schedule: tickers sorted into priority
 // bands, consecutive Shardables of one band merged into parallel
-// segments, everything else into single-threaded segments.
+// segments, everything else into single-threaded segments; then barrier
+// placement and the auto worker count are derived from the shape.
 func (pc *ParallelClock) compile() {
 	sortTickers(pc.tickers)
 	for ph := Phase(0); ph < numPhases; ph++ {
@@ -187,16 +239,23 @@ func (pc *ParallelClock) compile() {
 	// lastBand[ph] is the priority of the last segment appended to
 	// phase ph's schedule; parallel merging never crosses bands.
 	var lastBand [numPhases]int
-	for _, e := range pc.tickers {
+	maxShards := 0
+	for i := range pc.tickers {
+		e := &pc.tickers[i]
+		id := bindIdler(e)
 		sh, shardable := e.t.(Shardable)
 		if shardable && sh.Shards() < 1 {
 			shardable = false
 		}
-		for _, ph := range activePhases(e.t) {
+		m := maskOf(e.t)
+		for ph := Phase(0); ph < numPhases; ph++ {
+			if !m.Has(ph) {
+				continue
+			}
 			segs := pc.plan[ph]
 			if shardable {
 				fin, _ := e.t.(ShardFinalizer)
-				u := parUnit{s: sh, fin: fin, shards: sh.Shards()}
+				u := parUnit{s: sh, fin: fin, id: id, shards: sh.Shards()}
 				if n := len(segs); n > 0 && segs[n-1].units != nil && lastBand[ph] == e.prio {
 					last := &segs[n-1]
 					u.offset = last.total
@@ -206,25 +265,73 @@ func (pc *ParallelClock) compile() {
 				} else {
 					segs = append(segs, segment{units: []parUnit{u}, total: u.shards, anyFin: fin != nil})
 				}
+				if t := segs[len(segs)-1].total; t > maxShards {
+					maxShards = t
+				}
 			} else {
+				pe := planEntry{t: e.t, id: id}
 				if n := len(segs); n > 0 && segs[n-1].serial != nil {
-					segs[n-1].serial = append(segs[n-1].serial, e.t)
+					segs[n-1].serial = append(segs[n-1].serial, pe)
 				} else {
-					segs = append(segs, segment{serial: []Ticker{e.t}})
+					segs = append(segs, segment{serial: []planEntry{pe}})
 				}
 			}
 			pc.plan[ph] = segs
 			lastBand[ph] = e.prio
 		}
 	}
+	// Barrier placement. Walking the slot's segments in execution
+	// order, a barrier is needed before parallel work whenever ANY work
+	// happened since the last sync (it must not overtake), and before
+	// serial work only when PARALLEL work happened since the last sync
+	// (worker 0's own serial work is already ordered). A segment's
+	// finalizer counts as serial work behind the segment's internal
+	// post-shard barrier.
+	pendingSerial, pendingPar := false, false
+	sync := func() { pendingSerial, pendingPar = false, false }
+	for ph := Phase(0); ph < numPhases; ph++ {
+		for i := range pc.plan[ph] {
+			seg := &pc.plan[ph][i]
+			if seg.units != nil {
+				seg.barBefore = pendingSerial || pendingPar
+				if seg.barBefore {
+					sync()
+				}
+				pendingPar = true
+				if seg.anyFin {
+					sync() // the internal post-shard barrier
+					pendingSerial = true
+				}
+			} else {
+				seg.barBefore = pendingPar
+				if seg.barBefore {
+					sync()
+				}
+				pendingSerial = true
+			}
+		}
+	}
+	pc.ctrlBar = pendingPar
+
+	pc.workers = pc.cfgWorkers
+	if pc.cfgWorkers == WorkersAuto {
+		if maxShards >= autoSerialShards {
+			pc.workers = runtime.GOMAXPROCS(0)
+		} else {
+			pc.workers = 1
+		}
+	}
 	pc.planned = true
 }
 
 // runShards executes the global shard range [lo, hi) of a merged
-// parallel segment.
+// parallel segment, skipping parked units.
 func (seg *segment) runShards(t Slot, ph Phase, lo, hi int) {
 	for _, u := range seg.units {
 		if lo >= u.offset+u.shards || hi <= u.offset {
+			continue
+		}
+		if u.id.Parked() {
 			continue
 		}
 		s, e := lo-u.offset, hi-u.offset
@@ -240,10 +347,10 @@ func (seg *segment) runShards(t Slot, ph Phase, lo, hi int) {
 	}
 }
 
-// finish runs the segment's finalizers in registration order.
+// finish runs the live units' finalizers in registration order.
 func (seg *segment) finish(t Slot, ph Phase) {
 	for _, u := range seg.units {
-		if u.fin != nil {
+		if u.fin != nil && !u.id.Parked() {
 			u.fin.FinishShards(t, ph)
 		}
 	}
@@ -257,8 +364,11 @@ func (pc *ParallelClock) stepSerial() {
 		for i := range pc.plan[ph] {
 			seg := &pc.plan[ph][i]
 			if seg.serial != nil {
-				for _, tk := range seg.serial {
-					tk.Tick(t, ph)
+				for _, e := range seg.serial {
+					if e.id.Parked() {
+						continue
+					}
+					e.t.Tick(t, ph)
 				}
 				continue
 			}
@@ -270,7 +380,7 @@ func (pc *ParallelClock) stepSerial() {
 	pc.slotsRun++
 }
 
-// Step executes exactly one slot (inline, without spawning workers —
+// Step executes exactly one slot (inline, without waking workers —
 // identical semantics to a one-slot Run by the equivalence guarantee).
 func (pc *ParallelClock) Step() {
 	if !pc.planned {
@@ -332,150 +442,249 @@ func (pc *ParallelClock) run(n int64, pred func() bool) (int64, bool) {
 	return pc.runWorkers(n, pred)
 }
 
+// Close retires the persistent worker pool. It is optional — an
+// abandoned clock's workers stay blocked on a condition variable and
+// cost no CPU — but lets tests and benchmarks keep the goroutine count
+// flat. The clock remains usable; the next parallel run respawns the
+// pool.
+func (pc *ParallelClock) Close() {
+	p := pc.pool
+	if p == nil {
+		return
+	}
+	pc.pool = nil
+	p.stop = true
+	p.bar.await(&pc.sense0) // release the gate so workers observe stop
+	p.wg.Wait()
+}
+
+// ensurePool returns a worker pool sized for the current plan, retiring
+// a stale one first.
+func (pc *ParallelClock) ensurePool() *workerPool {
+	if pc.pool != nil && pc.pool.n == pc.workers {
+		return pc.pool
+	}
+	pc.Close()
+	p := &workerPool{n: pc.workers}
+	p.bar.init(int32(pc.workers))
+	pc.sense0 = 0
+	pc.pool = p
+	p.wg.Add(pc.workers - 1)
+	for w := 1; w < pc.workers; w++ {
+		go pc.workerLoop(p, w)
+	}
+	return p
+}
+
 // poisonedBarrier is the sentinel panic a worker raises when it
 // observes that another worker has already panicked; the original
 // panic value is re-raised on the caller's goroutine.
 type poisonedBarrier struct{}
 
-// barrier is a generation-counting sense-reversing spin barrier. All
-// synchronization goes through sync/atomic, so the race detector sees
-// the happens-before edges; waiters yield the processor between polls,
-// which keeps the engine live even when workers exceed GOMAXPROCS.
+// barrier is a two-counter sense-reversing barrier: an atomic fan-in
+// counter plus a generation word that flips the waiters' sense. All
+// synchronization goes through sync/atomic and sync.Cond, so the race
+// detector sees the happens-before edges. Waiters spin with Gosched for
+// a bounded number of polls and then block, so between runs (and on
+// badly imbalanced schedules) workers consume no CPU.
 type barrier struct {
-	n       int32
-	arrived atomic.Int32
-	gen     atomic.Uint64
-	poison  *atomic.Bool
+	n        int32
+	arrived  atomic.Int32
+	gen      atomic.Uint64
+	poison   atomic.Bool
+	mu       sync.Mutex
+	cond     sync.Cond
+	sleepers int32 // guarded by mu
 }
 
-func (b *barrier) await(local *uint64) {
-	g := *local + 1
-	*local = g
+func (b *barrier) init(n int32) {
+	b.n = n
+	b.cond.L = &b.mu
+}
+
+// await blocks until all n workers arrive at the local sense's
+// generation. The last arriver publishes the new generation and wakes
+// any blocked waiters (one broadcast — the "futex-style" wakeup).
+func (b *barrier) await(sense *uint64) {
+	g := *sense + 1
+	*sense = g
 	if b.arrived.Add(1) == b.n {
 		b.arrived.Store(0)
+		b.mu.Lock()
 		b.gen.Store(g)
+		sleepers := b.sleepers
+		b.mu.Unlock()
+		if sleepers > 0 {
+			b.cond.Broadcast()
+		}
 		return
 	}
-	for b.gen.Load() < g {
+	for i := 0; i < barrierSpins; i++ {
+		if b.gen.Load() >= g {
+			return
+		}
 		if b.poison.Load() {
 			panic(poisonedBarrier{})
 		}
 		runtime.Gosched()
 	}
+	b.mu.Lock()
+	b.sleepers++
+	for b.gen.Load() < g && !b.poison.Load() {
+		b.cond.Wait()
+	}
+	b.sleepers--
+	b.mu.Unlock()
+	if b.gen.Load() < g {
+		// Released by poison, not by the barrier completing.
+		panic(poisonedBarrier{})
+	}
 }
 
-// runWorkers is the SPMD execution path: the caller becomes worker 0
-// and W−1 goroutines are spawned for the duration of this run. Every
-// worker walks the identical schedule; barriers separate segments,
-// phases, and slots; worker 0 alone runs serial segments, finalizers,
-// predicate checks, and the slot-count bookkeeping.
-func (pc *ParallelClock) runWorkers(n int64, pred func() bool) (int64, bool) {
-	var (
-		poison   atomic.Bool
-		panicVal any
-		panicMu  sync.Mutex
-		wg       sync.WaitGroup
-		done     int64
-		predHit  bool
-	)
-	bar := &barrier{n: int32(pc.workers), poison: &poison}
-	record := func(r any) {
-		if _, sentinel := r.(poisonedBarrier); sentinel {
+// poisonAndWake marks the barrier poisoned and wakes every blocked
+// waiter so the panic propagates instead of deadlocking.
+func (b *barrier) poisonAndWake() {
+	b.poison.Store(true)
+	b.mu.Lock()
+	b.mu.Unlock() //nolint:staticcheck // empty critical section orders the store before the broadcast
+	b.cond.Broadcast()
+}
+
+// recordPanic keeps the first real panic value; sentinel re-panics from
+// poisoned barriers are discarded.
+func (pc *ParallelClock) recordPanic(r any) {
+	if _, sentinel := r.(poisonedBarrier); sentinel {
+		return
+	}
+	pc.panicMu.Lock()
+	if pc.panicVal == nil {
+		pc.panicVal = r
+	}
+	pc.panicMu.Unlock()
+}
+
+// body is the SPMD slot loop every worker executes during one run.
+// Barriers follow the compiled placement, identically on every worker;
+// worker 0 alone runs serial segments, finalizers, predicate checks,
+// and the slot-count bookkeeping.
+func (pc *ParallelClock) body(w int, bar *barrier, sense *uint64) {
+	t := pc.now
+	for {
+		for ph := Phase(0); ph < numPhases; ph++ {
+			for i := range pc.plan[ph] {
+				seg := &pc.plan[ph][i]
+				if seg.barBefore {
+					bar.await(sense)
+				}
+				if seg.serial != nil {
+					if w == 0 {
+						for _, e := range seg.serial {
+							if e.id.Parked() {
+								continue
+							}
+							e.t.Tick(t, ph)
+						}
+					}
+					continue
+				}
+				lo := w * seg.total / pc.workers
+				hi := (w + 1) * seg.total / pc.workers
+				seg.runShards(t, ph, lo, hi)
+				if seg.anyFin {
+					bar.await(sense)
+					if w == 0 {
+						seg.finish(t, ph)
+					}
+				}
+			}
+		}
+		t++
+		if pc.ctrlBar {
+			bar.await(sense) // slot's parallel work complete everywhere
+		}
+		if w == 0 {
+			pc.now = t
+			pc.slotsRun++
+			pc.runDone++
+			cont := pc.runDone < pc.runN
+			if pc.runPred != nil {
+				if pc.runPred() {
+					pc.predHit = true
+					cont = false
+				}
+			} else if pc.stopped.Load() {
+				cont = false
+			}
+			pc.cont = cont
+		}
+		bar.await(sense) // control word published
+		if !pc.cont {
 			return
 		}
-		panicMu.Lock()
-		if panicVal == nil {
-			panicVal = r
-		}
-		panicMu.Unlock()
 	}
+}
 
-	// Decide on the caller whether slot 0 runs at all.
-	pc.cont = n > 0
-	if pc.cont && pred != nil && pred() {
-		predHit = true
-		pc.cont = false
-	}
-	if !pc.cont {
-		return 0, predHit
-	}
-
-	body := func(w int) {
-		var sense uint64
-		t := pc.now
-		for {
-			for ph := Phase(0); ph < numPhases; ph++ {
-				for i := range pc.plan[ph] {
-					seg := &pc.plan[ph][i]
-					if seg.serial != nil {
-						if w == 0 {
-							for _, tk := range seg.serial {
-								tk.Tick(t, ph)
-							}
-						}
-						bar.await(&sense)
-						continue
-					}
-					lo := w * seg.total / pc.workers
-					hi := (w + 1) * seg.total / pc.workers
-					seg.runShards(t, ph, lo, hi)
-					bar.await(&sense)
-					if seg.anyFin {
-						if w == 0 {
-							seg.finish(t, ph)
-						}
-						bar.await(&sense)
-					}
-				}
-			}
-			t++
-			bar.await(&sense) // slot's work complete everywhere
-			if w == 0 {
-				pc.now = t
-				pc.slotsRun++
-				done++
-				pc.cont = done < n
-				if pred != nil {
-					if pred() {
-						predHit = true
-						pc.cont = false
-					}
-				} else if pc.stopped.Load() {
-					pc.cont = false
-				}
-			}
-			bar.await(&sense) // control word published
-			if !pc.cont {
-				return
-			}
-		}
-	}
-
-	for w := 1; w < pc.workers; w++ {
-		wg.Add(1)
-		go func(w int) {
+// workerLoop is the persistent worker body: park on the pool gate, run
+// the slot loop, repeat — until the pool is retired or poisoned.
+func (pc *ParallelClock) workerLoop(p *workerPool, w int) {
+	defer p.wg.Done()
+	var sense uint64
+	for {
+		broken := func() (broken bool) {
 			defer func() {
 				if r := recover(); r != nil {
-					record(r)
-					poison.Store(true)
+					pc.recordPanic(r)
+					p.bar.poisonAndWake()
+					broken = true
 				}
-				wg.Done()
 			}()
-			body(w)
-		}(w)
+			p.bar.await(&sense) // gate: owner arrives to start a run
+			if p.stop {
+				return false
+			}
+			pc.body(w, &p.bar, &sense)
+			return false
+		}()
+		if broken || p.stop {
+			return
+		}
 	}
+}
+
+// runWorkers executes a run on the persistent pool: the caller becomes
+// worker 0, releases the gate, and walks the same slot loop as the
+// workers. On a panic anywhere the barrier is poisoned, every worker
+// unwinds, the pool is discarded, and the original panic value is
+// re-raised on the caller.
+func (pc *ParallelClock) runWorkers(n int64, pred func() bool) (int64, bool) {
+	// Decide on the caller whether slot 0 runs at all.
+	if pred != nil && pred() {
+		return 0, true
+	}
+	if n <= 0 {
+		return 0, false
+	}
+	p := pc.ensurePool()
+	pc.runN = n
+	pc.runDone = 0
+	pc.runPred = pred
+	pc.predHit = false
+	pc.panicVal = nil
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				record(r)
-				poison.Store(true)
+				pc.recordPanic(r)
+				p.bar.poisonAndWake()
 			}
 		}()
-		body(0)
+		p.bar.await(&pc.sense0) // release the gate
+		pc.body(0, &p.bar, &pc.sense0)
 	}()
-	wg.Wait()
-	if panicVal != nil {
-		panic(fmt.Sprintf("sim: worker panic during parallel run at slot %d: %v", pc.now, panicVal))
+	pc.runPred = nil
+	if p.bar.poison.Load() {
+		p.wg.Wait()
+		pc.pool = nil
+		panic(fmt.Sprintf("sim: worker panic during parallel run at slot %d: %v", pc.now, pc.panicVal))
 	}
-	return done, predHit
+	return pc.runDone, pc.predHit
 }

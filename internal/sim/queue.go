@@ -1,0 +1,68 @@
+package sim
+
+// Queue is an allocation-free FIFO used by the hot tick loops in place of
+// the append / q = q[1:] idiom, which leaks the popped prefix until the
+// next growth and re-allocates every time the queue drains to empty and
+// refills. Queue keeps an explicit head index into a reusable buffer:
+// pops only advance the index, and a push that would grow the buffer
+// first compacts the live elements down to offset zero so steady-state
+// traffic recycles the same backing array forever.
+//
+// The zero value is an empty queue. Queue is not safe for concurrent use;
+// in sharded components each shard must own its queues.
+type Queue[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
+
+// Empty reports whether the queue holds no elements.
+func (q *Queue[T]) Empty() bool { return q.head == len(q.buf) }
+
+// Push appends v at the tail, compacting the buffer first if the dead
+// prefix can be reclaimed instead of growing.
+func (q *Queue[T]) Push(v T) {
+	if len(q.buf) == cap(q.buf) && q.head > 0 {
+		n := copy(q.buf, q.buf[q.head:])
+		var zero T
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = zero // drop references in the vacated tail
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, v)
+}
+
+// Pop removes and returns the head element. It panics if the queue is
+// empty, mirroring a slice-index failure.
+func (q *Queue[T]) Pop() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return v
+}
+
+// Peek returns a pointer to the head element without removing it. The
+// pointer is valid until the next Push or Pop. It panics if empty.
+func (q *Queue[T]) Peek() *T { return &q.buf[q.head] }
+
+// At returns a pointer to the i-th queued element (0 = head).
+func (q *Queue[T]) At(i int) *T { return &q.buf[q.head+i] }
+
+// Reset drops all elements, keeping the backing array for reuse.
+func (q *Queue[T]) Reset() {
+	var zero T
+	for i := q.head; i < len(q.buf); i++ {
+		q.buf[i] = zero
+	}
+	q.buf = q.buf[:0]
+	q.head = 0
+}

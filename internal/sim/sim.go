@@ -14,13 +14,18 @@
 //	PhaseTransfer one word moves between a line buffer and a memory bank
 //	PhaseUpdate   ATTs shift, directories settle, statistics accumulate
 //
-// Components implement Ticker and are invoked for every phase; most care
-// about only one or two phases and ignore the rest.
+// Components implement Ticker and may narrow the phases they are invoked
+// for with PhaseMask (or the older ActivePhases); both engines compile a
+// per-phase schedule of only the interested components. Components that
+// go fully quiescent can additionally park themselves on the engine's
+// idle list (see Idler) and be woken by whichever component next touches
+// them, so a drained subsystem costs nothing per slot.
 package sim
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Slot is a point in simulated time, measured in CPU cycles. A constant
@@ -59,7 +64,8 @@ func (p Phase) String() string {
 }
 
 // Ticker is a component driven by the system clock. Tick is called once
-// per phase per slot.
+// per phase per slot (per phase the component has declared interest in;
+// see PhaseMasker).
 type Ticker interface {
 	Tick(t Slot, ph Phase)
 }
@@ -69,6 +75,106 @@ type TickerFunc func(t Slot, ph Phase)
 
 // Tick implements Ticker.
 func (f TickerFunc) Tick(t Slot, ph Phase) { f(t, ph) }
+
+// PhaseMask is a bitset over the intra-slot phases: bit k set means the
+// component does work in Phase(k).
+type PhaseMask uint8
+
+// MaskAll covers every phase — the default for components that do not
+// declare an interest.
+const MaskAll PhaseMask = 1<<numPhases - 1
+
+// MaskOf builds a PhaseMask from a list of phases.
+func MaskOf(phases ...Phase) PhaseMask {
+	var m PhaseMask
+	for _, ph := range phases {
+		if ph >= 0 && ph < numPhases {
+			m |= 1 << uint(ph)
+		}
+	}
+	return m
+}
+
+// Has reports whether the mask includes ph.
+func (m PhaseMask) Has(ph Phase) bool { return m&(1<<uint(ph)) != 0 }
+
+// PhaseMasker is the optional Ticker interface by which a component
+// narrows the phases it is scheduled in. Tick (and TickShard) MUST be
+// no-ops in phases outside the mask: both engines compile the component
+// out of those phases' schedules entirely, so an understated mask does
+// not show up as a serial/parallel divergence — it changes the
+// simulation on both engines. The golden-output tests are the guard.
+//
+// The mask is read once, when the engine compiles its schedule (lazily,
+// before the first slot after a registration); it must be constant for
+// the lifetime of the registration.
+type PhaseMasker interface {
+	PhaseMask() PhaseMask
+}
+
+// maskOf returns the phases a ticker participates in, consulting
+// PhaseMasker first and the older ActivePhases form second.
+func maskOf(t Ticker) PhaseMask {
+	if pm, ok := t.(PhaseMasker); ok {
+		return pm.PhaseMask() & MaskAll
+	}
+	if pa, ok := t.(PhaseAware); ok {
+		return MaskOf(pa.ActivePhases()...)
+	}
+	return MaskAll
+}
+
+// Idler is the parking handle of the active-set scheduler. An engine
+// hands one to every registered component that implements Parker; the
+// component calls Park when it is provably quiescent — every Tick until
+// the next external stimulus would be a no-op — and whichever component
+// (or harness code) delivers that stimulus calls Wake. A parked
+// component is skipped by the engine at zero per-slot cost.
+//
+// The rules that keep parking invisible to the simulation:
+//
+//   - Park only from the component's own Tick/FinishShards (never from
+//     TickShard: the same-phase finalizer would be skipped) or from
+//     outside Run.
+//   - Wake from a program point that executes identically under both
+//     engines and is ordered before the parked component's next
+//     scheduled tick: an earlier serial segment or priority band, a
+//     different phase, or outside Run. Within one parallel segment the
+//     Shardable contract already forbids touching another component.
+//   - Waking an already-awake component and parking an already-parked
+//     one are harmless, so callers never need to check first.
+//
+// All methods are nil-safe: a component that was never registered (for
+// example a CFMemory driven manually inside a ClusterSystem) has a nil
+// handle and simply never parks.
+type Idler struct {
+	parked atomic.Bool
+}
+
+// Park marks the component quiescent; the engine skips it until Wake.
+func (id *Idler) Park() {
+	if id != nil {
+		id.parked.Store(true)
+	}
+}
+
+// Wake reactivates the component.
+func (id *Idler) Wake() {
+	if id != nil {
+		id.parked.Store(false)
+	}
+}
+
+// Parked reports whether the component is currently parked.
+func (id *Idler) Parked() bool { return id != nil && id.parked.Load() }
+
+// Parker is the optional Ticker interface by which a component receives
+// its parking handle. Engines call BindIdler once, when they compile
+// their schedule; a component registered on a new engine is re-bound. A
+// component instance must only ever be registered on one engine.
+type Parker interface {
+	BindIdler(*Idler)
+}
 
 // Timebase is the read-only clock interface components keep a reference
 // to when they only need the current slot (both Clock and ParallelClock
@@ -99,7 +205,10 @@ type Engine interface {
 type Clock struct {
 	now     Slot
 	tickers []tickerEntry
-	sorted  bool // tickers are in (prio, seq) order
+	// plan[ph] lists, in (prio, seq) order, the components interested in
+	// phase ph — compiled lazily so a slot touches only live pairs.
+	plan    [numPhases][]planEntry
+	planned bool
 	stopped bool
 	// Stats
 	slotsRun int64
@@ -109,6 +218,29 @@ type tickerEntry struct {
 	prio int // lower runs first within a phase
 	seq  int // registration order breaks priority ties
 	t    Ticker
+	// id is the parking handle bound at first compile (nil for
+	// components that do not implement Parker).
+	id      *Idler
+	idBound bool
+}
+
+// planEntry is one (component, phase) pair of a compiled schedule.
+type planEntry struct {
+	t  Ticker
+	id *Idler // nil: component never parks
+}
+
+// bindIdler hands e.t its parking handle on first compile and returns
+// it (nil for non-Parker components).
+func bindIdler(e *tickerEntry) *Idler {
+	if !e.idBound {
+		e.idBound = true
+		if p, ok := e.t.(Parker); ok {
+			e.id = new(Idler)
+			p.BindIdler(e.id)
+		}
+	}
+	return e.id
 }
 
 // sortTickers orders entries by (prio, seq). Registration only appends,
@@ -144,21 +276,43 @@ func (c *Clock) Register(t Ticker) { c.RegisterPrio(t, 0) }
 // must compute connections before banks sample their inputs.
 func (c *Clock) RegisterPrio(t Ticker, prio int) {
 	c.tickers = append(c.tickers, tickerEntry{prio: prio, seq: len(c.tickers), t: t})
-	c.sorted = false
+	c.planned = false
 }
 
 // Stop requests that Run return at the end of the current slot. It may be
 // called by a component from inside a Tick.
 func (c *Clock) Stop() { c.stopped = true }
 
-// Step executes exactly one slot: every phase, every component.
+// compile sorts the tickers and builds the per-phase schedules, binding
+// parking handles along the way.
+func (c *Clock) compile() {
+	sortTickers(c.tickers)
+	for ph := range c.plan {
+		c.plan[ph] = c.plan[ph][:0]
+	}
+	for i := range c.tickers {
+		e := &c.tickers[i]
+		id := bindIdler(e)
+		m := maskOf(e.t)
+		for ph := Phase(0); ph < numPhases; ph++ {
+			if m.Has(ph) {
+				c.plan[ph] = append(c.plan[ph], planEntry{t: e.t, id: id})
+			}
+		}
+	}
+	c.planned = true
+}
+
+// Step executes exactly one slot: every phase, every live component.
 func (c *Clock) Step() {
-	if !c.sorted {
-		sortTickers(c.tickers)
-		c.sorted = true
+	if !c.planned {
+		c.compile()
 	}
 	for ph := Phase(0); ph < numPhases; ph++ {
-		for _, e := range c.tickers {
+		for _, e := range c.plan[ph] {
+			if e.id.Parked() {
+				continue
+			}
 			e.t.Tick(c.now, ph)
 		}
 	}

@@ -94,6 +94,9 @@ func (b *Barrier) Tick(t sim.Slot, ph sim.Phase) {
 	}
 }
 
+// PhaseMask implements sim.PhaseMasker.
+func (b *Barrier) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
+
 // startArrive performs the atomic arrival: increment the count; the last
 // arriver resets the count and flips the sense in the same atomic
 // operation (one RMW, so no separate race window).

@@ -109,6 +109,9 @@ func (m *MultiLocker) Tick(t sim.Slot, ph sim.Phase) {
 	}
 }
 
+// PhaseMask implements sim.PhaseMasker.
+func (m *MultiLocker) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
+
 // startMTS issues the multiple test-and-set: atomically set the pattern
 // if no requested bit is taken, per the §5.3.3 definition.
 func (m *MultiLocker) startMTS(t sim.Slot, p int) {

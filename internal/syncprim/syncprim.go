@@ -96,6 +96,9 @@ func (l *Locker) Tick(t sim.Slot, ph sim.Phase) {
 	}
 }
 
+// PhaseMask implements sim.PhaseMasker.
+func (l *Locker) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
+
 // startTAS issues the atomic test-and-set: an RMW that sets word 0 to 1
 // and observes the old value.
 func (l *Locker) startTAS(t sim.Slot, p int) {
