@@ -824,6 +824,93 @@ func BenchmarkEngineSerial(b *testing.B) {
 	}
 }
 
+// engineSparseScenarios are the sparse/bursty fleets of the skip-ahead
+// guard benchmarks. "partial_idle" is the Fig. 3.14 machine at 1/200th
+// of the guard benchmark's access rate — processors think for hundreds
+// of slots between accesses, so almost every slot is quiescent.
+// "gapped_bursts" is the conflict-free memory driven by the duty-cycled
+// gapped generator: short bursts separated by long silences.
+var engineSparseScenarios = []struct {
+	name  string
+	build func(eng cfm.Engine)
+}{
+	{"partial_idle", func(eng cfm.Engine) {
+		eng.Register(cfm.NewPartial(cfm.PartialConfig{
+			Processors: 64, Modules: 8, BlockWords: 16, BankCycle: 2,
+			Locality: 0.9, AccessRate: 0.001, RetryMean: 4, Seed: 42}))
+	}},
+	{"gapped_bursts", func(eng cfm.Engine) {
+		cfg := cfm.Config{Processors: 8, BankCycle: 2, WordWidth: 16}
+		mem := cfm.NewMemory(cfg, nil)
+		var gen cfm.WorkloadGenerator = cfm.NewGappedWorkload(
+			cfg.Processors, 40, 120, 0.5, 42, cfm.UniformTargets(cfg.Processors))
+		gen = cfm.NewDutyCycleWorkload(gen, 512, 64)
+		hint := gen.(cfm.HintedWorkload)
+		eng.Register(&sim.FuncTicker{
+			Phases: sim.MaskOf(sim.PhaseIssue),
+			OnTick: func(t cfm.Slot, ph cfm.Phase) {
+				for p := 0; p < cfg.Processors; p++ {
+					if !mem.CanStart(t, p) {
+						continue
+					}
+					if a, ok := gen.Next(t, p); ok {
+						if a.Store {
+							mem.StartWrite(t, p, a.Module, make(cfm.Block, cfg.Banks()), nil)
+						} else {
+							mem.StartRead(t, p, a.Module, nil)
+						}
+					}
+				}
+			},
+			NextEvent: hint.EarliestNext,
+		})
+		eng.Register(mem)
+	}},
+}
+
+func engineSparseBenchRun(b *testing.B, mk func() cfm.Engine, skip bool, build func(cfm.Engine)) {
+	const slots = 4000
+	eng := mk()
+	eng.SetSkipAhead(skip)
+	build(eng)
+	eng.Run(slots) // warm-up: size queues/pools, settle the workload
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := eng.Run(slots); got != slots {
+			b.Fatalf("ran %d slots, want %d", got, slots)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(slots), "slots/op")
+	if run := eng.SlotsRun(); run > 0 {
+		b.ReportMetric(1-float64(eng.SlotsFired())/float64(run), "skip-ratio")
+	}
+}
+
+// BenchmarkEngineSparse is the event-horizon guard pair: each sparse
+// scenario under the dense clock and under skip-ahead. The skip-ahead
+// run reports its skip-ratio (fraction of simulated slots never fired);
+// cmd/benchdiff prints it next to ns/op. The acceptance bar is
+// skip-ahead >=2x faster than dense on both scenarios, while the dense
+// saturated benches above stay within noise of their baseline.
+func BenchmarkEngineSparse(b *testing.B) {
+	for _, sc := range engineSparseScenarios {
+		for _, mode := range []struct {
+			name string
+			skip bool
+		}{{"dense", false}, {"skipahead", true}} {
+			b.Run(sc.name+"/"+mode.name, func(b *testing.B) {
+				engineSparseBenchRun(b, func() cfm.Engine { return cfm.NewClock() }, mode.skip, sc.build)
+			})
+		}
+		// No parallel variant here on purpose: these fleets are so small
+		// that a ParallelClock run measures barrier jitter, not skipping,
+		// and would flake the benchdiff guard. Parallel skip-ahead
+		// correctness is pinned by the equivalence and fuzz suites.
+	}
+}
+
 // BenchmarkEngineParallel runs the identical simulation under the
 // parallel engine at several worker counts. On a multicore host the
 // n=128/m=16 shape with >=4 workers is the headline speedup case; on a

@@ -62,15 +62,39 @@ type (
 	Slot = sim.Slot
 	// Phase is the intra-slot phase of a Tick.
 	Phase = sim.Phase
+	// PhaseMask is a bit set of phases a component wants ticks for.
+	PhaseMask = sim.PhaseMask
 	// Ticker is a clock-driven simulation component.
 	Ticker = sim.Ticker
 	// TickerFunc adapts a plain function to the Ticker interface.
 	TickerFunc = sim.TickerFunc
+	// FuncTicker is a scripted driver: a tick function plus optional
+	// phase mask and next-event hook, so ad-hoc drivers participate in
+	// skip-ahead scheduling.
+	FuncTicker = sim.FuncTicker
+	// Horizoner is the opt-in interface by which a component bounds its
+	// next observable event for the skip-ahead clock.
+	Horizoner = sim.Horizoner
 	// Trace records simulation events for timing diagrams.
 	Trace = sim.Trace
 	// RNG is the deterministic generator used by stochastic workloads.
 	RNG = sim.RNG
 )
+
+// HorizonNone is the Horizoner answer meaning "no events of my own".
+const HorizonNone = sim.HorizonNone
+
+// The intra-slot phases, in execution order, for building FuncTicker
+// phase masks outside the module.
+const (
+	PhaseIssue    = sim.PhaseIssue
+	PhaseConnect  = sim.PhaseConnect
+	PhaseTransfer = sim.PhaseTransfer
+	PhaseUpdate   = sim.PhaseUpdate
+)
+
+// MaskOf builds a PhaseMask from individual phases.
+func MaskOf(phases ...Phase) PhaseMask { return sim.MaskOf(phases...) }
 
 // NewClock returns a clock at slot 0.
 func NewClock() *Clock { return sim.NewClock() }
@@ -474,9 +498,31 @@ func CheckConsistency(m ConsistencyModel, e *Execution) error { return consisten
 type (
 	// WorkloadGenerator produces synthetic access streams.
 	WorkloadGenerator = workload.Generator
+	// HintedWorkload is a generator that can bound its next event for
+	// skip-ahead drivers.
+	HintedWorkload = workload.Hinted
 	// BernoulliWorkload is the rate-r access process of the evaluation.
 	BernoulliWorkload = workload.Bernoulli
+	// GappedWorkload issues accesses separated by event-time gap draws,
+	// so quiescent stretches are skip-safe.
+	GappedWorkload = workload.Gapped
+	// DutyCycleWorkload gates an inner generator with a periodic on/off
+	// envelope (bursty traffic).
+	DutyCycleWorkload = workload.DutyCycle
 )
+
+// NewGappedWorkload builds the inter-arrival-gap generator: each
+// processor issues, then sleeps a uniform [minGap, maxGap] gap drawn at
+// issue time.
+func NewGappedWorkload(procs, minGap, maxGap int, storeFraction float64, seed uint64, sel func(p int, rng *RNG) int) *GappedWorkload {
+	return workload.NewGapped(procs, minGap, maxGap, storeFraction, seed, sel)
+}
+
+// NewDutyCycleWorkload wraps a generator so it is active only during the
+// first `active` slots of every `period`.
+func NewDutyCycleWorkload(inner WorkloadGenerator, period, active int) *DutyCycleWorkload {
+	return workload.NewDutyCycle(inner, period, active)
+}
 
 // NewBernoulliWorkload builds the rate-r generator with a target selector.
 func NewBernoulliWorkload(procs int, rate, storeFraction float64, seed uint64, sel func(p int, rng *RNG) int) *BernoulliWorkload {

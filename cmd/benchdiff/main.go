@@ -43,10 +43,19 @@ type testEvent struct {
 	Output string `json:"Output"`
 }
 
-// parseBench extracts benchmark name → ns/op from a -json stream. Plain
+// benchResult is one benchmark's parsed measurements: the ns/op that the
+// regression guard compares, plus the skip-ratio the event-horizon
+// benches report (fraction of simulated slots never fired; -1 when the
+// benchmark does not report one).
+type benchResult struct {
+	ns   float64
+	skip float64
+}
+
+// parseBench extracts benchmark name → measurements from a -json stream. Plain
 // (non-JSON) `go test -bench` output is accepted too: any line that does
 // not parse as JSON is scanned directly, so the tool works on both.
-func parseBench(path string) (map[string]float64, error) {
+func parseBench(path string) (map[string]benchResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -55,8 +64,8 @@ func parseBench(path string) (map[string]float64, error) {
 	return parseBenchStream(f)
 }
 
-func parseBenchStream(f io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+func parseBenchStream(f io.Reader) (map[string]benchResult, error) {
+	out := map[string]benchResult{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	// test2json emits the benchmark name and its result line as separate
@@ -70,8 +79,8 @@ func parseBenchStream(f io.Reader) (map[string]float64, error) {
 		if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action != "" {
 			line = ev.Output
 		}
-		if name, ns, ok := parseBenchLine(line); ok {
-			out[name] = ns
+		if name, res, ok := parseBenchLine(line); ok {
+			out[name] = res
 			pending = ""
 			continue
 		}
@@ -81,8 +90,8 @@ func parseBenchStream(f io.Reader) (map[string]float64, error) {
 			continue
 		}
 		if pending != "" && trimmed != "" {
-			if name, ns, ok := parseBenchLine(pending + " " + trimmed); ok {
-				out[name] = ns
+			if name, res, ok := parseBenchLine(pending + " " + trimmed); ok {
+				out[name] = res
 			}
 			pending = ""
 		}
@@ -93,35 +102,43 @@ func parseBenchStream(f io.Reader) (map[string]float64, error) {
 	return out, nil
 }
 
-// parseBenchLine parses one "BenchmarkX-8  10  123 ns/op ..." line.
-func parseBenchLine(line string) (string, float64, bool) {
+// parseBenchLine parses one "BenchmarkX-8  10  123 ns/op ..." line,
+// picking up the optional skip-ratio metric alongside ns/op.
+func parseBenchLine(line string) (string, benchResult, bool) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", benchResult{}, false
 	}
+	res := benchResult{ns: -1, skip: -1}
 	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
-			ns, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return "", 0, false
-			}
-			// Strip the -GOMAXPROCS suffix so runs from hosts with
-			// different core counts stay comparable.
-			name := fields[0]
-			if j := strings.LastIndex(name, "-"); j > 0 {
-				if _, err := strconv.Atoi(name[j+1:]); err == nil {
-					name = name[:j]
-				}
-			}
-			return name, ns, true
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.ns = v
+		case "skip-ratio":
+			res.skip = v
 		}
 	}
-	return "", 0, false
+	if res.ns < 0 {
+		return "", benchResult{}, false
+	}
+	// Strip the -GOMAXPROCS suffix so runs from hosts with
+	// different core counts stay comparable.
+	name := fields[0]
+	if j := strings.LastIndex(name, "-"); j > 0 {
+		if _, err := strconv.Atoi(name[j+1:]); err == nil {
+			name = name[:j]
+		}
+	}
+	return name, res, true
 }
 
 // runFresh executes a fresh in-process benchmark run of the repository
 // in the current directory and parses its output.
-func runFresh(pattern, benchtime string) (map[string]float64, error) {
+func runFresh(pattern, benchtime string) (map[string]benchResult, error) {
 	cmd := exec.Command("go", "test", "-run=none", "-bench="+pattern, "-benchtime="+benchtime, ".")
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
@@ -141,7 +158,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional slowdown before failing")
 	flag.Parse()
 
-	var oldNs, newNs map[string]float64
+	var oldNs, newNs map[string]benchResult
 	var err error
 	switch {
 	case *against != "":
@@ -176,20 +193,22 @@ func main() {
 	for _, n := range names {
 		nv, ok := newNs[n]
 		if !ok {
-			fmt.Printf("%-60s baseline only (%.0f ns/op)\n", n, oldNs[n])
+			fmt.Printf("%-60s baseline only (%.0f ns/op)\n", n, oldNs[n].ns)
 			continue
 		}
-		delta := nv/oldNs[n] - 1
+		delta := nv.ns/oldNs[n].ns - 1
 		mark := "ok"
 		if delta > *threshold {
 			mark = "REGRESSION"
 			regressed++
 		}
-		fmt.Printf("%-60s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", n, oldNs[n], nv, 100*delta, mark)
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op  %+6.1f%%  %s%s\n",
+			n, oldNs[n].ns, nv.ns, 100*delta, mark, skipNote(oldNs[n], nv))
 	}
 	for n := range newNs {
 		if _, ok := oldNs[n]; !ok {
-			fmt.Printf("%-60s new benchmark (%.0f ns/op)\n", n, newNs[n])
+			fmt.Printf("%-60s new benchmark (%.0f ns/op%s)\n", n, newNs[n].ns,
+				skipNote(benchResult{skip: -1}, newNs[n]))
 		}
 	}
 	if regressed > 0 {
@@ -198,4 +217,18 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% of baseline\n", len(names), 100**threshold)
+}
+
+// skipNote renders the skip-ratio column for benchmarks that report one:
+// both sides when both runs have it, the candidate's alone otherwise.
+func skipNote(old, new benchResult) string {
+	switch {
+	case old.skip >= 0 && new.skip >= 0:
+		return fmt.Sprintf("  skip %.2f -> %.2f", old.skip, new.skip)
+	case new.skip >= 0:
+		return fmt.Sprintf("  skip %.2f", new.skip)
+	case old.skip >= 0:
+		return fmt.Sprintf("  skip %.2f -> -", old.skip)
+	}
+	return ""
 }

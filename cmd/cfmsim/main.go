@@ -109,6 +109,9 @@ simulation-heavy commands (efficiency, treesat, alloc, observe) accept
                     bit for bit, by the engine equivalence guarantee)
   -workers N        parallel engine workers (0 = auto: serial fallback
                     for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)
+  -skip-ahead       event-horizon scheduling: jump the clock over slots
+                    no component declared interest in (same results,
+                    bit for bit; pays off on sparse/bursty workloads)
 
 observability flags (efficiency, treesat, alloc, observe):
   -metrics-out F    write metrics to F: *.jsonl gets the slot-sampled
@@ -253,6 +256,7 @@ func cmdEfficiency(args []string) {
 	slots := fs.Int64("slots", 300000, "simulation slots per point")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
+	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -296,7 +300,11 @@ func cmdEfficiency(args []string) {
 
 	if *simulate {
 		fmt.Println("\ndiscrete-event simulation cross-check:")
-		simEfficiency(*fig, *slots, func() cfm.Engine { return cfm.NewEngine(*parallel, *workers) }, obs)
+		simEfficiency(*fig, *slots, func() cfm.Engine {
+			eng := cfm.NewEngine(*parallel, *workers)
+			eng.SetSkipAhead(*skipAhead)
+			return eng
+		}, obs)
 	}
 	closeObservatory(obs)
 }
@@ -372,6 +380,7 @@ func cmdTreeSat(args []string) {
 	slots := fs.Int64("slots", 30000, "simulation slots")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
+	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -385,6 +394,7 @@ func cmdTreeSat(args []string) {
 		})
 		b.Instrument(obs.Reg)
 		clk := cfm.NewEngine(*parallel, *workers)
+	clk.SetSkipAhead(*skipAhead)
 		clk.Register(b)
 		obs.Attach(clk)
 		clk.Run(*slots)
@@ -574,6 +584,7 @@ func cmdAlloc(args []string) {
 	slots := fs.Int64("slots", 100000, "simulation slots")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
+	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -608,6 +619,7 @@ func cmdAlloc(args []string) {
 		p := cfm.NewPartial(c)
 		p.Instrument(obs.Reg)
 		clk := cfm.NewEngine(*parallel, *workers)
+	clk.SetSkipAhead(*skipAhead)
 		clk.Register(p)
 		obs.Attach(clk)
 		clk.Run(*slots)
@@ -674,6 +686,7 @@ func cmdObserve(args []string) {
 	slots := fs.Int64("slots", 24000, "simulation slots")
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
+	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, true) // observe always needs the registry
@@ -692,6 +705,7 @@ func cmdObserve(args []string) {
 	proto.Instrument(obs.Reg)
 
 	clk := cfm.NewEngine(*parallel, *workers)
+	clk.SetSkipAhead(*skipAhead)
 	clk.Register(conv)
 	clk.Register(net)
 	clk.Register(proto)

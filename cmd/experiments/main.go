@@ -25,14 +25,19 @@ import (
 )
 
 var (
-	parallel = flag.Bool("parallel", false, "run simulations on the parallel cycle engine")
-	workers  = flag.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
-	obs      = obsflags.Flags(flag.CommandLine)
+	parallel  = flag.Bool("parallel", false, "run simulations on the parallel cycle engine")
+	workers   = flag.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
+	skipAhead = flag.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
+	obs       = obsflags.Flags(flag.CommandLine)
 )
 
 // newEngine builds the cycle engine each experiment registers its
-// components on, honoring the -parallel/-workers flags.
-func newEngine() cfm.Engine { return cfm.NewEngine(*parallel, *workers) }
+// components on, honoring the -parallel/-workers/-skip-ahead flags.
+func newEngine() cfm.Engine {
+	eng := cfm.NewEngine(*parallel, *workers)
+	eng.SetSkipAhead(*skipAhead)
+	return eng
+}
 
 var failures int
 

@@ -22,7 +22,10 @@ func equivWorkers() []int {
 
 // runDifferential executes scenario once per engine and compares the
 // returned observation strings (digests, counters, memory fingerprints —
-// anything the simulation is supposed to determine).
+// anything the simulation is supposed to determine). Every scenario runs
+// dense AND with the event-horizon skip-ahead clock, serial and at each
+// worker count: skipping quiescent slots may only change wall time,
+// never a single simulated observable.
 func runDifferential(t *testing.T, scenario func(eng cfm.Engine) string) {
 	t.Helper()
 	want := scenario(cfm.NewClock())
@@ -30,6 +33,20 @@ func runDifferential(t *testing.T, scenario func(eng cfm.Engine) string) {
 		got := scenario(cfm.NewParallelClock(w))
 		if got != want {
 			t.Fatalf("parallel run (workers=%d) diverged from serial:\nserial   %s\nparallel %s",
+				w, want, got)
+		}
+	}
+	skip := cfm.NewClock()
+	skip.SetSkipAhead(true)
+	if got := scenario(skip); got != want {
+		t.Fatalf("skip-ahead serial run diverged from dense:\ndense      %s\nskip-ahead %s",
+			want, got)
+	}
+	for _, w := range equivWorkers() {
+		eng := cfm.NewParallelClock(w)
+		eng.SetSkipAhead(true)
+		if got := scenario(eng); got != want {
+			t.Fatalf("skip-ahead parallel run (workers=%d) diverged from dense:\ndense      %s\nskip-ahead %s",
 				w, want, got)
 		}
 	}
@@ -96,26 +113,34 @@ func TestEquivCFMemoryTraced(t *testing.T) {
 		for p := range left {
 			left[p] = 6
 		}
-		eng.Register(sim.TickerFunc(func(tt cfm.Slot, ph cfm.Phase) {
-			if ph != sim.PhaseIssue {
-				return
-			}
-			for p := 0; p < cfg.Processors; p++ {
-				if left[p] == 0 || !mem.CanStart(tt, p) {
-					continue
-				}
-				left[p]--
-				if left[p]%2 == 0 {
-					blk := make(cfm.Block, cfg.Banks())
-					for k := range blk {
-						blk[k] = cfm.Word(p*100 + left[p])
+		eng.Register(&sim.FuncTicker{
+			Phases: sim.MaskOf(sim.PhaseIssue),
+			OnTick: func(tt cfm.Slot, ph cfm.Phase) {
+				for p := 0; p < cfg.Processors; p++ {
+					if left[p] == 0 || !mem.CanStart(tt, p) {
+						continue
 					}
-					mem.StartWrite(tt, p, p, blk, nil)
-				} else {
-					mem.StartRead(tt, p, (p+1)%cfg.Processors, nil)
+					left[p]--
+					if left[p]%2 == 0 {
+						blk := make(cfm.Block, cfg.Banks())
+						for k := range blk {
+							blk[k] = cfm.Word(p*100 + left[p])
+						}
+						mem.StartWrite(tt, p, p, blk, nil)
+					} else {
+						mem.StartRead(tt, p, (p+1)%cfg.Processors, nil)
+					}
 				}
-			}
-		}))
+			},
+			NextEvent: func(now cfm.Slot) cfm.Slot {
+				for p := range left {
+					if left[p] > 0 {
+						return now
+					}
+				}
+				return cfm.HorizonNone
+			},
+		})
 		eng.Register(mem)
 		eng.Run(4000)
 		fp := ""
@@ -200,31 +225,41 @@ func TestEquivClusterSystem(t *testing.T) {
 		got := make([]cfm.Word, clusters)
 		var gotAt [clusters]cfm.Slot
 		step := 0
-		eng.Register(sim.TickerFunc(func(tt cfm.Slot, ph cfm.Phase) {
-			if ph != sim.PhaseIssue {
-				return
-			}
-			switch {
-			case step == 0:
-				for cl := 0; cl < clusters; cl++ {
-					blk := make(cfm.Block, cfg.Banks())
-					for k := range blk {
-						blk[k] = cfm.Word(1000 + cl)
+		eng.Register(&sim.FuncTicker{
+			Phases: sim.MaskOf(sim.PhaseIssue),
+			OnTick: func(tt cfm.Slot, ph cfm.Phase) {
+				switch {
+				case step == 0:
+					for cl := 0; cl < clusters; cl++ {
+						blk := make(cfm.Block, cfg.Banks())
+						for k := range blk {
+							blk[k] = cfm.Word(1000 + cl)
+						}
+						cs.LocalWrite(tt, cl, 0, 0, blk, nil)
 					}
-					cs.LocalWrite(tt, cl, 0, 0, blk, nil)
+					step = 1
+				case step == 1 && tt == 60:
+					for cl := 0; cl < clusters; cl++ {
+						cl := cl
+						cs.RemoteRead(tt, cl, 0, func(b cfm.Block, at cfm.Slot) {
+							got[cl] = b[0]
+							gotAt[cl] = at
+						})
+					}
+					step = 2
 				}
-				step = 1
-			case step == 1 && tt == 60:
-				for cl := 0; cl < clusters; cl++ {
-					cl := cl
-					cs.RemoteRead(tt, cl, 0, func(b cfm.Block, at cfm.Slot) {
-						got[cl] = b[0]
-						gotAt[cl] = at
-					})
+			},
+			NextEvent: func(now cfm.Slot) cfm.Slot {
+				switch step {
+				case 0:
+					return now
+				case 1:
+					return 60
+				default:
+					return cfm.HorizonNone
 				}
-				step = 2
-			}
-		}))
+			},
+		})
 		eng.Register(cs)
 		eng.Run(500)
 		sum := int64(0)
@@ -295,24 +330,36 @@ func TestEquivIdleWakeBanks(t *testing.T) {
 		mem := cfm.NewMemory(cfg, tr)
 		reg := cfm.NewRegistry()
 		mem.Instrument(reg)
-		eng.Register(sim.TickerFunc(func(tt cfm.Slot, ph cfm.Phase) {
-			if ph != sim.PhaseIssue {
-				return
-			}
-			if burst := tt < 4 || (tt >= 2500 && tt < 2504); !burst {
-				return
-			}
-			for p := 0; p < cfg.Processors; p += 2 {
-				if !mem.CanStart(tt, p) {
-					continue
+		eng.Register(&sim.FuncTicker{
+			Phases: sim.MaskOf(sim.PhaseIssue),
+			OnTick: func(tt cfm.Slot, ph cfm.Phase) {
+				if burst := tt < 4 || (tt >= 2500 && tt < 2504); !burst {
+					return
 				}
-				blk := make(cfm.Block, cfg.Banks())
-				for k := range blk {
-					blk[k] = cfm.Word(int(tt)*10 + p)
+				for p := 0; p < cfg.Processors; p += 2 {
+					if !mem.CanStart(tt, p) {
+						continue
+					}
+					blk := make(cfm.Block, cfg.Banks())
+					for k := range blk {
+						blk[k] = cfm.Word(int(tt)*10 + p)
+					}
+					mem.StartWrite(tt, p, p, blk, nil)
 				}
-				mem.StartWrite(tt, p, p, blk, nil)
-			}
-		}))
+			},
+			NextEvent: func(now cfm.Slot) cfm.Slot {
+				switch {
+				case now < 4:
+					return now
+				case now < 2500:
+					return 2500
+				case now < 2504:
+					return now
+				default:
+					return cfm.HorizonNone
+				}
+			},
+		})
 		eng.Register(mem)
 		eng.Run(4000)
 		// Digest equality alone would not catch a wake that never fires
@@ -351,4 +398,52 @@ func TestEquivIdleWakeOmegaColumns(t *testing.T) {
 			net.LatencyBgTotal, " ", net.QueuedPackets(), " ", net.SourceBacklog(),
 			" reg:", reg.Snapshot().Digest())
 	})
+}
+
+// TestSkipAheadActuallySkips guards the skip-ahead sweep in
+// runDifferential against vacuity: on the bursty bank scenario, the
+// event-horizon clock must actually jump the quiet gap — if every
+// component conservatively pinned the clock, the equivalence tests above
+// would pass without testing anything.
+func TestSkipAheadActuallySkips(t *testing.T) {
+	run := func(eng cfm.Engine) {
+		cfg := cfm.Config{Processors: 8, BankCycle: 2, WordWidth: 16}
+		mem := cfm.NewMemory(cfg, nil)
+		eng.Register(&sim.FuncTicker{
+			Phases: sim.MaskOf(sim.PhaseIssue),
+			OnTick: func(tt cfm.Slot, ph cfm.Phase) {
+				if tt != 0 && tt != 2500 {
+					return
+				}
+				for p := 0; p < cfg.Processors; p += 2 {
+					blk := make(cfm.Block, cfg.Banks())
+					mem.StartWrite(tt, p, p, blk, nil)
+				}
+			},
+			NextEvent: func(now cfm.Slot) cfm.Slot {
+				switch {
+				case now <= 0:
+					return 0
+				case now <= 2500:
+					return 2500
+				default:
+					return cfm.HorizonNone
+				}
+			},
+		})
+		eng.Register(mem)
+		eng.SetSkipAhead(true)
+		eng.Run(4000)
+		if mem.Completed != 8 {
+			t.Fatalf("expected 8 completions, got %d", mem.Completed)
+		}
+		if fired, run := eng.SlotsFired(), eng.SlotsRun(); run != 4000 || fired >= run/2 {
+			t.Fatalf("skip-ahead is vacuous: fired %d of %d slots", fired, run)
+		}
+	}
+	t.Run("serial", func(t *testing.T) { run(cfm.NewClock()) })
+	for _, w := range equivWorkers() {
+		w := w
+		t.Run(fmt.Sprintf("workers%d", w), func(t *testing.T) { run(cfm.NewParallelClock(w)) })
+	}
 }

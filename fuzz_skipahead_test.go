@@ -1,0 +1,97 @@
+// FuzzSkipAheadEquivalence: random sparse workloads through the dense
+// and event-horizon clocks, asserting that skipping quiescent slots
+// changes no simulated observable — trace digests, metrics-registry
+// digests, and counters must match byte for byte, serial and parallel.
+package cfm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cfm"
+	"cfm/internal/sim"
+)
+
+// skipAheadScenario runs a sparse, bursty workload: a conflict-free
+// memory driven by a gapped (optionally duty-cycled) generator with
+// tracing on, plus a partially conflict-free system ticking alongside.
+// It returns every observable as one string.
+func skipAheadScenario(eng cfm.Engine, seed uint64, slots int64, minGap, gapSpan int, duty bool) string {
+	cfg := cfm.Config{Processors: 8, BankCycle: 2, WordWidth: 16}
+	tr := cfm.NewTrace()
+	mem := cfm.NewMemory(cfg, tr)
+	reg := cfm.NewRegistry()
+	mem.Instrument(reg)
+
+	var gen cfm.WorkloadGenerator = cfm.NewGappedWorkload(
+		cfg.Processors, minGap, minGap+gapSpan, 0.5, seed, cfm.UniformTargets(cfg.Processors))
+	if duty {
+		gen = cfm.NewDutyCycleWorkload(gen, 256, 32)
+	}
+	hint := gen.(cfm.HintedWorkload)
+	eng.Register(&sim.FuncTicker{
+		Phases: sim.MaskOf(sim.PhaseIssue),
+		OnTick: func(tt cfm.Slot, ph cfm.Phase) {
+			for p := 0; p < cfg.Processors; p++ {
+				if !mem.CanStart(tt, p) {
+					continue
+				}
+				a, ok := gen.Next(tt, p)
+				if !ok {
+					continue
+				}
+				if a.Store {
+					blk := make(cfm.Block, cfg.Banks())
+					for k := range blk {
+						blk[k] = cfm.Word(int(tt) + p)
+					}
+					mem.StartWrite(tt, p, a.Module, blk, nil)
+				} else {
+					mem.StartRead(tt, p, a.Module, nil)
+				}
+			}
+		},
+		NextEvent: func(now cfm.Slot) cfm.Slot { return hint.EarliestNext(now) },
+	})
+	eng.Register(mem)
+
+	part := cfm.NewPartial(cfm.PartialConfig{
+		Processors: 16, Modules: 4, BlockWords: 8, BankCycle: 2,
+		Locality: 0.8, AccessRate: 0.02, RetryMean: 4, Seed: seed ^ 0x9e3779b97f4a7c15})
+	part.Instrument(reg)
+	eng.Register(part)
+
+	sampler := cfm.NewSampler(reg, 250)
+	sampler.Attach(eng)
+	eng.Run(slots)
+
+	return fmt.Sprint(mem.Completed, " ", part.Completed, " ", part.Retries, " ",
+		tr.Digest(), " ", len(sampler.Samples), " reg:", reg.Snapshot().Digest())
+}
+
+func FuzzSkipAheadEquivalence(f *testing.F) {
+	// Seed corpus: the PR 3 idle/wake shapes — a short burst then a long
+	// parked stretch (large gaps), dense traffic (gap 1), duty-cycled
+	// bursts, and the engine-equivalence scenario seeds.
+	f.Add(uint64(313), uint16(2000), uint8(100), uint8(50), false)
+	f.Add(uint64(99), uint16(3000), uint8(1), uint8(0), false)
+	f.Add(uint64(21), uint16(1500), uint8(40), uint8(200), true)
+	f.Add(uint64(0xd1f), uint16(800), uint8(255), uint8(255), true)
+	f.Fuzz(func(t *testing.T, seed uint64, slots16 uint16, minGap8, gapSpan8 uint8, duty bool) {
+		slots := 200 + int64(slots16)%2000
+		minGap := 1 + int(minGap8)
+		gapSpan := int(gapSpan8)
+
+		want := skipAheadScenario(cfm.NewClock(), seed, slots, minGap, gapSpan, duty)
+		skip := cfm.NewClock()
+		skip.SetSkipAhead(true)
+		if got := skipAheadScenario(skip, seed, slots, minGap, gapSpan, duty); got != want {
+			t.Fatalf("skip-ahead serial diverged:\ndense      %s\nskip-ahead %s", want, got)
+		}
+		par := cfm.NewParallelClock(2)
+		par.SetSkipAhead(true)
+		if got := skipAheadScenario(par, seed, slots, minGap, gapSpan, duty); got != want {
+			t.Fatalf("skip-ahead parallel diverged:\ndense      %s\nskip-ahead %s", want, got)
+		}
+	})
+}

@@ -308,6 +308,32 @@ func (tr *Tracked) PhaseMask() sim.PhaseMask {
 	return sim.MaskOf(sim.PhaseTransfer, sim.PhaseUpdate)
 }
 
+// Horizon implements sim.Horizoner. An in-flight operation visits a bank
+// every slot, and while any valid ATT or pending entry exists the
+// PhaseUpdate shift still changes tracked state, so both pin the clock
+// to now. With no operations and all-blank tables the shift rotates
+// blanks into blanks — an observable no-op — and the memory declares no
+// events of its own (metric flushes are delta-based, so they emit
+// nothing while quiescent).
+func (tr *Tracked) Horizon(now sim.Slot) sim.Slot {
+	for _, o := range tr.ops {
+		if o != nil {
+			return now
+		}
+	}
+	for b := range tr.att {
+		if tr.pending[b].valid {
+			return now
+		}
+		for _, e := range tr.att[b] {
+			if e.valid {
+				return now
+			}
+		}
+	}
+	return sim.HorizonNone
+}
+
 // shift advances every ATT by one slot, materializing this slot's
 // insertions (blank where no write started).
 func (tr *Tracked) shift() {

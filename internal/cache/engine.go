@@ -44,6 +44,31 @@ func (c *Protocol) PhaseMask() sim.PhaseMask {
 	return sim.MaskOf(sim.PhaseIssue, sim.PhaseTransfer, sim.PhaseUpdate)
 }
 
+// Horizon implements sim.Horizoner. A processor with a pending
+// write-back trigger, a suspended or resumable primitive, or a queued
+// request acts on the very next slot; one whose only outstanding work is
+// a primitive in retry back-off does nothing before op.wait. Cross-
+// processor interactions (retry cancellation, directory checks) only
+// happen on a visiting processor's active slot, which that processor's
+// own term already pins to now.
+func (c *Protocol) Horizon(now sim.Slot) sim.Slot {
+	h := sim.HorizonNone
+	for p := range c.ops {
+		if len(c.wbReq[p]) > 0 || c.susp[p] != nil || !c.reqs[p].Empty() {
+			return now
+		}
+		if op := c.ops[p]; op != nil {
+			if op.wait <= now {
+				return now
+			}
+			if op.wait < h {
+				h = op.wait
+			}
+		}
+	}
+	return h
+}
+
 // launch starts the next primitive for processor p: remotely-triggered
 // write-backs have the highest priority (Table 5.4 row 1) and preempt a
 // retrying read or read-invalidate, which is suspended and resumed after

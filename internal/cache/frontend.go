@@ -178,6 +178,19 @@ func (f *Frontend) quiescent() bool {
 	return f.program.Empty() && len(f.storeBuf) == 0 && !f.busy
 }
 
+// horizon is this member's contribution to the group's sim.Horizoner
+// answer. A quiescent front-end has nothing to issue; a busy one cannot
+// issue until its in-flight request completes, and that request is
+// outstanding inside the protocol, whose own horizon pins every slot at
+// which it can complete — so neither needs a wake-up of its own. Only a
+// front-end that could issue on the next tick pins the clock.
+func (f *Frontend) horizon(now sim.Slot) sim.Slot {
+	if f.busy || f.quiescent() {
+		return sim.HorizonNone
+	}
+	return now
+}
+
 // Tick implements sim.Ticker: it decides, each slot, what to issue next
 // under the ordering discipline.
 func (f *Frontend) Tick(t sim.Slot, ph sim.Phase) {
@@ -378,6 +391,27 @@ func (g *FrontendGroup) BindIdler(id *sim.Idler) {
 	for _, f := range g.fes {
 		f.id = id
 	}
+}
+
+// Horizon implements sim.Horizoner: the earliest member issue
+// opportunity. Members whose progress is gated on the protocol
+// (busy front-ends) contribute nothing — the protocol's horizon
+// covers them, and the member re-pins the clock the moment its
+// completion callback clears busy.
+func (g *FrontendGroup) Horizon(now sim.Slot) sim.Slot {
+	h := sim.HorizonNone
+	for _, f := range g.fes {
+		if v := f.horizon(now); v < h {
+			h = v
+			if h <= now {
+				break
+			}
+		}
+	}
+	if h < now {
+		return now
+	}
+	return h
 }
 
 // Shards implements sim.Shardable: one shard per front-end.

@@ -241,6 +241,30 @@ func (m *CFMemory) PhaseMask() sim.PhaseMask {
 	return sim.MaskOf(sim.PhaseTransfer, sim.PhaseUpdate)
 }
 
+// Horizon implements sim.Horizoner. An access in its address phase
+// visits a bank every slot (observable work), so it pins the horizon to
+// now; one draining its final data words (c > 1) does nothing until its
+// completion slot, when PhaseUpdate completes it. With no accesses in
+// flight the memory has no events of its own — drivers above it are
+// separate tickers with their own horizons.
+func (m *CFMemory) Horizon(now sim.Slot) sim.Slot {
+	h := sim.HorizonNone
+	for p := range m.cur {
+		for _, a := range m.cur[p] {
+			if now <= a.start+sim.Slot(m.cfg.Banks()-1) {
+				return now
+			}
+			if v := m.at.CompletionSlot(a.start); v < h {
+				h = v
+			}
+		}
+	}
+	if h < now {
+		return now
+	}
+	return h
+}
+
 // Shards implements sim.Shardable: one shard per processor. The AT-space
 // theorem (§3.1.2) is what makes this sound — at any slot, distinct
 // processors' in-flight accesses address distinct banks, so processor

@@ -169,6 +169,33 @@ func (cs *ClusterSystem) PhaseMask() sim.PhaseMask {
 // parks as one unit once every cluster drains.
 func (cs *ClusterSystem) BindIdler(id *sim.Idler) { cs.id = id }
 
+// Horizon implements sim.Horizoner: the earliest member-memory event or
+// remote-dispatch opportunity. A queued request can dispatch no earlier
+// than both its link arrival and the serving cluster's free division
+// becoming free, and dispatch polls every slot after that, so the max of
+// the two bounds the next observable slot for that queue.
+func (cs *ClusterSystem) Horizon(now sim.Slot) sim.Slot {
+	h := sim.HorizonNone
+	for ci, cl := range cs.clusters {
+		if v := cl.Horizon(now); v < h {
+			h = v
+		}
+		if !cs.queues[ci].Empty() {
+			v := (*cs.queues[ci].Peek()).arrive
+			if f := cl.free[cs.freeDiv]; f > v {
+				v = f
+			}
+			if v < h {
+				h = v
+			}
+		}
+	}
+	if h < now {
+		return now
+	}
+	return h
+}
+
 // Shards implements sim.Shardable: one shard per cluster. Clusters share
 // no memory, queues, or bank state; the only cross-cluster effects —
 // RemoteCompleted and reply callbacks into the requesting cluster — are

@@ -260,6 +260,38 @@ func (p *Partial) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(p, t, ph) }
 // the engines skip the other three phases entirely.
 func (p *Partial) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
 
+// Horizon implements sim.Horizoner. A settled TickShard leaves every
+// processor idle with an empty backlog, waiting with a wake slot, or in
+// flight with a completion slot, so the next observable work is the
+// earliest of those events or the next open-loop arrival. Think times
+// and retry delays are drawn at event time from per-processor streams —
+// no event, no draw — so a jump leaves every stream bit-identical.
+func (p *Partial) Horizon(now sim.Slot) sim.Slot {
+	h := sim.HorizonNone
+	for i := range p.state {
+		if v := p.nextArrival[i]; v < h {
+			h = v
+		}
+		switch p.state[i] {
+		case procWaiting:
+			if p.wakeAt[i] < h {
+				h = p.wakeAt[i]
+			}
+		case procInFlight:
+			if p.doneAt[i] < h {
+				h = p.doneAt[i]
+			}
+		}
+		if h <= now {
+			return now
+		}
+	}
+	if h < now {
+		return now
+	}
+	return h
+}
+
 // Shards implements sim.Shardable: one shard per contention set. Two
 // processors interact only through the busy-until state of (module, set)
 // ports, and a processor in set s only ever touches set-s ports — so

@@ -218,6 +218,50 @@ func (s *System) Tick(t sim.Slot, ph sim.Phase) {
 	}
 }
 
+// Horizon implements sim.Horizoner. The system is a pure event machine:
+// scheduled events fire at known slots, a queued processor request can
+// start no earlier than its processor frees, and a network-controller
+// job no earlier than its controller frees. The busy-chain sentinel
+// (procBusy = now + 2^30) is released by a scheduled event, so the
+// events fold always bounds it from below.
+func (s *System) Horizon(now sim.Slot) sim.Slot {
+	h := sim.HorizonNone
+	for at := range s.events {
+		if at < h {
+			h = at
+		}
+	}
+	for cl := range s.pending {
+		for p := range s.pending[cl] {
+			if len(s.pending[cl][p]) == 0 {
+				continue
+			}
+			v := s.procBusy[cl][p]
+			if v <= now {
+				return now
+			}
+			if v < h {
+				h = v
+			}
+		}
+	}
+	for _, n := range s.ncs {
+		if len(n.queue) == 0 {
+			continue
+		}
+		if n.busyUntil <= now {
+			return now
+		}
+		if n.busyUntil < h {
+			h = n.busyUntil
+		}
+	}
+	if h < now {
+		return now
+	}
+	return h
+}
+
 // Idle reports whether all activity has drained.
 func (s *System) Idle() bool {
 	if len(s.events) > 0 {

@@ -173,6 +173,39 @@ func (c *Conventional) pickModule(p int) int {
 // PhaseMask implements sim.PhaseMasker: all the work is in PhaseIssue.
 func (c *Conventional) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) }
 
+// Horizon implements sim.Horizoner. After a settled tick every processor
+// is idle with an empty backlog (the tick drains the backlog into an
+// attempt), waiting with a wake slot, or in flight with a completion
+// slot; the next observable work is the earliest of those events or the
+// next open-loop arrival. All think times and retry delays are drawn at
+// event time from the single stream, and no event means no draw, so a
+// jump leaves the stream bit-identical.
+func (c *Conventional) Horizon(now sim.Slot) sim.Slot {
+	h := sim.HorizonNone
+	for p := range c.state {
+		if v := c.nextArrival[p]; v < h {
+			h = v
+		}
+		switch c.state[p] {
+		case procWaiting:
+			if c.wakeAt[p] < h {
+				h = c.wakeAt[p]
+			}
+		case procInFlight:
+			if c.doneAt[p] < h {
+				h = c.doneAt[p]
+			}
+		}
+		if h <= now {
+			return now
+		}
+	}
+	if h < now {
+		return now
+	}
+	return h
+}
+
 // Tick implements sim.Ticker. All activity happens in PhaseIssue: the
 // conventional model has no intra-slot structure worth modelling.
 func (c *Conventional) Tick(t sim.Slot, ph sim.Phase) {

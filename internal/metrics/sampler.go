@@ -66,6 +66,18 @@ func (s *Sampler) Tick(t sim.Slot, ph sim.Phase) {
 	s.Samples = append(s.Samples, Sample{Slot: int64(t), Values: vals})
 }
 
+// Horizon implements sim.Horizoner: the next sampling slot. Samples are
+// observable output, so a skip-ahead engine must still fire every Nth
+// slot — the sample there reads registry values that are identical to a
+// dense run's, because every slot at which any component could change a
+// counter is itself pinned by that component's horizon.
+func (s *Sampler) Horizon(now sim.Slot) sim.Slot {
+	if now%s.every == 0 {
+		return now
+	}
+	return now + (s.every - now%s.every)
+}
+
 // Series extracts one metric's time series as parallel slot/value
 // slices, for feeding stats.Plot or the heatmap views. Metrics absent
 // from a sample (not yet registered at that slot) read as 0.

@@ -176,6 +176,26 @@ func (b *BufferedOmega) PhaseMask() sim.PhaseMask {
 	return sim.MaskOf(sim.PhaseIssue, sim.PhaseTransfer)
 }
 
+// Horizon implements sim.Horizoner. At Rate > 0 every terminal draws an
+// injection Bernoulli every slot, so skipping would desynchronize the
+// streams: the horizon is pinned to now. At Rate 0 (replay/drain runs)
+// Bernoulli(0) consumes no state, so the network is quiescent exactly
+// when no packet sits in a source queue or switch column.
+func (b *BufferedOmega) Horizon(now sim.Slot) sim.Slot {
+	if b.cfg.Rate > 0 {
+		return now
+	}
+	if b.injectCount > 0 {
+		return now
+	}
+	for _, n := range b.colCount {
+		if n > 0 {
+			return now
+		}
+	}
+	return sim.HorizonNone
+}
+
 // Shards implements sim.Shardable: one shard per terminal. Injection
 // touches only source queue p and its private stream; sink draining
 // touches only module m's busy state and last-column queue. The

@@ -176,8 +176,15 @@ type ParallelClock struct {
 	// Persistent worker pool (nil until the first parallel run).
 	pool   *workerPool
 	sense0 uint64 // worker 0's barrier sense, persists across runs
+	// skipAhead enables the event-horizon clock; hplan is the compiled
+	// horizon-fold list. Only worker 0 reads them (in the end-of-slot
+	// bookkeeping, between the control barriers); the other workers pick
+	// a jump up by re-reading pc.now after the control word barrier.
+	skipAhead bool
+	hplan     []horizonEntry
 	// Stats
-	slotsRun int64
+	slotsRun   int64
+	slotsFired int64
 }
 
 // workerPool holds the persistent worker goroutines of one resolved
@@ -210,8 +217,21 @@ func (pc *ParallelClock) Workers() int { return pc.cfgWorkers }
 // Now returns the current slot (the slot being executed during a tick).
 func (pc *ParallelClock) Now() Slot { return pc.now }
 
-// SlotsRun reports how many complete slots have been executed.
+// SlotsRun reports how many complete slots have been executed, skipped
+// quiescent slots included.
 func (pc *ParallelClock) SlotsRun() int64 { return pc.slotsRun }
+
+// SlotsFired reports how many slots actually executed their phase plan.
+// Without skip-ahead it equals SlotsRun.
+func (pc *ParallelClock) SlotsFired() int64 { return pc.slotsFired }
+
+// SetSkipAhead enables or disables the event-horizon clock. Call between
+// runs, from the owner goroutine. The per-component horizons are folded
+// single-threaded by worker 0 between slots; workers observe a jump as a
+// re-published pc.now through the end-of-slot barrier, so the phase
+// schedule itself is untouched and the simulated observables are
+// bit-identical to dense ticking.
+func (pc *ParallelClock) SetSkipAhead(on bool) { pc.skipAhead = on }
 
 // Register adds a component at priority 0.
 func (pc *ParallelClock) Register(t Ticker) { pc.RegisterPrio(t, 0) }
@@ -312,6 +332,7 @@ func (pc *ParallelClock) compile() {
 		}
 	}
 	pc.ctrlBar = pendingPar
+	pc.hplan = buildHorizons(pc.hplan, pc.tickers)
 
 	pc.workers = pc.cfgWorkers
 	if pc.cfgWorkers == WorkersAuto {
@@ -378,6 +399,25 @@ func (pc *ParallelClock) stepSerial() {
 	}
 	pc.now++
 	pc.slotsRun++
+	pc.slotsFired++
+}
+
+// jump advances the clock over the quiescent stretch ending at the
+// global next-event slot, bounded by budget, returning the slots
+// skipped. Must run single-threaded between fully settled slots (the
+// serial fallback loop, or worker 0 between the control barriers).
+func (pc *ParallelClock) jump(budget int64) int64 {
+	h := foldHorizons(pc.hplan, pc.now)
+	if h <= pc.now {
+		return 0
+	}
+	n := int64(h - pc.now)
+	if h == HorizonNone || n > budget || n < 0 {
+		n = budget
+	}
+	pc.now += Slot(n)
+	pc.slotsRun += n
+	return n
 }
 
 // Step executes exactly one slot (inline, without waking workers —
@@ -429,6 +469,12 @@ func (pc *ParallelClock) run(n int64, pred func() bool) (int64, bool) {
 				}
 			} else if pc.stopped.Load() {
 				break
+			}
+			if pc.skipAhead {
+				done += pc.jump(n - done)
+				if done >= n {
+					break
+				}
 			}
 			pc.stepSerial()
 			done++
@@ -605,6 +651,7 @@ func (pc *ParallelClock) body(w int, bar *barrier, sense *uint64) {
 		if w == 0 {
 			pc.now = t
 			pc.slotsRun++
+			pc.slotsFired++
 			pc.runDone++
 			cont := pc.runDone < pc.runN
 			if pc.runPred != nil {
@@ -615,12 +662,24 @@ func (pc *ParallelClock) body(w int, bar *barrier, sense *uint64) {
 			} else if pc.stopped.Load() {
 				cont = false
 			}
+			if cont && pc.skipAhead {
+				// The slot is fully settled on every worker (the control
+				// barrier above) and only worker 0 is between barriers, so
+				// the horizon fold runs single-threaded. The jump is
+				// published through pc.now; workers re-sync t from it after
+				// the control-word barrier below.
+				if skipped := pc.jump(pc.runN - pc.runDone); skipped > 0 {
+					pc.runDone += skipped
+					cont = pc.runDone < pc.runN
+				}
+			}
 			pc.cont = cont
 		}
-		bar.await(sense) // control word published
+		bar.await(sense) // control word (and any jump) published
 		if !pc.cont {
 			return
 		}
+		t = pc.now
 	}
 }
 

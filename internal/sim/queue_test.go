@@ -1,0 +1,181 @@
+package sim
+
+import "testing"
+
+// TestQueueCompactionAfterMassDrain exercises the wraparound path: fill
+// the buffer to capacity, drain most of it (large dead prefix), then
+// push until the full-buffer compaction triggers. FIFO order must
+// survive, and the vacated tail must be zeroed so no references leak.
+func TestQueueCompactionAfterMassDrain(t *testing.T) {
+	var q Queue[*int]
+	vals := make([]int, 64)
+	for i := range vals {
+		vals[i] = i
+		q.Push(&vals[i])
+	}
+	// Mass drain: leave only the last 3 elements behind a long dead
+	// prefix, then force compaction by refilling to capacity.
+	for i := 0; i < 61; i++ {
+		if got := q.Pop(); *got != i {
+			t.Fatalf("pop %d = %d", i, *got)
+		}
+	}
+	if q.head == 0 {
+		t.Fatal("test is vacuous: no dead prefix before compaction")
+	}
+	extra := make([]int, cap(q.buf))
+	for i := range extra {
+		extra[i] = 1000 + i
+		q.Push(&extra[i]) // first push at cap triggers the compaction
+	}
+	if q.head != 0 {
+		t.Fatalf("head = %d after compaction, want 0", q.head)
+	}
+	// The live window is [0, Len); everything beyond it in the backing
+	// array must have been zeroed by the compaction.
+	for i := q.Len(); i < cap(q.buf) && i < len(q.buf); i++ {
+		if q.buf[i] != nil {
+			t.Fatalf("vacated slot %d still holds a reference", i)
+		}
+	}
+	for want := 61; want < 64; want++ {
+		if got := q.Pop(); *got != want {
+			t.Fatalf("post-compaction pop = %d, want %d", *got, want)
+		}
+	}
+	for i := range extra {
+		if got := q.Pop(); *got != 1000+i {
+			t.Fatalf("post-compaction pop = %d, want %d", *got, 1000+i)
+		}
+	}
+	if !q.Empty() {
+		t.Fatalf("queue not empty: Len = %d", q.Len())
+	}
+}
+
+// TestQueueRegrowFromEmpty exercises the Len==0 reset path: a queue
+// drained to empty rewinds to offset zero and must recycle its backing
+// array on the next fill instead of growing, then grow cleanly when
+// pushed past the old capacity.
+func TestQueueRegrowFromEmpty(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 10; i++ {
+		q.Pop()
+	}
+	if q.head != 0 || len(q.buf) != 0 {
+		t.Fatalf("drained queue did not rewind: head=%d len=%d", q.head, len(q.buf))
+	}
+	oldCap := cap(q.buf)
+	if oldCap == 0 {
+		t.Fatal("drained queue surrendered its buffer")
+	}
+	// Refill within the old capacity: no growth allowed.
+	for i := 0; i < oldCap; i++ {
+		q.Push(100 + i)
+	}
+	if cap(q.buf) != oldCap {
+		t.Fatalf("refill grew the buffer: cap %d -> %d", oldCap, cap(q.buf))
+	}
+	// Push past it: must grow and keep order.
+	for i := 0; i < oldCap; i++ {
+		q.Push(200 + i)
+	}
+	for i := 0; i < oldCap; i++ {
+		if got := q.Pop(); got != 100+i {
+			t.Fatalf("pop = %d, want %d", got, 100+i)
+		}
+	}
+	for i := 0; i < oldCap; i++ {
+		if got := q.Pop(); got != 200+i {
+			t.Fatalf("pop = %d, want %d", got, 200+i)
+		}
+	}
+}
+
+// TestQueueInterleavedPushPopKeepsOrder drives the steady-state pattern
+// the tick loops produce — pop one, push one, forever — across several
+// compactions and checks strict FIFO order throughout.
+func TestQueueInterleavedPushPopKeepsOrder(t *testing.T) {
+	var q Queue[int]
+	next, expect := 0, 0
+	for i := 0; i < 4; i++ {
+		q.Push(next)
+		next++
+	}
+	for round := 0; round < 1000; round++ {
+		if got := q.Pop(); got != expect {
+			t.Fatalf("round %d: pop = %d, want %d", round, got, expect)
+		}
+		expect++
+		q.Push(next)
+		next++
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", q.Len())
+	}
+}
+
+// TestParkerReParkAfterHorizonJumpWake models the skip-ahead interplay:
+// a parked component is excluded from the horizon fold, a wake pins the
+// clock again, and a component that immediately re-parks after handling
+// its wake must be excluded from the very next fold — no lingering
+// "awake" state after a horizon jump.
+func TestParkerReParkAfterHorizonJumpWake(t *testing.T) {
+	c := NewClock()
+	c.SetSkipAhead(true)
+
+	var fired []Slot
+	comp := &parkerProbe{wakeSlots: map[Slot]bool{50: true, 300: true}}
+	comp.record = func(t Slot) { fired = append(fired, t) }
+	c.Register(comp)
+	// A pure scheduler that wakes comp at its burst slots: without it a
+	// fully parked fleet would fast-forward to the budget end.
+	c.Register(&FuncTicker{
+		Phases: MaskOf(PhaseIssue),
+		OnTick: func(t Slot, ph Phase) {
+			if comp.wakeSlots[t] {
+				comp.id.Wake()
+			}
+		},
+		NextEvent: func(now Slot) Slot {
+			for _, at := range []Slot{50, 300} {
+				if now <= at {
+					return at
+				}
+			}
+			return HorizonNone
+		},
+	})
+	if n := c.Run(400); n != 400 {
+		t.Fatalf("Run = %d, want 400", n)
+	}
+	// Slot 0 is the probe's first tick (it starts awake and parks there);
+	// after that it may only run at the scheduled wake slots.
+	if len(fired) != 3 || fired[0] != 0 || fired[1] != 50 || fired[2] != 300 {
+		t.Fatalf("component fired at %v, want [0 50 300]", fired)
+	}
+	if c.SlotsFired() >= 100 {
+		t.Fatalf("re-park after jump-wake failed: %d slots fired of %d run",
+			c.SlotsFired(), c.SlotsRun())
+	}
+}
+
+// parkerProbe parks immediately after every tick and records the slots
+// at which it actually ran while awake.
+type parkerProbe struct {
+	id        *Idler
+	wakeSlots map[Slot]bool
+	record    func(Slot)
+}
+
+func (p *parkerProbe) BindIdler(id *Idler) { p.id = id }
+
+func (p *parkerProbe) PhaseMask() PhaseMask { return MaskOf(PhaseUpdate) }
+
+func (p *parkerProbe) Tick(t Slot, ph Phase) {
+	p.record(t)
+	p.id.Park()
+}

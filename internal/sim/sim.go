@@ -76,6 +76,49 @@ type TickerFunc func(t Slot, ph Phase)
 // Tick implements Ticker.
 func (f TickerFunc) Tick(t Slot, ph Phase) { f(t, ph) }
 
+// FuncTicker is the scripted-driver form of TickerFunc: a plain tick
+// function paired with an optional phase mask and an optional horizon
+// callback. Test harnesses and workload drivers use it instead of a bare
+// TickerFunc when they want to participate in skip-ahead — a TickerFunc
+// has no Horizon and therefore pins a skip-ahead engine to dense ticking
+// for as long as it is registered.
+type FuncTicker struct {
+	// OnTick is called like Ticker.Tick. nil is a no-op driver.
+	OnTick func(t Slot, ph Phase)
+	// Phases narrows the scheduled phases; the zero mask means MaskAll.
+	Phases PhaseMask
+	// NextEvent reports the earliest slot >= now at which OnTick may do
+	// observable work (see Horizoner for the contract). nil keeps the
+	// driver dense (horizon = now).
+	NextEvent func(now Slot) Slot
+}
+
+// Tick implements Ticker.
+func (f *FuncTicker) Tick(t Slot, ph Phase) {
+	if f.OnTick != nil {
+		f.OnTick(t, ph)
+	}
+}
+
+// PhaseMask implements PhaseMasker.
+func (f *FuncTicker) PhaseMask() PhaseMask {
+	if f.Phases == 0 {
+		return MaskAll
+	}
+	return f.Phases
+}
+
+// Horizon implements Horizoner, clamping the callback's answer to now.
+func (f *FuncTicker) Horizon(now Slot) Slot {
+	if f.NextEvent == nil {
+		return now
+	}
+	if h := f.NextEvent(now); h > now {
+		return h
+	}
+	return now
+}
+
 // PhaseMask is a bitset over the intra-slot phases: bit k set means the
 // component does work in Phase(k).
 type PhaseMask uint8
@@ -176,6 +219,44 @@ type Parker interface {
 	BindIdler(*Idler)
 }
 
+// HorizonNone is the horizon of a component with no scheduled work at
+// all: "wake me never". It is the identity of the engines' min-fold, so
+// a fleet in which every live component reports HorizonNone lets the
+// clock jump to the end of the run budget in one step.
+const HorizonNone Slot = 1<<63 - 1
+
+// Horizoner is the optional Ticker interface behind the event-horizon
+// clock. Horizon returns the earliest slot >= now at which the component
+// may do observable work: change any state another component or the
+// harness can read, emit a trace event, move a metric, draw from an RNG,
+// or touch another component. The contract:
+//
+//   - Every slot in [now, Horizon(now)) must be an observable no-op for
+//     the component — ticking it there or not ticking it at all yields
+//     the same simulation, bit for bit.
+//   - A conservative answer is always safe: returning now forces dense
+//     ticking; only an OVERSTATED horizon (claiming quiescence across a
+//     slot that would have done work) changes the simulation.
+//   - Horizon is called between slots (after the slot's PhaseUpdate has
+//     fully settled, before the next PhaseIssue) and must not mutate any
+//     simulation state.
+//   - Components that draw from an RNG every slot (per-cycle Bernoulli
+//     processes) must report now while the stream is live: skipping the
+//     draw would shift the stream. Components that draw at event time
+//     (geometric think times, retry backoffs scheduled on completion)
+//     keep identical streams across jumps and may report true horizons.
+//
+// Registered components that do NOT implement Horizoner pin the engine
+// to dense ticking while they are awake (their horizon is taken as now);
+// a parked component (see Idler) is infinitely far regardless. The
+// engines only consult horizons when skip-ahead is enabled via
+// SetSkipAhead, and only ever fire whole slots — every live component,
+// every phase — so a jump is observationally identical to ticking
+// through the skipped range.
+type Horizoner interface {
+	Horizon(now Slot) Slot
+}
+
 // Timebase is the read-only clock interface components keep a reference
 // to when they only need the current slot (both Clock and ParallelClock
 // satisfy it).
@@ -194,6 +275,14 @@ type Engine interface {
 	RegisterPrio(t Ticker, prio int)
 	Now() Slot
 	SlotsRun() int64
+	// SetSkipAhead enables the event-horizon clock: between slots the
+	// engine folds the registered components' Horizon values and jumps
+	// over provably quiescent stretches instead of ticking through them.
+	// Off by default; the simulation is bit-identical either way.
+	SetSkipAhead(on bool)
+	// SlotsFired reports how many slots actually executed their phase
+	// plans; SlotsRun - SlotsFired is the number of slots skipped.
+	SlotsFired() int64
 	Stop()
 	Step()
 	Run(n int64) int64
@@ -210,8 +299,13 @@ type Clock struct {
 	plan    [numPhases][]planEntry
 	planned bool
 	stopped bool
+	// skipAhead enables the event-horizon clock; hplan is the compiled
+	// horizon-fold list, one entry per registered component.
+	skipAhead bool
+	hplan     []horizonEntry
 	// Stats
-	slotsRun int64
+	slotsRun   int64
+	slotsFired int64
 }
 
 type tickerEntry struct {
@@ -228,6 +322,50 @@ type tickerEntry struct {
 type planEntry struct {
 	t  Ticker
 	id *Idler // nil: component never parks
+}
+
+// horizonEntry is one component of the compiled horizon fold. h is nil
+// for components that do not implement Horizoner — while awake they pin
+// the fold to "now" (dense ticking).
+type horizonEntry struct {
+	h  Horizoner
+	id *Idler
+}
+
+// buildHorizons compiles the horizon-fold list from sorted tickers.
+// Shared by both engines (called from their compile()).
+func buildHorizons(dst []horizonEntry, tickers []tickerEntry) []horizonEntry {
+	dst = dst[:0]
+	for i := range tickers {
+		e := &tickers[i]
+		h, _ := e.t.(Horizoner)
+		dst = append(dst, horizonEntry{h: h, id: e.id})
+	}
+	return dst
+}
+
+// foldHorizons computes the global next-event slot at now: the minimum
+// of the live components' horizons, each clamped to >= now. A live
+// non-Horizoner short-circuits to now (no jump possible); an all-parked
+// or all-HorizonNone fleet yields HorizonNone.
+func foldHorizons(hplan []horizonEntry, now Slot) Slot {
+	min := HorizonNone
+	for _, e := range hplan {
+		if e.id.Parked() {
+			continue
+		}
+		if e.h == nil {
+			return now
+		}
+		v := e.h.Horizon(now)
+		if v <= now {
+			return now
+		}
+		if v < min {
+			min = v
+		}
+	}
+	return min
 }
 
 // bindIdler hands e.t its parking handle on first compile and returns
@@ -263,8 +401,19 @@ func NewClock() *Clock { return &Clock{} }
 // executed; between Run calls it is the next slot to execute.
 func (c *Clock) Now() Slot { return c.now }
 
-// SlotsRun reports how many complete slots have been executed.
+// SlotsRun reports how many complete slots have been executed, skipped
+// quiescent slots included (under skip-ahead, Now advances by exactly
+// SlotsRun either way).
 func (c *Clock) SlotsRun() int64 { return c.slotsRun }
+
+// SlotsFired reports how many slots actually executed their phase plan.
+// Without skip-ahead it equals SlotsRun.
+func (c *Clock) SlotsFired() int64 { return c.slotsFired }
+
+// SetSkipAhead enables or disables the event-horizon clock. May be
+// toggled between runs; the simulated observables are identical either
+// way (skipped slots are provably no-ops — see Horizoner).
+func (c *Clock) SetSkipAhead(on bool) { c.skipAhead = on }
 
 // Register adds a component at priority 0.
 func (c *Clock) Register(t Ticker) { c.RegisterPrio(t, 0) }
@@ -300,7 +449,26 @@ func (c *Clock) compile() {
 			}
 		}
 	}
+	c.hplan = buildHorizons(c.hplan, c.tickers)
 	c.planned = true
+}
+
+// jump advances the clock over the quiescent stretch ending at the
+// global next-event slot, bounded by the remaining slot budget. It
+// returns the number of slots skipped (possibly 0). Only called with
+// skip-ahead on, between fully settled slots.
+func (c *Clock) jump(budget int64) int64 {
+	h := foldHorizons(c.hplan, c.now)
+	if h <= c.now {
+		return 0
+	}
+	n := int64(h - c.now)
+	if h == HorizonNone || n > budget || n < 0 {
+		n = budget
+	}
+	c.now += Slot(n)
+	c.slotsRun += n
+	return n
 }
 
 // Step executes exactly one slot: every phase, every live component.
@@ -318,14 +486,25 @@ func (c *Clock) Step() {
 	}
 	c.now++
 	c.slotsRun++
+	c.slotsFired++
 }
 
 // Run executes up to n slots, stopping early if Stop is called. It
-// returns the number of slots actually executed.
+// returns the number of slots actually executed (including, under
+// skip-ahead, slots jumped over as provably quiescent).
 func (c *Clock) Run(n int64) int64 {
 	c.stopped = false
+	if !c.planned {
+		c.compile()
+	}
 	var done int64
 	for done < n && !c.stopped {
+		if c.skipAhead {
+			done += c.jump(n - done)
+			if done >= n {
+				break
+			}
+		}
 		c.Step()
 		done++
 	}
@@ -335,11 +514,27 @@ func (c *Clock) Run(n int64) int64 {
 // RunUntil executes slots until pred returns true (checked between slots)
 // or the slot budget is exhausted. It returns the number of slots executed
 // and whether pred was satisfied.
+//
+// Under skip-ahead, pred is evaluated at the same state it would see in a
+// dense run: no component state changes across a skipped stretch, so a
+// pred that was false before a jump stays false through it. A pred that
+// depends on Now() alone (rather than on component state) is the one
+// shape that can observe a difference — don't pair such a pred with
+// skip-ahead.
 func (c *Clock) RunUntil(pred func() bool, budget int64) (int64, bool) {
+	if !c.planned {
+		c.compile()
+	}
 	var done int64
 	for done < budget {
 		if pred() {
 			return done, true
+		}
+		if c.skipAhead {
+			done += c.jump(budget - done)
+			if done >= budget {
+				break
+			}
 		}
 		c.Step()
 		done++

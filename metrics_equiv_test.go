@@ -127,6 +127,30 @@ func TestMetricsSerialParallelIdentical(t *testing.T) {
 	}
 }
 
+// TestMetricsSkipAheadIdentical requires the exposition and the sampled
+// time series to survive the event-horizon clock byte for byte: the
+// sampler fires at every Nth slot whether or not anything else does, and
+// every counter-changing slot is pinned by its component's horizon, so
+// jumping the quiet slots in between must not move a single sample.
+func TestMetricsSkipAheadIdentical(t *testing.T) {
+	wantExp, wantSeries := observatoryScenario(cfm.NewClock())
+	engines := map[string]cfm.Engine{"serial": cfm.NewClock()}
+	for _, w := range equivWorkers() {
+		engines[fmt.Sprintf("workers%d", w)] = cfm.NewParallelClock(w)
+	}
+	for name, eng := range engines {
+		eng.SetSkipAhead(true)
+		gotExp, gotSeries := observatoryScenario(eng)
+		if gotExp != wantExp {
+			t.Fatalf("skip-ahead exposition diverged (%s):\n%s", name, diffHint(wantExp, gotExp))
+		}
+		if gotSeries != wantSeries {
+			t.Fatalf("skip-ahead sampled series diverged (%s):\ndense:\n%s\nskip-ahead:\n%s",
+				name, wantSeries, gotSeries)
+		}
+	}
+}
+
 // TestMetricsGoldenExposition pins the exposition bytes of the
 // observatory scenario to testdata/metrics_golden.prom, produced by
 // both engines. A deliberate format or instrumentation change must
