@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the self-hosting guarantee CI gates on: the whole
+// repository lints clean, so any new finding is a regression introduced
+// by the change under review.
+func TestRepoIsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"../../..."}, &out, &errb); code != 0 {
+		t.Fatalf("cfmlint on the repo exited %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run printed findings:\n%s", out.String())
+	}
+}
+
+// TestFixturesFailReadably runs the driver over a violation fixture and
+// pins the output contract: exit code 1, one file:line:col-prefixed
+// line per finding with the pass name in brackets, and a count on
+// stderr.
+func TestFixturesFailReadably(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-only", "determinism", "../../internal/lint/testdata/src/determinism/pos"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	lineRE := regexp.MustCompile(`(?m)^.*determinism/pos/pos\.go:\d+:\d+: \[determinism\] .+$`)
+	if got := len(lineRE.FindAllString(out.String(), -1)); got < 3 {
+		t.Fatalf("want at least 3 position-annotated findings, got %d:\n%s", got, out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Fatalf("stderr lacks the findings count: %q", errb.String())
+	}
+}
+
+// TestListNamesTheSuite pins -list output to the five passes.
+func TestListNamesTheSuite(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "rng-discipline", "phasemask", "hotpath-alloc", "metric-names"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks pass %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownPassIsUsageError pins the -only validation.
+func TestUnknownPassIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-only", "nope", "."}, &out, &errb); code != 2 {
+		t.Fatalf("-only nope exited %d, want 2\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown pass") {
+		t.Fatalf("stderr lacks the unknown-pass hint: %q", errb.String())
+	}
+}

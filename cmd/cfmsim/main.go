@@ -394,7 +394,7 @@ func cmdTreeSat(args []string) {
 		})
 		b.Instrument(obs.Reg)
 		clk := cfm.NewEngine(*parallel, *workers)
-	clk.SetSkipAhead(*skipAhead)
+		clk.SetSkipAhead(*skipAhead)
 		clk.Register(b)
 		obs.Attach(clk)
 		clk.Run(*slots)
@@ -619,7 +619,7 @@ func cmdAlloc(args []string) {
 		p := cfm.NewPartial(c)
 		p.Instrument(obs.Reg)
 		clk := cfm.NewEngine(*parallel, *workers)
-	clk.SetSkipAhead(*skipAhead)
+		clk.SetSkipAhead(*skipAhead)
 		clk.Register(p)
 		obs.Attach(clk)
 		clk.Run(*slots)

@@ -9,6 +9,8 @@
 // The observability flags -metrics-out, -trace-out, -http, and -sample
 // instrument the simulation-heavy experiments (Figs 2.1, 3.13–3.15 and
 // the Chapter 4 traces) through the metrics registry.
+//
+//cfm:concurrency-ok the experiment driver fans independent simulations out over worker goroutines; each owns its engine
 package main
 
 import (

@@ -3,6 +3,8 @@
 // classic deadlock — everyone holding one chopstick and waiting for the
 // other — is structurally impossible, with no "room ticket" arrangement
 // (the Linda workaround of Fig. 6.4) needed.
+//
+//cfm:concurrency-ok philosophers are host goroutines driving the binding runtime, not simulated tickers
 package main
 
 import (

@@ -1,3 +1,7 @@
+// The process runtime here hosts real goroutines by design: binding
+// clients are host-language threads, not simulated tickers.
+//
+//cfm:concurrency-ok binding clients are host goroutines synchronized through the runtime's own locks, outside the simulated clock
 package binding
 
 import (

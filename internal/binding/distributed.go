@@ -1,3 +1,4 @@
+//cfm:concurrency-ok the distributed runtime runs binding clients as host goroutines outside the simulated clock
 package binding
 
 import (

@@ -1,3 +1,4 @@
+//cfm:concurrency-ok Proc models §6.4.1 concurrent processes as real goroutines; they never touch simulated state
 package binding
 
 import (

@@ -158,9 +158,9 @@ func (c *Protocol) launch(t sim.Slot, p int) {
 	c.reqs[p].Pop()
 	if req.isStore {
 		// Write hit on valid or write miss: read-invalidate (Table 5.1).
-		c.startPrimitive(t, p, opReadInv, req.offset, func() { c.applyStore(t, p, req) })
+		c.startPrimitive(t, p, opReadInv, req.offset, func() { c.applyStore(t, p, req) }) //cfm:alloc-ok miss launch sits outside the pinned steady state (the alloc guard's measured region is hit-only)
 	} else {
-		c.startPrimitive(t, p, opRead, req.offset, func() {
+		c.startPrimitive(t, p, opRead, req.offset, func() { //cfm:alloc-ok miss launch sits outside the pinned steady state (the alloc guard's measured region is hit-only)
 			if req.done != nil {
 				data := c.dirs[p][c.lineOf(req.offset)].data
 				if !req.borrow {
@@ -252,7 +252,11 @@ func (c *Protocol) visit(t sim.Slot, p int, op *primitive) {
 		// complete valid against a soon-to-be-dirty block.
 		for _, other := range []*primitive{c.ops[coupled], c.susp[coupled]} {
 			if other != nil && other.offset == op.offset && c.mustDefer(op, other) {
-				c.retry(t, p, op, fmt.Sprintf("defers to P%d's %v", coupled, other.kind))
+				why := ""
+				if c.trace.Enabled() {
+					why = fmt.Sprintf("defers to P%d's %v", coupled, other.kind)
+				}
+				c.retry(t, p, op, why)
 				return
 			}
 		}
@@ -265,7 +269,11 @@ func (c *Protocol) visit(t sim.Slot, p int, op *primitive) {
 		if op.kind == opReadInv {
 			for _, other := range []*primitive{c.ops[coupled], c.susp[coupled]} {
 				if other != nil && other.kind == opRead && other.offset == op.offset {
-					c.retry(t, coupled, other, fmt.Sprintf("cancelled by P%d's read-invalidate", p))
+					why := ""
+					if c.trace.Enabled() {
+						why = fmt.Sprintf("cancelled by P%d's read-invalidate", p)
+					}
+					c.retry(t, coupled, other, why)
 				}
 			}
 		}
@@ -279,7 +287,11 @@ func (c *Protocol) visit(t sim.Slot, p int, op *primitive) {
 				// trigger waits but we still retry.
 				c.queueWB(coupled, op.offset)
 				c.TriggeredWBs++
-				c.retry(t, p, op, fmt.Sprintf("dirty copy at P%d, triggered write-back", coupled))
+				why := ""
+				if c.trace.Enabled() {
+					why = fmt.Sprintf("dirty copy at P%d, triggered write-back", coupled)
+				}
+				c.retry(t, p, op, why)
 				return
 			}
 			if op.kind == opReadInv && st == Valid {

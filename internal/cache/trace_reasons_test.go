@@ -1,0 +1,35 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// TestTracedRetryReasons pins the pay-when-observed contract of the
+// retry path: the reason strings are formatted only under the trace
+// gate (keeping the untraced hot path allocation-free), yet a traced
+// run still records every retry with its cause.
+func TestTracedRetryReasons(t *testing.T) {
+	tr := sim.NewTrace()
+	c := New(Config{Processors: 4, Lines: 8, RetryDelay: 1}, tr)
+	clk := sim.NewClock()
+	clk.Register(c)
+	for p := 0; p < 4; p++ {
+		c.Store(p, 0, 0, memory.Word(p), nil)
+	}
+	clk.Run(200)
+	var all []string
+	for _, e := range tr.Events() {
+		all = append(all, e.What)
+	}
+	joined := strings.Join(all, "\n")
+	for _, want := range []string{"retry:", "triggered write-back"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("trace lacks %q; events:\n%s", want, joined)
+		}
+	}
+	t.Logf("%d events, retries traced with reasons", len(all))
+}

@@ -100,6 +100,11 @@ func (c PartialConfig) ContentionSet(p int) int { return p % c.ClusterSize() }
 // conflict-free by construction, as are all accesses within a cluster.
 // It implements sim.Ticker with the same open-loop arrival process as the
 // conventional baseline, so efficiencies are directly comparable.
+//
+// Think times and retry delays are materialized when the triggering event
+// fires, never per slot, so skip-ahead jumps leave the streams intact.
+//
+//cfm:rng=event
 type Partial struct {
 	cfg PartialConfig
 	// rngs holds one independent stream per processor (split from the

@@ -56,6 +56,11 @@ func (c SharedConfig) Division(p int) int { return p % c.Divisions }
 // Shared simulates the slot-shared CFM: each division is a port held for
 // β slots per block access; processors sharing a division conflict with
 // each other (and only with each other). It implements sim.Ticker.
+//
+// Think times and retry delays are drawn when the triggering event fires,
+// never per slot, so skip-ahead jumps leave the stream intact.
+//
+//cfm:rng=event
 type Shared struct {
 	cfg SharedConfig
 	rng *sim.RNG

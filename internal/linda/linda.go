@@ -13,6 +13,8 @@
 // sender/receiver knowledge defeats deadlock detection — is made
 // measurable here by counting tuple scans (Scans), which the binding
 // runtime's active-list check avoids growing with data size.
+//
+//cfm:concurrency-ok Linda processes are real goroutines blocking on tuple matches; the package never touches simulated state
 package linda
 
 import (

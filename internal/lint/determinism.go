@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// wallClockFuncs are the time-package functions that read the host
+// clock. Simulated time is the slot counter; host time leaking into
+// simulation state is the canonical source of silent nondeterminism.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Tick": true,
+	"After": true, "AfterFunc": true, "NewTimer": true, "NewTicker": true,
+}
+
+// globalRandFuncs are the math/rand (and v2) top-level functions backed
+// by shared global state. Even seeded, they entangle every caller into
+// one draw order, so component behaviour depends on unrelated code.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "IntN": true, "Uint32": true,
+	"Uint64": true, "Uint64N": true, "UintN": true, "Uint": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true, "N": true,
+}
+
+// digestFuncRE matches the names of functions whose output feeds a
+// digest, golden file, or exported artifact — the places where map
+// iteration order would silently desynchronize runs.
+var digestFuncRE = regexp.MustCompile(`(?i)(digest|snapshot|export|expos|write|dump|golden|render|marshal|string|bins|series|rows|prom|jsonl)`)
+
+// DeterminismPass forbids the constructs that make two runs of the same
+// simulation diverge: wall-clock reads, global math/rand state,
+// goroutine/select creation outside the engine package, and unsorted
+// map iteration in digest/snapshot/exposition functions.
+func DeterminismPass() *Pass {
+	const name = "determinism"
+	return &Pass{
+		Name: name,
+		Doc:  "forbid wall-clock reads, global math/rand, goroutines/selects outside internal/sim, and unsorted map ranges in digest functions",
+		Run: func(t *Target, r *Reporter) {
+			for _, file := range t.Files {
+				concOK := t.fileAnnotated(file, "concurrency-ok")
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						if t.Pkg.Path() != simPkgPath && !concOK && !t.lineAnnotated(file, n.Pos(), "concurrency-ok") {
+							r.Reportf(name, n.Pos(), "goroutine creation outside %s: the engines own all concurrency; annotate the file //cfm:concurrency-ok <why> if this is a sanctioned host", simPkgPath)
+						}
+					case *ast.SelectStmt:
+						if t.Pkg.Path() != simPkgPath && !concOK && !t.lineAnnotated(file, n.Pos(), "concurrency-ok") {
+							r.Reportf(name, n.Pos(), "select outside %s: channel scheduling order is nondeterministic; annotate the file //cfm:concurrency-ok <why> if this is a sanctioned host", simPkgPath)
+						}
+					case *ast.CallExpr:
+						t.checkForeignClockOrRand(name, file, n, r)
+					case *ast.FuncDecl:
+						if n.Body != nil && digestFuncRE.MatchString(n.Name.Name) {
+							t.checkMapRanges(name, file, n, r)
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// pkgOf resolves a call's X.Sel selector to the imported package it
+// names, or "" when X is not a package qualifier.
+func (t *Target) pkgOf(sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := t.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// checkForeignClockOrRand flags calls to time's wall-clock readers and
+// math/rand's global-state draws.
+func (t *Target) checkForeignClockOrRand(pass string, file *ast.File, call *ast.CallExpr, r *Reporter) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	switch t.pkgOf(sel) {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] &&
+			!t.fileAnnotated(file, "wallclock-ok") && !t.lineAnnotated(file, call.Pos(), "wallclock-ok") {
+			r.Reportf(pass, call.Pos(), "time.%s reads the host clock: simulated time is the slot counter (sim.Slot); annotate //cfm:wallclock-ok <why> if this never reaches simulation state", sel.Sel.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if globalRandFuncs[sel.Sel.Name] {
+			r.Reportf(pass, call.Pos(), "rand.%s draws from global math/rand state: use an explicit, seeded *sim.RNG so streams are reproducible and component-local", sel.Sel.Name)
+		}
+	}
+}
+
+// checkMapRanges flags range statements over map-typed expressions in a
+// digest-shaped function unless the function sorts (any sort/slices
+// call) or the range is suppressed with //cfm:unsorted-ok.
+func (t *Target) checkMapRanges(pass string, file *ast.File, fd *ast.FuncDecl, r *Reporter) {
+	sorts := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch t.pkgOf(sel) {
+			case "sort", "slices":
+				sorts = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := t.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sorts || t.lineAnnotated(file, rng.Pos(), "unsorted-ok") {
+			return true
+		}
+		r.Reportf(pass, rng.Pos(), "range over map in %s: iteration order is nondeterministic and %s looks like a digest/exposition path; collect and sort the keys first (or annotate //cfm:unsorted-ok <why>)", fd.Name.Name, fd.Name.Name)
+		return true
+	})
+}

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// fmtAllocFuncs are the fmt functions that build a string (or error) on
+// every call — a guaranteed allocation plus reflection.
+var fmtAllocFuncs = map[string]bool{
+	"Sprint": true, "Sprintf": true, "Sprintln": true, "Errorf": true,
+	"Appendf": true, "Append": true, "Appendln": true,
+}
+
+// HotPathAllocPass flags allocation-prone constructs inside the tick
+// call graphs of packages whose steady state is pinned by
+// testing.AllocsPerRun guards (detected from the package's own test
+// files). Roots are every Tick/TickShard/FinishShards method; the walk
+// follows static same-package calls.
+//
+// Flagged: fmt.Sprint*/Errorf, string concatenation, closure literals,
+// and appends to locally-declared slices with no capacity. Exempt:
+// arguments of panic (cold by definition), statements under an
+// `if x.Enabled()` trace gate (the sanctioned pay-when-observed idiom),
+// and lines annotated //cfm:alloc-ok <why>.
+func HotPathAllocPass() *Pass {
+	const name = "hotpath-alloc"
+	return &Pass{
+		Name: name,
+		Doc:  "no fmt.Sprint*, string concat, closures, or uncapped appends in Tick call graphs of AllocsPerRun-guarded packages",
+		Run: func(t *Target, r *Reporter) {
+			if !t.HasAllocGuard {
+				return
+			}
+			decls := t.funcDecls()
+			// Roots: ticking methods of any type in the package.
+			var work []*ast.FuncDecl
+			visited := make(map[*ast.FuncDecl]bool)
+			for _, fd := range decls {
+				if fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				switch fd.Name.Name {
+				case "Tick", "TickShard", "FinishShards":
+					work = append(work, fd)
+					visited[fd] = true
+				}
+			}
+			for len(work) > 0 {
+				fd := work[0]
+				work = work[1:]
+				t.checkHotFunc(name, fd, r)
+				for _, callee := range t.samePackageCallees(fd, decls) {
+					if !visited[callee] {
+						visited[callee] = true
+						work = append(work, callee)
+					}
+				}
+			}
+		},
+	}
+}
+
+// funcDecls maps each function/method object defined in the package to
+// its declaration.
+func (t *Target) funcDecls() map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range t.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj := t.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// samePackageCallees resolves the static calls in fd's body to
+// declarations in the same package.
+func (t *Target) samePackageCallees(fd *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var obj types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			obj = t.Info.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = t.Info.Uses[fun.Sel]
+		}
+		if f, ok := obj.(*types.Func); ok && f.Pkg() == t.Pkg {
+			if callee, ok := decls[obj]; ok && callee.Body != nil {
+				out = append(out, callee)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotFunc walks one hot-path function body, honoring exemptions.
+func (t *Target) checkHotFunc(pass string, fd *ast.FuncDecl, r *Reporter) {
+	file := t.fileOf(fd.Pos())
+	where := fd.Name.Name
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// panic arguments are cold paths: invariant-violation
+			// formatting there is sanctioned.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := t.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return false
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && t.pkgOf(sel) == "fmt" && fmtAllocFuncs[sel.Sel.Name] {
+				if !t.lineAnnotated(file, n.Pos(), "alloc-ok") {
+					r.Reportf(pass, n.Pos(), "fmt.%s in hot path %s (package is AllocsPerRun-guarded): formatting allocates every call; precompute or gate behind a trace/metrics Enabled check", sel.Sel.Name, where)
+				}
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := t.Info.Uses[id].(*types.Builtin); isBuiltin {
+					t.checkAppend(pass, where, file, fd, n, r)
+				}
+			}
+		case *ast.IfStmt:
+			// The trace gate: `if x.Enabled() { ... }` bodies pay only
+			// when observability is on, which the alloc guards disable.
+			if condCallsEnabled(n.Cond) {
+				if n.Else != nil {
+					ast.Inspect(n.Else, walk)
+				}
+				return false
+			}
+		case *ast.FuncLit:
+			if !t.lineAnnotated(file, n.Pos(), "alloc-ok") {
+				r.Reportf(pass, n.Pos(), "closure literal in hot path %s (package is AllocsPerRun-guarded): capturing closures allocate; hoist to a persistent field built at construction", where)
+			}
+			return false
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && t.isStringExpr(n.X) && t.Info.Types[n].Value == nil {
+				if !t.lineAnnotated(file, n.Pos(), "alloc-ok") {
+					r.Reportf(pass, n.Pos(), "string concatenation in hot path %s (package is AllocsPerRun-guarded): builds a new string every call", where)
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && t.isStringExpr(n.Lhs[0]) {
+				if !t.lineAnnotated(file, n.Pos(), "alloc-ok") {
+					r.Reportf(pass, n.Pos(), "string += in hot path %s (package is AllocsPerRun-guarded): builds a new string every call", where)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// isStringExpr reports whether e has (possibly named) string type.
+func (t *Target) isStringExpr(e ast.Expr) bool {
+	tv, ok := t.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// condCallsEnabled reports whether cond contains a call to a method
+// named Enabled — the nil-trace/nil-registry gating idiom.
+func condCallsEnabled(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Enabled" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkAppend flags appends that grow a locally-declared slice with no
+// preallocated capacity. Appends into fields, parameters, or reslices
+// (x[:0]) are the amortized-reuse idiom and pass.
+func (t *Target) checkAppend(pass, where string, file *ast.File, fd *ast.FuncDecl, call *ast.CallExpr, r *Reporter) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := t.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pos() < fd.Body.Pos() || obj.Pos() > fd.Body.End() {
+		return // a field, parameter, or package-level slice: caller-owned
+	}
+	init := localInit(fd, obj, t)
+	if init == nil {
+		// Declared without initializer (`var s []T`): every growth
+		// reallocates from nil.
+		if !t.lineAnnotated(file, call.Pos(), "alloc-ok") {
+			r.Reportf(pass, call.Pos(), "append to uncapped local slice %s in hot path %s (package is AllocsPerRun-guarded): preallocate with make(..., 0, cap) or reuse a field via s = s[:0]", id.Name, where)
+		}
+		return
+	}
+	switch e := init.(type) {
+	case *ast.CallExpr:
+		if fn, ok := e.Fun.(*ast.Ident); ok && fn.Name == "make" && len(e.Args) >= 2 {
+			return // capped (len doubles as cap for make([]T, n))
+		}
+	case *ast.SliceExpr:
+		return // x[:0] reuse idiom
+	}
+	if !t.lineAnnotated(file, call.Pos(), "alloc-ok") {
+		r.Reportf(pass, call.Pos(), "append to uncapped local slice %s in hot path %s (package is AllocsPerRun-guarded): preallocate with make(..., 0, cap) or reuse a field via s = s[:0]", id.Name, where)
+	}
+}
+
+// localInit finds the initializer expression of a local variable's
+// declaration inside fd, or nil.
+func localInit(fd *ast.FuncDecl, obj *types.Var, t *Target) ast.Expr {
+	var init ast.Expr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if init != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && t.Info.Defs[id] == obj {
+					if len(n.Rhs) == len(n.Lhs) {
+						init = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						init = n.Rhs[0]
+					}
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if t.Info.Defs[name] == obj {
+					if i < len(n.Values) {
+						init = n.Values[i]
+					}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return init
+}

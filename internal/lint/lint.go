@@ -1,0 +1,197 @@
+// Package lint hosts cfmlint, a pure-stdlib static analyzer suite that
+// machine-checks the invariants the simulator otherwise enforces only by
+// convention and after-the-fact differential testing:
+//
+//   - determinism: no wall-clock reads, no global math/rand state, no
+//     goroutine or select creation outside the engine package, and no
+//     unsorted map iteration in digest/snapshot/exposition functions.
+//   - rng-discipline: every type holding a *sim.RNG declares whether it
+//     draws at event time or per slot (//cfm:rng=event|slot), and
+//     slot-discipline types pin their Horizon to now.
+//   - phasemask: a PhaseMask()/ActivePhases() literal must agree with
+//     the sim.Phase cases its Tick/TickShard/FinishShards dispatch on.
+//   - hotpath-alloc: no fmt.Sprint*, string concatenation, closure
+//     literals, or uncapped appends in the Tick call graphs of packages
+//     guarded by testing.AllocsPerRun tests.
+//   - metric-names: metric name literals handed to the metrics registry
+//     are Prometheus-valid, kind-consistent, and registered once.
+//
+// The suite is built on go/ast + go/types only (no x/tools), so it runs
+// anywhere the repo builds: `go run ./cmd/cfmlint ./...`.
+//
+// # Annotations
+//
+// cfmlint reads machine-readable `//cfm:` directives:
+//
+//	//cfm:rng=event          type draws at event time; real horizons OK
+//	//cfm:rng=slot           type draws every live slot; Horizon pins now
+//	//cfm:concurrency-ok R   file hosts sanctioned goroutines/selects
+//	//cfm:wallclock-ok R     wall-clock read is not simulation state
+//	//cfm:alloc-ok R         allocation is cold or amortized (same line)
+//	//cfm:unsorted-ok R      map order provably cannot reach output
+//	//cfm:shared-metric R    several sites intentionally share one metric
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Pass    string
+	Message string
+}
+
+// String renders the diagnostic in the usual file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Pass, d.Message)
+}
+
+// Reporter collects diagnostics during a run.
+type Reporter struct {
+	fset  *token.FileSet
+	diags []Diagnostic
+}
+
+// NewReporter returns a reporter resolving positions against fset.
+func NewReporter(fset *token.FileSet) *Reporter { return &Reporter{fset: fset} }
+
+// Reportf records a finding for pass at pos.
+func (r *Reporter) Reportf(pass string, pos token.Pos, format string, args ...any) {
+	r.diags = append(r.diags, Diagnostic{
+		Pos:     r.fset.Position(pos),
+		Pass:    pass,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings sorted by position (file, line, col),
+// so output order is independent of pass and package traversal order.
+func (r *Reporter) Diagnostics() []Diagnostic {
+	sort.SliceStable(r.diags, func(i, j int) bool {
+		a, b := r.diags[i].Pos, r.diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return r.diags
+}
+
+// Pass is one analyzer. Run is called once per target package; a pass
+// that accumulates cross-package state (metric-names) keeps it between
+// calls and relies on the driver's deterministic target order.
+type Pass struct {
+	Name string
+	Doc  string
+	Run  func(t *Target, r *Reporter)
+}
+
+// Passes returns a fresh instance of the full suite, in fixed order.
+// Fresh instances matter: stateful passes must not leak between runs.
+func Passes() []*Pass {
+	return []*Pass{
+		DeterminismPass(),
+		RNGDisciplinePass(),
+		PhaseMaskPass(),
+		HotPathAllocPass(),
+		MetricNamesPass(),
+	}
+}
+
+// PassNames lists the suite's pass names in order.
+func PassNames() []string {
+	var names []string
+	for _, p := range Passes() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// simPkgPath is the engine package: the one sanctioned host of
+// goroutines and selects, and the definer of RNG/Phase/Slot.
+const simPkgPath = "cfm/internal/sim"
+
+// annotation scans a comment group for a `//cfm:key` directive and
+// returns its value: the text after `=` or after the key and a space
+// ("" for a bare directive). ok reports whether the directive exists.
+func annotation(cg *ast.CommentGroup, key string) (value string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if !strings.HasPrefix(text, "cfm:"+key) {
+			continue
+		}
+		rest := text[len("cfm:"+key):]
+		switch {
+		case rest == "":
+			return "", true
+		case strings.HasPrefix(rest, "="):
+			v := rest[1:]
+			if i := strings.IndexAny(v, " \t"); i >= 0 {
+				v = v[:i]
+			}
+			return v, true
+		case strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t"):
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// fileAnnotated reports whether file carries a file-scope `//cfm:key`
+// directive in its header: the package doc or any comment group that
+// starts before the first declaration.
+func (t *Target) fileAnnotated(file *ast.File, key string) bool {
+	limit := file.End()
+	if len(file.Decls) > 0 {
+		limit = file.Decls[0].Pos()
+	}
+	for _, cg := range file.Comments {
+		if cg.Pos() >= limit {
+			break
+		}
+		if _, ok := annotation(cg, key); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// lineAnnotated reports whether a `//cfm:key` directive sits on the
+// same line as pos in pos's file — the statement-level suppression form.
+func (t *Target) lineAnnotated(file *ast.File, pos token.Pos, key string) bool {
+	line := t.Fset.Position(pos).Line
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if t.Fset.Position(c.Pos()).Line != line {
+				continue
+			}
+			if _, ok := annotation(&ast.CommentGroup{List: []*ast.Comment{c}}, key); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileOf returns the *ast.File containing pos.
+func (t *Target) fileOf(pos token.Pos) *ast.File {
+	for _, f := range t.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// metricsPkgPath is the registry package whose Counter/Gauge/Histogram
+// constructors this pass audits.
+const metricsPkgPath = "cfm/internal/metrics"
+
+var (
+	metricFamilyRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	metricLabelRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// metricSite records where a name was first registered and as what.
+type metricSite struct {
+	kind string
+	pos  token.Pos
+	file string
+	line int
+}
+
+// MetricNamesPass checks every constant metric name handed to the
+// registry: Prometheus validity (family name, optional label block;
+// histogram names label-free, matching the registry's documented
+// contract), kind consistency (one name, one metric type), single
+// registration site (aggregation across sites is legal but must be
+// declared with //cfm:shared-metric), and no collision between a plain
+// metric and the _bucket/_sum/_count series a histogram will expose.
+//
+// Dynamic names (fmt.Sprintf with an instance label) are skipped: their
+// shape is covered by the sites that build them with constant formats.
+//
+// The pass is stateful across targets — name uniqueness is a
+// registry-wide property — and relies on the driver's sorted target
+// order for deterministic output.
+func MetricNamesPass() *Pass {
+	const name = "metric-names"
+	seen := make(map[string]metricSite)
+	var histograms []string
+	return &Pass{
+		Name: name,
+		Doc:  "metric name literals must be Prometheus-valid, kind-consistent, and registered once",
+		Run: func(t *Target, r *Reporter) {
+			for _, file := range t.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					kind, ok := t.registryCall(call)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					tv, ok := t.Info.Types[call.Args[0]]
+					if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+						return true // dynamic name: built per instance
+					}
+					mname := constant.StringVal(tv.Value)
+					pos := call.Args[0].Pos()
+
+					checkMetricName(name, mname, kind, pos, r)
+
+					if prev, dup := seen[mname]; dup {
+						if prev.kind != kind {
+							r.Reportf(name, pos, "metric %q registered as a %s here but as a %s at %s:%d: one name, one kind", mname, kind, prev.kind, prev.file, prev.line)
+						} else if !t.lineAnnotated(file, pos, "shared-metric") {
+							r.Reportf(name, pos, "metric %q already registered at %s:%d: aggregate through one handle, or annotate //cfm:shared-metric <why> if several components intentionally share it", mname, prev.file, prev.line)
+						}
+					} else {
+						p := t.Fset.Position(pos)
+						seen[mname] = metricSite{kind: kind, pos: pos, file: p.Filename, line: p.Line}
+						if kind == "histogram" {
+							histograms = append(histograms, mname)
+						}
+					}
+
+					// A histogram named h exposes h_bucket/h_sum/h_count;
+					// a plain metric with one of those names collides in
+					// the exposition (checked in both registration orders).
+					if kind != "histogram" {
+						for _, h := range histograms {
+							if mname == h+"_bucket" || mname == h+"_sum" || mname == h+"_count" {
+								r.Reportf(name, pos, "metric %q collides with the %s series of histogram %q in the Prometheus exposition", mname, strings.TrimPrefix(mname, h+"_"), h)
+							}
+						}
+					} else {
+						for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+							if prev, clash := seen[mname+suffix]; clash && prev.kind != "histogram" {
+								r.Reportf(name, pos, "histogram %q will expose %s%s in the Prometheus exposition, colliding with the %s registered at %s:%d", mname, mname, suffix, prev.kind, prev.file, prev.line)
+							}
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// registryCall reports whether call is metrics.Registry.Counter/Gauge/
+// Histogram, returning the metric kind.
+func (t *Target) registryCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	var kind string
+	switch sel.Sel.Name {
+	case "Counter":
+		kind = "counter"
+	case "Gauge":
+		kind = "gauge"
+	case "Histogram":
+		kind = "histogram"
+	default:
+		return "", false
+	}
+	fn, ok := t.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	rt := recv.Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	return kind, obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == metricsPkgPath
+}
+
+// checkMetricName validates one constant name's shape.
+func checkMetricName(pass, mname, kind string, pos token.Pos, r *Reporter) {
+	family, labels := mname, ""
+	if i := strings.IndexByte(mname, '{'); i >= 0 {
+		if !strings.HasSuffix(mname, "}") {
+			r.Reportf(pass, pos, "metric %q: unterminated label block", mname)
+			return
+		}
+		family, labels = mname[:i], mname[i+1:len(mname)-1]
+	}
+	if !metricFamilyRE.MatchString(family) {
+		r.Reportf(pass, pos, "metric %q: family %q is not a valid Prometheus metric name (%s)", mname, family, metricFamilyRE)
+		return
+	}
+	if labels == "" {
+		if strings.ContainsRune(mname, '{') {
+			r.Reportf(pass, pos, "metric %q: empty label block; drop the braces", mname)
+		}
+		return
+	}
+	if kind == "histogram" {
+		r.Reportf(pass, pos, "histogram %q: histogram names must be label-free (the exposition writer reserves the label block for le buckets)", mname)
+		return
+	}
+	for _, pair := range splitLabels(labels) {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || !metricLabelRE.MatchString(k) {
+			r.Reportf(pass, pos, "metric %q: label pair %q is not k=\"v\" with a valid label name", mname, pair)
+			continue
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			r.Reportf(pass, pos, "metric %q: label %s value %s must be double-quoted", mname, k, v)
+		}
+	}
+}
+
+// splitLabels splits a label block body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

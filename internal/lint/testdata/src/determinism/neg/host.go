@@ -1,0 +1,23 @@
+// This file is a sanctioned host: the file-scope waiver covers its
+// goroutine, and the line-scope waiver covers its timestamp.
+//
+//cfm:concurrency-ok fixture: models a sanctioned host-side helper
+package neg
+
+import "time"
+
+// Serve spawns a sanctioned goroutine and reads the wall clock for a
+// log timestamp that never reaches simulation state.
+func Serve(done chan struct{}) time.Time {
+	go func() { close(done) }()
+	return time.Now() //cfm:wallclock-ok log timestamp only, never simulation state
+}
+
+// Digest ranges a map with an explicit waiver.
+func Digest(m map[string]int) int {
+	s := 0
+	for _, v := range m { //cfm:unsorted-ok fixture: commutative sum, order cannot show
+		s += v
+	}
+	return s
+}

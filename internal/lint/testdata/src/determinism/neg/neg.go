@@ -1,0 +1,33 @@
+// Package neg contains tempting-but-legal constructs; every one of them
+// must stay silent.
+package neg
+
+import (
+	"sort"
+	"time"
+)
+
+// Deadline does arithmetic on caller-supplied instants: no clock read.
+func Deadline(t0 time.Time, d time.Duration) time.Time { return t0.Add(d) }
+
+// WriteSorted ranges a map in a digest path, but the function sorts.
+func WriteSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// accumulate ranges a map outside any digest-shaped function: order
+// cannot reach output.
+func accumulate(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+var _ = accumulate

@@ -1,0 +1,39 @@
+// Package pos exercises every determinism finding: wall-clock reads,
+// global math/rand draws, stray concurrency, and unsorted map ranges in
+// a digest-shaped function.
+package pos
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the host clock twice.
+func Elapsed(start time.Time) time.Duration {
+	now := time.Now()                         // want "reads the host clock"
+	return now.Sub(start) + time.Since(start) // want "reads the host clock"
+}
+
+// Jitter draws from the shared global stream.
+func Jitter() int {
+	return rand.Intn(8) // want "global math/rand state"
+}
+
+// Spawn leaks concurrency outside the engine package.
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want "goroutine creation outside"
+	select {                // want "select outside"
+	case v := <-ch:
+		_ = v
+	default:
+	}
+}
+
+// WriteSeries is digest-shaped and ranges a map without sorting.
+func WriteSeries(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map in WriteSeries"
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,5 @@
+package neg
+
+// This marker file is what makes the package AllocsPerRun-guarded in
+// the eyes of the hotpath-alloc pass: testing.AllocsPerRun appears in a
+// test file of the package directory.

@@ -1,0 +1,50 @@
+// Package neg holds allocation-safe hot-path idioms that must stay
+// silent even though the package is AllocsPerRun-guarded (see
+// guard_test.go): panic formatting, trace-gated formatting, capped and
+// reused appends, and an annotated cold closure.
+package neg
+
+import (
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// tracer is the gate type: Enabled reports whether the observer pays.
+type tracer struct{ on bool }
+
+// Enabled gates all observability allocation.
+func (tr *tracer) Enabled() bool { return tr.on }
+
+func (tr *tracer) add(s string) {}
+
+// Engine allocates only behind the gate, in panic arguments, or into
+// capped/reused storage.
+type Engine struct {
+	tr   tracer
+	buf  []int
+	mark sim.Slot
+}
+
+// Tick is a hot-path root built from sanctioned idioms.
+func (e *Engine) Tick(t sim.Slot, ph sim.Phase) {
+	if t < e.mark {
+		panic(fmt.Sprintf("slot %d ran twice", t))
+	}
+	if e.tr.Enabled() {
+		e.tr.add(fmt.Sprintf("slot %d", t))
+	}
+	capped := make([]int, 0, 8)
+	capped = append(capped, int(t))
+	reuse := e.buf[:0]
+	reuse = append(reuse, capped...)
+	e.buf = reuse
+	_ = e.launchMiss(t)
+	e.mark = t
+}
+
+// launchMiss returns an annotated cold-path closure, the miss-handling
+// idiom.
+func (e *Engine) launchMiss(t sim.Slot) func() {
+	return func() { e.mark = t } //cfm:alloc-ok fixture: miss launch is outside the pinned steady state
+}

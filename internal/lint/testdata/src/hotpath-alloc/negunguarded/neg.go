@@ -1,0 +1,14 @@
+// Package negunguarded allocates freely in its Tick, but carries no
+// AllocsPerRun guard test: the hotpath-alloc pass does not apply, so it
+// must stay silent.
+package negunguarded
+
+import "fmt"
+
+// Engine is outside any allocation budget.
+type Engine struct{ log []string }
+
+// Tick formats and appends without restraint.
+func (e *Engine) Tick(t int, ph int) {
+	e.log = append(e.log, fmt.Sprintf("slot %d", t))
+}

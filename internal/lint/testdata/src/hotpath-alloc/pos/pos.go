@@ -1,0 +1,36 @@
+// Package pos exercises every hot-path allocation finding. The
+// companion guard_test.go marks the package AllocsPerRun-guarded, and
+// helper shows the findings follow the same-package call graph.
+package pos
+
+import (
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// Engine allocates in its tick path in all four flagged ways.
+type Engine struct {
+	names []string
+	log   []string
+}
+
+// Tick is a hot-path root.
+func (e *Engine) Tick(t sim.Slot, ph sim.Phase) {
+	msg := fmt.Sprintf("slot %d", t)   // want "fmt.Sprintf in hot path Tick"
+	e.names = append(e.names, msg+"!") // want "string concatenation in hot path Tick"
+	cb := func() { e.log = e.log[:0] } // want "closure literal in hot path Tick"
+	cb()
+	e.helper(int(t))
+}
+
+// helper is reached from Tick through the call-graph walk.
+func (e *Engine) helper(n int) {
+	var scratch []int
+	for i := 0; i < n; i++ {
+		scratch = append(scratch, i) // want "append to uncapped local slice scratch in hot path helper"
+	}
+	if len(scratch) > 0 {
+		e.log = e.log[:0]
+	}
+}

@@ -1,0 +1,39 @@
+// Package neg registers well-formed metrics; every site must stay
+// silent.
+package neg
+
+import (
+	"fmt"
+
+	"cfm/internal/metrics"
+)
+
+// Wire registers one valid name of each kind, plus dynamic per-shard
+// names whose shape the pass deliberately skips.
+func Wire(r *metrics.Registry, shards int) {
+	r.Counter("sim_slots_total")
+	r.Gauge(`queue_depth{stage="0",kind="bg"}`)
+	r.Histogram("latency_cycles", 8)
+	for s := 0; s < shards; s++ {
+		r.Counter(fmt.Sprintf(`shard_ops_total{shard="%d"}`, s))
+	}
+}
+
+// WireShared aggregates two producers into one declared shared counter.
+func WireShared(r *metrics.Registry) {
+	a := r.Counter("combined_total")
+	b := r.Counter("combined_total") //cfm:shared-metric fixture: two producers share one series
+	_, _ = a, b
+}
+
+// tally is not the metrics registry; its Counter method is out of
+// scope no matter what name it gets.
+type tally struct{ n int }
+
+// Counter shadows the registry method name on an unrelated type.
+func (t *tally) Counter(name string) int { return t.n }
+
+// WireOther exercises the unrelated Counter.
+func WireOther(t *tally) {
+	_ = t.Counter("not a metric name at all!!")
+}

@@ -1,0 +1,28 @@
+// Package pos exercises every metric-name finding: invalid families,
+// malformed label blocks, duplicate and kind-conflicting registrations,
+// and collisions with histogram exposition series.
+package pos
+
+import "cfm/internal/metrics"
+
+const dup = "cache_hits_total"
+
+// Wire registers the full catalogue of malformed names.
+func Wire(r *metrics.Registry) {
+	r.Counter("0bad_start")              // want "not a valid Prometheus metric name"
+	r.Counter(`lat_total{le="x"`)        // want "unterminated label block"
+	r.Gauge("gauge_now{}")               // want "empty label block"
+	r.Counter(`ops_total{op=unquoted}`)  // want "must be double-quoted"
+	r.Counter(`ops2_total{1op="x"}`)     // want "valid label name"
+	r.Histogram(`lat_cycles{op="x"}`, 4) // want "must be label-free"
+
+	r.Counter(dup)
+	r.Counter(dup) // want "already registered"
+	r.Gauge(dup)   // want "one name, one kind"
+
+	r.Histogram("svc_lat", 8)
+	r.Counter("svc_lat_count") // want "collides with the count series"
+
+	r.Counter("rq_sum")
+	r.Histogram("rq", 2) // want "will expose rq_sum"
+}

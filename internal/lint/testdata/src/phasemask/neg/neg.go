@@ -1,0 +1,72 @@
+// Package neg holds phase declarations that must stay silent: exact
+// matches, phase-independent tickers, computed masks, and SerialTick
+// delegation.
+package neg
+
+import "cfm/internal/sim"
+
+// Matched declares exactly what it dispatches.
+type Matched struct{ n int }
+
+// PhaseMask matches Tick's switch.
+func (m *Matched) PhaseMask() sim.PhaseMask {
+	return sim.MaskOf(sim.PhaseIssue, sim.PhaseUpdate)
+}
+
+// Tick dispatches on both declared phases.
+func (m *Matched) Tick(t sim.Slot, ph sim.Phase) {
+	switch ph {
+	case sim.PhaseIssue:
+		m.n++
+	case sim.PhaseUpdate:
+		m.n--
+	}
+}
+
+// Unconditional does phase-independent work under MaskAll: the
+// declared-unhandled proof does not apply to a non-dispatching body.
+type Unconditional struct{ n int }
+
+// PhaseMask claims every phase.
+func (u *Unconditional) PhaseMask() sim.PhaseMask { return sim.MaskAll }
+
+// Tick works every phase, mentioning none.
+func (u *Unconditional) Tick(t sim.Slot, ph sim.Phase) { u.n++ }
+
+// Computed masks are out of static reach and skipped.
+type Computed struct {
+	mask sim.PhaseMask
+	n    int
+}
+
+// PhaseMask returns runtime state.
+func (c *Computed) PhaseMask() sim.PhaseMask { return c.mask }
+
+// Tick guards on a phase the computed mask may or may not contain.
+func (c *Computed) Tick(t sim.Slot, ph sim.Phase) {
+	if ph != sim.PhaseTransfer {
+		return
+	}
+	c.n++
+}
+
+// Sharded delegates Tick to SerialTick; the dispatch proof lives in
+// TickShard's guard.
+type Sharded struct{ n int }
+
+// PhaseMask declares the one phase TickShard handles.
+func (s *Sharded) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseTransfer) }
+
+// Tick delegates, so serial and parallel engines share one code path.
+func (s *Sharded) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(s, t, ph) }
+
+// TickShard guards down to PhaseTransfer.
+func (s *Sharded) TickShard(t sim.Slot, ph sim.Phase, shard int) {
+	if ph != sim.PhaseTransfer {
+		return
+	}
+	s.n++
+}
+
+// Shards implements sim.Shardable.
+func (s *Sharded) Shards() int { return 1 }

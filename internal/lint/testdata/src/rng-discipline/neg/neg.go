@@ -1,0 +1,51 @@
+// Package neg holds disciplined RNG carriers and non-carriers; every
+// declaration must stay silent.
+package neg
+
+import "cfm/internal/sim"
+
+// Eventful draws at event time: computed horizons are its whole point.
+//
+//cfm:rng=event
+type Eventful struct {
+	rng  *sim.RNG
+	next sim.Slot
+}
+
+// Horizon reports the materialized next event.
+func (e *Eventful) Horizon(now sim.Slot) sim.Slot {
+	if e.next > now {
+		return e.next
+	}
+	return now
+}
+
+// Pinned draws per slot and pins its horizon to now (or reports real
+// quiescence with HorizonNone).
+//
+//cfm:rng=slot
+type Pinned struct {
+	rng *sim.RNG
+}
+
+// Horizon never claims a future slot.
+func (p *Pinned) Horizon(now sim.Slot) sim.Slot {
+	if p.rng == nil {
+		return sim.HorizonNone
+	}
+	return now
+}
+
+// EventfulAlias is a facade alias: the canonical definition carries the
+// annotation.
+type EventfulAlias = Eventful
+
+// Selector takes streams as arguments; it owns none.
+type Selector struct {
+	pick func(p int, rng *sim.RNG) int
+}
+
+// Plain holds no RNG at all.
+type Plain struct {
+	n int
+}

@@ -1,0 +1,41 @@
+// Package pos holds RNG-discipline violations: undeclared carriers, an
+// unknown discipline, and a slot type with an unpinned horizon.
+package pos
+
+import "cfm/internal/sim"
+
+// Unannotated holds a stream but declares no discipline.
+type Unannotated struct { // want "declares no draw discipline"
+	rng *sim.RNG
+}
+
+// Nested reaches a stream only through a slice of anonymous structs.
+type Nested struct { // want "declares no draw discipline"
+	lanes []struct {
+		r *sim.RNG
+	}
+}
+
+// Bogus declares a discipline the contract does not define.
+//
+//cfm:rng=perhaps
+type Bogus struct { // want "not a draw discipline"
+	streams []*sim.RNG
+}
+
+// Drifty draws per slot but reports a computed horizon: a skip-ahead
+// jump would skip its draws and shift the stream.
+//
+//cfm:rng=slot
+type Drifty struct {
+	rng  *sim.RNG
+	wake sim.Slot
+}
+
+// Horizon claims quiescence until the wake slot.
+func (d *Drifty) Horizon(now sim.Slot) sim.Slot {
+	if d.wake > now {
+		return d.wake // want "returns a computed horizon"
+	}
+	return now
+}

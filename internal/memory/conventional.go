@@ -58,6 +58,11 @@ const (
 // as the analytic model of §3.4.1 assumes. Demands that arrive while the
 // processor is still busy queue behind it. It implements sim.Ticker; drive
 // it with a sim.Clock and read the measured efficiency afterwards.
+//
+// Inter-arrival and service draws happen when the corresponding event
+// fires, never per slot, so skip-ahead jumps leave the stream intact.
+//
+//cfm:rng=event
 type Conventional struct {
 	cfg  ConventionalConfig
 	rng  *sim.RNG

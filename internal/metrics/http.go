@@ -1,3 +1,4 @@
+//cfm:concurrency-ok the debug HTTP listener serves observers on a host thread; it only reads atomic snapshots
 package metrics
 
 import (

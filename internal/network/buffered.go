@@ -52,6 +52,12 @@ func (c BufferedConfig) Validate() error {
 // memory module fill, back-pressure blocks the switches behind them, and
 // eventually traffic to *other* modules stalls in the saturated tree.
 // It implements sim.Ticker.
+//
+// At Rate > 0 every terminal draws an injection Bernoulli every live
+// slot, so Horizon pins now: a skipped slot would skip draws and shift
+// the streams.
+//
+//cfm:rng=slot
 type BufferedOmega struct {
 	cfg BufferedConfig
 	o   *Omega
@@ -117,8 +123,8 @@ func NewBufferedOmega(cfg BufferedConfig) *BufferedOmega {
 	}
 	o := MustOmega(cfg.Terminals)
 	b := &BufferedOmega{
-		cfg:    cfg,
-		o:      o,
+		cfg:      cfg,
+		o:        o,
 		rngs:     make([]*sim.RNG, cfg.Terminals),
 		inject:   make([]sim.Queue[Packet], cfg.Terminals),
 		q:        make([][]sim.Queue[Packet], o.Columns()),

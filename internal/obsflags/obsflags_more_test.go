@@ -1,0 +1,110 @@
+package obsflags
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+)
+
+// TestFlagDefaults pins the registered flag set and its defaults: the
+// cmd/ tools share this contract.
+func TestFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	for _, name := range []string{"metrics-out", "trace-out", "http", "sample"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if ob.MetricsOut != "" || ob.TraceOut != "" || ob.HTTPAddr != "" {
+		t.Errorf("output flags must default empty, got %+v", ob)
+	}
+	if ob.Every != 1000 {
+		t.Errorf("-sample default = %d, want 1000", ob.Every)
+	}
+}
+
+// TestOpenForce builds the registry and sampler with no flags set, the
+// mode the experiment driver uses when a report always needs metrics.
+func TestOpenForce(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Open(true); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Reg == nil || ob.Sampler == nil {
+		t.Fatal("Open(true) must build the registry and sampler")
+	}
+	if ob.Trace != nil {
+		t.Fatal("Open(true) without -trace-out must not build a trace")
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenBadHTTPAddr pins the error path: an unbindable -http address
+// fails Open instead of dying later in a goroutine.
+func TestOpenBadHTTPAddr(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	if err := fs.Parse([]string{"-http", "256.256.256.256:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Open(false); err == nil {
+		ob.Close()
+		t.Fatal("Open with an unbindable -http address must fail")
+	}
+}
+
+// TestCloseMetricsOutError pins the error path for an uncreatable
+// -metrics-out target.
+func TestCloseMetricsOutError(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	bad := filepath.Join(t.TempDir(), "missing", "out.prom")
+	if err := fs.Parse([]string{"-metrics-out", bad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Open(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Close(); err == nil {
+		t.Fatal("Close must surface the metrics file creation error")
+	}
+}
+
+// TestCloseTraceOutError pins the error path for an uncreatable
+// -trace-out target.
+func TestCloseTraceOutError(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	bad := filepath.Join(t.TempDir(), "missing", "trace.jsonl")
+	if err := fs.Parse([]string{"-trace-out", bad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Open(false); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Trace == nil {
+		t.Fatal("-trace-out must build the trace")
+	}
+	if err := ob.Close(); err == nil {
+		t.Fatal("Close must surface the trace file creation error")
+	}
+}
+
+// TestHeatRowsUnobserved pins the nil fast path.
+func TestHeatRowsUnobserved(t *testing.T) {
+	ob := &Observatory{}
+	labels, rows := ob.HeatRows("family", "p", true)
+	if labels != nil || rows != nil {
+		t.Fatalf("unobserved HeatRows = %v, %v; want nil, nil", labels, rows)
+	}
+}

@@ -22,6 +22,8 @@ type Hinted interface {
 // the previous access issues, so the slots in between involve no RNG
 // draws at all and a skip-ahead engine can jump straight across them.
 // Gaps are uniform on [MinGap, MaxGap].
+//
+//cfm:rng=event
 type Gapped struct {
 	MinGap, MaxGap int
 	StoreFraction  float64

@@ -27,7 +27,11 @@ type Generator interface {
 }
 
 // Bernoulli generates accesses with per-cycle probability Rate, selecting
-// the target with Select and store/load with StoreFraction.
+// the target with Select and store/load with StoreFraction. It draws on
+// every live slot, so it offers no skip-ahead hint: wrapping engines must
+// keep its slots live (see Gapped for the event-time alternative).
+//
+//cfm:rng=slot
 type Bernoulli struct {
 	Rate          float64
 	StoreFraction float64
