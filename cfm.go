@@ -79,6 +79,13 @@ type (
 	Trace = sim.Trace
 	// RNG is the deterministic generator used by stochastic workloads.
 	RNG = sim.RNG
+	// Stater is the opt-in interface by which a component serializes its
+	// mutable state into a checkpoint and restores from one.
+	Stater = sim.Stater
+	// StateEncoder writes one component's checkpoint section.
+	StateEncoder = sim.StateEncoder
+	// StateDecoder reads one component's checkpoint section.
+	StateDecoder = sim.StateDecoder
 )
 
 // HorizonNone is the Horizoner answer meaning "no events of my own".
@@ -120,6 +127,25 @@ func NewEngine(parallel bool, workers int) Engine {
 
 // NewTrace returns an empty event trace.
 func NewTrace() *Trace { return sim.NewTrace() }
+
+// CheckpointVersion is the current checkpoint format version written by
+// Engine.Checkpoint.
+const CheckpointVersion = sim.CheckpointVersion
+
+// ErrUnsupportedVersion is returned (wrapped) by Restore when a
+// checkpoint's format version is newer than this build understands.
+var ErrUnsupportedVersion = sim.ErrUnsupportedVersion
+
+// Restore reads a checkpoint written by Engine.Checkpoint. build must
+// reconstruct the engine exactly as the checkpointing run did — same
+// components, registered in the same order, same configuration — since a
+// checkpoint holds mutable state only; code and wiring come from build.
+// The restored engine resumes at the checkpointed slot on either engine
+// kind (a serial checkpoint restores into a parallel engine and vice
+// versa).
+func Restore(r io.Reader, build func() Engine) (Engine, error) {
+	return sim.Restore(r, func() sim.Engine { return build() })
+}
 
 // Observability (the simulation observatory).
 type (

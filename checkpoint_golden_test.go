@@ -1,0 +1,101 @@
+// Golden-snapshot test: a checkpoint of a fixed scenario at a fixed cut
+// is committed under testdata/, and every build must (a) reproduce it
+// byte for byte — the format is part of the repo's compatibility
+// surface — and (b) restore it into a working engine whose completed run
+// matches the uninterrupted oracle. Regenerate with
+//
+//	go test -run TestCheckpointGolden -update-golden .
+//
+// after an INTENTIONAL format change, which must also bump
+// cfm.CheckpointVersion so old snapshots fail with a clear error instead
+// of misparsing (the version-bump path is pinned below).
+package cfm_test
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cfm"
+)
+
+// The shared -update-golden flag (declared in metrics_equiv_test.go)
+// also regenerates this file.
+const goldenPath = "testdata/checkpoint_golden.cfm"
+
+// goldenCase returns the fixed scenario behind the golden snapshot (the
+// Fig. 3.13 conventional baseline) and its cut slot.
+func goldenCase(t *testing.T) (resumeCase, int64) {
+	t.Helper()
+	for _, rc := range resumeCases() {
+		if rc.name == "ConventionalFig313" {
+			return rc, 100
+		}
+	}
+	t.Fatal("ConventionalFig313 scenario missing from resumeCases")
+	return resumeCase{}, 0
+}
+
+func TestCheckpointGoldenBytes(t *testing.T) {
+	rc, cut := goldenCase(t)
+	got := checkpointAt(t, rc, func() cfm.Engine { return cfm.NewClock() }, cut)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("checkpoint bytes drifted from %s (%d vs %d bytes): the format changed — bump cfm.CheckpointVersion and regenerate with -update-golden",
+			goldenPath, len(got), len(want))
+	}
+}
+
+func TestCheckpointGoldenRestores(t *testing.T) {
+	rc, cut := goldenCase(t)
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (regenerate with -update-golden): %v", err)
+	}
+	want, _ := resumeOracle(rc)
+	restoreAndFinish(t, rc, func() cfm.Engine { return cfm.NewClock() }, raw, cut, want)
+}
+
+// TestCheckpointGoldenVersionBump simulates a snapshot written by a
+// future build: same payload, bumped version field, valid checksum. The
+// restore must fail with ErrUnsupportedVersion and name both versions.
+func TestCheckpointGoldenVersionBump(t *testing.T) {
+	rc, _ := goldenCase(t)
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden snapshot (regenerate with -update-golden): %v", err)
+	}
+	mut := append([]byte(nil), raw...)
+	const magicLen = len("CFMCKPT\n")
+	mut[magicLen] = byte(cfm.CheckpointVersion + 1) // low byte of the LE u32
+	h := fnv.New64a()
+	h.Write(mut[:len(mut)-8])
+	sum := h.Sum64()
+	for i := 0; i < 8; i++ {
+		mut[len(mut)-8+i] = byte(sum >> (8 * i))
+	}
+	_, err = cfm.Restore(bytes.NewReader(mut), func() cfm.Engine {
+		eng := cfm.NewClock()
+		rc.build(eng)
+		return eng
+	})
+	if !errors.Is(err, cfm.ErrUnsupportedVersion) {
+		t.Fatalf("future-version snapshot: got %v, want ErrUnsupportedVersion", err)
+	}
+}

@@ -712,7 +712,8 @@ func cmdObserve(args []string) {
 	obs.Attach(clk)
 
 	// Some sharing traffic so the cache protocol has work to count
-	// (and, with -trace-out, events to trace).
+	// (and, with -trace-out, events to trace). A -resume checkpoint
+	// overwrites this with the saved queues, so re-injecting is harmless.
 	for i := 0; i < 4**n; i++ {
 		if p, off := i%*n, i%16; i%3 == 0 {
 			proto.Store(p, off, 0, cfm.Word(i), nil)
@@ -720,7 +721,20 @@ func cmdObserve(args []string) {
 			proto.Load(p, off, nil)
 		}
 	}
-	clk.Run(*slots)
+	if err := obs.MaybeResume(clk); err != nil {
+		fmt.Fprintln(os.Stderr, "cfmsim:", err)
+		os.Exit(1)
+	}
+	// Run to the -slots target: a resumed run continues from its
+	// checkpoint slot, so checkpointing at -slots S and resuming with
+	// -slots T > S reproduces an uninterrupted T-slot run bit for bit.
+	if left := *slots - int64(clk.Now()); left > 0 {
+		clk.Run(left)
+	}
+	if err := obs.MaybeCheckpoint(clk); err != nil {
+		fmt.Fprintln(os.Stderr, "cfmsim:", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("simulation observatory — %d slots, %d processors, %d modules, hot=%.2f\n\n",
 		*slots, *n, *modules, *hot)

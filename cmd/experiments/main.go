@@ -200,7 +200,20 @@ func fig313() {
 	clk := newEngine()
 	clk.Register(cs)
 	obs.Attach(clk)
-	clk.Run(400000)
+	// The longest single-engine run hosts the -resume/-checkpoint-out
+	// flags: a resumed run continues from its checkpoint slot to the same
+	// 400000-slot target, reproducing the uninterrupted run bit for bit.
+	if err := obs.MaybeResume(clk); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if left := 400000 - int64(clk.Now()); left > 0 {
+		clk.Run(left)
+	}
+	if err := obs.MaybeCheckpoint(clk); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	check("simulation confirms the degradation at r=0.05", cs.Efficiency() < 0.75,
 		fmt.Sprintf("simulated E = %s, analytic %s", stats.FormatFloat(cs.Efficiency()),
 			stats.FormatFloat(model.Efficiency(0.05))))

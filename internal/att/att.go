@@ -143,6 +143,11 @@ type Tracked struct {
 	ops     []*op // one per processor, nil when idle
 	trace   *sim.Trace
 
+	// Checkpoint rebinders (see SetDoneRebinder / SetModifyRebinder):
+	// callbacks of restored in-flight operations are rebuilt through these.
+	doneRebind   func(proc int, kind OpKind, offset int, issued sim.Slot) func(Result)
+	modifyRebind func(proc, offset int) func(memory.Block) memory.Block
+
 	// Statistics.
 	CompletedWrites int64
 	AbortedWrites   int64

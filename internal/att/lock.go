@@ -37,6 +37,8 @@ const (
 // It implements sim.Ticker; register it on the same clock as the Tracked
 // memory, BEFORE it, so requests issued in PhaseIssue are served in the
 // same slot's PhaseTransfer.
+//
+//cfm:no-stater spin automata re-issue from scratch each slot; quiesce (no holders or waiters) before checkpointing
 type Locker struct {
 	tr     *Tracked
 	offset int // block holding the lock variable

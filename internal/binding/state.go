@@ -1,0 +1,105 @@
+package binding
+
+import (
+	"sort"
+
+	"cfm/internal/sim"
+)
+
+// SaveState implements sim.Stater for the binder: the active binding
+// list (in id order) and the statistics. A binder with clients blocked
+// inside Bind cannot be checkpointed — those waits live on goroutine
+// stacks, not in the binder — so a non-empty wait-for graph fails the
+// snapshot loudly; quiesce the workload first.
+func (b *Binder) SaveState(enc *sim.StateEncoder) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.waitsFor) != 0 {
+		enc.Failf("binding: %d clients are blocked inside Bind; quiesce before checkpointing", len(b.waitsFor))
+		return
+	}
+	enc.I64(b.nextID)
+	ids := make([]int64, 0, len(b.active))
+	for id := range b.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	enc.Int(len(ids))
+	for _, id := range ids {
+		nb := b.active[id]
+		enc.I64(nb.id)
+		enc.String(nb.owner)
+		enc.Int(int(nb.access))
+		enc.String(nb.region.Target)
+		enc.String(nb.region.Field)
+		enc.Int(len(nb.region.Dims))
+		for _, d := range nb.region.Dims {
+			enc.Int(d.Start)
+			enc.Int(d.Stop)
+			enc.Int(d.Step)
+		}
+	}
+	enc.I64(b.Binds)
+	enc.I64(b.Unbinds)
+	enc.I64(b.ConflictsSeen)
+	enc.I64(b.Deadlocks)
+}
+
+// LoadState implements sim.Stater. Restored Binding descriptors are new
+// objects; unbinds of descriptors held across the checkpoint must go
+// through bindings re-acquired after restore.
+func (b *Binder) LoadState(dec *sim.StateDecoder) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.waitsFor) != 0 {
+		dec.Failf("binding: %d clients are blocked inside Bind; cannot restore over a live binder", len(b.waitsFor))
+		return
+	}
+	b.nextID = dec.I64()
+	n := dec.Count()
+	if dec.Err() != nil {
+		return
+	}
+	b.active = make(map[int64]*Binding, n)
+	for i := 0; i < n; i++ {
+		nb := &Binding{}
+		nb.id = dec.I64()
+		nb.owner = dec.String()
+		a := dec.Int()
+		if dec.Err() != nil {
+			return
+		}
+		if a < int(RO) || a > int(EX) {
+			dec.Failf("binding: invalid access type %d", a)
+			return
+		}
+		nb.access = Access(a)
+		nb.region.Target = dec.String()
+		nb.region.Field = dec.String()
+		nd := dec.Count()
+		if dec.Err() != nil {
+			return
+		}
+		for j := 0; j < nd; j++ {
+			nb.region.Dims = append(nb.region.Dims, Dim{
+				Start: dec.Int(), Stop: dec.Int(), Step: dec.Int(),
+			})
+		}
+		if dec.Err() != nil {
+			return
+		}
+		if nb.id <= 0 || nb.id > b.nextID {
+			dec.Failf("binding: binding id %d out of range (next id %d)", nb.id, b.nextID)
+			return
+		}
+		if _, dup := b.active[nb.id]; dup {
+			dec.Failf("binding: duplicate binding id %d", nb.id)
+			return
+		}
+		b.active[nb.id] = nb
+	}
+	b.Binds = dec.I64()
+	b.Unbinds = dec.I64()
+	b.ConflictsSeen = dec.I64()
+	b.Deadlocks = dec.I64()
+}

@@ -104,7 +104,11 @@ type line struct {
 	data  memory.Block
 }
 
-// primitive is one in-flight protocol operation.
+// primitive is one in-flight protocol operation. It carries the request
+// that launched it (hasReq) rather than a completion closure: complete
+// dispatches on the request directly, which keeps the primitive plain
+// data — the property that lets a checkpoint serialize in-flight
+// operations and a restore resume them.
 type primitive struct {
 	kind   opKind
 	proc   int
@@ -113,7 +117,8 @@ type primitive struct {
 	issued sim.Slot // first issue (priority for read-invalidate arbitration)
 	k      int      // banks visited in the current pass
 	wait   sim.Slot // do not run before this slot (retry back-off)
-	done   func()
+	hasReq bool     // a processor request completes when this primitive does
+	req    request
 }
 
 // request is a queued processor-level memory request.
@@ -132,7 +137,31 @@ type request struct {
 	value  memory.Word
 	modify func(memory.Block) memory.Block // non-nil for RMW
 	done   func(memory.Block)
+	// cb and mod record the provenance of done and modify. Callbacks are
+	// code, not data: a checkpoint serializes these tags instead of the
+	// functions, and a restore rebinds the well-known ones (a front-end's
+	// fixed completion methods, the identity RMW body). Requests carrying
+	// caller-supplied callbacks (cbExternal/modExternal) cannot be
+	// serialized — Checkpoint fails loudly rather than dropping them.
+	cb  uint8
+	mod uint8
 }
+
+// Provenance tags for request.done.
+const (
+	cbNone     uint8 = iota // done == nil
+	cbFELoad                // Frontend.doneLoad
+	cbFEPlain               // Frontend.donePlain
+	cbFERel                 // Frontend.doneRel
+	cbExternal              // caller-supplied: not serializable
+)
+
+// Provenance tags for request.modify.
+const (
+	modNone     uint8 = iota // modify == nil
+	modIdentity              // identityBlock
+	modExternal              // caller-supplied: not serializable
+)
 
 // Protocol is the cache coherence engine. It implements sim.Ticker.
 type Protocol struct {
@@ -156,6 +185,10 @@ type Protocol struct {
 	// id is the engine's parking handle (nil when unregistered): the
 	// protocol parks when Idle() and is woken by the next queued request.
 	id *sim.Idler
+	// fes records the front-end attached to each processor (nil without
+	// one). NewFrontend registers itself here so a restore can rebind a
+	// queued request's done tag back to that front-end's fixed callback.
+	fes []*Frontend
 
 	// Statistics.
 	Hits          int64
@@ -191,6 +224,7 @@ func New(cfg Config, trace *sim.Trace) *Protocol {
 		wbReq:     make([][]int, cfg.Processors),
 		rmwLocked: make([]int, cfg.Processors),
 		trace:     trace,
+		fes:       make([]*Frontend, cfg.Processors),
 	}
 	for i := range p.dirs {
 		p.dirs[i] = make([]line, cfg.Lines)
@@ -309,7 +343,15 @@ func (c *Protocol) BindIdler(id *sim.Idler) { c.id = id }
 
 // Load queues a processor-level block load; done receives the block.
 func (c *Protocol) Load(p, offset int, done func(memory.Block)) {
-	c.push(p, request{offset: offset, done: done})
+	c.push(p, request{offset: offset, done: done, cb: tagFor(done)})
+}
+
+// tagFor classifies a caller-supplied done callback.
+func tagFor(done func(memory.Block)) uint8 {
+	if done == nil {
+		return cbNone
+	}
+	return cbExternal
 }
 
 // Store queues a processor-level word store into a block.
@@ -317,7 +359,7 @@ func (c *Protocol) Store(p, offset, word int, v memory.Word, done func(memory.Bl
 	if word < 0 || word >= c.blockSize() {
 		panic(fmt.Sprintf("cache: word %d out of block range [0,%d)", word, c.blockSize()))
 	}
-	c.push(p, request{isStore: true, offset: offset, word: word, value: v, done: done})
+	c.push(p, request{isStore: true, offset: offset, word: word, value: v, done: done, cb: tagFor(done)})
 }
 
 // RMW queues an atomic read-modify-write (§5.3.1): exclusive ownership is
@@ -327,7 +369,11 @@ func (c *Protocol) Store(p, offset, word int, v memory.Word, done func(memory.Bl
 // remains dirty in p's cache afterwards; coherence actions write it back
 // on demand.
 func (c *Protocol) RMW(p, offset int, modify func(memory.Block) memory.Block, done func(memory.Block)) {
-	c.push(p, request{isStore: true, offset: offset, modify: modify, done: done})
+	r := request{isStore: true, offset: offset, modify: modify, done: done, cb: tagFor(done)}
+	if modify != nil {
+		r.mod = modExternal
+	}
+	c.push(p, r)
 }
 
 // allocPrimitive takes a primitive off the free list (or allocates one);
@@ -343,6 +389,7 @@ func (c *Protocol) allocPrimitive() *primitive {
 }
 
 func (c *Protocol) releasePrimitive(op *primitive) {
-	op.done = nil // drop the closure reference
+	op.hasReq = false
+	op.req = request{} // drop the callback references
 	c.pool = append(c.pool, op)
 }

@@ -98,7 +98,7 @@ func (c *Protocol) launch(t sim.Slot, p int) {
 				c.trace.Add(t, fmt.Sprintf("P%d", p), "%v suspended for priority write-back", c.susp[p].kind)
 			}
 		}
-		c.startPrimitive(t, p, opWriteBack, offset, nil)
+		c.startPrimitive(t, p, opWriteBack, offset, false, request{})
 		return
 	}
 	if c.ops[p] != nil {
@@ -151,24 +151,16 @@ func (c *Protocol) launch(t sim.Slot, p int) {
 	// A miss (or a write to a merely-valid line). If the target line
 	// holds a DIFFERENT dirty block, flush it first.
 	if ln.state == Dirty && ln.tag != req.offset {
-		c.startPrimitive(t, p, opWriteBack, ln.tag, nil)
+		c.startPrimitive(t, p, opWriteBack, ln.tag, false, request{})
 		return // the request launches on a later tick
 	}
 	c.Misses++
 	c.reqs[p].Pop()
 	if req.isStore {
 		// Write hit on valid or write miss: read-invalidate (Table 5.1).
-		c.startPrimitive(t, p, opReadInv, req.offset, func() { c.applyStore(t, p, req) }) //cfm:alloc-ok miss launch sits outside the pinned steady state (the alloc guard's measured region is hit-only)
+		c.startPrimitive(t, p, opReadInv, req.offset, true, req)
 	} else {
-		c.startPrimitive(t, p, opRead, req.offset, func() { //cfm:alloc-ok miss launch sits outside the pinned steady state (the alloc guard's measured region is hit-only)
-			if req.done != nil {
-				data := c.dirs[p][c.lineOf(req.offset)].data
-				if !req.borrow {
-					data = data.Clone()
-				}
-				req.done(data)
-			}
-		})
+		c.startPrimitive(t, p, opRead, req.offset, true, req)
 	}
 }
 
@@ -218,10 +210,12 @@ func (c *Protocol) applyStore(t sim.Slot, p int, req request) {
 	}
 }
 
-// startPrimitive begins a primitive operation pass for p.
-func (c *Protocol) startPrimitive(t sim.Slot, p int, kind opKind, offset int, done func()) {
+// startPrimitive begins a primitive operation pass for p; when hasReq is
+// set, req completes (applyStore or its done callback) once the pass
+// does.
+func (c *Protocol) startPrimitive(t sim.Slot, p int, kind opKind, offset int, hasReq bool, req request) {
 	op := c.allocPrimitive()
-	*op = primitive{kind: kind, proc: p, offset: offset, start: t, issued: t, done: done}
+	*op = primitive{kind: kind, proc: p, offset: offset, start: t, issued: t, hasReq: hasReq, req: req}
 	c.ops[p] = op
 	if kind == opReadInv {
 		// Guard the atomic window: between gaining ownership and the
@@ -408,8 +402,19 @@ func (c *Protocol) complete(t sim.Slot, p int, op *primitive) {
 	if c.trace.Enabled() {
 		c.trace.Add(t, fmt.Sprintf("P%d", p), "%v block %d complete", op.kind, op.offset)
 	}
-	if op.done != nil {
-		op.done()
+	if op.hasReq {
+		// The launch slot (op.issued — unchanged by retries and
+		// suspension) reproduces the trace slot the pre-refactor launch
+		// closure captured.
+		if op.req.isStore {
+			c.applyStore(op.issued, p, op.req)
+		} else if op.req.done != nil {
+			data := c.dirs[p][c.lineOf(op.req.offset)].data
+			if !op.req.borrow {
+				data = data.Clone()
+			}
+			op.req.done(data)
+		}
 	}
 	c.releasePrimitive(op)
 }

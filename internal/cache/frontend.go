@@ -81,6 +81,11 @@ type Frontend struct {
 	// members; nil when the group is unregistered or absent).
 	id *sim.Idler
 
+	// loadDone, when set, reconstructs the word-consumer callback of a
+	// program-order load while restoring a checkpoint (see
+	// SetLoadDoneRebinder).
+	loadDone func(index, offset, word int) func(memory.Word)
+
 	// Ops accumulates the execution for consistency checking.
 	Ops []consistency.Op
 }
@@ -116,7 +121,17 @@ func NewFrontend(c *Protocol, clk sim.Timebase, proc int, mode Ordering) *Fronte
 	f.doneRel = func(memory.Block) {
 		f.record(f.pendingRel, f.clk.Now())
 	}
+	c.fes[proc] = f // checkpoint restore rebinds request tags through this
 	return f
+}
+
+// SetLoadDoneRebinder installs the hook LoadState uses to reconstruct
+// the done callbacks of program-order loads (queued or in flight) when
+// restoring a checkpoint: given the load's program index, offset, and
+// word, it returns the callback the harness originally supplied. Only
+// needed when loads carry callbacks; restoring fails loudly otherwise.
+func (f *Frontend) SetLoadDoneRebinder(h func(index, offset, word int) func(memory.Word)) {
+	f.loadDone = h
 }
 
 // Load appends a program-order load of one word.
@@ -239,7 +254,7 @@ func (f *Frontend) issueAcquire(t sim.Slot, op feOp) {
 	f.busy = true
 	f.pending = op
 	f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
-		modify: identityBlock, done: f.donePlain})
+		modify: identityBlock, done: f.donePlain, cb: cbFEPlain, mod: modIdentity})
 }
 
 // issueRelease performs the release half: it waits for every earlier
@@ -264,7 +279,7 @@ func (f *Frontend) issueRelease(t sim.Slot, op feOp) {
 	// write buffer, which keeps absorbing stores while the release runs.
 	f.pendingRel = op
 	f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
-		modify: identityBlock, done: f.doneRel})
+		modify: identityBlock, done: f.doneRel, cb: cbFERel, mod: modIdentity})
 }
 
 func (f *Frontend) record(op feOp, performedAt sim.Slot) {
@@ -299,7 +314,7 @@ func (f *Frontend) issueLoad(t sim.Slot, op feOp) {
 	f.program.Pop()
 	f.busy = true
 	f.pending = op
-	f.c.push(f.proc, request{borrow: true, offset: op.offset, done: f.doneLoad})
+	f.c.push(f.proc, request{borrow: true, offset: op.offset, done: f.doneLoad, cb: cbFELoad})
 }
 
 func (f *Frontend) issueStore(t sim.Slot, op feOp) {
@@ -309,7 +324,7 @@ func (f *Frontend) issueStore(t sim.Slot, op feOp) {
 		f.busy = true
 		f.pending = op
 		f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
-			word: op.word, value: op.value, done: f.donePlain})
+			word: op.word, value: op.value, done: f.donePlain, cb: cbFEPlain})
 	default:
 		// Enter the write buffer; performance happens at drain.
 		f.storeBuf = append(f.storeBuf, op)
@@ -333,7 +348,7 @@ func (f *Frontend) issueBufferedStore(t sim.Slot) {
 	f.busy = true
 	f.pending = op
 	f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
-		word: op.word, value: op.value, done: f.donePlain})
+		word: op.word, value: op.value, done: f.donePlain, cb: cbFEPlain})
 }
 
 func (f *Frontend) issueSync(t sim.Slot, op feOp) {
@@ -349,7 +364,7 @@ func (f *Frontend) issueSync(t sim.Slot, op feOp) {
 	f.busy = true
 	f.pending = op
 	f.c.push(f.proc, request{isStore: true, borrow: true, offset: op.offset,
-		modify: identityBlock, done: f.donePlain})
+		modify: identityBlock, done: f.donePlain, cb: cbFEPlain, mod: modIdentity})
 }
 
 // identityBlock is the no-op RMW body used by synchronization accesses:

@@ -67,6 +67,11 @@ type CFMemory struct {
 	// in ascending processor order, reproducing the serial engine's
 	// observable order exactly.
 	stage []procStage
+	// doneRebind, when set, reconstructs the completion callback of an
+	// in-flight access while restoring a checkpoint (callbacks are code,
+	// not data, so the snapshot records only their presence). LoadState
+	// fails loudly when an access had a callback and no rebinder is set.
+	doneRebind func(proc int, kind AccessKind, offset int, start sim.Slot) func(memory.Block)
 
 	// Completed counts finished block accesses.
 	Completed int64

@@ -25,6 +25,12 @@ type ClusterSystem struct {
 	freeDiv int
 	// queue of pending remote requests per serving cluster.
 	queues []sim.Queue[*remoteReq]
+	// serving tracks, per cluster, the remote requests currently occupying
+	// the free division (dispatched, reply not yet staged). Explicit
+	// tracking — rather than leaving the request captured only inside the
+	// memory's completion closure — is what lets a checkpoint record
+	// in-service remote work and a restore rebuild the closures.
+	serving [][]*servingRec
 	// Optional inter-cluster topology (§3.3); when set, link delays are
 	// Hops × perHop instead of the flat linkDelay.
 	topo   Topology
@@ -42,6 +48,14 @@ type ClusterSystem struct {
 
 	// id is the engine's parking handle (nil when driven manually).
 	id *sim.Idler
+
+	// replyRebind reconstructs a harness replyTo callback while restoring
+	// a checkpoint (set via SetReplyRebinder; required only when the
+	// snapshot holds queued or in-service requests that carried one).
+	replyRebind func(cluster int, kind AccessKind, offset int, arrive sim.Slot) func(memory.Block, sim.Slot)
+	// localDoneRebind reconstructs a harness local-access callback while
+	// restoring (set via SetLocalDoneRebinder).
+	localDoneRebind func(cluster, proc int, kind AccessKind, offset int, start sim.Slot) func(memory.Block)
 }
 
 // clusterStage buffers one cluster shard's per-phase side effects.
@@ -59,6 +73,14 @@ type remoteReq struct {
 	// replyDelay is the return-leg latency; −1 means use the system's
 	// flat link delay.
 	replyDelay int
+}
+
+// servingRec pairs an in-service remote request with its dispatch slot —
+// everything makeReply needs, so the reply closure can be rebuilt from a
+// checkpoint.
+type servingRec struct {
+	req   *remoteReq
+	start sim.Slot // slot the request was dispatched onto the free division
 }
 
 // NewClusterSystem builds numClusters clusters with the given per-cluster
@@ -85,6 +107,7 @@ func NewClusterSystem(cfg Config, numClusters, localProc, linkDelay int) *Cluste
 		linkDelay: linkDelay,
 		freeDiv:   localProc,
 		queues:    make([]sim.Queue[*remoteReq], numClusters),
+		serving:   make([][]*servingRec, numClusters),
 		stage:     make([]clusterStage, numClusters),
 	}
 	for i := 0; i < numClusters; i++ {
@@ -263,27 +286,49 @@ func (cs *ClusterSystem) dispatch(t sim.Slot, ci int) {
 		return
 	}
 	req := q.Pop()
-	reply := func(blk memory.Block) { //cfm:alloc-ok remote replies clone the block regardless; cross-cluster traffic is not in the pinned tick loop
-		st := &cs.stage[ci]
-		st.remote++
-		if req.replyTo != nil {
-			// The reply crosses the link back to the requester. It is
-			// staged (not fired inline) because replyTo re-enters the
-			// requesting cluster; FinishShards runs it single-threaded.
-			back := cs.linkDelay
-			if req.replyDelay >= 0 {
-				back = req.replyDelay
-			}
-			at := cl.ATSpace().CompletionSlot(t) + sim.Slot(back)
-			data := blk.Clone()
-			st.replies = append(st.replies, func() { req.replyTo(data, at) })
-		}
-	}
+	rec := &servingRec{req: req, start: t}
+	cs.serving[ci] = append(cs.serving[ci], rec)
+	reply := cs.makeReply(ci, rec)
 	switch req.kind {
 	case ReadBlock:
 		cl.StartRead(t, cs.freeDiv, req.offset, reply)
 	case WriteBlock:
 		cl.StartWrite(t, cs.freeDiv, req.offset, req.data, reply)
+	}
+}
+
+// makeReply builds the completion callback for an in-service remote
+// request. dispatch installs it when the request starts; LoadState
+// installs an identical one when restoring a checkpoint that caught the
+// request mid-service.
+func (cs *ClusterSystem) makeReply(ci int, rec *servingRec) func(memory.Block) {
+	return func(blk memory.Block) { //cfm:alloc-ok remote replies clone the block regardless; cross-cluster traffic is not in the pinned tick loop
+		cs.unserve(ci, rec)
+		st := &cs.stage[ci]
+		st.remote++
+		if rec.req.replyTo != nil {
+			// The reply crosses the link back to the requester. It is
+			// staged (not fired inline) because replyTo re-enters the
+			// requesting cluster; FinishShards runs it single-threaded.
+			back := cs.linkDelay
+			if rec.req.replyDelay >= 0 {
+				back = rec.req.replyDelay
+			}
+			at := cs.clusters[ci].ATSpace().CompletionSlot(rec.start) + sim.Slot(back)
+			data := blk.Clone()
+			st.replies = append(st.replies, func() { rec.req.replyTo(data, at) })
+		}
+	}
+}
+
+// unserve drops a completed request from a cluster's in-service list.
+func (cs *ClusterSystem) unserve(ci int, rec *servingRec) {
+	s := cs.serving[ci]
+	for i := range s {
+		if s[i] == rec {
+			cs.serving[ci] = append(s[:i], s[i+1:]...)
+			return
+		}
 	}
 }
 

@@ -59,6 +59,8 @@ type nc struct {
 // cluster or global β, per the LatencyModel); the slot-accurate bank
 // pipeline underneath is validated separately by the core and cache
 // packages. It implements sim.Ticker.
+//
+//cfm:no-stater protocol steps are queued closures (events, pending, ncJob.run); checkpoint the flat core/cache engines instead
 type System struct {
 	cfg   Config
 	model LatencyModel

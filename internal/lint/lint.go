@@ -15,6 +15,9 @@
 //     guarded by testing.AllocsPerRun tests.
 //   - metric-names: metric name literals handed to the metrics registry
 //     are Prometheus-valid, kind-consistent, and registered once.
+//   - stater: a ticker owning mutable simulation state (an RNG, a
+//     sim.Queue, or container fields) implements sim.Stater so engine
+//     checkpoints capture it, or opts out with //cfm:no-stater <reason>.
 //
 // The suite is built on go/ast + go/types only (no x/tools), so it runs
 // anywhere the repo builds: `go run ./cmd/cfmlint ./...`.
@@ -30,6 +33,7 @@
 //	//cfm:alloc-ok R         allocation is cold or amortized (same line)
 //	//cfm:unsorted-ok R      map order provably cannot reach output
 //	//cfm:shared-metric R    several sites intentionally share one metric
+//	//cfm:no-stater R        ticker is deliberately not checkpointable
 package lint
 
 import (
@@ -104,6 +108,7 @@ func Passes() []*Pass {
 		PhaseMaskPass(),
 		HotPathAllocPass(),
 		MetricNamesPass(),
+		StaterPass(),
 	}
 }
 

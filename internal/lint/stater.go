@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StaterPass enforces the checkpoint contract documented in
+// internal/sim: a ticker that owns mutable simulation state — an RNG
+// stream, a queue, or any container it mutates as the run advances —
+// must implement sim.Stater (SaveState/LoadState), or a checkpoint
+// taken from an engine registering it restores into a silently wrong
+// resume. A ticker that deliberately opts out (its state is queued
+// closures, or it is only ever checkpointed quiescent) must say so with
+// //cfm:no-stater <reason> in its doc comment.
+//
+// Mechanically: every struct type declaring state — a //cfm:rng
+// discipline, a *sim.RNG or sim.Queue field, or a direct
+// slice/array/map/chan field (reachable through embedded structs and
+// pointers) — whose method set includes Tick(sim.Slot, sim.Phase) must
+// either satisfy sim.Stater with the exact signatures or carry the
+// escape annotation with a non-empty reason.
+func StaterPass() *Pass {
+	const name = "stater"
+	return &Pass{
+		Name: name,
+		Doc:  "stateful tickers must implement sim.Stater or declare //cfm:no-stater <reason>",
+		Run: func(t *Target, r *Reporter) {
+			for _, file := range t.Files {
+				for _, decl := range file.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok {
+						continue
+					}
+					for _, spec := range gd.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						t.checkStaterType(name, gd, ts, r)
+					}
+				}
+			}
+		},
+	}
+}
+
+// checkStaterType applies the contract to one type declaration. Alias
+// declarations (the cfm facade) are skipped: the canonical definition
+// carries the obligation.
+func (t *Target) checkStaterType(pass string, gd *ast.GenDecl, ts *ast.TypeSpec, r *Reporter) {
+	if ts.Assign.IsValid() {
+		return
+	}
+	obj, ok := t.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	if !t.isTicker(obj) {
+		return
+	}
+	_, hasRNGDirective := typeAnnotation(gd, ts, "rng")
+	if !hasRNGDirective && !structHoldsState(st, 0) {
+		return // stateless ticker: nothing a checkpoint could lose
+	}
+	if reason, ok := typeAnnotation(gd, ts, "no-stater"); ok {
+		if reason == "" {
+			r.Reportf(pass, ts.Pos(), "type %s: bare //cfm:no-stater; state why the ticker is exempt from checkpointing (//cfm:no-stater <reason>)", ts.Name.Name)
+		}
+		return
+	}
+	saveOK := t.hasStateMethod(obj, "SaveState", "StateEncoder")
+	loadOK := t.hasStateMethod(obj, "LoadState", "StateDecoder")
+	switch {
+	case saveOK && loadOK:
+		return
+	case saveOK != loadOK:
+		r.Reportf(pass, ts.Pos(), "type %s implements only half of sim.Stater: both SaveState(*sim.StateEncoder) and LoadState(*sim.StateDecoder) are required for checkpoint round-trips", ts.Name.Name)
+	default:
+		r.Reportf(pass, ts.Pos(), "type %s is a ticker with mutable simulation state but does not implement sim.Stater: a checkpoint would drop its state and resume wrong — add SaveState/LoadState or annotate //cfm:no-stater <reason>", ts.Name.Name)
+	}
+}
+
+// typeAnnotation reads a //cfm:key directive from a type declaration's
+// doc comment: the spec's own doc, the enclosing GenDecl's doc, or a
+// trailing line comment.
+func typeAnnotation(gd *ast.GenDecl, ts *ast.TypeSpec, key string) (string, bool) {
+	if v, ok := annotation(ts.Doc, key); ok {
+		return v, ok
+	}
+	if v, ok := annotation(gd.Doc, key); ok {
+		return v, ok
+	}
+	return annotation(ts.Comment, key)
+}
+
+// isTicker reports whether *T's method set includes
+// Tick(sim.Slot, sim.Phase) with no results — the sim.Ticker contract.
+func (t *Target) isTicker(obj *types.TypeName) bool {
+	fn := t.lookupMethod(obj, "Tick")
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 2 && sig.Results().Len() == 0 &&
+		isSimNamed(sig.Params().At(0).Type(), "Slot") &&
+		isSimNamed(sig.Params().At(1).Type(), "Phase")
+}
+
+// hasStateMethod reports whether *T has method name(*sim.<argType>)
+// with no results — one half of the sim.Stater contract.
+func (t *Target) hasStateMethod(obj *types.TypeName, name, argType string) bool {
+	fn := t.lookupMethod(obj, name)
+	if fn == nil {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	return ok && isSimNamed(ptr.Elem(), argType)
+}
+
+// lookupMethod resolves a method on *T, seeing through embedding.
+func (t *Target) lookupMethod(obj *types.TypeName, name string) *types.Func {
+	o, _, _ := types.LookupFieldOrMethod(types.NewPointer(obj.Type()), true, t.Pkg, name)
+	fn, _ := o.(*types.Func)
+	return fn
+}
+
+// isSimNamed reports whether typ is the named type sim.<name>.
+func isSimNamed(typ types.Type, name string) bool {
+	named, ok := types.Unalias(typ).(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == name && o.Pkg() != nil && o.Pkg().Path() == simPkgPath
+}
+
+// structHoldsState reports whether st owns mutable simulation state a
+// checkpoint must carry: an RNG stream, a sim.Queue, or a direct
+// container field. Function and interface fields do not count
+// (callbacks are code, not data — the rebinder doctrine), and named
+// field types other than RNG/Queue are the responsibility of their own
+// declaration.
+func structHoldsState(st *types.Struct, depth int) bool {
+	if depth > 8 {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if typeHoldsState(st.Field(i).Type(), depth) {
+			return true
+		}
+	}
+	return false
+}
+
+func typeHoldsState(typ types.Type, depth int) bool {
+	switch ty := typ.(type) {
+	case *types.Named:
+		o := ty.Obj()
+		if o.Pkg() != nil && o.Pkg().Path() == simPkgPath &&
+			(o.Name() == "RNG" || o.Name() == "Queue") {
+			return true
+		}
+		return false
+	case *types.Alias:
+		return typeHoldsState(types.Unalias(ty), depth)
+	case *types.Pointer:
+		return typeHoldsState(ty.Elem(), depth)
+	case *types.Slice, *types.Array, *types.Map, *types.Chan:
+		return true
+	case *types.Struct:
+		return structHoldsState(ty, depth+1)
+	}
+	return false
+}

@@ -1,0 +1,49 @@
+// Package neg holds tickers that satisfy the checkpoint contract (or
+// legitimately fall outside it); every declaration must stay silent.
+package neg
+
+import "cfm/internal/sim"
+
+// Checkpointed owns state and implements the full sim.Stater contract.
+//
+//cfm:rng=event
+type Checkpointed struct {
+	rng  *sim.RNG
+	wake []sim.Slot
+}
+
+func (c *Checkpointed) Tick(t sim.Slot, ph sim.Phase)   {}
+func (c *Checkpointed) SaveState(enc *sim.StateEncoder) { enc.RNG(c.rng) }
+func (c *Checkpointed) LoadState(dec *sim.StateDecoder) { dec.RNG(c.rng) }
+
+// Stateless is configuration-only: scalar fields read, never advanced,
+// so there is nothing a checkpoint could lose.
+type Stateless struct {
+	banks int
+	beta  int
+}
+
+func (s *Stateless) Tick(t sim.Slot, ph sim.Phase) {}
+
+// Exempt opts out with a reviewable reason.
+//
+//cfm:no-stater all state is queued closures; quiesce before checkpointing
+type Exempt struct {
+	jobs []func()
+}
+
+func (e *Exempt) Tick(t sim.Slot, ph sim.Phase) {}
+
+// Holder owns a queue but never ticks: it is some ticker's component,
+// and that owner's SaveState is responsible for it.
+type Holder struct {
+	q sim.Queue[int]
+}
+
+// Inherited gets both the state and the contract from an embedded
+// component; the promoted methods satisfy the lookup.
+type Inherited struct {
+	Checkpointed
+}
+
+func (i *Inherited) Tick(t sim.Slot, ph sim.Phase) {}

@@ -1,0 +1,53 @@
+// Package pos holds stateful tickers that shirk the checkpoint
+// contract; every declaration must be reported.
+package pos
+
+import "cfm/internal/sim"
+
+// Queued is a ticker owning a queue but no SaveState/LoadState: a
+// checkpoint would drop the backlog.
+type Queued struct { // want "does not implement sim.Stater"
+	backlog sim.Queue[int]
+}
+
+func (q *Queued) Tick(t sim.Slot, ph sim.Phase) {}
+
+// Drawing declares an RNG discipline, which marks it stateful even
+// though the stream lives behind an opaque named type.
+//
+//cfm:rng=event
+type Drawing struct { // want "does not implement sim.Stater"
+	src source
+}
+
+func (d *Drawing) Tick(t sim.Slot, ph sim.Phase) {}
+
+// source hides the stream from structural detection.
+type source struct{ rng *sim.RNG }
+
+// Half saves but cannot load: round-trips are impossible.
+type Half struct { // want "only half of sim.Stater"
+	counts []int64
+}
+
+func (h *Half) Tick(t sim.Slot, ph sim.Phase)   {}
+func (h *Half) SaveState(enc *sim.StateEncoder) { enc.Int(len(h.counts)) }
+
+// WrongSig pairs a real LoadState with a SaveState of the wrong shape,
+// so only half of the contract is actually satisfied.
+type WrongSig struct { // want "only half of sim.Stater"
+	pending map[int]sim.Slot
+}
+
+func (w *WrongSig) Tick(t sim.Slot, ph sim.Phase)   {}
+func (w *WrongSig) SaveState() []byte               { return nil }
+func (w *WrongSig) LoadState(dec *sim.StateDecoder) {}
+
+// Bare opts out without saying why; the reason is the reviewable part.
+//
+//cfm:no-stater
+type Bare struct { // want "bare //cfm:no-stater"
+	wake []sim.Slot
+}
+
+func (b *Bare) Tick(t sim.Slot, ph sim.Phase) {}

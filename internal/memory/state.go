@@ -1,0 +1,141 @@
+package memory
+
+import (
+	"sort"
+
+	"cfm/internal/sim"
+)
+
+// SaveState implements sim.Stater for a bank: contents (sorted by
+// offset, so the snapshot is byte-stable), timing state, and statistics.
+// Identity and bank cycle are configuration.
+func (bk *Bank) SaveState(enc *sim.StateEncoder) {
+	offs := make([]int, 0, len(bk.words))
+	for o := range bk.words {
+		offs = append(offs, o)
+	}
+	sort.Ints(offs)
+	enc.Int(len(offs))
+	for _, o := range offs {
+		enc.Int(o)
+		enc.U64(uint64(bk.words[o]))
+	}
+	enc.Slot(bk.busyTill)
+	enc.I64(bk.Accesses)
+	enc.I64(bk.Conflicts)
+}
+
+// LoadState implements sim.Stater.
+func (bk *Bank) LoadState(dec *sim.StateDecoder) {
+	n := dec.Count()
+	bk.words = make(map[int]Word, n)
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		o := dec.Int()
+		bk.words[o] = Word(dec.U64())
+	}
+	bk.busyTill = dec.Slot()
+	bk.Accesses = dec.I64()
+	bk.Conflicts = dec.I64()
+}
+
+// SaveBlock encodes a block (length + words) for higher layers that
+// snapshot in-flight accesses.
+func SaveBlock(enc *sim.StateEncoder, b Block) {
+	enc.Int(len(b))
+	for _, w := range b {
+		enc.U64(uint64(w))
+	}
+}
+
+// LoadBlock decodes a block written by SaveBlock.
+func LoadBlock(dec *sim.StateDecoder) Block {
+	n := dec.Count()
+	if n == 0 || dec.Err() != nil {
+		return nil
+	}
+	b := make(Block, n)
+	for i := range b {
+		b[i] = Word(dec.U64())
+	}
+	return b
+}
+
+// saveProcStates encodes a []procState with its length.
+func saveProcStates(enc *sim.StateEncoder, s []procState) {
+	enc.Int(len(s))
+	for _, v := range s {
+		enc.Int(int(v))
+	}
+}
+
+// loadProcStates restores a []procState in place (length fixed by
+// configuration).
+func loadProcStates(dec *sim.StateDecoder, s []procState) {
+	if n := dec.Count(); n != len(s) && dec.Err() == nil {
+		dec.Failf("memory: snapshot has %d processor states, system has %d", n, len(s))
+		return
+	}
+	for i := range s {
+		v := dec.Int()
+		if v < int(procIdle) || v > int(procInFlight) {
+			dec.Failf("memory: invalid processor state %d", v)
+			return
+		}
+		s[i] = procState(v)
+	}
+}
+
+// SaveState implements sim.Stater for the conventional baseline: the RNG
+// stream, module timing, every processor automaton (state, wake/done/
+// issue slots, open-loop arrival clocks, backlog queues, chosen
+// modules), and the public measurements.
+func (c *Conventional) SaveState(enc *sim.StateEncoder) {
+	enc.RNG(c.rng)
+	sim.SaveSlots(enc, c.mods)
+	saveProcStates(enc, c.state)
+	sim.SaveSlots(enc, c.wakeAt)
+	sim.SaveSlots(enc, c.doneAt)
+	sim.SaveSlots(enc, c.issuedAt)
+	sim.SaveSlots(enc, c.nextArrival)
+	enc.Int(len(c.backlog))
+	for i := range c.backlog {
+		sim.SaveQueue(enc, &c.backlog[i], func(e *sim.StateEncoder, v sim.Slot) { e.Slot(v) })
+	}
+	enc.Int(len(c.targetMod))
+	for _, m := range c.targetMod {
+		enc.Int(m)
+	}
+	enc.I64(c.Completed)
+	enc.I64(c.Retries)
+	enc.I64(c.TotalLatency)
+	enc.I64(c.TotalQueued)
+}
+
+// LoadState implements sim.Stater.
+func (c *Conventional) LoadState(dec *sim.StateDecoder) {
+	dec.RNG(c.rng)
+	sim.LoadSlots(dec, c.mods)
+	loadProcStates(dec, c.state)
+	sim.LoadSlots(dec, c.wakeAt)
+	sim.LoadSlots(dec, c.doneAt)
+	sim.LoadSlots(dec, c.issuedAt)
+	sim.LoadSlots(dec, c.nextArrival)
+	if n := dec.Count(); n != len(c.backlog) && dec.Err() == nil {
+		dec.Failf("memory: snapshot has %d backlogs, system has %d", n, len(c.backlog))
+		return
+	}
+	for i := range c.backlog {
+		sim.LoadQueue(dec, &c.backlog[i], func(d *sim.StateDecoder) sim.Slot { return d.Slot() })
+	}
+	if n := dec.Count(); n != len(c.targetMod) && dec.Err() == nil {
+		dec.Failf("memory: snapshot has %d target modules, system has %d", n, len(c.targetMod))
+		return
+	}
+	for i := range c.targetMod {
+		c.targetMod[i] = dec.Int()
+	}
+	c.Completed = dec.I64()
+	c.Retries = dec.I64()
+	c.TotalLatency = dec.I64()
+	c.TotalQueued = dec.I64()
+}

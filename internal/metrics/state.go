@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"sort"
+
+	"cfm/internal/sim"
+)
+
+// SaveState implements sim.Stater for the registry. The snapshot is the
+// deterministic sorted Snapshot — counter and gauge values, histogram
+// bins — so a registry attached to an engine (Engine.AttachState)
+// round-trips through a checkpoint and the resumed run's digest matches
+// the uninterrupted one.
+func (r *Registry) SaveState(enc *sim.StateEncoder) {
+	s := r.Snapshot()
+	enc.Int(len(s.Counters))
+	for _, nv := range s.Counters {
+		enc.String(nv.Name)
+		enc.I64(nv.Value)
+	}
+	enc.Int(len(s.Gauges))
+	for _, nv := range s.Gauges {
+		enc.String(nv.Name)
+		enc.I64(nv.Value)
+	}
+	enc.Int(len(s.Histograms))
+	for _, hv := range s.Histograms {
+		enc.String(hv.Name)
+		enc.I64(hv.BinWidth)
+		enc.I64(hv.Count)
+		enc.I64(hv.Sum)
+		enc.Int(len(hv.Edges))
+		for i := range hv.Edges {
+			enc.I64(hv.Edges[i])
+			enc.I64(hv.Counts[i])
+		}
+	}
+}
+
+// LoadState implements sim.Stater. Values load INTO the existing shared
+// handles (creating any the rebuilt scenario has not registered yet), so
+// component-held pointers keep working after a restore. Handles the
+// snapshot does not mention keep their current (freshly built, zero)
+// values: a metric absent from the snapshot had not been created — and
+// therefore never touched — when the checkpoint was taken.
+func (r *Registry) LoadState(dec *sim.StateDecoder) {
+	if r == nil {
+		dec.Failf("metrics: restoring a snapshot into a nil registry")
+		return
+	}
+	nc := dec.Count()
+	for i := 0; i < nc && dec.Err() == nil; i++ {
+		name := dec.String()
+		v := dec.I64()
+		r.Counter(name).v.Store(v)
+	}
+	ng := dec.Count()
+	for i := 0; i < ng && dec.Err() == nil; i++ {
+		name := dec.String()
+		v := dec.I64()
+		r.Gauge(name).v.Store(v)
+	}
+	nh := dec.Count()
+	for i := 0; i < nh && dec.Err() == nil; i++ {
+		name := dec.String()
+		width := dec.I64()
+		count := dec.I64()
+		sum := dec.I64()
+		nb := dec.Count()
+		h := r.Histogram(name, width)
+		h.mu.Lock()
+		if h.width != width {
+			h.mu.Unlock()
+			dec.Failf("metrics: histogram %q bin width %d in the snapshot, %d in the registry", name, width, h.width)
+			return
+		}
+		h.count, h.sum = count, sum
+		h.bins = make(map[int64]int64, nb)
+		for j := 0; j < nb && dec.Err() == nil; j++ {
+			edge := dec.I64()
+			c := dec.I64()
+			h.bins[floorDiv(edge, width)] = c
+		}
+		h.mu.Unlock()
+	}
+}
+
+// SaveState implements sim.Stater for the sampler: the recorded
+// time-series points (the sampling period is configuration).
+func (s *Sampler) SaveState(enc *sim.StateEncoder) {
+	enc.Int(len(s.Samples))
+	for _, sm := range s.Samples {
+		enc.I64(sm.Slot)
+		keys := make([]string, 0, len(sm.Values))
+		for k := range sm.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		enc.Int(len(keys))
+		for _, k := range keys {
+			enc.String(k)
+			enc.I64(sm.Values[k])
+		}
+	}
+}
+
+// LoadState implements sim.Stater.
+func (s *Sampler) LoadState(dec *sim.StateDecoder) {
+	n := dec.Count()
+	s.Samples = s.Samples[:0]
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		sm := Sample{Slot: dec.I64()}
+		nv := dec.Count()
+		sm.Values = make(map[string]int64, nv)
+		for j := 0; j < nv && dec.Err() == nil; j++ {
+			k := dec.String()
+			sm.Values[k] = dec.I64()
+		}
+		s.Samples = append(s.Samples, sm)
+	}
+}

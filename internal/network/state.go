@@ -1,0 +1,147 @@
+package network
+
+import (
+	"cfm/internal/sim"
+)
+
+// savePacket and loadPacket encode one in-network packet.
+func savePacket(enc *sim.StateEncoder, p Packet) {
+	enc.Int(p.Dest)
+	enc.Slot(p.Born)
+	enc.Bool(p.Hot)
+}
+
+func loadPacket(dec *sim.StateDecoder) Packet {
+	return Packet{Dest: dec.Int(), Born: dec.Slot(), Hot: dec.Bool()}
+}
+
+// SaveState implements sim.Stater for the buffered MIN: injection RNG
+// streams, every source and switch-output queue, arbiter state, module
+// busy clocks, the occupancy counts, and the public measurements. The
+// topology and rates are configuration.
+func (b *BufferedOmega) SaveState(enc *sim.StateEncoder) {
+	enc.Int(len(b.rngs))
+	for _, r := range b.rngs {
+		enc.RNG(r)
+	}
+	enc.Int(len(b.inject))
+	for i := range b.inject {
+		sim.SaveQueue(enc, &b.inject[i], savePacket)
+	}
+	enc.Int(len(b.q))
+	for j := range b.q {
+		enc.Int(len(b.q[j]))
+		for i := range b.q[j] {
+			sim.SaveQueue(enc, &b.q[j][i], savePacket)
+		}
+	}
+	enc.Int(len(b.rr))
+	for j := range b.rr {
+		enc.Int(len(b.rr[j]))
+		for _, v := range b.rr[j] {
+			enc.Int(v)
+		}
+	}
+	sim.SaveSlots(enc, b.busy)
+	enc.Int(b.injectCount)
+	enc.Int(len(b.colCount))
+	for _, v := range b.colCount {
+		enc.Int(v)
+	}
+	enc.I64(b.Injected)
+	enc.I64(b.DeliveredBg)
+	enc.I64(b.DeliveredHot)
+	enc.I64(b.LatencyBgTotal)
+	enc.I64(b.LatencyHotTotal)
+}
+
+// LoadState implements sim.Stater.
+func (b *BufferedOmega) LoadState(dec *sim.StateDecoder) {
+	if n := dec.Count(); n != len(b.rngs) && dec.Err() == nil {
+		dec.Failf("network: snapshot has %d RNG streams, network has %d", n, len(b.rngs))
+		return
+	}
+	for _, r := range b.rngs {
+		dec.RNG(r)
+	}
+	if n := dec.Count(); n != len(b.inject) && dec.Err() == nil {
+		dec.Failf("network: snapshot has %d source queues, network has %d", n, len(b.inject))
+		return
+	}
+	for i := range b.inject {
+		sim.LoadQueue(dec, &b.inject[i], loadPacket)
+	}
+	if n := dec.Count(); n != len(b.q) && dec.Err() == nil {
+		dec.Failf("network: snapshot has %d columns, network has %d", n, len(b.q))
+		return
+	}
+	for j := range b.q {
+		if n := dec.Count(); n != len(b.q[j]) && dec.Err() == nil {
+			dec.Failf("network: snapshot column %d has %d queues, network has %d", j, n, len(b.q[j]))
+			return
+		}
+		for i := range b.q[j] {
+			sim.LoadQueue(dec, &b.q[j][i], loadPacket)
+		}
+	}
+	if n := dec.Count(); n != len(b.rr) && dec.Err() == nil {
+		dec.Failf("network: snapshot has %d arbiter columns, network has %d", n, len(b.rr))
+		return
+	}
+	for j := range b.rr {
+		if n := dec.Count(); n != len(b.rr[j]) && dec.Err() == nil {
+			dec.Failf("network: snapshot arbiter column %d has %d switches, network has %d", j, n, len(b.rr[j]))
+			return
+		}
+		for i := range b.rr[j] {
+			b.rr[j][i] = dec.Int()
+		}
+	}
+	sim.LoadSlots(dec, b.busy)
+	b.injectCount = dec.Int()
+	if n := dec.Count(); n != len(b.colCount) && dec.Err() == nil {
+		dec.Failf("network: snapshot has %d occupancy counts, network has %d", n, len(b.colCount))
+		return
+	}
+	for i := range b.colCount {
+		b.colCount[i] = dec.Int()
+	}
+	b.Injected = dec.I64()
+	b.DeliveredBg = dec.I64()
+	b.DeliveredHot = dec.I64()
+	b.LatencyBgTotal = dec.I64()
+	b.LatencyHotTotal = dec.I64()
+}
+
+// SaveState implements sim.Stater for circuit-switched occupancy: the
+// hold clock of every switch output line plus the path statistics.
+func (c *Circuit) SaveState(enc *sim.StateEncoder) {
+	enc.Int(len(c.heldUntil))
+	for j := range c.heldUntil {
+		enc.Int(len(c.heldUntil[j]))
+		for _, u := range c.heldUntil[j] {
+			enc.I64(u)
+		}
+	}
+	enc.I64(c.Established)
+	enc.I64(c.Blocked)
+}
+
+// LoadState implements sim.Stater.
+func (c *Circuit) LoadState(dec *sim.StateDecoder) {
+	if n := dec.Count(); n != len(c.heldUntil) && dec.Err() == nil {
+		dec.Failf("network: snapshot has %d columns, circuit has %d", n, len(c.heldUntil))
+		return
+	}
+	for j := range c.heldUntil {
+		if n := dec.Count(); n != len(c.heldUntil[j]) && dec.Err() == nil {
+			dec.Failf("network: snapshot column %d has %d lines, circuit has %d", j, n, len(c.heldUntil[j]))
+			return
+		}
+		for i := range c.heldUntil[j] {
+			c.heldUntil[j][i] = dec.I64()
+		}
+	}
+	c.Established = dec.I64()
+	c.Blocked = dec.I64()
+}

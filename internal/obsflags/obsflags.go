@@ -27,6 +27,9 @@ type Observatory struct {
 	HTTPAddr   string // -http: live /metrics + expvar + pprof address
 	Every      int64  // -sample: slots between time-series samples
 
+	CheckpointOut string // -checkpoint-out: write a checkpoint here when the run ends
+	Resume        string // -resume: restore engine state from this checkpoint before running
+
 	Reg     *metrics.Registry
 	Sampler *metrics.Sampler
 	Trace   *sim.Trace
@@ -44,7 +47,51 @@ func Flags(fs *flag.FlagSet) *Observatory {
 	fs.StringVar(&ob.HTTPAddr, "http", "",
 		"serve /metrics, /debug/vars and /debug/pprof on this address during the run")
 	fs.Int64Var(&ob.Every, "sample", 1000, "slots between time-series samples")
+	fs.StringVar(&ob.CheckpointOut, "checkpoint-out", "",
+		"write a checkpoint of the final engine state to this file")
+	fs.StringVar(&ob.Resume, "resume", "",
+		"restore engine state from this checkpoint before running")
 	return ob
+}
+
+// MaybeResume restores eng from the -resume checkpoint when the flag is
+// set; a no-op otherwise. Call after the scenario has registered every
+// component on eng, before running.
+func (ob *Observatory) MaybeResume(eng sim.Engine) error {
+	if ob.Resume == "" {
+		return nil
+	}
+	f, err := os.Open(ob.Resume)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := eng.Restore(f); err != nil {
+		return fmt.Errorf("resume from %s: %w", ob.Resume, err)
+	}
+	fmt.Fprintf(os.Stderr, "resumed from %s at slot %d\n", ob.Resume, eng.Now())
+	return nil
+}
+
+// MaybeCheckpoint writes eng's state to the -checkpoint-out file when
+// the flag is set; a no-op otherwise. Call after the run has finished.
+func (ob *Observatory) MaybeCheckpoint(eng sim.Engine) error {
+	if ob.CheckpointOut == "" {
+		return nil
+	}
+	f, err := os.Create(ob.CheckpointOut)
+	if err != nil {
+		return err
+	}
+	if err := eng.Checkpoint(f); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint to %s: %w", ob.CheckpointOut, err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote checkpoint (slot %d) to %s\n", eng.Now(), ob.CheckpointOut)
+	return nil
 }
 
 // Wanted reports whether any observability flag was set.
@@ -76,12 +123,20 @@ func (ob *Observatory) Open(force bool) error {
 }
 
 // Attach registers the sampler on an engine so the time series records
-// during the run; a no-op when observation is off. Attaching to several
-// engines in sequence appends their runs to one series (each run's
-// samples restart at slot 0).
+// during the run, and attaches the registry and trace to the engine's
+// checkpoint state so -checkpoint-out/-resume round-trip them; a no-op
+// when observation is off. Attaching to several engines in sequence
+// appends their runs to one series (each run's samples restart at
+// slot 0).
 func (ob *Observatory) Attach(eng sim.Engine) {
 	if ob.Sampler != nil {
 		ob.Sampler.Attach(eng)
+	}
+	if ob.Reg != nil {
+		eng.AttachState("metrics", ob.Reg)
+	}
+	if ob.Trace != nil {
+		eng.AttachState("trace", ob.Trace)
 	}
 }
 

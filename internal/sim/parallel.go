@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -182,6 +183,9 @@ type ParallelClock struct {
 	// a jump up by re-reading pc.now after the control word barrier.
 	skipAhead bool
 	hplan     []horizonEntry
+	// extras are the harness-attached Staters snapshotted alongside the
+	// registered components (see AttachState).
+	extras []extraState
 	// Stats
 	slotsRun   int64
 	slotsFired int64
@@ -246,6 +250,41 @@ func (pc *ParallelClock) RegisterPrio(t Ticker, prio int) {
 // Stop requests that Run return at the end of the current slot. Safe to
 // call from any worker (i.e. from inside a TickShard).
 func (pc *ParallelClock) Stop() { pc.stopped.Store(true) }
+
+// AttachState adds a named harness-owned Stater to the snapshot (see
+// Engine.AttachState). Call from the owner goroutine, between runs.
+func (pc *ParallelClock) AttachState(name string, s Stater) {
+	pc.extras = attachExtra(pc.extras, name, s)
+}
+
+// Checkpoint writes a snapshot of full engine state to w. Both engines
+// compile the same canonical (prio, seq) component order, so the
+// snapshot restores into a serial Clock just as well. Call from the
+// owner goroutine, between runs (never from inside a Tick).
+func (pc *ParallelClock) Checkpoint(w io.Writer) error {
+	if !pc.planned {
+		pc.compile()
+	}
+	return writeCheckpoint(w, pc.now, pc.slotsRun, pc.slotsFired, pc.tickers, pc.extras)
+}
+
+// Restore loads a snapshot written by Checkpoint (on either engine kind)
+// into this engine; semantics match Clock.Restore. Call from the owner
+// goroutine, between runs.
+func (pc *ParallelClock) Restore(r io.Reader) error {
+	if !pc.planned {
+		pc.compile()
+	}
+	snap, err := readCheckpoint(r, pc.tickers, pc.extras)
+	if err != nil {
+		return err
+	}
+	pc.now = snap.now
+	pc.slotsRun = snap.slotsRun
+	pc.slotsFired = snap.slotsFired
+	pc.stopped.Store(false)
+	return nil
+}
 
 // compile builds the per-phase schedule: tickers sorted into priority
 // bands, consecutive Shardables of one band merged into parallel

@@ -47,6 +47,12 @@ func (r *RNG) Bernoulli(p float64) bool {
 	return r.Float64() < p
 }
 
+// State returns the generator's stream position for checkpointing.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState repositions the generator to a state captured by State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Split derives an independent generator; useful to give each simulated
 // processor its own stream so per-component behaviour does not depend on
 // the order in which other components draw.

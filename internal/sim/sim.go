@@ -24,6 +24,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync/atomic"
 )
@@ -91,6 +92,12 @@ type FuncTicker struct {
 	// observable work (see Horizoner for the contract). nil keeps the
 	// driver dense (horizon = now).
 	NextEvent func(now Slot) Slot
+	// Save and Load checkpoint the driver's captured state (loop
+	// counters, result slices) through the Stater interface; nil hooks
+	// snapshot nothing. A driver whose captured state evolves during the
+	// run MUST set both, or a restored run diverges silently.
+	Save func(enc *StateEncoder)
+	Load func(dec *StateDecoder)
 }
 
 // Tick implements Ticker.
@@ -287,6 +294,20 @@ type Engine interface {
 	Step()
 	Run(n int64) int64
 	RunUntil(pred func() bool, budget int64) (int64, bool)
+	// Checkpoint writes a versioned binary snapshot of full engine
+	// state — clock position, per-component Stater sections, parking
+	// flags, attached extras — restorable by Restore on either engine
+	// kind (snapshots are engine-neutral; see state.go).
+	Checkpoint(w io.Writer) error
+	// Restore loads a snapshot written by Checkpoint into this engine,
+	// whose scenario must have been reconstructed exactly as it was when
+	// checkpointed (same components, same registration order, same
+	// attached extras). On error the engine is unusable; rebuild it.
+	Restore(r io.Reader) error
+	// AttachState adds a named harness-owned Stater (an event trace, a
+	// metrics registry) to the snapshot alongside the registered
+	// components. Attach order is part of the snapshot layout.
+	AttachState(name string, s Stater)
 }
 
 // Clock owns simulated time and the ordered set of components it drives.
@@ -303,6 +324,9 @@ type Clock struct {
 	// horizon-fold list, one entry per registered component.
 	skipAhead bool
 	hplan     []horizonEntry
+	// extras are the harness-attached Staters snapshotted alongside the
+	// registered components (see AttachState).
+	extras []extraState
 	// Stats
 	slotsRun   int64
 	slotsFired int64
@@ -431,6 +455,42 @@ func (c *Clock) RegisterPrio(t Ticker, prio int) {
 // Stop requests that Run return at the end of the current slot. It may be
 // called by a component from inside a Tick.
 func (c *Clock) Stop() { c.stopped = true }
+
+// AttachState adds a named harness-owned Stater to the snapshot (see
+// Engine.AttachState).
+func (c *Clock) AttachState(name string, s Stater) {
+	c.extras = attachExtra(c.extras, name, s)
+}
+
+// Checkpoint writes a snapshot of full engine state to w. It compiles
+// the schedule first (binding parking handles and fixing the canonical
+// component order), so it may be called before the first slot as well as
+// between runs. Must not be called from inside a Tick.
+func (c *Clock) Checkpoint(w io.Writer) error {
+	if !c.planned {
+		c.compile()
+	}
+	return writeCheckpoint(w, c.now, c.slotsRun, c.slotsFired, c.tickers, c.extras)
+}
+
+// Restore loads a snapshot written by Checkpoint (on either engine kind)
+// into this engine. The scenario must have been reconstructed exactly as
+// checkpointed. On error the engine and its components are in an
+// undefined state — rebuild them.
+func (c *Clock) Restore(r io.Reader) error {
+	if !c.planned {
+		c.compile()
+	}
+	snap, err := readCheckpoint(r, c.tickers, c.extras)
+	if err != nil {
+		return err
+	}
+	c.now = snap.now
+	c.slotsRun = snap.slotsRun
+	c.slotsFired = snap.slotsFired
+	c.stopped = false
+	return nil
+}
 
 // compile sorts the tickers and builds the per-phase schedules, binding
 // parking handles along the way.

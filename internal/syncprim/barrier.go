@@ -27,6 +27,8 @@ const (
 // hot-spot-free property of §4.2.2/§5.3 applied to barriers).
 //
 // Block layout: word 0 = arrival count, word 1 = sense.
+//
+//cfm:no-stater episodes are short-lived closures inside cache.Protocol; checkpoint between episodes
 type Barrier struct {
 	c       *cache.Protocol
 	offset  int

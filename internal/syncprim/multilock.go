@@ -32,6 +32,8 @@ const (
 // deadlocks of partial acquisition, and is the substrate for the
 // resource-binding programming paradigm of Chapter 6.
 // It implements sim.Ticker.
+//
+//cfm:no-stater in-flight acquisitions hold closures inside cache.Protocol; quiesce before checkpointing
 type MultiLocker struct {
 	c      *cache.Protocol
 	offset int

@@ -35,6 +35,8 @@ const (
 // engine: acquisition is an atomic test-and-set (read-invalidate +
 // modify), contention is handled by read-looping on the locally cached
 // lock block. It implements sim.Ticker.
+//
+//cfm:no-stater in-flight acquisitions hold closures inside cache.Protocol; quiesce before checkpointing
 type Locker struct {
 	c      *cache.Protocol
 	offset int

@@ -1,0 +1,66 @@
+package workload
+
+import "cfm/internal/sim"
+
+// SaveState implements sim.Stater for the Bernoulli generator: the
+// per-processor RNG streams are its only mutable state (rate, store
+// fraction, and the selector are configuration).
+func (b *Bernoulli) SaveState(enc *sim.StateEncoder) {
+	enc.Int(len(b.rngs))
+	for _, r := range b.rngs {
+		enc.RNG(r)
+	}
+}
+
+// LoadState implements sim.Stater.
+func (b *Bernoulli) LoadState(dec *sim.StateDecoder) {
+	if n := dec.Count(); n != len(b.rngs) && dec.Err() == nil {
+		dec.Failf("workload: snapshot has %d RNG streams, generator has %d", n, len(b.rngs))
+		return
+	}
+	for _, r := range b.rngs {
+		dec.RNG(r)
+	}
+}
+
+// SaveState implements sim.Stater for the gapped generator: RNG streams
+// plus each processor's materialized next issue slot.
+func (g *Gapped) SaveState(enc *sim.StateEncoder) {
+	enc.Int(len(g.rngs))
+	for _, r := range g.rngs {
+		enc.RNG(r)
+	}
+	sim.SaveSlots(enc, g.nextAt)
+}
+
+// LoadState implements sim.Stater.
+func (g *Gapped) LoadState(dec *sim.StateDecoder) {
+	if n := dec.Count(); n != len(g.rngs) && dec.Err() == nil {
+		dec.Failf("workload: snapshot has %d RNG streams, generator has %d", n, len(g.rngs))
+		return
+	}
+	for _, r := range g.rngs {
+		dec.RNG(r)
+	}
+	sim.LoadSlots(dec, g.nextAt)
+}
+
+// SaveState implements sim.Stater by delegating to the inner generator
+// (the envelope itself is pure configuration). A stateful inner
+// generator that is not a Stater fails the snapshot loudly.
+func (d *DutyCycle) SaveState(enc *sim.StateEncoder) {
+	if s, ok := d.Inner.(sim.Stater); ok {
+		s.SaveState(enc)
+		return
+	}
+	enc.Failf("workload: duty-cycle inner generator %T is not checkpointable", d.Inner)
+}
+
+// LoadState implements sim.Stater.
+func (d *DutyCycle) LoadState(dec *sim.StateDecoder) {
+	if s, ok := d.Inner.(sim.Stater); ok {
+		s.LoadState(dec)
+		return
+	}
+	dec.Failf("workload: duty-cycle inner generator %T is not checkpointable", d.Inner)
+}
