@@ -1,0 +1,187 @@
+// The divergence bisector's contract: given two engines that agree at
+// slot 0 and disagree somewhere before hi, localize the FIRST divergent
+// slot using O(log slots) checkpoint restores — never a replay from
+// slot 0. The tests plant a synthetic divergence with a FuncTicker that
+// emits one extra span event at a chosen slot, then require the
+// bisector to find exactly that slot with the promised probe budget.
+package cfm_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"cfm"
+)
+
+// buildBisectPair returns two identical conventional systems with
+// checkpoint-riding flight recorders; if inject >= 0, engine B emits
+// one synthetic span event during slot inject's Issue phase.
+func buildBisectPair(inject cfm.Slot) (a, b cfm.Engine, digest func(cfm.Engine) string) {
+	build := func(eng cfm.Engine) *cfm.FlightRecorder {
+		cs := cfm.NewConventional(cfm.ConventionalConfig{
+			Processors: 8, Modules: 8, BlockTime: 17,
+			AccessRate: 0.05, RetryMean: 8, Seed: 11,
+		})
+		rec := cfm.NewFlightRecorder(0)
+		cs.RecordFlight(rec)
+		eng.Register(cs)
+		eng.AttachState("flight", rec)
+		return rec
+	}
+	a = cfm.NewClock()
+	recA := build(a)
+	b = cfm.NewClock()
+	recB := build(b)
+	if inject >= 0 {
+		at := inject
+		b.Register(&cfm.FuncTicker{
+			OnTick: func(t cfm.Slot, ph cfm.Phase) {
+				if ph == cfm.PhaseIssue && t == at {
+					recB.Append(cfm.FlightEvent{
+						ID: cfm.FlightComposeID(999, t), Slot: t,
+						Stage: cfm.StageIssue, Actor: 999,
+					})
+				}
+			},
+			NextEvent: func(now cfm.Slot) cfm.Slot {
+				if now <= at {
+					return at
+				}
+				return cfm.HorizonNone
+			},
+		})
+	}
+	recOf := map[cfm.Engine]*cfm.FlightRecorder{a: recA, b: recB}
+	digest = func(e cfm.Engine) string {
+		return fmt.Sprintf("%016x", recOf[e].Digest())
+	}
+	return a, b, digest
+}
+
+// TestBisectLocalizesInjectedDivergence is the acceptance gate: an
+// event injected during slot K first shows up in the digest observed at
+// slot K+1 (digests at slot s cover the slots that have fired, [0, s)),
+// so the bisector must report First == K+1 — and get there in
+// O(log slots) restores.
+func TestBisectLocalizesInjectedDivergence(t *testing.T) {
+	const hi = cfm.Slot(4096)
+	// 2 restores per probe, log2(hi) probes plus slack for the bracket
+	// endpoints.
+	maxRestores := 2 * (int(math.Log2(float64(hi))) + 2)
+	for _, k := range []cfm.Slot{0, 1, 137, 2048, 4090} {
+		t.Run(fmt.Sprintf("inject=%d", k), func(t *testing.T) {
+			a, b, digest := buildBisectPair(k)
+			res, err := cfm.BisectEngines(a, b, digest, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.First != k+1 {
+				t.Errorf("First = %d, want %d (event injected during slot %d)", res.First, k+1, k)
+			}
+			if res.Restores > maxRestores {
+				t.Errorf("Restores = %d, want <= %d (O(log %d) bound)", res.Restores, maxRestores, hi)
+			}
+			if res.Restores != 2*len(res.Probes) {
+				t.Errorf("Restores = %d with %d probes, want exactly 2 per probe",
+					res.Restores, len(res.Probes))
+			}
+			if res.DigestA == res.DigestB {
+				t.Errorf("divergent digests compare equal: %s", res.DigestA)
+			}
+			// The search must have bracketed: every probe below First
+			// equal, every probe at or above it divergent.
+			for _, p := range res.Probes {
+				if want := p.Slot < res.First; p.Equal != want {
+					t.Errorf("probe at slot %d: Equal=%v, inconsistent with First=%d",
+						p.Slot, p.Equal, res.First)
+				}
+			}
+			// Both engines are left parked at the divergence, ready for
+			// a flight-window dump.
+			if a.Now() != res.First || b.Now() != res.First {
+				t.Errorf("engines left at slots %d/%d, want both at First=%d",
+					a.Now(), b.Now(), res.First)
+			}
+		})
+	}
+}
+
+// TestBisectNoDivergence: identical engines must report ErrNoDivergence
+// rather than fabricating a First slot.
+func TestBisectNoDivergence(t *testing.T) {
+	a, b, digest := buildBisectPair(-1)
+	_, err := cfm.BisectEngines(a, b, digest, 1024)
+	if !errors.Is(err, cfm.ErrNoDivergence) {
+		t.Fatalf("err = %v, want ErrNoDivergence", err)
+	}
+	if da, db := digest(a), digest(b); da != db {
+		t.Fatalf("digests differ after no-divergence bisect: %s vs %s", da, db)
+	}
+}
+
+// TestBisectAcrossSchedulers seeds engine B with a different scheduling
+// strategy (parallel + skip-ahead): the equivalence guarantee means the
+// bisector still finds the injected slot, not a scheduling artifact.
+func TestBisectAcrossSchedulers(t *testing.T) {
+	const k = cfm.Slot(700)
+	build := func(eng cfm.Engine, rec *cfm.FlightRecorder) {
+		cs := cfm.NewConventional(cfm.ConventionalConfig{
+			Processors: 8, Modules: 8, BlockTime: 17,
+			AccessRate: 0.05, RetryMean: 8, Seed: 11,
+		})
+		cs.RecordFlight(rec)
+		eng.Register(cs)
+		eng.AttachState("flight", rec)
+	}
+	a := cfm.NewClock()
+	recA := cfm.NewFlightRecorder(0)
+	build(a, recA)
+	b := cfm.NewParallelClock(2)
+	b.SetSkipAhead(true)
+	recB := cfm.NewFlightRecorder(0)
+	build(b, recB)
+	b.Register(&cfm.FuncTicker{
+		OnTick: func(t cfm.Slot, ph cfm.Phase) {
+			if ph == cfm.PhaseIssue && t == k {
+				recB.Append(cfm.FlightEvent{
+					ID: cfm.FlightComposeID(999, t), Slot: t,
+					Stage: cfm.StageIssue, Actor: 999,
+				})
+			}
+		},
+		NextEvent: func(now cfm.Slot) cfm.Slot {
+			if now <= k {
+				return k
+			}
+			return cfm.HorizonNone
+		},
+	})
+	recOf := map[cfm.Engine]*cfm.FlightRecorder{a: recA, b: recB}
+	digest := func(e cfm.Engine) string { return fmt.Sprintf("%016x", recOf[e].Digest()) }
+	res, err := cfm.BisectEngines(a, b, digest, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.First != k+1 {
+		t.Errorf("First = %d, want %d", res.First, k+1)
+	}
+	// The window around the divergence must contain B's synthetic event
+	// and nothing extra on A's side.
+	winB := cfm.FlightWindow(recOf[b].Events(), res.First, 1)
+	found := false
+	for _, ev := range winB {
+		if ev.Actor == 999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("injected event (actor 999) missing from B's flight window around slot %d", res.First)
+	}
+	for _, ev := range cfm.FlightWindow(recOf[a].Events(), res.First, 1) {
+		if ev.Actor == 999 {
+			t.Errorf("engine A's flight window contains the injected actor")
+		}
+	}
+}

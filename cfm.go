@@ -33,6 +33,7 @@ import (
 	"cfm/internal/cache"
 	"cfm/internal/consistency"
 	"cfm/internal/core"
+	"cfm/internal/flight"
 	"cfm/internal/hier"
 	"cfm/internal/linda"
 	"cfm/internal/memory"
@@ -194,6 +195,108 @@ func ServeMetrics(addr string, reg *Registry) (*http.Server, error) {
 
 // NewRNG returns a seeded deterministic generator.
 func NewRNG(seed uint64) *RNG { return sim.NewRNG(seed) }
+
+// The flight recorder (causal access spans, latency attribution, and the
+// checkpoint-driven divergence bisector).
+type (
+	// FlightRecorder is the deterministic per-access span recorder: a
+	// bounded ring of stage events the instrumented subsystems emit. A
+	// nil *FlightRecorder is valid and disables recording at zero cost.
+	FlightRecorder = flight.Recorder
+	// FlightEvent is one stage of one access's journey.
+	FlightEvent = flight.Event
+	// FlightStage identifies the pipeline stage an event marks.
+	FlightStage = flight.Stage
+	// FlightSpan is one access's events, in stream order.
+	FlightSpan = flight.Span
+	// FlightBreakdown is one span's queue/service/network decomposition.
+	FlightBreakdown = flight.Breakdown
+	// FlightTermSummary summarizes one latency term across spans.
+	FlightTermSummary = flight.TermSummary
+	// FlightAttribution is the per-design latency decomposition summary.
+	FlightAttribution = flight.Attribution
+	// FlightBisectResult reports a localized digest divergence.
+	FlightBisectResult = flight.BisectResult
+	// FlightProbe is one step of a bisection.
+	FlightProbe = flight.Probe
+)
+
+// The flight stages, re-exported for harnesses that build or filter
+// events outside the instrumented packages.
+const (
+	StageIssue       = flight.StageIssue
+	StageNetInject   = flight.StageNetInject
+	StageHop         = flight.StageHop
+	StageBankEnqueue = flight.StageBankEnqueue
+	StageBankService = flight.StageBankService
+	StageReply       = flight.StageReply
+	StageRetire      = flight.StageRetire
+	StageCacheHit    = flight.StageCacheHit
+	StageCacheMiss   = flight.StageCacheMiss
+	StageATTDefer    = flight.StageATTDefer
+	StageATTRetry    = flight.StageATTRetry
+)
+
+// DefaultFlightLimit is the default recorder ring capacity in events.
+const DefaultFlightLimit = flight.DefaultLimit
+
+// ErrNoDivergence reports that a bisection's engines digested equal at
+// the upper bound — there is nothing to localize.
+var ErrNoDivergence = flight.ErrNoDivergence
+
+// NewFlightRecorder returns a recorder keeping the newest limit events
+// (limit <= 0 selects DefaultFlightLimit).
+func NewFlightRecorder(limit int) *FlightRecorder { return flight.NewRecorder(limit) }
+
+// FlightComposeID builds a span ID from an acting component index and
+// the access's issue slot — the convention every instrumented subsystem
+// follows, so a span's events share one ID across stages.
+func FlightComposeID(actor int, issued Slot) uint64 { return flight.ComposeID(actor, issued) }
+
+// DecomposeFlight assembles spans from an event stream and decomposes
+// the complete ones into queue/service/network terms.
+func DecomposeFlight(events []FlightEvent) []FlightBreakdown { return flight.DecomposeAll(events) }
+
+// AttributeFlight summarizes the latency decomposition of every
+// complete span (the `cfmsim efficiency` queueing-delay table).
+func AttributeFlight(events []FlightEvent) FlightAttribution { return flight.Attribute(events) }
+
+// RecordFlightHistograms feeds the decomposition into registry
+// histograms named <prefix>_span_{queue,service,network,total}_cycles.
+// Call after the run, from the harness, never from a tick path.
+func RecordFlightHistograms(reg *Registry, prefix string, events []FlightEvent) {
+	flight.Record(reg, prefix, events)
+}
+
+// WriteFlightJSONL writes span events as JSON lines, one per event.
+func WriteFlightJSONL(w io.Writer, events []FlightEvent) error { return flight.WriteJSONL(w, events) }
+
+// WriteFlightChromeTrace writes span events as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteFlightChromeTrace(w io.Writer, events []FlightEvent) error {
+	return flight.WriteChromeTrace(w, events)
+}
+
+// FlightWaterfall renders one span's stage-by-stage timeline as an
+// ASCII waterfall with its latency decomposition.
+func FlightWaterfall(events []FlightEvent, id uint64) string { return flight.Waterfall(events, id) }
+
+// FlightWindow extracts the events within ±radius slots of center.
+func FlightWindow(events []FlightEvent, center, radius Slot) []FlightEvent {
+	return flight.Window(events, center, radius)
+}
+
+// CheckpointBytes snapshots an engine into memory (a convenience over
+// Engine.Checkpoint for bisection harnesses).
+func CheckpointBytes(eng Engine) ([]byte, error) { return flight.Checkpoint(eng) }
+
+// BisectEngines binary-searches the first slot in (a.Now(), hi] at
+// which digest(a) and digest(b) differ, rewinding via the deterministic
+// checkpoint/restore machinery — O(log slots) restores instead of
+// O(slots) re-runs. See flight.Bisect for the contract.
+func BisectEngines(a, b Engine, digest func(Engine) string, hi Slot) (FlightBisectResult, error) {
+	return flight.Bisect(a, b, digest, hi)
+}
 
 // Memory substrate.
 type (

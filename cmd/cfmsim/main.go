@@ -19,15 +19,21 @@
 //	locktransfer  Fig 5.4: lock transfer walkthrough
 //	latency       Tables 5.5/5.6: hierarchical read latencies vs DASH/KSR1
 //	observe       instrumented run with bank-conflict / network heatmaps
+//	waterfall     flight-recorder span timelines for one instrumented run
+//	bisect        localize the first divergent slot between two engines
 //
 // The simulation-heavy commands accept the observability flags
-// -metrics-out, -trace-out, -http, and -sample (see usage).
+// -metrics-out, -trace-out, -http, -sample, and -spans-out (see usage).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"sort"
+	"strconv"
 
 	"cfm"
 	"cfm/internal/analytic"
@@ -75,6 +81,10 @@ func main() {
 		cmdOrdering(args)
 	case "observe":
 		cmdObserve(args)
+	case "waterfall":
+		cmdWaterfall(args)
+	case "bisect":
+		cmdBisect(args)
 	default:
 		fmt.Fprintf(os.Stderr, "cfmsim: unknown command %q\n\n", cmd)
 		usage()
@@ -103,6 +113,10 @@ commands:
   ordering      §2.2 memory ordering disciplines vs the formal models
   observe       instrumented simulation: bank-conflict heatmap and
                 network-occupancy view from the sampled time series
+  waterfall     flight recorder: per-access span timelines with the
+                queue/service/network latency decomposition
+  bisect        binary-search the first slot at which two engine
+                configurations diverge, via checkpoint/restore
 
 simulation-heavy commands (efficiency, treesat, alloc, observe) accept
   -parallel         run on the parallel cycle engine (same results,
@@ -117,9 +131,13 @@ observability flags (efficiency, treesat, alloc, observe):
   -metrics-out F    write metrics to F: *.jsonl gets the slot-sampled
                     time series, anything else the Prometheus exposition
   -trace-out F      write the event trace as JSONL (observe, att)
-  -http ADDR        serve /metrics, /debug/vars and /debug/pprof on
-                    ADDR (e.g. :8080) during the run
-  -sample N         slots between time-series samples (default 1000)`)
+  -http ADDR        serve /metrics, /healthz, /statusz, /debug/vars and
+                    /debug/pprof on ADDR (e.g. :8080) during the run
+  -sample N         slots between time-series samples (default 1000)
+  -spans-out F      write the flight recorder's access spans to F:
+                    *.json gets Chrome trace-event JSON (open in
+                    Perfetto / chrome://tracing), anything else JSONL
+  -spans-limit N    flight recorder ring capacity in events`)
 }
 
 func cmdATSpace(args []string) {
@@ -312,24 +330,73 @@ func cmdEfficiency(args []string) {
 // simEfficiency runs the matching simulators at a few anchor rates.
 // newEngine builds a fresh cycle engine per point (serial or parallel,
 // per the -parallel/-workers flags; the results are identical either
-// way by the engine equivalence guarantee).
+// way by the engine equivalence guarantee). Every run carries a flight
+// recorder, so after the efficiency cross-check it prints the paper's
+// central claim in queueing terms: the decomposition of each design's
+// access latency into queue + service + network (§3.4 — the
+// conflict-free queue term stays flat while the conventional one grows
+// with the access rate).
 func simEfficiency(fig string, slots int64, newEngine func() cfm.Engine, obs *obsflags.Observatory) {
 	rates := []float64{0.01, 0.03, 0.05}
 	tb := &stats.Table{Header: []string{"r", "simulated", "analytic", "system"}}
+	type decompRow struct {
+		system string
+		r      float64
+		att    cfm.FlightAttribution
+	}
+	var decomp []decompRow
+	// attribute decomposes one run's span stream and, when -spans-out is
+	// open, forwards the events to the export ring.
+	attribute := func(system string, r float64, rec *cfm.FlightRecorder) {
+		events := rec.Events()
+		if obs.Flight != nil {
+			for _, ev := range events {
+				obs.Flight.Append(ev)
+			}
+		}
+		decomp = append(decomp, decompRow{system, r, cfm.AttributeFlight(events)})
+	}
+	runConventional := func(r float64) *cfm.Conventional {
+		cs := cfm.NewConventional(cfm.ConventionalConfig{
+			Processors: 8, Modules: 8, BlockTime: 17,
+			AccessRate: r, RetryMean: 8, Seed: 11,
+		})
+		cs.Instrument(obs.Reg)
+		rec := cfm.NewFlightRecorder(obs.SpansLimit)
+		cs.RecordFlight(rec)
+		clk := newEngine()
+		clk.Register(cs)
+		obs.Attach(clk)
+		clk.Run(slots)
+		attribute("conventional 8p/8m", r, rec)
+		return cs
+	}
+	runPartial := func(n, m int, lam, r float64) *cfm.Partial {
+		p := cfm.NewPartial(core.PartialConfig{
+			Processors: n, Modules: m, BlockWords: 16, BankCycle: 2,
+			Locality: lam, AccessRate: r, RetryMean: 8, Seed: 11,
+		})
+		p.Instrument(obs.Reg)
+		rec := cfm.NewFlightRecorder(obs.SpansLimit)
+		p.RecordFlight(rec)
+		clk := newEngine()
+		clk.Register(p)
+		obs.Attach(clk)
+		clk.Run(slots)
+		attribute(fmt.Sprintf("partial CFM %dp λ=%.1f", n, lam), r, rec)
+		return p
+	}
 	switch fig {
 	case "3.13":
 		model := analytic.ConventionalModel{Processors: 8, Modules: 8, BlockTime: 17}
 		for _, r := range rates {
-			cs := cfm.NewConventional(cfm.ConventionalConfig{
-				Processors: 8, Modules: 8, BlockTime: 17,
-				AccessRate: r, RetryMean: 8, Seed: 11,
-			})
-			cs.Instrument(obs.Reg)
-			clk := newEngine()
-			clk.Register(cs)
-			obs.Attach(clk)
-			clk.Run(slots)
+			cs := runConventional(r)
 			tb.AddRow(stats.FormatFloat(r), cs.Efficiency(), model.Efficiency(r), "conventional 8p/8m")
+		}
+		// A conflict-free reference at the same rates, so the
+		// decomposition table holds both designs.
+		for _, r := range rates {
+			runPartial(64, 8, 0.9, r)
 		}
 	case "3.14", "3.15":
 		n, m := 64, 8
@@ -339,21 +406,31 @@ func simEfficiency(fig string, slots int64, newEngine func() cfm.Engine, obs *ob
 		model := analytic.PartialModel{Processors: n, Modules: m, BlockTime: 17}
 		for _, lam := range []float64{0.9, 0.5} {
 			for _, r := range rates {
-				p := cfm.NewPartial(core.PartialConfig{
-					Processors: n, Modules: m, BlockWords: 16, BankCycle: 2,
-					Locality: lam, AccessRate: r, RetryMean: 8, Seed: 11,
-				})
-				p.Instrument(obs.Reg)
-				clk := newEngine()
-				clk.Register(p)
-				obs.Attach(clk)
-				clk.Run(slots)
+				p := runPartial(n, m, lam, r)
 				tb.AddRow(stats.FormatFloat(r), p.Efficiency(), model.Efficiency(r, lam),
 					fmt.Sprintf("partial CFM λ=%.1f", lam))
 			}
 		}
+		// The conventional baseline at the same rates, for the
+		// decomposition comparison.
+		for _, r := range rates {
+			runConventional(r)
+		}
 	}
 	fmt.Print(tb)
+
+	fmt.Println("\nqueueing-delay decomposition (flight recorder, complete spans):")
+	dt := &stats.Table{Header: []string{"system", "r", "spans",
+		"queue p50/p95/p99", "queue mean", "service p50", "network p50", "total p95"}}
+	for _, d := range decomp {
+		dt.AddRow(d.system, stats.FormatFloat(d.r), d.att.Spans,
+			fmt.Sprintf("%d/%d/%d", d.att.Queue.P50, d.att.Queue.P95, d.att.Queue.P99),
+			fmt.Sprintf("%.2f", d.att.Queue.Mean),
+			d.att.Service.P50, d.att.Network.P50, d.att.Total.P95)
+	}
+	fmt.Print(dt)
+	fmt.Println("the conflict-free design's queue term stays flat as r grows;")
+	fmt.Println("the conventional design's queue term is the §3.4 degradation.")
 }
 
 // openObservatory opens the -metrics-out/-trace-out/-http observatory,
@@ -393,6 +470,7 @@ func cmdTreeSat(args []string) {
 			Rate: *rate, HotFraction: hot, Seed: 7,
 		})
 		b.Instrument(obs.Reg)
+		b.RecordFlight(obs.Flight)
 		clk := cfm.NewEngine(*parallel, *workers)
 		clk.SetSkipAhead(*skipAhead)
 		clk.Register(b)
@@ -618,6 +696,7 @@ func cmdAlloc(args []string) {
 		c.Homes = pl
 		p := cfm.NewPartial(c)
 		p.Instrument(obs.Reg)
+		p.RecordFlight(obs.Flight)
 		clk := cfm.NewEngine(*parallel, *workers)
 		clk.SetSkipAhead(*skipAhead)
 		clk.Register(p)
@@ -703,6 +782,10 @@ func cmdObserve(args []string) {
 	net.Instrument(obs.Reg)
 	proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: *n, Lines: 8, RetryDelay: 1}, obs.Trace)
 	proto.Instrument(obs.Reg)
+	// One recorder serves one subsystem: span IDs compose (actor, slot),
+	// so recording several components into one ring would collide IDs.
+	// The cache protocol is the interesting one here.
+	proto.RecordFlight(obs.Flight)
 
 	clk := cfm.NewEngine(*parallel, *workers)
 	clk.SetSkipAhead(*skipAhead)
@@ -793,4 +876,204 @@ func cmdOrdering(args []string) {
 		tb.AddRow(row...)
 	}
 	fmt.Print(tb)
+}
+
+// cmdWaterfall runs one instrumented system with a flight recorder and
+// renders the longest complete access spans as stage-by-stage ASCII
+// waterfalls with their queue/service/network latency decomposition.
+func cmdWaterfall(args []string) {
+	fs := flag.NewFlagSet("waterfall", flag.ExitOnError)
+	sys := fs.String("sys", "conventional", "system to trace: conventional | partial | cache")
+	rate := fs.Float64("rate", 0.05, "per-processor access rate")
+	slots := fs.Int64("slots", 20000, "simulation slots")
+	top := fs.Int("top", 3, "render the K longest complete spans")
+	id := fs.String("id", "", "render one specific span (up to 16 hex digits) instead of the longest")
+	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
+	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
+	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
+	obs := obsflags.Flags(fs)
+	fs.Parse(args)
+	openObservatory(obs, false)
+
+	// The command needs a recorder whether or not -spans-out asked for
+	// an export file.
+	rec := obs.Flight
+	if rec == nil {
+		rec = cfm.NewFlightRecorder(obs.SpansLimit)
+	}
+	clk := cfm.NewEngine(*parallel, *workers)
+	clk.SetSkipAhead(*skipAhead)
+	var label string
+	switch *sys {
+	case "conventional":
+		cs := cfm.NewConventional(cfm.ConventionalConfig{
+			Processors: 16, Modules: 8, BlockTime: 17,
+			AccessRate: *rate, RetryMean: 8, Seed: 11,
+		})
+		cs.Instrument(obs.Reg)
+		cs.RecordFlight(rec)
+		clk.Register(cs)
+		label = "conventional 16p/8m"
+	case "partial":
+		p := cfm.NewPartial(core.PartialConfig{
+			Processors: 64, Modules: 8, BlockWords: 16, BankCycle: 2,
+			Locality: 0.9, AccessRate: *rate, RetryMean: 8, Seed: 11,
+		})
+		p.Instrument(obs.Reg)
+		p.RecordFlight(rec)
+		clk.Register(p)
+		label = "partial CFM 64p/8m λ=0.9"
+	case "cache":
+		proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: 8, Lines: 8, RetryDelay: 1}, obs.Trace)
+		proto.Instrument(obs.Reg)
+		proto.RecordFlight(rec)
+		clk.Register(proto)
+		for i := 0; i < 64; i++ {
+			if p, off := i%8, i%16; i%3 == 0 {
+				proto.Store(p, off, 0, cfm.Word(i), nil)
+			} else {
+				proto.Load(p, off, nil)
+			}
+		}
+		label = "CFM cache protocol 8p"
+	default:
+		fmt.Fprintf(os.Stderr, "cfmsim: unknown system %q\n", *sys)
+		os.Exit(2)
+	}
+	obs.Attach(clk)
+	clk.Run(*slots)
+
+	events := rec.Events()
+	fmt.Printf("flight waterfall — %s, %d slots, %d span events (%d dropped by the ring)\n\n",
+		label, *slots, len(events), rec.Dropped())
+	if *id != "" {
+		v, err := strconv.ParseUint(*id, 16, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cfmsim: bad span id %q: %v\n", *id, err)
+			os.Exit(2)
+		}
+		fmt.Print(cfm.FlightWaterfall(events, v))
+	} else {
+		bds := cfm.DecomposeFlight(events)
+		// Longest first; ties broken by issue slot then ID so the
+		// rendering is deterministic for a deterministic stream.
+		sort.SliceStable(bds, func(i, j int) bool {
+			if bds[i].Total != bds[j].Total {
+				return bds[i].Total > bds[j].Total
+			}
+			if bds[i].Issue != bds[j].Issue {
+				return bds[i].Issue < bds[j].Issue
+			}
+			return bds[i].ID < bds[j].ID
+		})
+		if len(bds) == 0 {
+			fmt.Println("no complete spans recorded (raise -slots or -rate)")
+		}
+		for i := 0; i < *top && i < len(bds); i++ {
+			fmt.Print(cfm.FlightWaterfall(events, bds[i].ID))
+			fmt.Println()
+		}
+		att := cfm.AttributeFlight(events)
+		fmt.Printf("%d complete spans — queue p50/p95/p99 %d/%d/%d, service p50 %d, network p50 %d, total p95 %d\n",
+			att.Spans, att.Queue.P50, att.Queue.P95, att.Queue.P99,
+			att.Service.P50, att.Network.P50, att.Total.P95)
+	}
+	closeObservatory(obs)
+}
+
+// cmdBisect runs the same conventional-memory scenario on two engines —
+// A serial and dense, B per the -b-* flags — and binary-searches the
+// first slot at which their flight-recorder digests diverge, using
+// checkpoint/restore to rewind in O(log slots) restores. By the engine
+// equivalence guarantee the digests never diverge on their own;
+// -inject plants a synthetic divergence so the machinery has something
+// to localize.
+func cmdBisect(args []string) {
+	fs := flag.NewFlagSet("bisect", flag.ExitOnError)
+	slots := fs.Int64("slots", 4096, "bisection upper bound (slots)")
+	rate := fs.Float64("rate", 0.05, "per-processor access rate")
+	bParallel := fs.Bool("b-parallel", false, "run engine B on the parallel cycle engine")
+	bWorkers := fs.Int("b-workers", 0, "engine B worker count (0 = auto; <0 = GOMAXPROCS)")
+	bSkip := fs.Bool("b-skip-ahead", true, "run engine B with event-horizon skip-ahead")
+	inject := fs.Int64("inject", -1, "inject a synthetic divergence into engine B at this slot (-1: none)")
+	window := fs.Int64("window", 4, "flight window radius (slots) dumped around the divergence")
+	fs.Parse(args)
+
+	build := func(eng cfm.Engine) *cfm.FlightRecorder {
+		cs := cfm.NewConventional(cfm.ConventionalConfig{
+			Processors: 8, Modules: 8, BlockTime: 17,
+			AccessRate: *rate, RetryMean: 8, Seed: 11,
+		})
+		rec := cfm.NewFlightRecorder(cfm.DefaultFlightLimit)
+		cs.RecordFlight(rec)
+		eng.Register(cs)
+		// The recorder rides the checkpoint, so a restore rewinds the
+		// span stream along with the simulation.
+		eng.AttachState("flight", rec)
+		return rec
+	}
+	a := cfm.NewEngine(false, 0)
+	recA := build(a)
+	b := cfm.NewEngine(*bParallel, *bWorkers)
+	b.SetSkipAhead(*bSkip)
+	recB := build(b)
+	if *inject >= 0 {
+		at := cfm.Slot(*inject)
+		b.Register(&cfm.FuncTicker{
+			OnTick: func(t cfm.Slot, ph cfm.Phase) {
+				if ph == cfm.PhaseIssue && t == at {
+					recB.Append(cfm.FlightEvent{
+						ID: cfm.FlightComposeID(999, t), Slot: t,
+						Stage: cfm.StageIssue, Actor: 999,
+					})
+				}
+			},
+			NextEvent: func(now cfm.Slot) cfm.Slot {
+				if now <= at {
+					return at
+				}
+				return cfm.HorizonNone
+			},
+		})
+	}
+
+	recOf := map[cfm.Engine]*cfm.FlightRecorder{a: recA, b: recB}
+	digest := func(e cfm.Engine) string {
+		return fmt.Sprintf("%016x", recOf[e].Digest())
+	}
+	fmt.Printf("bisect — conventional 8p/8m, A serial/dense vs B (parallel=%v skip-ahead=%v), %d slots\n\n",
+		*bParallel, *bSkip, *slots)
+	res, err := cfm.BisectEngines(a, b, digest, cfm.Slot(*slots))
+	if errors.Is(err, cfm.ErrNoDivergence) {
+		fmt.Printf("no divergence: span digests agree through slot %d (%s)\n", *slots, digest(a))
+		fmt.Println("(the engine equivalence guarantee at work — use -inject to plant one)")
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cfmsim:", err)
+		os.Exit(1)
+	}
+	for _, p := range res.Probes {
+		verdict := "equal"
+		if !p.Equal {
+			verdict = "DIVERGED"
+		}
+		fmt.Printf("  probe slot %6d  %s\n", p.Slot, verdict)
+	}
+	fmt.Printf("\nfirst divergent slot: %d\n", res.First)
+	fmt.Printf("  digest A %s\n  digest B %s\n", res.DigestA, res.DigestB)
+	fmt.Printf("%d probes, %d restores (2 per probe; log2(%d) ≈ %.1f)\n",
+		len(res.Probes), res.Restores, *slots, math.Log2(float64(*slots)))
+	dump := func(name string, rec *cfm.FlightRecorder) {
+		fmt.Printf("\nflight window ±%d slots around the divergence, engine %s:\n", *window, name)
+		win := cfm.FlightWindow(rec.Events(), res.First, cfm.Slot(*window))
+		if len(win) == 0 {
+			fmt.Println("  (no span events in the window)")
+		}
+		for _, ev := range win {
+			fmt.Println(" ", ev)
+		}
+	}
+	dump("A", recA)
+	dump("B", recB)
 }

@@ -166,6 +166,7 @@ func fig21() {
 			HotFraction: hot, Seed: 7,
 		})
 		b.Instrument(obs.Reg)
+		b.RecordFlight(obs.Flight)
 		clk := newEngine()
 		clk.Register(b)
 		obs.Attach(clk)
@@ -197,6 +198,7 @@ func fig313() {
 	cs := cfm.NewConventional(cfm.ConventionalConfig{
 		Processors: 8, Modules: 8, BlockTime: 17, AccessRate: 0.05, RetryMean: 8, Seed: 3})
 	cs.Instrument(obs.Reg)
+	cs.RecordFlight(obs.Flight)
 	clk := newEngine()
 	clk.Register(cs)
 	obs.Attach(clk)
@@ -244,6 +246,7 @@ func fig314and315() {
 			Processors: f.n, Modules: f.m, BlockWords: 16, BankCycle: 2,
 			Locality: 1.0, AccessRate: 0.05, RetryMean: 8, Seed: 4})
 		p.Instrument(obs.Reg)
+		p.RecordFlight(obs.Flight)
 		clk := newEngine()
 		clk.Register(p)
 		obs.Attach(clk)

@@ -61,10 +61,13 @@ func TestEquivConventionalFig313(t *testing.T) {
 			AccessRate: 0.2, RetryMean: 4, Seed: 313})
 		reg := cfm.NewRegistry()
 		conv.Instrument(reg)
+		rec := cfm.NewFlightRecorder(0)
+		conv.RecordFlight(rec)
 		eng.Register(conv)
 		eng.Run(3000)
 		return fmt.Sprint(eng.Now(), conv.Completed, conv.Retries, conv.TotalLatency,
-			" reg:", reg.Snapshot().Digest())
+			" reg:", reg.Snapshot().Digest(),
+			fmt.Sprintf(" flight:%016x", rec.Digest()))
 	})
 }
 
@@ -77,10 +80,13 @@ func TestEquivPartialFig314(t *testing.T) {
 			Locality: 0.9, AccessRate: 0.1, RetryMean: 4, Seed: 314})
 		reg := cfm.NewRegistry()
 		p.Instrument(reg)
+		rec := cfm.NewFlightRecorder(0)
+		p.RecordFlight(rec)
 		eng.Register(p)
 		eng.Run(2000)
 		return fmt.Sprint(p.Completed, p.Retries, p.TotalLatency, p.LocalAcc, p.RemoteAcc,
-			" reg:", reg.Snapshot().Digest())
+			" reg:", reg.Snapshot().Digest(),
+			fmt.Sprintf(" flight:%016x", rec.Digest()))
 	})
 }
 
@@ -92,10 +98,13 @@ func TestEquivPartialFig315(t *testing.T) {
 			Locality: 0.75, AccessRate: 0.15, RetryMean: 8, Seed: 315})
 		reg := cfm.NewRegistry()
 		p.Instrument(reg)
+		rec := cfm.NewFlightRecorder(0)
+		p.RecordFlight(rec)
 		eng.Register(p)
 		eng.Run(1500)
 		return fmt.Sprint(p.Completed, p.Retries, p.TotalLatency, p.LocalAcc, p.RemoteAcc,
-			" reg:", reg.Snapshot().Digest())
+			" reg:", reg.Snapshot().Digest(),
+			fmt.Sprintf(" flight:%016x", rec.Digest()))
 	})
 }
 
@@ -161,6 +170,8 @@ func TestEquivCacheCoherenceTraffic(t *testing.T) {
 		proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: procs, Lines: 8, RetryDelay: 2}, tr)
 		reg := cfm.NewRegistry()
 		proto.Instrument(reg)
+		rec := cfm.NewFlightRecorder(0)
+		proto.RecordFlight(rec)
 		fes := make([]*cfm.Frontend, procs)
 		for p := range fes {
 			fes[p] = cfm.NewFrontend(proto, eng, p, cfm.BufferedOrder)
@@ -191,7 +202,8 @@ func TestEquivCacheCoherenceTraffic(t *testing.T) {
 		for _, fe := range fes {
 			ops += len(cfm.FrontendExecution(fe).Ops)
 		}
-		return fmt.Sprint(eng.Now(), " ", tr.Digest(), " ", ops, " ", fp, " reg:", reg.Snapshot().Digest())
+		return fmt.Sprint(eng.Now(), " ", tr.Digest(), " ", ops, " ", fp, " reg:", reg.Snapshot().Digest(),
+			fmt.Sprintf(" flight:%016x", rec.Digest()))
 	})
 }
 
@@ -204,11 +216,14 @@ func TestEquivBufferedOmega(t *testing.T) {
 			Rate: 0.3, HotFraction: 0.125, HotModule: 3, Seed: 21})
 		reg := cfm.NewRegistry()
 		net.Instrument(reg)
+		rec := cfm.NewFlightRecorder(0)
+		net.RecordFlight(rec)
 		eng.Register(net)
 		eng.Run(3000)
 		return fmt.Sprint(net.Injected, net.DeliveredBg, net.DeliveredHot,
 			net.LatencyBgTotal, net.LatencyHotTotal,
-			" reg:", reg.Snapshot().Digest())
+			" reg:", reg.Snapshot().Digest(),
+			fmt.Sprintf(" flight:%016x", rec.Digest()))
 	})
 }
 

@@ -35,6 +35,7 @@ package att
 import (
 	"fmt"
 
+	"cfm/internal/flight"
 	"cfm/internal/memory"
 	"cfm/internal/metrics"
 	"cfm/internal/sim"
@@ -161,6 +162,11 @@ type Tracked struct {
 	// engines).
 	mWrites, mAborts, mReads, mSwaps, mRestarts int64
 	cWrites, cAborts, cReads, cSwaps, cRestarts *metrics.Counter
+
+	// Flight recorder (nil when unobserved). Tracked is a serial ticker,
+	// so it emits directly; an operation's span ID is ComposeID of its
+	// processor and its original issue slot, both persisted in op.
+	flt *flight.Recorder
 }
 
 // NewTracked builds a tracked memory with m banks. trace may be nil.
@@ -201,6 +207,12 @@ func (tr *Tracked) Instrument(r *metrics.Registry) {
 		bk.Observe(acc, conf)
 	}
 }
+
+// RecordFlight attaches a flight recorder: each tracked operation spans
+// from its issue to its finish, with an ATT-retry event per restart and
+// an ATT-defer event when a plain write defers to a swap. Call before
+// running; nil detaches.
+func (tr *Tracked) RecordFlight(r *flight.Recorder) { tr.flt = r }
 
 // flushMetrics pushes the statistics accumulated since the last flush
 // into the registry, once per slot from Tick's PhaseUpdate.
@@ -278,6 +290,9 @@ func (tr *Tracked) begin(p int, o *op) {
 		panic(fmt.Sprintf("att: processor %d already has a %v in flight", p, tr.ops[p].kind))
 	}
 	tr.ops[p] = o
+	if tr.flt.Enabled() {
+		tr.flt.Emit(flight.ComposeID(p, o.issued), o.issued, flight.StageIssue, int32(p), int64(o.offset))
+	}
 	tr.trace.Add(o.started, fmt.Sprintf("P%d", p), "issue %v offset %d", o.kind, o.offset)
 }
 
@@ -394,6 +409,9 @@ func (tr *Tracked) visitRead(t sim.Slot, o *op, b int) {
 		for i := range o.buf {
 			o.buf[i] = 0
 		}
+		if tr.flt.Enabled() {
+			tr.flt.Emit(flight.ComposeID(o.proc, o.issued), t, flight.StageATTRetry, int32(b), int64(o.restarts))
+		}
 		tr.trace.Add(t, fmt.Sprintf("P%d", o.proc), "%v restart at bank %d", o.kind, b)
 		// Fall through: the current bank becomes the first bank of the
 		// restarted cycle and is read this very slot.
@@ -503,6 +521,9 @@ func (tr *Tracked) resolveWriteConflict(t sim.Slot, o *op, b int, hit entry) {
 		o.n = 0
 		o.passed0 = false
 		o.started = t + 1
+		if tr.flt.Enabled() {
+			tr.flt.Emit(flight.ComposeID(o.proc, o.issued), t, flight.StageATTDefer, int32(b), int64(o.restarts))
+		}
 		tr.trace.Add(t, fmt.Sprintf("P%d", o.proc), "write restart at bank %d", b)
 	default:
 		// Write-write: the lower-priority write aborts (§4.1.2, Fig. 4.6f).
@@ -524,6 +545,9 @@ func (tr *Tracked) restartSwap(t sim.Slot, o *op, b int) {
 	for i := range o.buf {
 		o.buf[i] = 0
 	}
+	if tr.flt.Enabled() {
+		tr.flt.Emit(flight.ComposeID(o.proc, o.issued), t, flight.StageATTRetry, int32(b), int64(o.restarts))
+	}
 	tr.trace.Add(t, fmt.Sprintf("P%d", o.proc), "swap restart at bank %d", b)
 }
 
@@ -533,6 +557,9 @@ func (tr *Tracked) finish(t sim.Slot, o *op, r Result) {
 		tr.CompletedReads++
 	}
 	tr.ops[o.proc] = nil
+	if tr.flt.Enabled() {
+		tr.flt.Emit(flight.ComposeID(o.proc, o.issued), t, flight.StageRetire, int32(o.proc), int64(t-o.issued))
+	}
 	tr.trace.Add(t, fmt.Sprintf("P%d", o.proc), "%v %s", o.kind,
 		map[Outcome]string{Completed: "complete", Aborted: "aborted"}[r.Outcome])
 	if o.done != nil {

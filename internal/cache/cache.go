@@ -29,6 +29,7 @@ package cache
 import (
 	"fmt"
 
+	"cfm/internal/flight"
 	"cfm/internal/memory"
 	"cfm/internal/metrics"
 	"cfm/internal/sim"
@@ -207,6 +208,12 @@ type Protocol struct {
 	mRetries, mTriggeredWBs, mPrefetches        *metrics.Counter
 	lastHits, lastMisses, lastInvs, lastWBs     int64
 	lastRetries, lastTrigWBs, lastPrefetches    int64
+
+	// Flight recorder (nil when unobserved). The protocol is a serial
+	// ticker, so it emits directly; a primitive's span ID is ComposeID of
+	// its processor and its first-issue slot, both of which the primitive
+	// record already persists.
+	flt *flight.Recorder
 }
 
 // New builds a protocol engine; it panics on invalid configuration.
@@ -247,6 +254,12 @@ func (c *Protocol) Instrument(r *metrics.Registry) {
 	c.mTriggeredWBs = r.Counter("cache_triggered_writebacks_total")
 	c.mPrefetches = r.Counter("cache_prefetches_total")
 }
+
+// RecordFlight attaches a flight recorder: each primitive operation spans
+// from its cache-miss launch to its retire, with a bank-enqueue event per
+// aborted pass; hits are single self-contained events. Call before
+// running; nil detaches.
+func (c *Protocol) RecordFlight(r *flight.Recorder) { c.flt = r }
 
 // flushMetrics pushes the statistics accumulated since the last flush
 // into the registry. Called once per slot from Tick's PhaseUpdate.

@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"cfm/internal/flight"
 	"cfm/internal/memory"
 	"cfm/internal/sim"
 )
@@ -129,6 +130,9 @@ func (c *Protocol) launch(t sim.Slot, p int) {
 	if !req.isStore && st != Invalid {
 		c.Hits++
 		c.reqs[p].Pop()
+		if c.flt.Enabled() {
+			c.flt.Emit(flight.ComposeID(p, t), t, flight.StageCacheHit, int32(p), int64(req.offset))
+		}
 		if c.trace.Enabled() {
 			c.trace.Add(t, fmt.Sprintf("P%d", p), "read hit offset %d (%v)", req.offset, st)
 		}
@@ -144,6 +148,9 @@ func (c *Protocol) launch(t sim.Slot, p int) {
 	if req.isStore && st == Dirty {
 		c.Hits++
 		c.reqs[p].Pop()
+		if c.flt.Enabled() {
+			c.flt.Emit(flight.ComposeID(p, t), t, flight.StageCacheHit, int32(p), int64(req.offset))
+		}
 		c.applyStore(t, p, req)
 		return
 	}
@@ -156,6 +163,10 @@ func (c *Protocol) launch(t sim.Slot, p int) {
 	}
 	c.Misses++
 	c.reqs[p].Pop()
+	if c.flt.Enabled() {
+		// The primitive below issues at t, so its span shares this ID.
+		c.flt.Emit(flight.ComposeID(p, t), t, flight.StageCacheMiss, int32(p), int64(req.offset))
+	}
 	if req.isStore {
 		// Write hit on valid or write miss: read-invalidate (Table 5.1).
 		c.startPrimitive(t, p, opReadInv, req.offset, true, req)
@@ -342,6 +353,9 @@ func (c *Protocol) retry(t sim.Slot, p int, op *primitive, why string) {
 	op.k = 0
 	op.wait = t + sim.Slot(c.cfg.RetryDelay)
 	op.start = op.wait
+	if c.flt.Enabled() {
+		c.flt.Emit(flight.ComposeID(p, op.issued), t, flight.StageBankEnqueue, int32(p), int64(c.cfg.RetryDelay))
+	}
 	if c.trace.Enabled() {
 		c.trace.Add(t, fmt.Sprintf("P%d", p), "%v retry: %s", op.kind, why)
 	}
@@ -399,6 +413,9 @@ func (c *Protocol) complete(t sim.Slot, p int, op *primitive) {
 		c.WriteBacks++
 	}
 	c.ops[p] = nil
+	if c.flt.Enabled() {
+		c.flt.Emit(flight.ComposeID(p, op.issued), t, flight.StageRetire, int32(p), int64(t-op.issued))
+	}
 	if c.trace.Enabled() {
 		c.trace.Add(t, fmt.Sprintf("P%d", p), "%v block %d complete", op.kind, op.offset)
 	}

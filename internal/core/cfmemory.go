@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cfm/internal/flight"
 	"cfm/internal/memory"
 	"cfm/internal/metrics"
 	"cfm/internal/sim"
@@ -79,11 +80,18 @@ type CFMemory struct {
 	// Registry handle (nil when unobserved); added to in FinishShards,
 	// so totals are deterministic at any worker count.
 	mCompleted *metrics.Counter
+
+	// Flight recorder (nil when unobserved). Issue events are emitted
+	// directly (begin is a serial-context operation); bank-service and
+	// retire events happen in shard context, so they are staged per
+	// processor and folded in FinishShards like the trace events.
+	flt *flight.Recorder
 }
 
 // procStage buffers one processor shard's per-phase side effects.
 type procStage struct {
 	events    []sim.Event
+	flights   []flight.Event
 	completed int64
 	done      []*access
 }
@@ -125,6 +133,13 @@ func (m *CFMemory) Instrument(r *metrics.Registry) {
 		bk.Observe(acc, conf)
 	}
 }
+
+// RecordFlight attaches a flight recorder: each block access spans from
+// its issue to its retire, with one bank-service event at its first
+// bank visit (the access then proceeds conflict-free through all b
+// banks — that fixed sweep IS the service). Call before running; nil
+// detaches.
+func (m *CFMemory) RecordFlight(r *flight.Recorder) { m.flt = r }
 
 // Config returns the configuration.
 func (m *CFMemory) Config() Config { return m.cfg }
@@ -229,6 +244,9 @@ func (m *CFMemory) begin(t sim.Slot, p int, a *access) {
 	if m.trace.Enabled() {
 		m.trace.Add(t, fmt.Sprintf("P%d", p), "issue %s offset %d", a.kind, a.offset)
 	}
+	if m.flt.Enabled() {
+		m.flt.Emit(flight.ComposeID(p, t), t, flight.StageIssue, int32(p), int64(a.offset))
+	}
 }
 
 // BindIdler implements sim.Parker.
@@ -289,6 +307,12 @@ func (m *CFMemory) TickShard(t sim.Slot, ph sim.Phase, p int) {
 				continue // waiting out the final pipeline stages (c > 1)
 			}
 			bank := m.at.VisitBank(a.start, p, k)
+			if k == 0 && m.flt.Enabled() {
+				m.stage[p].flights = append(m.stage[p].flights, flight.Event{
+					ID: flight.ComposeID(p, a.start), Slot: t,
+					Stage: flight.StageBankService, Actor: int32(bank),
+					Arg: int64(m.cfg.Banks())})
+			}
 			m.visit(t, a, bank)
 		}
 	case sim.PhaseUpdate:
@@ -304,6 +328,12 @@ func (m *CFMemory) TickShard(t sim.Slot, ph sim.Phase, p int) {
 			if m.trace.Enabled() {
 				st.events = append(st.events, sim.Event{Slot: t, Who: fmt.Sprintf("P%d", p),
 					What: fmt.Sprintf("complete %s offset %d", a.kind, a.offset)})
+			}
+			if m.flt.Enabled() {
+				st.flights = append(st.flights, flight.Event{
+					ID: flight.ComposeID(p, a.start), Slot: t,
+					Stage: flight.StageRetire, Actor: int32(p),
+					Arg: int64(t - a.start)})
 			}
 			if a.done != nil {
 				st.done = append(st.done, a)
@@ -326,6 +356,10 @@ func (m *CFMemory) FinishShards(t sim.Slot, ph sim.Phase) {
 			m.trace.AddEvent(e)
 		}
 		st.events = st.events[:0]
+		for _, ev := range st.flights {
+			m.flt.Append(ev) //cfm:flight-ok fold drain; st.flights stays empty while recording is off
+		}
+		st.flights = st.flights[:0]
 		m.Completed += st.completed
 		m.mCompleted.Add(st.completed)
 		st.completed = 0

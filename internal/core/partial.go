@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"cfm/internal/flight"
 	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
@@ -145,6 +146,11 @@ type Partial struct {
 	mLocal     *metrics.Counter
 	mRemote    *metrics.Counter
 	mLatHist   *metrics.Histogram
+
+	// Flight recorder (nil when unobserved). All stages happen in shard
+	// context, so events are staged per contention set and folded in
+	// FinishShards in ascending shard order.
+	flt *flight.Recorder
 }
 
 // partialStage buffers one contention-set shard's measurement deltas.
@@ -155,6 +161,7 @@ type partialStage struct {
 	localAcc     int64
 	remoteAcc    int64
 	lats         []int64 // per-access latencies, staged only when instrumented
+	flights      []flight.Event
 }
 
 type procState int
@@ -211,6 +218,12 @@ func (p *Partial) Instrument(r *metrics.Registry) {
 	p.mRemote = r.Counter("partial_remote_accesses_total")
 	p.mLatHist = r.Histogram("partial_access_latency", int64(p.cfg.BlockTime()))
 }
+
+// RecordFlight attaches a flight recorder: each access spans from its
+// issue to its retire, with a bank-enqueue event per port conflict and
+// a bank-service event when a (module, set) port is acquired. Call
+// before running; nil detaches.
+func (p *Partial) RecordFlight(r *flight.Recorder) { p.flt = r }
 
 func (p *Partial) thinkTime(proc int) int {
 	r := p.cfg.AccessRate
@@ -321,6 +334,12 @@ func (p *Partial) TickShard(t sim.Slot, ph sim.Phase, s int) {
 				if p.mLatHist != nil {
 					st.lats = append(st.lats, int64(p.doneAt[i]-p.issuedAt[i]))
 				}
+				if p.flt.Enabled() {
+					st.flights = append(st.flights, flight.Event{
+						ID: flight.ComposeID(i, p.issuedAt[i]), Slot: t,
+						Stage: flight.StageRetire, Actor: int32(i),
+						Arg: int64(p.doneAt[i] - p.issuedAt[i])})
+				}
 				p.state[i] = procIdle
 			}
 		case procWaiting:
@@ -332,6 +351,12 @@ func (p *Partial) TickShard(t sim.Slot, ph sim.Phase, s int) {
 			p.backlog[i].Pop()
 			p.targetMod[i] = p.pickModule(i)
 			p.issuedAt[i] = t
+			if p.flt.Enabled() {
+				st.flights = append(st.flights, flight.Event{
+					ID: flight.ComposeID(i, t), Slot: t,
+					Stage: flight.StageIssue, Actor: int32(i),
+					Arg: int64(p.targetMod[i])})
+			}
 			p.attempt(t, i)
 		}
 	}
@@ -355,10 +380,14 @@ func (p *Partial) FinishShards(t sim.Slot, ph sim.Phase) {
 		for _, l := range st.lats {
 			p.mLatHist.Observe(l)
 		}
+		for _, ev := range st.flights {
+			p.flt.Append(ev) //cfm:flight-ok fold drain; st.flights stays empty while recording is off
+		}
 		// Field-wise reset keeps the lats capacity for the next slot.
 		st.completed, st.retries, st.totalLatency = 0, 0, 0
 		st.localAcc, st.remoteAcc = 0, 0
 		st.lats = st.lats[:0]
+		st.flights = st.flights[:0]
 	}
 }
 
@@ -369,11 +398,23 @@ func (p *Partial) attempt(t sim.Slot, proc int) {
 		p.stage[set].retries++
 		p.state[proc] = procWaiting
 		p.wakeAt[proc] = t + sim.Slot(p.retryDelay(proc))
+		if p.flt.Enabled() {
+			p.stage[set].flights = append(p.stage[set].flights, flight.Event{
+				ID: flight.ComposeID(proc, p.issuedAt[proc]), Slot: t,
+				Stage: flight.StageBankEnqueue, Actor: int32(p.targetMod[proc]),
+				Arg: int64(p.wakeAt[proc] - t)})
+		}
 		return
 	}
 	p.ports[port] = t + sim.Slot(p.cfg.BlockTime())
 	p.state[proc] = procInFlight
 	p.doneAt[proc] = t + sim.Slot(p.cfg.BlockTime())
+	if p.flt.Enabled() {
+		p.stage[set].flights = append(p.stage[set].flights, flight.Event{
+			ID: flight.ComposeID(proc, p.issuedAt[proc]), Slot: t,
+			Stage: flight.StageBankService, Actor: int32(p.targetMod[proc]),
+			Arg: int64(p.cfg.BlockTime())})
+	}
 }
 
 // Efficiency returns β divided by the mean observed access time.

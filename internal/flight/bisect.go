@@ -1,0 +1,158 @@
+package flight
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// The divergence bisector: given two engines that are observably equal
+// at some slot but differ at a later one, binary-search the FIRST slot
+// at which their observation digests diverge, using the deterministic
+// checkpoint/restore machinery (PR 6) to rewind instead of replaying
+// from slot 0 — O(log slots) restores instead of O(slots) re-runs.
+//
+// "Observation digest" is caller-defined (registry digest, trace
+// digest, span digest, or any concatenation): Bisect only compares the
+// strings for equality. Determinism is what makes the search sound:
+// restoring a checkpoint and re-running to slot s always reproduces
+// the same digest at s, so "equal at lo, different at hi" brackets a
+// unique first divergent slot.
+
+// ErrNoDivergence reports that both engines digested equal at the
+// bisection's upper bound — there is nothing to localize.
+var ErrNoDivergence = errors.New("flight: engines agree at the upper bound; no divergence to bisect")
+
+// Probe records one bisection step, for the O(log) accounting and the
+// `cfmsim bisect` narration.
+type Probe struct {
+	Slot  sim.Slot
+	Equal bool
+}
+
+// BisectResult reports a localized divergence.
+type BisectResult struct {
+	// First is the first slot whose digests differ: at First-1 (and
+	// every slot down to the starting slot) the digests were equal.
+	First sim.Slot
+	// DigestA and DigestB are the differing digests at First.
+	DigestA, DigestB string
+	// Probes are the bisection steps taken, in order.
+	Probes []Probe
+	// Restores counts Engine.Restore calls — 2 per probe, the O(log
+	// slots) bound the bisect test pins.
+	Restores int
+}
+
+// Checkpoint snapshots an engine into memory.
+func Checkpoint(eng sim.Engine) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := eng.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Bisect localizes the first slot in (a.Now(), hi] at which digest(a)
+// and digest(b) differ. Both engines must be at the same slot with
+// equal digests when called; Bisect drives them itself (checkpoint,
+// restore, Run) and leaves them at the divergent slot. The two engines
+// may differ in kind (serial vs parallel), skip-ahead setting, or
+// scenario wiring — whatever difference is under investigation.
+func Bisect(a, b sim.Engine, digest func(sim.Engine) string, hi sim.Slot) (BisectResult, error) {
+	var res BisectResult
+	lo := a.Now()
+	if bn := b.Now(); bn != lo {
+		return res, fmt.Errorf("flight: bisect engines start at different slots (%d vs %d)", lo, bn)
+	}
+	if hi <= lo {
+		return res, fmt.Errorf("flight: bisect upper bound %d not after starting slot %d", hi, lo)
+	}
+	if da, db := digest(a), digest(b); da != db {
+		// Already divergent at the starting slot: nothing to search.
+		res.First, res.DigestA, res.DigestB = lo, da, db
+		return res, nil
+	}
+	ckA, err := Checkpoint(a)
+	if err != nil {
+		return res, err
+	}
+	ckB, err := Checkpoint(b)
+	if err != nil {
+		return res, err
+	}
+	// Invariant: digests equal at lo; ckA/ckB hold both engines at lo.
+	// Probe the midpoint by rewinding to lo and running forward; shrink
+	// whichever bound the comparison updates. The first probe is hi
+	// itself, verifying a divergence exists at all.
+	probe := func(target sim.Slot) (bool, error) {
+		if err := a.Restore(bytes.NewReader(ckA)); err != nil {
+			return false, fmt.Errorf("flight: bisect restore A: %w", err)
+		}
+		if err := b.Restore(bytes.NewReader(ckB)); err != nil {
+			return false, fmt.Errorf("flight: bisect restore B: %w", err)
+		}
+		res.Restores += 2
+		a.Run(int64(target - lo))
+		b.Run(int64(target - lo))
+		da, db := digest(a), digest(b)
+		equal := da == db
+		res.Probes = append(res.Probes, Probe{Slot: target, Equal: equal})
+		if !equal {
+			res.DigestA, res.DigestB = da, db
+		}
+		return equal, nil
+	}
+	equal, err := probe(hi)
+	if err != nil {
+		return res, err
+	}
+	if equal {
+		return res, ErrNoDivergence
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		equal, err := probe(mid)
+		if err != nil {
+			return res, err
+		}
+		if equal {
+			// The engines now sit at mid with equal digests: advance
+			// the lower bracket by re-checkpointing here, so later
+			// probes replay ever-shorter suffixes.
+			lo = mid
+			if ckA, err = Checkpoint(a); err != nil {
+				return res, err
+			}
+			if ckB, err = Checkpoint(b); err != nil {
+				return res, err
+			}
+		} else {
+			hi = mid
+		}
+	}
+	// Leave both engines AT the divergent slot so the caller can dump
+	// state (flight-recorder windows, snapshots) as of the divergence.
+	if hi != res.Probes[len(res.Probes)-1].Slot || res.Probes[len(res.Probes)-1].Equal {
+		if _, err := probe(hi); err != nil {
+			return res, err
+		}
+	}
+	res.First = hi
+	return res, nil
+}
+
+// Window extracts the events within ±radius slots of center — the
+// flight-recorder window `cfmsim bisect` dumps around a localized
+// divergence.
+func Window(events []Event, center, radius sim.Slot) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Slot >= center-radius && ev.Slot <= center+radius {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package flight
+
+import (
+	"fmt"
+
+	"cfm/internal/sim"
+)
+
+// Binary span codec: the compact, validated wire form of an event
+// stream, used by the FuzzSpanRoundTrip fuzzer and anywhere spans move
+// between processes. Little-endian, fixed-width:
+//
+//	magic  "CFMSPAN1"        8 bytes
+//	count  u32               number of events
+//	event  29 bytes each:    u64 id, i64 slot, u8 stage, u32 actor, i64 arg
+//
+// Decoding validates the magic, the count against the remaining input,
+// and every stage tag, so corrupted input yields an error — never a
+// panic or a silent misparse.
+
+const (
+	spanMagic     = "CFMSPAN1"
+	eventWireSize = 8 + 8 + 1 + 4 + 8
+)
+
+func appendLE32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendLE64(b []byte, v uint64) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func le32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// Encode serializes events into the binary span form.
+func Encode(events []Event) []byte {
+	out := make([]byte, 0, len(spanMagic)+4+len(events)*eventWireSize)
+	out = append(out, spanMagic...)
+	out = appendLE32(out, uint32(len(events)))
+	for _, ev := range events {
+		out = appendLE64(out, ev.ID)
+		out = appendLE64(out, uint64(int64(ev.Slot)))
+		out = append(out, byte(ev.Stage))
+		out = appendLE32(out, uint32(ev.Actor))
+		out = appendLE64(out, uint64(ev.Arg))
+	}
+	return out
+}
+
+// Decode parses a binary span stream produced by Encode, validating
+// framing, count, and every stage tag.
+func Decode(data []byte) ([]Event, error) {
+	if len(data) < len(spanMagic)+4 {
+		return nil, fmt.Errorf("flight: span stream too short (%d bytes)", len(data))
+	}
+	if string(data[:len(spanMagic)]) != spanMagic {
+		return nil, fmt.Errorf("flight: bad magic %q (not a span stream)", data[:len(spanMagic)])
+	}
+	body := data[len(spanMagic):]
+	count := int(le32(body))
+	body = body[4:]
+	if count*eventWireSize != len(body) {
+		return nil, fmt.Errorf("flight: %d events need %d bytes, have %d", count, count*eventWireSize, len(body))
+	}
+	events := make([]Event, 0, count)
+	for i := 0; i < count; i++ {
+		rec := body[i*eventWireSize:]
+		st := rec[16]
+		if st >= uint8(numStages) {
+			return nil, fmt.Errorf("flight: event %d: stage tag %d out of range", i, st)
+		}
+		events = append(events, Event{
+			ID:    le64(rec),
+			Slot:  sim.Slot(int64(le64(rec[8:]))),
+			Stage: Stage(st),
+			Actor: int32(le32(rec[17:])),
+			Arg:   int64(le64(rec[21:])),
+		})
+	}
+	return events, nil
+}

@@ -1,0 +1,118 @@
+package flight
+
+import (
+	"bytes"
+	"testing"
+
+	"cfm/internal/sim"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{ID: ComposeID(0, 5), Slot: 5, Stage: StageIssue, Actor: 0, Arg: 0},
+		{ID: ComposeID(0, 5), Slot: 6, Stage: StageNetInject, Actor: 0, Arg: 0},
+		{ID: ComposeID(0, 5), Slot: 7, Stage: StageHop, Actor: 1, Arg: 0},
+		{ID: ComposeID(0, 5), Slot: 8, Stage: StageBankService, Actor: 3, Arg: 4},
+		{ID: ComposeID(0, 5), Slot: 12, Stage: StageRetire, Actor: 0, Arg: 7},
+		{ID: ComposeID(2, 6), Slot: 6, Stage: StageIssue, Actor: 2, Arg: -1},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	evs := sampleEvents()
+	data := Encode(evs)
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(back) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(back), len(evs))
+	}
+	for i := range evs {
+		if back[i] != evs[i] {
+			t.Errorf("event %d: got %v, want %v", i, back[i], evs[i])
+		}
+	}
+	// Determinism: encoding is a pure function of the stream.
+	if !bytes.Equal(data, Encode(evs)) {
+		t.Error("Encode not deterministic")
+	}
+}
+
+func TestEncodeEmpty(t *testing.T) {
+	back, err := Decode(Encode(nil))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if len(back) != 0 {
+		t.Errorf("decoded %d events from empty stream", len(back))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good := Encode(sampleEvents())
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"short", good[:4]},
+		{"bad magic", append([]byte("XXMSPAN1"), good[8:]...)},
+		{"truncated body", good[:len(good)-3]},
+		{"count too large", func() []byte {
+			b := append([]byte(nil), good...)
+			b[8] = 0xff // inflate the count field
+			return b
+		}()},
+		{"bad stage tag", func() []byte {
+			b := append([]byte(nil), good...)
+			b[len(spanMagic)+4+16] = 0xee // first event's stage byte
+			return b
+		}()},
+	}
+	for _, c := range cases {
+		if _, err := Decode(c.data); err == nil {
+			t.Errorf("%s: corruption accepted", c.name)
+		}
+	}
+}
+
+func TestDecodeNegativeSlotAndArg(t *testing.T) {
+	evs := []Event{{ID: 1, Slot: sim.Slot(-9), Stage: StageRetire, Actor: -2, Arg: -1234}}
+	back, err := Decode(Encode(evs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if back[0] != evs[0] {
+		t.Errorf("negative fields mangled: got %v, want %v", back[0], evs[0])
+	}
+}
+
+func FuzzSpanRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(spanMagic))
+	f.Add(Encode(nil))
+	f.Add(Encode(sampleEvents()))
+	f.Add(append([]byte("XXMSPAN1"), Encode(nil)[8:]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := Decode(data)
+		if err != nil {
+			return // rejected input must simply not panic
+		}
+		// Accepted input must survive a re-encode/re-decode cycle
+		// byte-identically: Decode accepts only canonical framing.
+		re := Encode(evs)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("re-encode differs:\n got %x\nwant %x", re, data)
+		}
+		back, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		for i := range evs {
+			if back[i] != evs[i] {
+				t.Fatalf("event %d changed across round trip", i)
+			}
+		}
+	})
+}

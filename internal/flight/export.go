@@ -1,0 +1,150 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Exporters for recorded span streams. Both writers hand-format their
+// JSON with a fixed field order so a given event stream always produces
+// byte-identical output — the property the golden-file check in CI
+// pins, and the same discipline as the metrics Prometheus/JSONL
+// exporters.
+
+// Chrome trace-event track (pid) assignment: one process per component
+// family, one thread per instance (bank, column, processor), so
+// Perfetto and chrome://tracing lay the stages out on the tracks the
+// paper's pipeline diagram implies.
+const (
+	trackProcessors = 1
+	trackNetwork    = 2
+	trackBanks      = 3
+)
+
+// trackOf maps a stage to its Chrome trace process track.
+func trackOf(st Stage) int {
+	switch st {
+	case StageNetInject, StageHop:
+		return trackNetwork
+	case StageBankEnqueue, StageBankService:
+		return trackBanks
+	default:
+		return trackProcessors
+	}
+}
+
+// WriteJSONL writes one JSON object per event, in stream order: the
+// grep-friendly export behind `-spans-out spans.jsonl`.
+func WriteJSONL(w io.Writer, events []Event) error {
+	for _, ev := range events {
+		_, err := fmt.Fprintf(w, `{"slot":%d,"id":"%016x","stage":%q,"actor":%d,"arg":%d}`+"\n",
+			int64(ev.Slot), ev.ID, ev.Stage.String(), ev.Actor, ev.Arg)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace writes the stream in the Chrome trace-event JSON
+// format (the `-spans-out spans.json` export): an object with a
+// traceEvents array of complete ("X") events, one slot = one
+// microsecond, preceded by process_name metadata naming the
+// processors/network/banks tracks. The file loads directly in Perfetto
+// (ui.perfetto.dev) and chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`+"\n"); err != nil {
+		return err
+	}
+	names := []struct {
+		pid  int
+		name string
+	}{
+		{trackProcessors, "processors"},
+		{trackNetwork, "network"},
+		{trackBanks, "banks"},
+	}
+	for i, n := range names {
+		sep := ","
+		if i == len(names)-1 && len(events) == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}%s`+"\n", n.pid, n.name, sep); err != nil {
+			return err
+		}
+	}
+	for i, ev := range events {
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		_, err := fmt.Fprintf(w,
+			`{"name":%q,"cat":"access","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"id":"%016x","arg":%d}}%s`+"\n",
+			ev.Stage.String(), int64(ev.Slot), durOf(ev), trackOf(ev.Stage), ev.Actor, ev.ID, ev.Arg, sep)
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// durOf picks a complete-event duration: stages that carry a duration
+// in Arg (bank service, known queue waits) render that wide; the rest
+// render one slot wide.
+func durOf(ev Event) int64 {
+	switch ev.Stage {
+	case StageBankService, StageBankEnqueue:
+		if ev.Arg > 0 {
+			return ev.Arg
+		}
+	}
+	return 1
+}
+
+// Waterfall renders one access's timeline as ASCII — the `cfmsim
+// waterfall` view. Rows are the span's events in stream order; the bar
+// column places each stage between the span's first and last slot.
+func Waterfall(events []Event, id uint64) string {
+	var span []Event
+	for _, ev := range events {
+		if ev.ID == id {
+			span = append(span, ev)
+		}
+	}
+	if len(span) == 0 {
+		return fmt.Sprintf("access %016x: no recorded events\n", id)
+	}
+	first, last := span[0].Slot, span[0].Slot
+	for _, ev := range span {
+		if ev.Slot < first {
+			first = ev.Slot
+		}
+		if ev.Slot > last {
+			last = ev.Slot
+		}
+	}
+	const barWidth = 48
+	scale := func(s int64) int {
+		if last == first {
+			return 0
+		}
+		return int(s * int64(barWidth-1) / int64(last-first))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "access %016x — actor %d, issued slot %d, %d events over slots %d..%d\n\n",
+		id, IDActor(id), IDIssued(id), len(span), first, last)
+	for _, ev := range span {
+		off := scale(int64(ev.Slot - first))
+		bar := strings.Repeat(" ", off) + "█" + strings.Repeat(" ", barWidth-1-off)
+		fmt.Fprintf(&b, "  %-12s │%s│ slot %-8d +%-6d actor=%-4d arg=%d\n",
+			ev.Stage, bar, int64(ev.Slot), int64(ev.Slot-first), ev.Actor, ev.Arg)
+	}
+	bd := Decompose(Span{ID: id, Events: span})
+	if bd.Complete {
+		fmt.Fprintf(&b, "\n  total %d slots = queue %d + service %d + network %d\n",
+			bd.Total, bd.Queue, bd.Service, bd.Network)
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cfm/internal/sim"
+)
+
+func TestWriteJSONLDeterministicAndValid(t *testing.T) {
+	evs := fullSpan()
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("JSONL export not byte-deterministic")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != len(evs) {
+		t.Fatalf("%d lines for %d events", len(lines), len(evs))
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, line)
+		}
+		for _, key := range []string{"slot", "id", "stage", "actor", "arg"} {
+			if _, ok := obj[key]; !ok {
+				t.Errorf("line %d missing %q", i, key)
+			}
+		}
+	}
+	if !strings.Contains(lines[0], `"stage":"issue"`) {
+		t.Errorf("first line should be the issue stage: %s", lines[0])
+	}
+}
+
+func TestWriteChromeTraceValidAndDeterministic(t *testing.T) {
+	evs := fullSpan()
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Chrome trace export not byte-deterministic")
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &doc); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	// 3 process_name metadata records + one X record per event.
+	meta, complete := 0, 0
+	for _, te := range doc.TraceEvents {
+		switch te.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+		default:
+			t.Errorf("unexpected phase %q", te.Ph)
+		}
+	}
+	if meta != 3 {
+		t.Errorf("%d metadata records, want 3 (processors/network/banks)", meta)
+	}
+	if complete != len(evs) {
+		t.Errorf("%d complete events, want %d", complete, len(evs))
+	}
+	// Track routing: hop → network pid, bank-service → banks pid.
+	for _, te := range doc.TraceEvents {
+		switch te.Name {
+		case "hop":
+			if te.Pid != trackNetwork {
+				t.Errorf("hop on pid %d, want %d", te.Pid, trackNetwork)
+			}
+		case "bank-service":
+			if te.Pid != trackBanks {
+				t.Errorf("bank-service on pid %d, want %d", te.Pid, trackBanks)
+			}
+		case "issue", "retire":
+			if te.Ph == "X" && te.Pid != trackProcessors {
+				t.Errorf("%s on pid %d, want %d", te.Name, te.Pid, trackProcessors)
+			}
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("empty export not valid JSON: %v", err)
+	}
+}
+
+func TestWaterfall(t *testing.T) {
+	evs := fullSpan()
+	id := evs[0].ID
+	out := Waterfall(evs, id)
+	for _, want := range []string{"issue", "hop", "bank-service", "retire",
+		"total 10 slots = queue 4 + service 4 + network 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	if out != Waterfall(evs, id) {
+		t.Error("waterfall not deterministic")
+	}
+	if got := Waterfall(evs, 0xdead); !strings.Contains(got, "no recorded events") {
+		t.Errorf("missing-ID waterfall: %q", got)
+	}
+	// Single-event span: degenerate time range must not divide by zero.
+	one := []Event{{ID: 7, Slot: 3, Stage: StageIssue}}
+	if got := Waterfall(one, 7); !strings.Contains(got, "issue") {
+		t.Errorf("single-event waterfall: %q", got)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	var evs []Event
+	for s := sim.Slot(0); s < 20; s++ {
+		evs = append(evs, Event{ID: uint64(s), Slot: s, Stage: StageHop})
+	}
+	w := Window(evs, 10, 2)
+	if len(w) != 5 {
+		t.Fatalf("window has %d events, want 5", len(w))
+	}
+	for _, ev := range w {
+		if ev.Slot < 8 || ev.Slot > 12 {
+			t.Errorf("slot %d outside window [8,12]", ev.Slot)
+		}
+	}
+	if Window(evs, 100, 3) != nil {
+		t.Error("empty window not nil")
+	}
+}

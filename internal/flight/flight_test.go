@@ -1,0 +1,245 @@
+package flight
+
+import (
+	"strings"
+	"testing"
+
+	"cfm/internal/sim"
+)
+
+func TestStageStrings(t *testing.T) {
+	for s := Stage(0); s < numStages; s++ {
+		name := s.String()
+		if name == "" || strings.HasPrefix(name, "stage(") {
+			t.Errorf("stage %d has no name", s)
+		}
+	}
+	if got := Stage(250).String(); got != "stage(250)" {
+		t.Errorf("out-of-range stage renders %q", got)
+	}
+	if Stages() != int(numStages) {
+		t.Errorf("Stages() = %d, want %d", Stages(), numStages)
+	}
+}
+
+func TestComposeIDRoundTrip(t *testing.T) {
+	cases := []struct {
+		actor  int
+		issued sim.Slot
+	}{
+		{0, 0}, {1, 1}, {7, 12345}, {255, 1 << 31}, {1 << 20, 99},
+	}
+	for _, c := range cases {
+		id := ComposeID(c.actor, c.issued)
+		if got := IDActor(id); got != c.actor {
+			t.Errorf("IDActor(ComposeID(%d,%d)) = %d", c.actor, c.issued, got)
+		}
+		if got := IDIssued(id); got != uint32(c.issued) {
+			t.Errorf("IDIssued(ComposeID(%d,%d)) = %d", c.actor, c.issued, got)
+		}
+	}
+	// Distinct (actor, slot) pairs must yield distinct IDs.
+	seen := map[uint64]bool{}
+	for actor := 0; actor < 8; actor++ {
+		for slot := sim.Slot(0); slot < 8; slot++ {
+			id := ComposeID(actor, slot)
+			if seen[id] {
+				t.Fatalf("duplicate ID %x for actor=%d slot=%d", id, actor, slot)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+	r.Emit(1, 2, StageIssue, 3, 4) // must not panic
+	r.Append(Event{})
+	r.Reset()
+	if r.Len() != 0 || r.Cap() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder reports non-zero sizes")
+	}
+	if r.Events() != nil {
+		t.Error("nil recorder returns events")
+	}
+	if got, want := r.Digest(), uint64(fnvOffset64); got != want {
+		t.Errorf("nil digest %x, want offset basis %x", got, want)
+	}
+}
+
+func TestRecorderFillAndWrap(t *testing.T) {
+	r := NewRecorder(4)
+	if !r.Enabled() {
+		t.Fatal("recorder not enabled")
+	}
+	if r.Cap() != 4 {
+		t.Fatalf("cap %d, want 4", r.Cap())
+	}
+	for i := 0; i < 3; i++ {
+		r.Emit(uint64(i), sim.Slot(i), StageIssue, int32(i), 0)
+	}
+	if r.Len() != 3 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d after 3 emits", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.ID != uint64(i) {
+			t.Errorf("event %d has ID %d", i, ev.ID)
+		}
+	}
+	// Push past capacity: the oldest two events fall off.
+	for i := 3; i < 6; i++ {
+		r.Emit(uint64(i), sim.Slot(i), StageRetire, int32(i), 1)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len %d after wrap, want 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped %d after wrap, want 2", r.Dropped())
+	}
+	evs = r.Events()
+	want := []uint64{2, 3, 4, 5}
+	for i, ev := range evs {
+		if ev.ID != want[i] {
+			t.Errorf("post-wrap event %d has ID %d, want %d", i, ev.ID, want[i])
+		}
+	}
+}
+
+func TestRecorderClampsLimit(t *testing.T) {
+	if got := NewRecorder(0).Cap(); got != DefaultLimit {
+		t.Errorf("limit 0 gives cap %d, want DefaultLimit", got)
+	}
+	if got := NewRecorder(-5).Cap(); got != DefaultLimit {
+		t.Errorf("limit -5 gives cap %d, want DefaultLimit", got)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(uint64(i), sim.Slot(i), StageHop, 0, 0)
+	}
+	d := r.Digest()
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("reset did not empty the ring")
+	}
+	if r.Digest() == d {
+		t.Error("digest unchanged by reset of a non-empty ring")
+	}
+	// Refill identically: digest must reproduce.
+	for i := 0; i < 5; i++ {
+		r.Emit(uint64(i), sim.Slot(i), StageHop, 0, 0)
+	}
+	if r.Digest() != d {
+		t.Error("identical refill digests differently")
+	}
+}
+
+func TestDigestSensitivity(t *testing.T) {
+	base := func() *Recorder {
+		r := NewRecorder(8)
+		r.Emit(1, 10, StageIssue, 2, 3)
+		r.Emit(1, 12, StageRetire, 2, 2)
+		return r
+	}
+	d0 := base().Digest()
+	perturb := []func(r *Recorder){
+		func(r *Recorder) { r.Emit(1, 13, StageHop, 2, 0) },  // extra event
+		func(r *Recorder) { r.events[0].ID = 9 },             // field change
+		func(r *Recorder) { r.events[1].Slot = 13 },          // slot change
+		func(r *Recorder) { r.events[1].Stage = StageReply }, // stage change
+		func(r *Recorder) { r.events[0].Actor = 5 },          // actor change
+		func(r *Recorder) { r.events[0].Arg = 4 },            // arg change
+		func(r *Recorder) { r.dropped = 1 },                  // drop count
+	}
+	for i, p := range perturb {
+		r := base()
+		p(r)
+		if r.Digest() == d0 {
+			t.Errorf("perturbation %d not visible in digest", i)
+		}
+	}
+	if base().Digest() != d0 {
+		t.Error("digest not deterministic")
+	}
+}
+
+func TestEmitZeroAlloc(t *testing.T) {
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		nilRec.Emit(1, 2, StageIssue, 3, 4)
+	}); n != 0 {
+		t.Errorf("disabled Emit allocates %v/op, want 0", n)
+	}
+	r := NewRecorder(16)
+	slot := sim.Slot(0)
+	if n := testing.AllocsPerRun(100, func() {
+		r.Emit(ComposeID(1, slot), slot, StageBankService, 1, 4)
+		slot++
+	}); n != 0 {
+		t.Errorf("enabled Emit allocates %v/op, want 0 (ring is preallocated)", n)
+	}
+	// Wrapping emits must not allocate either.
+	if n := testing.AllocsPerRun(100, func() {
+		r.Emit(ComposeID(2, slot), slot, StageHop, 2, 0)
+		slot++
+	}); n != 0 {
+		t.Errorf("wrapping Emit allocates %v/op, want 0", n)
+	}
+}
+
+func TestRecorderStateRoundTrip(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ { // wraps: dropped=2
+		r.Emit(ComposeID(i, sim.Slot(10+i)), sim.Slot(10+i), StageIssue, int32(i), int64(i))
+	}
+	enc := sim.NewStateEncoder()
+	r.SaveState(enc)
+	if enc.Err() != nil {
+		t.Fatalf("encode: %v", enc.Err())
+	}
+
+	fresh := NewRecorder(4)
+	dec := sim.NewStateDecoder(enc.Bytes())
+	fresh.LoadState(dec)
+	if dec.Err() != nil {
+		t.Fatalf("decode: %v", dec.Err())
+	}
+	if fresh.Digest() != r.Digest() {
+		t.Error("restored recorder digests differently")
+	}
+	if fresh.Dropped() != r.Dropped() {
+		t.Errorf("restored dropped %d, want %d", fresh.Dropped(), r.Dropped())
+	}
+
+	// Capacity mismatch must fail loudly, not silently truncate.
+	small := NewRecorder(2)
+	dec = sim.NewStateDecoder(enc.Bytes())
+	small.LoadState(dec)
+	if dec.Err() == nil {
+		t.Error("capacity mismatch not rejected")
+	}
+}
+
+func TestRecorderStateRejectsBadStage(t *testing.T) {
+	enc := sim.NewStateEncoder()
+	enc.Int(4)                     // capacity
+	enc.U64(0)                     // dropped
+	enc.Int(1)                     // count
+	enc.U64(1)                     // id
+	enc.Slot(2)                    // slot
+	enc.U64(uint64(numStages) + 3) // stage out of range
+	enc.I64(0)                     // actor
+	enc.I64(0)                     // arg
+	r := NewRecorder(4)
+	dec := sim.NewStateDecoder(enc.Bytes())
+	r.LoadState(dec)
+	if dec.Err() == nil {
+		t.Error("out-of-range stage accepted")
+	}
+}

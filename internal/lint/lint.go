@@ -18,6 +18,9 @@
 //   - stater: a ticker owning mutable simulation state (an RNG, a
 //     sim.Queue, or container fields) implements sim.Stater so engine
 //     checkpoints capture it, or opts out with //cfm:no-stater <reason>.
+//   - flight: flight-recorder emissions in instrumented packages sit
+//     under an Enabled() guard (the disabled path is zero-alloc), and a
+//     package emitting an opening stage also emits StageRetire.
 //
 // The suite is built on go/ast + go/types only (no x/tools), so it runs
 // anywhere the repo builds: `go run ./cmd/cfmlint ./...`.
@@ -34,6 +37,7 @@
 //	//cfm:unsorted-ok R      map order provably cannot reach output
 //	//cfm:shared-metric R    several sites intentionally share one metric
 //	//cfm:no-stater R        ticker is deliberately not checkpointable
+//	//cfm:flight-ok R        flight emission intentionally unguarded
 package lint
 
 import (
@@ -109,6 +113,7 @@ func Passes() []*Pass {
 		HotPathAllocPass(),
 		MetricNamesPass(),
 		StaterPass(),
+		FlightPass(),
 	}
 }
 

@@ -3,6 +3,7 @@ package memory
 import (
 	"fmt"
 
+	"cfm/internal/flight"
 	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
@@ -89,6 +90,12 @@ type Conventional struct {
 	mLatency     *metrics.Counter
 	mQueued      *metrics.Counter
 	mModConflict []*metrics.Counter // per-module, feeds the conflict heatmap
+
+	// Flight recorder (nil when unobserved). Conventional is a serial
+	// Ticker, so it emits directly; the access ID is ComposeID of the
+	// processor and the first-attempt slot, which the retry machinery
+	// already persists in issuedAt.
+	flt *flight.Recorder
 }
 
 // NewConventional builds the baseline simulator. It panics on an invalid
@@ -134,6 +141,12 @@ func (c *Conventional) Instrument(r *metrics.Registry) {
 		c.mModConflict[m] = r.Counter(fmt.Sprintf(`conv_module_conflicts{module="%d"}`, m))
 	}
 }
+
+// RecordFlight attaches a flight recorder: each access spans from its
+// issue (first attempt) to its retire, with a bank-enqueue event per
+// rejected attempt and a bank-service event when a module accepts it.
+// Call before running; nil detaches.
+func (c *Conventional) RecordFlight(r *flight.Recorder) { c.flt = r }
 
 // thinkTime samples the idle gap between accesses so the offered load is
 // approximately AccessRate accesses per cycle per processor: a geometric
@@ -230,6 +243,10 @@ func (c *Conventional) Tick(t sim.Slot, ph sim.Phase) {
 				c.TotalLatency += int64(c.doneAt[p] - c.issuedAt[p])
 				c.mCompleted.Inc()
 				c.mLatency.Add(int64(c.doneAt[p] - c.issuedAt[p]))
+				if c.flt.Enabled() {
+					c.flt.Emit(flight.ComposeID(p, c.issuedAt[p]), t,
+						flight.StageRetire, int32(p), int64(c.doneAt[p]-c.issuedAt[p]))
+				}
 				c.state[p] = procIdle
 			}
 		case procWaiting:
@@ -243,6 +260,9 @@ func (c *Conventional) Tick(t sim.Slot, ph sim.Phase) {
 			c.mQueued.Add(int64(t - arrived))
 			c.targetMod[p] = c.pickModule(p)
 			c.issuedAt[p] = t
+			if c.flt.Enabled() {
+				c.flt.Emit(flight.ComposeID(p, t), t, flight.StageIssue, int32(p), int64(t-arrived))
+			}
 			c.attempt(t, p)
 		}
 	}
@@ -260,11 +280,19 @@ func (c *Conventional) attempt(t sim.Slot, p int) {
 		}
 		c.state[p] = procWaiting
 		c.wakeAt[p] = t + sim.Slot(c.retryDelay())
+		if c.flt.Enabled() {
+			c.flt.Emit(flight.ComposeID(p, c.issuedAt[p]), t,
+				flight.StageBankEnqueue, int32(mod), int64(c.wakeAt[p]-t))
+		}
 		return
 	}
 	c.mods[mod] = t + sim.Slot(c.cfg.BlockTime)
 	c.state[p] = procInFlight
 	c.doneAt[p] = t + sim.Slot(c.cfg.BlockTime)
+	if c.flt.Enabled() {
+		c.flt.Emit(flight.ComposeID(p, c.issuedAt[p]), t,
+			flight.StageBankService, int32(mod), int64(c.cfg.BlockTime))
+	}
 }
 
 // Efficiency returns the measured memory access efficiency: the ratio of

@@ -2,15 +2,19 @@
 package metrics
 
 import (
+	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 )
 
 // Serve starts a live observability endpoint on addr (e.g. ":8080"):
 //
 //	/metrics       Prometheus text exposition of reg's current state
+//	/healthz       liveness probe ("ok")
+//	/statusz       engine progress JSON (slot, fired/skipped, workers)
 //	/debug/vars    expvar JSON
 //	/debug/pprof/  CPU/heap/goroutine profiles (net/http/pprof)
 //
@@ -20,10 +24,55 @@ import (
 // srv.Close() when done. The handlers snapshot the registry per request;
 // concurrent simulation writes are safe (atomics / mutexes).
 func Serve(addr string, reg *Registry) (*http.Server, error) {
+	return ServeStatus(addr, reg, nil)
+}
+
+// ServeStatus is Serve with an engine status source. When sv is non-nil,
+// /statusz reports its readings and /metrics appends the
+// engine_slots_skipped_total and engine_jumps_total counters at scrape
+// time (they are stamped into the exposition, never into reg, so the
+// registry digest stays independent of the skip-ahead schedule).
+func ServeStatus(addr string, reg *Registry, sv *StatusVar) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(reg, sv)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}
+
+// Handler returns the observability endpoint's HTTP handler (exposed
+// separately from ServeStatus so tests can drive it without a listener).
+func Handler(reg *Registry, sv *StatusVar) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = WritePrometheus(w, reg.Snapshot())
+		snap := reg.Snapshot()
+		if sv != nil {
+			st := sv.Status()
+			snap.Counters = append(snap.Counters,
+				NameValue{Name: "engine_jumps_total", Value: st.Jumps},
+				NameValue{Name: "engine_slots_skipped_total", Value: st.SlotsSkipped})
+			sort.Slice(snap.Counters, func(i, j int) bool {
+				return snap.Counters[i].Name < snap.Counters[j].Name
+			})
+		}
+		_ = WritePrometheus(w, snap)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var st Status
+		if sv != nil {
+			st = sv.Status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -31,12 +80,5 @@ func Serve(addr string, reg *Registry) (*http.Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	return srv, nil
+	return mux
 }

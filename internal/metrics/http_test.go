@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cfm/internal/sim"
+)
+
+func get(t *testing.T, h *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := h.Client().Get(h.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, sb.String()
+}
+
+func TestHealthz(t *testing.T) {
+	srv := httptest.NewServer(Handler(New(), nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q, want 200 \"ok\\n\"", code, body)
+	}
+}
+
+func TestStatusz(t *testing.T) {
+	sv := &StatusVar{}
+	sv.Set(120, 100, 40, 7)
+	sv.SetWorkers(4)
+	srv := httptest.NewServer(Handler(New(), sv))
+	defer srv.Close()
+	code, body := get(t, srv, "/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d, want 200", code)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/statusz body %q: %v", body, err)
+	}
+	want := Status{Slot: 120, SlotsRun: 100, SlotsFired: 40, SlotsSkipped: 60,
+		Jumps: 7, SkipRatio: 0.6, Workers: 4}
+	if st != want {
+		t.Fatalf("/statusz = %+v, want %+v", st, want)
+	}
+}
+
+func TestStatuszWithoutSource(t *testing.T) {
+	srv := httptest.NewServer(Handler(New(), nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/statusz")
+	if code != 200 {
+		t.Fatalf("/statusz = %d, want 200", code)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/statusz body %q: %v", body, err)
+	}
+	if st != (Status{}) {
+		t.Fatalf("/statusz without source = %+v, want zeros", st)
+	}
+}
+
+func TestMetricsScrapeStampsEngineCounters(t *testing.T) {
+	reg := New()
+	reg.Counter("work_total").Add(3)
+	sv := &StatusVar{}
+	sv.Set(50, 50, 20, 4)
+	srv := httptest.NewServer(Handler(reg, sv))
+	defer srv.Close()
+	_, body := get(t, srv, "/metrics")
+	for _, want := range []string{
+		"engine_slots_skipped_total 30",
+		"engine_jumps_total 4",
+		"work_total 3",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	// The stamped counters live in the exposition only: the registry
+	// digest must be unchanged by a scrape.
+	for _, nv := range reg.Snapshot().Counters {
+		if strings.HasPrefix(nv.Name, "engine_") {
+			t.Errorf("scrape leaked %s into the registry", nv.Name)
+		}
+	}
+}
+
+func TestMetricsScrapeWithoutStatus(t *testing.T) {
+	reg := New()
+	reg.Counter("work_total").Inc()
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+	_, body := get(t, srv, "/metrics")
+	if strings.Contains(body, "engine_slots_skipped_total") {
+		t.Fatalf("/metrics stamped engine counters without a status source:\n%s", body)
+	}
+	if !strings.Contains(body, "work_total 1") {
+		t.Fatalf("/metrics missing work_total:\n%s", body)
+	}
+}
+
+func TestStatusVarAttachTracksEngine(t *testing.T) {
+	sv := &StatusVar{}
+	eng := sim.NewClock()
+	eng.Register(sim.TickerFunc(func(sim.Slot, sim.Phase) {}))
+	sv.Attach(eng)
+	eng.Run(10)
+	// The last mid-run stamp ran inside slot 9's PhaseUpdate, before the
+	// engine counted the slot complete.
+	if st := sv.Status(); st.Slot != 9 || st.SlotsRun != 9 {
+		t.Fatalf("status after dense run = %+v, want slot 9 / 9 run", st)
+	}
+	// A post-run stamp (what Observatory.Close does) settles the counts.
+	sv.StampEngine(eng)
+	st := sv.Status()
+	if st.SlotsRun != 10 || st.SlotsFired != 10 {
+		t.Fatalf("status after final stamp = %+v", st)
+	}
+	if st.Workers != 1 {
+		t.Fatalf("serial clock workers = %d, want 1", st.Workers)
+	}
+}
+
+func TestStatusVarSkipAheadRatio(t *testing.T) {
+	sv := &StatusVar{}
+	eng := sim.NewClock()
+	eng.SetSkipAhead(true)
+	// One event every 10 slots; everything between is quiescent.
+	next := sim.Slot(0)
+	eng.Register(&sim.FuncTicker{
+		OnTick: func(t sim.Slot, ph sim.Phase) {
+			if ph == sim.PhaseIssue && t == next {
+				next += 10
+			}
+		},
+		NextEvent: func(now sim.Slot) sim.Slot {
+			if next < now {
+				return now
+			}
+			return next
+		},
+	})
+	sv.Attach(eng)
+	eng.Run(100)
+	sv.StampEngine(eng)
+	st := sv.Status()
+	if st.SlotsRun != 100 {
+		t.Fatalf("slots run = %d, want 100", st.SlotsRun)
+	}
+	if st.SlotsSkipped == 0 || st.Jumps == 0 {
+		t.Fatalf("expected skipped slots and jumps, got %+v", st)
+	}
+	if st.SkipRatio <= 0 || st.SkipRatio >= 1 {
+		t.Fatalf("skip ratio = %v, want in (0,1)", st.SkipRatio)
+	}
+}

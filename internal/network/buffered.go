@@ -3,12 +3,18 @@ package network
 import (
 	"fmt"
 
+	"cfm/internal/flight"
 	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
 
 // Packet is one memory access request traversing a buffered MIN.
 type Packet struct {
+	// ID is the packet's flight-recorder identity, composed at injection
+	// from the source terminal and birth slot. It rides the packet (and
+	// the checkpoint format) because hops happen columns away from the
+	// injection site.
+	ID   uint64
 	Dest int
 	Born sim.Slot
 	Hot  bool // part of the hot-spot traffic, for separate accounting
@@ -104,6 +110,11 @@ type BufferedOmega struct {
 	mBacklog    *metrics.Gauge
 	mStageQueue []*metrics.Gauge // packets buffered per column
 	mStageFull  []*metrics.Gauge // full queues per column (saturation tree)
+
+	// Flight recorder (nil when unobserved). Inject and retire events
+	// happen in terminal shards and are staged; hop events are emitted
+	// directly from the column sweep, which runs in FinishShards.
+	flt *flight.Recorder
 }
 
 // bufferedStage buffers one terminal shard's measurement deltas.
@@ -113,6 +124,7 @@ type bufferedStage struct {
 	deliveredHot    int64
 	latencyBgTotal  int64
 	latencyHotTotal int64
+	flights         []flight.Event
 }
 
 // NewBufferedOmega builds the simulator. It panics on invalid
@@ -168,6 +180,11 @@ func (b *BufferedOmega) Instrument(r *metrics.Registry) {
 		b.mStageFull[j] = r.Gauge(fmt.Sprintf(`net_stage_full_queues{stage="%d"}`, j))
 	}
 }
+
+// RecordFlight attaches a flight recorder: each packet spans from its
+// net-inject to its retire at the destination module, with one hop
+// event per column it clears. Call before running; nil detaches.
+func (b *BufferedOmega) RecordFlight(r *flight.Recorder) { b.flt = r }
 
 // Tick implements sim.Ticker by delegating to the shard path, so the
 // serial and parallel engines execute identical code. Injection happens
@@ -238,7 +255,13 @@ func (b *BufferedOmega) FinishShards(t sim.Slot, ph sim.Phase) {
 		b.mDelivHot.Add(st.deliveredHot)
 		b.mLatBg.Add(st.latencyBgTotal)
 		b.mLatHot.Add(st.latencyHotTotal)
-		*st = bufferedStage{}
+		for _, ev := range st.flights {
+			b.flt.Append(ev) //cfm:flight-ok fold drain; st.flights stays empty while recording is off
+		}
+		// Field-wise reset keeps the flights capacity for the next slot.
+		st.injected, st.deliveredBg, st.deliveredHot = 0, 0, 0
+		st.latencyBgTotal, st.latencyHotTotal = 0, 0
+		st.flights = st.flights[:0]
 	}
 	if ph == sim.PhaseTransfer {
 		for j := last; j >= 0; j-- {
@@ -275,7 +298,7 @@ func (b *BufferedOmega) injectNew(t sim.Slot, p int) {
 	if !rng.Bernoulli(b.cfg.Rate) {
 		return
 	}
-	pk := Packet{Born: t}
+	pk := Packet{ID: flight.ComposeID(p, t), Born: t}
 	if rng.Bernoulli(b.cfg.HotFraction) {
 		pk.Dest = b.cfg.HotModule
 		pk.Hot = true
@@ -284,6 +307,11 @@ func (b *BufferedOmega) injectNew(t sim.Slot, p int) {
 	}
 	b.inject[p].Push(pk)
 	b.stage[p].injected++
+	if b.flt.Enabled() {
+		b.stage[p].flights = append(b.stage[p].flights, flight.Event{
+			ID: pk.ID, Slot: t, Stage: flight.StageNetInject,
+			Actor: int32(p), Arg: int64(pk.Dest)})
+	}
 }
 
 // drainSink lets memory module m, if idle, consume the packet at the
@@ -303,6 +331,13 @@ func (b *BufferedOmega) drainSink(t sim.Slot, m int) {
 	} else {
 		st.deliveredBg++
 		st.latencyBgTotal += lat
+	}
+	if b.flt.Enabled() {
+		st.flights = append(st.flights,
+			flight.Event{ID: pk.ID, Slot: t, Stage: flight.StageBankService,
+				Actor: int32(m), Arg: int64(b.cfg.ServiceTime)},
+			flight.Event{ID: pk.ID, Slot: t, Stage: flight.StageRetire,
+				Actor: int32(m), Arg: lat})
 	}
 }
 
@@ -325,7 +360,9 @@ func (b *BufferedOmega) upstreamHead(j, pos int) *sim.Queue[Packet] {
 
 // advanceColumn moves up to one packet through each switch output of
 // column j, honouring queue capacities and a per-switch round-robin
-// arbiter when both inputs contend for the same output.
+// arbiter when both inputs contend for the same output. It runs inside
+// FinishShards' sequential sweep, so the hop events tryMove emits land
+// in the recorder in deterministic order.
 func (b *BufferedOmega) advanceColumn(t sim.Slot, j int) {
 	k := b.o.Columns()
 	type cand struct {
@@ -346,20 +383,20 @@ func (b *BufferedOmega) advanceColumn(t sim.Slot, j int) {
 		case 0:
 			continue
 		case 1:
-			b.tryMove(j, cands[0].out, cands[0].src)
+			b.tryMove(t, j, cands[0].out, cands[0].src)
 		case 2:
 			if cands[0].out != cands[1].out {
-				b.tryMove(j, cands[0].out, cands[0].src)
-				b.tryMove(j, cands[1].out, cands[1].src)
+				b.tryMove(t, j, cands[0].out, cands[0].src)
+				b.tryMove(t, j, cands[1].out, cands[1].src)
 				continue
 			}
 			// Contention for one output: alternate which input wins.
 			first := b.rr[j][sw] & 1
 			b.rr[j][sw]++
-			if b.tryMove(j, cands[first].out, cands[first].src) {
+			if b.tryMove(t, j, cands[first].out, cands[first].src) {
 				continue
 			}
-			b.tryMove(j, cands[1-first].out, cands[1-first].src)
+			b.tryMove(t, j, cands[1-first].out, cands[1-first].src)
 		}
 	}
 }
@@ -367,18 +404,22 @@ func (b *BufferedOmega) advanceColumn(t sim.Slot, j int) {
 // tryMove pushes src's head packet into q[j][out] if there is room,
 // consuming it from its source queue and updating the occupancy counts.
 // It reports whether the move happened.
-func (b *BufferedOmega) tryMove(j, out int, src *sim.Queue[Packet]) bool {
+func (b *BufferedOmega) tryMove(t sim.Slot, j, out int, src *sim.Queue[Packet]) bool {
 	if b.q[j][out].Len() >= b.cfg.QueueCap {
 		b.mBlocked.Inc() // runs inside FinishShards' sweep: deterministic
 		return false
 	}
-	b.q[j][out].Push(src.Pop())
+	pk := src.Pop()
+	b.q[j][out].Push(pk)
 	if j == 0 {
 		b.injectCount--
 	} else {
 		b.colCount[j-1]--
 	}
 	b.colCount[j]++
+	if b.flt.Enabled() {
+		b.flt.Emit(pk.ID, t, flight.StageHop, int32(j), int64(out))
+	}
 	return true
 }
 

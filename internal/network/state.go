@@ -4,15 +4,18 @@ import (
 	"cfm/internal/sim"
 )
 
-// savePacket and loadPacket encode one in-network packet.
+// savePacket and loadPacket encode one in-network packet. The flight
+// ID is part of the checkpoint (format v2): a restored packet must
+// keep contributing hop events to the same span.
 func savePacket(enc *sim.StateEncoder, p Packet) {
+	enc.U64(p.ID)
 	enc.Int(p.Dest)
 	enc.Slot(p.Born)
 	enc.Bool(p.Hot)
 }
 
 func loadPacket(dec *sim.StateDecoder) Packet {
-	return Packet{Dest: dec.Int(), Born: dec.Slot(), Hot: dec.Bool()}
+	return Packet{ID: dec.U64(), Dest: dec.Int(), Born: dec.Slot(), Hot: dec.Bool()}
 }
 
 // SaveState implements sim.Stater for the buffered MIN: injection RNG

@@ -1,8 +1,8 @@
 // Package obsflags wires the observability command-line flags shared by
-// the cmd/ tools (-metrics-out, -trace-out, -http, -sample) to the
-// concrete objects behind them: the metrics registry, the slot-sampled
-// time-series recorder, the event trace, and the live profiling
-// endpoint.
+// the cmd/ tools (-metrics-out, -trace-out, -http, -sample, -spans-out)
+// to the concrete objects behind them: the metrics registry, the
+// slot-sampled time-series recorder, the event trace, the flight
+// recorder, and the live profiling endpoint.
 package obsflags
 
 import (
@@ -13,6 +13,7 @@ import (
 	"os"
 	"strings"
 
+	"cfm/internal/flight"
 	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
@@ -30,10 +31,16 @@ type Observatory struct {
 	CheckpointOut string // -checkpoint-out: write a checkpoint here when the run ends
 	Resume        string // -resume: restore engine state from this checkpoint before running
 
+	SpansOut   string // -spans-out: flight-recorder export (*.json: Chrome trace; else JSONL)
+	SpansLimit int    // -spans-limit: flight recorder ring capacity (events)
+
 	Reg     *metrics.Registry
 	Sampler *metrics.Sampler
 	Trace   *sim.Trace
+	Flight  *flight.Recorder   // non-nil when -spans-out is set
+	Status  *metrics.StatusVar // non-nil when -http is set
 	srv     *http.Server
+	engines []sim.Engine // every engine Attach saw, for the post-run stamp
 }
 
 // Flags registers the observability flags on fs and returns the
@@ -51,6 +58,10 @@ func Flags(fs *flag.FlagSet) *Observatory {
 		"write a checkpoint of the final engine state to this file")
 	fs.StringVar(&ob.Resume, "resume", "",
 		"restore engine state from this checkpoint before running")
+	fs.StringVar(&ob.SpansOut, "spans-out", "",
+		"write the flight recorder's access spans to this file: *.json gets Chrome trace-event JSON (Perfetto), anything else JSONL")
+	fs.IntVar(&ob.SpansLimit, "spans-limit", flight.DefaultLimit,
+		"flight recorder capacity in events (the ring keeps the newest)")
 	return ob
 }
 
@@ -96,7 +107,7 @@ func (ob *Observatory) MaybeCheckpoint(eng sim.Engine) error {
 
 // Wanted reports whether any observability flag was set.
 func (ob *Observatory) Wanted() bool {
-	return ob.MetricsOut != "" || ob.TraceOut != "" || ob.HTTPAddr != ""
+	return ob.MetricsOut != "" || ob.TraceOut != "" || ob.HTTPAddr != "" || ob.SpansOut != ""
 }
 
 // Open builds the registry and sampler (and the trace and live endpoint
@@ -111,13 +122,17 @@ func (ob *Observatory) Open(force bool) error {
 	if ob.TraceOut != "" {
 		ob.Trace = sim.NewTrace()
 	}
+	if ob.SpansOut != "" {
+		ob.Flight = flight.NewRecorder(ob.SpansLimit)
+	}
 	if ob.HTTPAddr != "" {
-		srv, err := metrics.Serve(ob.HTTPAddr, ob.Reg)
+		ob.Status = &metrics.StatusVar{}
+		srv, err := metrics.ServeStatus(ob.HTTPAddr, ob.Reg, ob.Status)
 		if err != nil {
 			return err
 		}
 		ob.srv = srv
-		fmt.Fprintf(os.Stderr, "serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr)
+		fmt.Fprintf(os.Stderr, "serving /metrics, /healthz, /statusz, /debug/vars, /debug/pprof on http://%s\n", srv.Addr)
 	}
 	return nil
 }
@@ -138,11 +153,28 @@ func (ob *Observatory) Attach(eng sim.Engine) {
 	if ob.Trace != nil {
 		eng.AttachState("trace", ob.Trace)
 	}
+	if ob.Flight != nil {
+		eng.AttachState("flight", ob.Flight)
+	}
+	if ob.Status != nil {
+		ob.Status.Attach(eng)
+	}
+	if ob.Reg != nil || ob.Status != nil {
+		ob.engines = append(ob.engines, eng)
+	}
 }
 
 // Close writes the requested output files and shuts the live endpoint
 // down. Call once, after the last simulation has finished.
+//
+// Closing also publishes the skip-ahead bookkeeping: the
+// engine_slots_skipped_total and engine_jumps_total counters, summed
+// over every attached engine, are stamped into the registry HERE, after
+// the last run, never during one — skip counts legitimately differ
+// between provably equivalent runs (dense vs skip-ahead), so they must
+// not contaminate the registry digests the determinism tests compare.
 func (ob *Observatory) Close() error {
+	ob.stampEngines()
 	if ob.MetricsOut != "" {
 		if err := ob.writeMetrics(); err != nil {
 			return err
@@ -162,9 +194,59 @@ func (ob *Observatory) Close() error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote trace to %s\n", ob.TraceOut)
 	}
+	if ob.SpansOut != "" {
+		if err := ob.writeSpans(); err != nil {
+			return err
+		}
+	}
 	if ob.srv != nil {
 		return ob.srv.Close()
 	}
+	return nil
+}
+
+// stampEngines folds each attached engine's final progress into the
+// registry counters and the /statusz source (the last engine wins the
+// point-in-time status; the counters accumulate across engines).
+func (ob *Observatory) stampEngines() {
+	var skipped, jumps int64
+	for _, eng := range ob.engines {
+		skipped += eng.SlotsRun() - eng.SlotsFired()
+		if j, ok := eng.(interface{ Jumps() int64 }); ok {
+			jumps += j.Jumps()
+		}
+		if ob.Status != nil {
+			ob.Status.StampEngine(eng)
+		}
+	}
+	if ob.Reg != nil && len(ob.engines) > 0 {
+		ob.Reg.Counter("engine_slots_skipped_total").Add(skipped)
+		ob.Reg.Counter("engine_jumps_total").Add(jumps)
+	}
+}
+
+// writeSpans exports the flight recorder: Chrome trace-event JSON for
+// *.json (loads in Perfetto / chrome://tracing), JSONL otherwise.
+func (ob *Observatory) writeSpans() error {
+	f, err := os.Create(ob.SpansOut)
+	if err != nil {
+		return err
+	}
+	events := ob.Flight.Events()
+	if strings.HasSuffix(ob.SpansOut, ".json") {
+		err = flight.WriteChromeTrace(f, events)
+	} else {
+		err = flight.WriteJSONL(f, events)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d span events to %s (%d dropped by the ring)\n",
+		len(events), ob.SpansOut, ob.Flight.Dropped())
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"cfm/internal/flight"
 	"cfm/internal/metrics"
 	"cfm/internal/sim"
 )
@@ -144,5 +145,123 @@ func TestHTTPEndpoint(t *testing.T) {
 	}
 	if err := ob.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSpansOutFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		file string
+		want string // a substring the chosen format must contain
+	}{
+		{"spans.jsonl", `{"slot":3,"id":"0000000200000003","stage":"issue","actor":2,"arg":0}`},
+		{"spans.json", `"traceEvents"`},
+	} {
+		fs := flag.NewFlagSet("x", flag.ContinueOnError)
+		ob := Flags(fs)
+		path := filepath.Join(dir, tc.file)
+		if err := fs.Parse([]string{"-spans-out", path, "-spans-limit", "64"}); err != nil {
+			t.Fatal(err)
+		}
+		if !ob.Wanted() {
+			t.Fatal("-spans-out set, but Wanted() = false")
+		}
+		if err := ob.Open(false); err != nil {
+			t.Fatal(err)
+		}
+		if ob.Flight == nil || ob.Flight.Cap() != 64 {
+			t.Fatalf("-spans-limit 64: recorder = %+v", ob.Flight)
+		}
+		ob.Flight.Emit(flight.ComposeID(2, 3), 3, flight.StageIssue, 2, 0)
+		if err := ob.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(got), tc.want) {
+			t.Errorf("%s: got %q, want substring %q", tc.file, got, tc.want)
+		}
+	}
+}
+
+func TestAttachRegistersFlightState(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	path := filepath.Join(t.TempDir(), "spans.jsonl")
+	if err := fs.Parse([]string{"-spans-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Open(false); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewClock()
+	ob.Attach(eng)
+	ob.Flight.Emit(1, 0, flight.StageIssue, 0, 0)
+	// The recorder must round-trip through the engine checkpoint: that is
+	// what AttachState("flight", ...) is for.
+	var buf strings.Builder
+	if err := eng.Checkpoint(&writerTo{&buf}); err != nil {
+		t.Fatal(err)
+	}
+	ob.Flight.Reset()
+	if err := eng.Restore(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if ob.Flight.Len() != 1 {
+		t.Fatalf("flight events after restore = %d, want 1", ob.Flight.Len())
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writerTo adapts a strings.Builder to io.Writer (Checkpoint wants one).
+type writerTo struct{ b *strings.Builder }
+
+func (w *writerTo) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+func TestCloseStampsEngineCounters(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	path := filepath.Join(t.TempDir(), "m.prom")
+	if err := fs.Parse([]string{"-metrics-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Open(false); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewClock()
+	eng.SetSkipAhead(true)
+	next := sim.Slot(0)
+	eng.Register(&sim.FuncTicker{
+		OnTick: func(t sim.Slot, ph sim.Phase) {
+			if ph == sim.PhaseIssue && t == next {
+				next += 25
+			}
+		},
+		NextEvent: func(now sim.Slot) sim.Slot {
+			if next < now {
+				return now
+			}
+			return next
+		},
+	})
+	ob.Attach(eng)
+	eng.Run(100)
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "engine_slots_skipped_total") ||
+		!strings.Contains(string(got), "engine_jumps_total") {
+		t.Fatalf("Close must stamp engine counters into the exposition:\n%s", got)
+	}
+	if strings.Contains(string(got), "engine_slots_skipped_total 0\n") {
+		t.Fatalf("skip-ahead run stamped zero skipped slots:\n%s", got)
 	}
 }

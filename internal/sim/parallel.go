@@ -189,6 +189,7 @@ type ParallelClock struct {
 	// Stats
 	slotsRun   int64
 	slotsFired int64
+	jumps      int64
 }
 
 // workerPool holds the persistent worker goroutines of one resolved
@@ -229,6 +230,10 @@ func (pc *ParallelClock) SlotsRun() int64 { return pc.slotsRun }
 // Without skip-ahead it equals SlotsRun.
 func (pc *ParallelClock) SlotsFired() int64 { return pc.slotsFired }
 
+// Jumps reports how many skip-ahead jumps actually advanced the clock;
+// see Clock.Jumps. Read from the owner goroutine, between runs.
+func (pc *ParallelClock) Jumps() int64 { return pc.jumps }
+
 // SetSkipAhead enables or disables the event-horizon clock. Call between
 // runs, from the owner goroutine. The per-component horizons are folded
 // single-threaded by worker 0 between slots; workers observe a jump as a
@@ -265,7 +270,7 @@ func (pc *ParallelClock) Checkpoint(w io.Writer) error {
 	if !pc.planned {
 		pc.compile()
 	}
-	return writeCheckpoint(w, pc.now, pc.slotsRun, pc.slotsFired, pc.tickers, pc.extras)
+	return writeCheckpoint(w, pc.now, pc.slotsRun, pc.slotsFired, pc.jumps, pc.tickers, pc.extras)
 }
 
 // Restore loads a snapshot written by Checkpoint (on either engine kind)
@@ -282,6 +287,7 @@ func (pc *ParallelClock) Restore(r io.Reader) error {
 	pc.now = snap.now
 	pc.slotsRun = snap.slotsRun
 	pc.slotsFired = snap.slotsFired
+	pc.jumps = snap.jumps
 	pc.stopped.Store(false)
 	return nil
 }
@@ -456,6 +462,7 @@ func (pc *ParallelClock) jump(budget int64) int64 {
 	}
 	pc.now += Slot(n)
 	pc.slotsRun += n
+	pc.jumps++
 	return n
 }
 

@@ -330,6 +330,7 @@ type Clock struct {
 	// Stats
 	slotsRun   int64
 	slotsFired int64
+	jumps      int64
 }
 
 type tickerEntry struct {
@@ -434,6 +435,12 @@ func (c *Clock) SlotsRun() int64 { return c.slotsRun }
 // Without skip-ahead it equals SlotsRun.
 func (c *Clock) SlotsFired() int64 { return c.slotsFired }
 
+// Jumps reports how many skip-ahead jumps actually advanced the clock
+// (each covering one or more quiescent slots). Zero without skip-ahead.
+// Like SlotsFired it is engine bookkeeping, not simulation state: two
+// runs may jump differently yet simulate identically.
+func (c *Clock) Jumps() int64 { return c.jumps }
+
 // SetSkipAhead enables or disables the event-horizon clock. May be
 // toggled between runs; the simulated observables are identical either
 // way (skipped slots are provably no-ops — see Horizoner).
@@ -470,7 +477,7 @@ func (c *Clock) Checkpoint(w io.Writer) error {
 	if !c.planned {
 		c.compile()
 	}
-	return writeCheckpoint(w, c.now, c.slotsRun, c.slotsFired, c.tickers, c.extras)
+	return writeCheckpoint(w, c.now, c.slotsRun, c.slotsFired, c.jumps, c.tickers, c.extras)
 }
 
 // Restore loads a snapshot written by Checkpoint (on either engine kind)
@@ -488,6 +495,7 @@ func (c *Clock) Restore(r io.Reader) error {
 	c.now = snap.now
 	c.slotsRun = snap.slotsRun
 	c.slotsFired = snap.slotsFired
+	c.jumps = snap.jumps
 	c.stopped = false
 	return nil
 }
@@ -528,6 +536,7 @@ func (c *Clock) jump(budget int64) int64 {
 	}
 	c.now += Slot(n)
 	c.slotsRun += n
+	c.jumps++
 	return n
 }
 

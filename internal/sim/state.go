@@ -24,7 +24,7 @@ import (
 // whether skip-ahead was or will be enabled (a skipped slot changes no
 // component state by the Horizoner contract).
 //
-// Format (version 1), all integers little-endian:
+// Format (version 2), all integers little-endian:
 //
 //	magic   "CFMCKPT\n"                  8 bytes, raw
 //	version u32                          raw
@@ -32,6 +32,7 @@ import (
 //	        word  now
 //	        word  slotsRun
 //	        word  slotsFired
+//	        word  jumps                  (v2: skip-ahead jump count)
 //	        word  component count
 //	        per component, in compiled (prio, seq) order:
 //	          bool parked
@@ -69,10 +70,15 @@ type Stater interface {
 	LoadState(dec *StateDecoder)
 }
 
-// Snapshot format constants.
+// Snapshot format constants. Version history:
+//
+//	v1  initial format (PR 6)
+//	v2  adds the engine's skip-ahead jump count to the header and a
+//	    stored packet ID to the buffered-omega network's sections
+//	    (flight-recorder PR); v1 snapshots are not readable.
 const (
 	checkpointMagic   = "CFMCKPT\n"
-	CheckpointVersion = 1
+	CheckpointVersion = 2
 )
 
 // Value type tags of the state stream.
@@ -408,11 +414,12 @@ func appendU64(b []byte, v uint64) []byte {
 
 // writeCheckpoint serializes an engine's full state. tickers must be in
 // compiled (prio, seq) order — the caller compiles first.
-func writeCheckpoint(w io.Writer, now Slot, slotsRun, slotsFired int64, tickers []tickerEntry, extras []extraState) error {
+func writeCheckpoint(w io.Writer, now Slot, slotsRun, slotsFired, jumps int64, tickers []tickerEntry, extras []extraState) error {
 	enc := NewStateEncoder()
 	enc.Slot(now)
 	enc.I64(slotsRun)
 	enc.I64(slotsFired)
+	enc.I64(jumps)
 	enc.Int(len(tickers))
 	for i := range tickers {
 		e := &tickers[i]
@@ -457,6 +464,7 @@ type engineSnapshot struct {
 	now        Slot
 	slotsRun   int64
 	slotsFired int64
+	jumps      int64
 }
 
 // ErrUnsupportedVersion is wrapped by Restore when the snapshot's format
@@ -496,6 +504,7 @@ func readCheckpoint(r io.Reader, tickers []tickerEntry, extras []extraState) (en
 	snap.now = dec.Slot()
 	snap.slotsRun = dec.I64()
 	snap.slotsFired = dec.I64()
+	snap.jumps = dec.I64()
 	n := dec.Count()
 	if err := dec.Err(); err != nil {
 		return zero, err

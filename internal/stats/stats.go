@@ -95,6 +95,37 @@ func (h *Histogram) Add(v int) {
 // Total returns the number of observations.
 func (h *Histogram) Total() int64 { return h.total }
 
+// Percentile returns the p-th percentile (0 < p ≤ 100) of the
+// observations in h, resolved to the low edge of the bin where the
+// cumulative count reaches rank ⌈p/100·N⌉ — with BinWidth 1 that is
+// the exact order statistic. An empty histogram reports 0. Out-of-range
+// p is clamped, so Percentile(h, 50)/(h, 95)/(h, 99) are always safe
+// summaries for dumps and tables.
+func Percentile(h *Histogram, p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	edges, counts := h.Bins()
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			return edges[i]
+		}
+	}
+	return edges[len(edges)-1]
+}
+
 // Bins returns (lowEdge, count) pairs in ascending order.
 func (h *Histogram) Bins() (edges []int, counts []int64) {
 	keys := make([]int, 0, len(h.bins))

@@ -232,3 +232,88 @@ func TestHeatmapEmptyAndMismatch(t *testing.T) {
 	}()
 	Heatmap([]string{"a"}, nil)
 }
+
+func TestPercentileExactOrderStatistics(t *testing.T) {
+	// BinWidth 1 makes Percentile the exact order statistic of rank
+	// ceil(p/100*N).
+	h := NewHistogram(1)
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want int
+	}{
+		{1, 1}, {50, 50}, {95, 95}, {99, 99}, {100, 100},
+		{0, 1},     // clamps up to rank 1
+		{-5, 1},    // clamps negative p
+		{150, 100}, // clamps above 100
+	} {
+		if got := Percentile(h, tc.p); got != tc.want {
+			t.Errorf("Percentile(1..100, %v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if got := Percentile(NewHistogram(1), 50); got != 0 {
+		t.Fatalf("Percentile(empty, 50) = %d, want 0", got)
+	}
+}
+
+func TestPercentileSingleObservation(t *testing.T) {
+	h := NewHistogram(1)
+	h.Add(42)
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := Percentile(h, p); got != 42 {
+			t.Errorf("Percentile({42}, %v) = %d, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileSkewedMass(t *testing.T) {
+	// 99 observations at 5, one at 1000: p50/p95 must stay at the bulk,
+	// p100 must find the outlier.
+	h := NewHistogram(1)
+	for i := 0; i < 99; i++ {
+		h.Add(5)
+	}
+	h.Add(1000)
+	if got := Percentile(h, 50); got != 5 {
+		t.Errorf("p50 = %d, want 5", got)
+	}
+	if got := Percentile(h, 95); got != 5 {
+		t.Errorf("p95 = %d, want 5", got)
+	}
+	if got := Percentile(h, 100); got != 1000 {
+		t.Errorf("p100 = %d, want 1000", got)
+	}
+}
+
+func TestPercentileWideBinsReportLowEdge(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(7)  // bin [0,10)
+	h.Add(23) // bin [20,30)
+	if got := Percentile(h, 50); got != 0 {
+		t.Errorf("p50 = %d, want low edge 0", got)
+	}
+	if got := Percentile(h, 100); got != 20 {
+		t.Errorf("p100 = %d, want low edge 20", got)
+	}
+}
+
+func TestPercentileNegativeObservations(t *testing.T) {
+	h := NewHistogram(1)
+	for _, v := range []int{-10, -5, 0, 5, 10} {
+		h.Add(v)
+	}
+	if got := Percentile(h, 1); got != -10 {
+		t.Errorf("p1 = %d, want -10", got)
+	}
+	if got := Percentile(h, 60); got != 0 {
+		t.Errorf("p60 = %d, want 0", got)
+	}
+	if got := Percentile(h, 100); got != 10 {
+		t.Errorf("p100 = %d, want 10", got)
+	}
+}

@@ -1,0 +1,177 @@
+// Differential determinism for the flight recorder: the span stream a
+// scenario emits — not just its digest, the encoded bytes — must be
+// identical under the serial Clock and ParallelClock, dense and with
+// event-horizon skip-ahead. The recorder is an observation, and the
+// engine contract says observations never depend on the schedule.
+//
+// The suite also pins the other half of the recorder's bargain: with
+// recording disabled (a nil *FlightRecorder), the instrumented tick
+// paths must not allocate for it at all.
+package cfm_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"cfm"
+	"cfm/internal/flight"
+)
+
+// spanScenario runs one instrumented system on eng with a recorder
+// attached and returns the encoded span stream.
+type spanScenario struct {
+	name string
+	run  func(eng cfm.Engine) []byte
+}
+
+func spanScenarios() []spanScenario {
+	return []spanScenario{
+		{"ConventionalFig313", func(eng cfm.Engine) []byte {
+			conv := cfm.NewConventional(cfm.ConventionalConfig{
+				Processors: 16, Modules: 16, BlockTime: 8,
+				AccessRate: 0.2, RetryMean: 4, Seed: 313})
+			rec := cfm.NewFlightRecorder(0)
+			conv.RecordFlight(rec)
+			eng.Register(conv)
+			eng.Run(2000)
+			return flight.Encode(rec.Events())
+		}},
+		{"PartialFig314", func(eng cfm.Engine) []byte {
+			p := cfm.NewPartial(cfm.PartialConfig{
+				Processors: 64, Modules: 8, BlockWords: 16, BankCycle: 2,
+				Locality: 0.9, AccessRate: 0.1, RetryMean: 4, Seed: 314})
+			rec := cfm.NewFlightRecorder(0)
+			p.RecordFlight(rec)
+			eng.Register(p)
+			eng.Run(1500)
+			return flight.Encode(rec.Events())
+		}},
+		{"BufferedOmegaHotSpot", func(eng cfm.Engine) []byte {
+			net := cfm.NewBufferedOmega(cfm.BufferedConfig{
+				Terminals: 16, QueueCap: 4, ServiceTime: 2,
+				Rate: 0.3, HotFraction: 0.125, HotModule: 3, Seed: 21})
+			rec := cfm.NewFlightRecorder(0)
+			net.RecordFlight(rec)
+			eng.Register(net)
+			eng.Run(2000)
+			return flight.Encode(rec.Events())
+		}},
+		{"CacheCoherence", func(eng cfm.Engine) []byte {
+			const procs = 4
+			proto := cfm.NewCacheProtocol(cfm.CacheConfig{Processors: procs, Lines: 8, RetryDelay: 2}, nil)
+			rec := cfm.NewFlightRecorder(0)
+			proto.RecordFlight(rec)
+			fes := make([]*cfm.Frontend, procs)
+			for p := range fes {
+				fes[p] = cfm.NewFrontend(proto, eng, p, cfm.BufferedOrder)
+			}
+			eng.Register(cfm.NewFrontendGroup(fes...))
+			eng.Register(proto)
+			for p, fe := range fes {
+				fe.Store(p, 0, cfm.Word(10+p))
+				fe.Load(procs, 0, nil)
+				fe.Store(procs, p, cfm.Word(100+p))
+			}
+			eng.Run(4000)
+			return flight.Encode(rec.Events())
+		}},
+	}
+}
+
+// TestSpanStreamEquivalence is the acceptance gate: span streams are
+// byte-identical across serial/parallel × dense/skip-ahead.
+func TestSpanStreamEquivalence(t *testing.T) {
+	for _, sc := range spanScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			want := sc.run(cfm.NewClock())
+			if len(want) <= 8 {
+				t.Fatalf("scenario recorded no span events; the equivalence check is vacuous")
+			}
+			check := func(kind string, eng cfm.Engine) {
+				if got := sc.run(eng); !bytes.Equal(got, want) {
+					t.Errorf("%s span stream differs from serial dense (%d vs %d bytes)",
+						kind, len(got), len(want))
+				}
+			}
+			for _, w := range equivWorkers() {
+				check(fmt.Sprintf("parallel(workers=%d)", w), cfm.NewParallelClock(w))
+			}
+			skip := cfm.NewClock()
+			skip.SetSkipAhead(true)
+			check("skip-ahead serial", skip)
+			for _, w := range equivWorkers() {
+				eng := cfm.NewParallelClock(w)
+				eng.SetSkipAhead(true)
+				check(fmt.Sprintf("skip-ahead parallel(workers=%d)", w), eng)
+			}
+		})
+	}
+}
+
+// TestFlightDisabledPathAllocs pins the nil-recorder fast path: an
+// instrumented component holding a nil *FlightRecorder must be able to
+// take its Enabled() branch without a single allocation.
+func TestFlightDisabledPathAllocs(t *testing.T) {
+	var rec *cfm.FlightRecorder
+	if rec.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if rec.Enabled() {
+			rec.Emit(cfm.FlightComposeID(3, 17), 17, cfm.StageIssue, 3, 0)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled flight path allocates %.1f/op, want 0", allocs)
+	}
+	// The methods the fold paths call unconditionally are nil-safe and
+	// allocation-free too.
+	allocs = testing.AllocsPerRun(1000, func() {
+		_ = rec.Len()
+		_ = rec.Dropped()
+		_ = rec.Events()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder accessors allocate %.1f/op, want 0", allocs)
+	}
+}
+
+// TestFlightRecorderCheckpointRoundTrip drives a recorder-attached run
+// through Engine.Checkpoint/Restore and requires the restored engine to
+// finish with the same span stream as the uninterrupted oracle.
+func TestFlightRecorderCheckpointRoundTrip(t *testing.T) {
+	build := func() (cfm.Engine, *cfm.FlightRecorder) {
+		eng := cfm.NewClock()
+		conv := cfm.NewConventional(cfm.ConventionalConfig{
+			Processors: 8, Modules: 8, BlockTime: 17,
+			AccessRate: 0.05, RetryMean: 8, Seed: 11})
+		rec := cfm.NewFlightRecorder(0)
+		conv.RecordFlight(rec)
+		eng.Register(conv)
+		eng.AttachState("flight", rec)
+		return eng, rec
+	}
+	oracle, oracleRec := build()
+	oracle.Run(2000)
+	want := flight.Encode(oracleRec.Events())
+
+	eng, rec := build()
+	eng.Run(800)
+	ck, err := cfm.CheckpointBytes(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(1200) // dirty the state past the cut
+	if err := eng.Restore(bytes.NewReader(ck)); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Now() != 800 {
+		t.Fatalf("restored engine at slot %d, want 800", eng.Now())
+	}
+	eng.Run(1200)
+	if got := flight.Encode(rec.Events()); !bytes.Equal(got, want) {
+		t.Fatalf("restored run's span stream differs from the oracle (%d vs %d bytes)",
+			len(got), len(want))
+	}
+}

@@ -1,0 +1,81 @@
+// Golden-file pin for the flight recorder's export formats: the JSONL
+// and Chrome-trace (Perfetto) bytes a fixed scenario produces are
+// checked into testdata and byte-compared, from both engines. Format
+// changes are deliberate acts — regenerate with
+//
+//	go test -run TestSpansGolden -update-golden .
+package cfm_test
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"cfm"
+)
+
+// spansGoldenScenario is a small fixed conventional run: enough traffic
+// for a few hundred spans, small enough that the golden files stay
+// reviewable in a diff.
+func spansGoldenScenario(eng cfm.Engine) []cfm.FlightEvent {
+	conv := cfm.NewConventional(cfm.ConventionalConfig{
+		Processors: 8, Modules: 8, BlockTime: 17,
+		AccessRate: 0.05, RetryMean: 8, Seed: 11})
+	rec := cfm.NewFlightRecorder(0)
+	conv.RecordFlight(rec)
+	eng.Register(conv)
+	eng.Run(600)
+	return rec.Events()
+}
+
+func checkSpansGolden(t *testing.T, path string, render func([]cfm.FlightEvent) []byte) {
+	t.Helper()
+	serial := render(spansGoldenScenario(cfm.NewClock()))
+	if len(serial) == 0 {
+		t.Fatal("scenario rendered no span bytes; the golden check is vacuous")
+	}
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, serial, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with go test -run TestSpansGolden -update-golden .): %v", err)
+	}
+	if !bytes.Equal(serial, want) {
+		t.Errorf("serial span export drifted from %s (%d vs %d bytes; regenerate with -update-golden if deliberate):\n%s",
+			path, len(serial), len(want), diffHint(string(want), string(serial)))
+	}
+	skip := cfm.NewParallelClock(0)
+	skip.SetSkipAhead(true)
+	if parallel := render(spansGoldenScenario(skip)); !bytes.Equal(parallel, want) {
+		t.Errorf("parallel skip-ahead span export drifted from %s:\n%s",
+			path, diffHint(string(want), string(parallel)))
+	}
+}
+
+// TestSpansGoldenJSONL pins the JSONL export bytes.
+func TestSpansGoldenJSONL(t *testing.T) {
+	checkSpansGolden(t, "testdata/spans_golden.jsonl", func(evs []cfm.FlightEvent) []byte {
+		var buf bytes.Buffer
+		if err := cfm.WriteFlightJSONL(&buf, evs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	})
+}
+
+// TestSpansGoldenChromeTrace pins the Perfetto-loadable Chrome trace.
+func TestSpansGoldenChromeTrace(t *testing.T) {
+	checkSpansGolden(t, "testdata/spans_golden.json", func(evs []cfm.FlightEvent) []byte {
+		var buf bytes.Buffer
+		if err := cfm.WriteFlightChromeTrace(&buf, evs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	})
+}
