@@ -786,8 +786,11 @@ func BenchmarkOrderingFrontends(b *testing.B) {
 
 // engineBenchShapes are the fleet configurations of the engine guard
 // benchmarks: the Fig. 3.14 (n=64, m=8) and Fig. 3.15 (n=128, m=16)
-// machine shapes of the partially conflict-free system.
-var engineBenchShapes = []struct{ n, m int }{{64, 8}, {128, 16}}
+// machine shapes of the partially conflict-free system, plus two
+// scaled-up shapes (same 8-processor clusters, 8x and 32x the fleet)
+// where the per-shard work is large enough for the parallel engine's
+// combining-tree barrier and epoch batching to amortize.
+var engineBenchShapes = []struct{ n, m int }{{64, 8}, {128, 16}, {1024, 128}, {4096, 512}}
 
 func engineBenchRun(b *testing.B, mk func() cfm.Engine, n, m int) {
 	cfg := cfm.PartialConfig{

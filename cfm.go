@@ -116,6 +116,14 @@ const WorkersAuto = sim.WorkersAuto
 // worker count (WorkersAuto = heuristic, < 0 = GOMAXPROCS).
 func NewParallelClock(workers int) *ParallelClock { return sim.NewParallelClock(workers) }
 
+// EpochAuto asks Engine.SetEpochBatch to size barrier episodes itself:
+// a batchable plan (all shard work, every component epoch-safe) fuses
+// several slots per barrier episode so crossings amortize; any other
+// plan runs slot-at-a-time. It is the default — pass 1 to disable
+// batching, k > 1 to cap episodes at k slots. The simulation is
+// bit-identical at any setting.
+const EpochAuto = sim.EpochAuto
+
 // NewEngine returns a ParallelClock with the given worker count when
 // parallel is true, else a serial Clock — the one-liner behind the
 // cmd/* -parallel / -workers flags.

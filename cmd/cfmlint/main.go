@@ -2,7 +2,8 @@
 // invariants: determinism (no wall clocks, no global rand, no stray
 // concurrency, no unsorted map iteration in digests), RNG draw
 // discipline for skip-ahead, PhaseMask/Tick agreement, hot-path
-// allocation hygiene, and metric-name validity.
+// allocation hygiene, metric-name validity, and cache-line padding of
+// //cfm:cacheline structs (the barrier's per-worker spin nodes).
 //
 // Usage:
 //

@@ -126,6 +126,11 @@ simulation-heavy commands (efficiency, treesat, alloc, observe) accept
   -skip-ahead       event-horizon scheduling: jump the clock over slots
                     no component declared interest in (same results,
                     bit for bit; pays off on sparse/bursty workloads)
+  -epoch-batch K    barrier episode length for the parallel engine:
+                    0 = auto (fuse up to 16 slots per episode when every
+                    component is epoch-safe), 1 = per-slot barriers,
+                    K > 1 caps episodes at K slots (same results, bit
+                    for bit; ignored by the serial engine)
 
 observability flags (efficiency, treesat, alloc, observe):
   -metrics-out F    write metrics to F: *.jsonl gets the slot-sampled
@@ -275,6 +280,7 @@ func cmdEfficiency(args []string) {
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
+	epochBatch := fs.Int("epoch-batch", int(cfm.EpochAuto), "barrier episode length: 0 = auto, 1 = per-slot barriers, K > 1 caps episodes at K slots (parallel engine only; same results, bit for bit)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -321,6 +327,7 @@ func cmdEfficiency(args []string) {
 		simEfficiency(*fig, *slots, func() cfm.Engine {
 			eng := cfm.NewEngine(*parallel, *workers)
 			eng.SetSkipAhead(*skipAhead)
+			eng.SetEpochBatch(*epochBatch)
 			return eng
 		}, obs)
 	}
@@ -458,6 +465,7 @@ func cmdTreeSat(args []string) {
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
+	epochBatch := fs.Int("epoch-batch", int(cfm.EpochAuto), "barrier episode length: 0 = auto, 1 = per-slot barriers, K > 1 caps episodes at K slots (parallel engine only; same results, bit for bit)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -473,6 +481,7 @@ func cmdTreeSat(args []string) {
 		b.RecordFlight(obs.Flight)
 		clk := cfm.NewEngine(*parallel, *workers)
 		clk.SetSkipAhead(*skipAhead)
+		clk.SetEpochBatch(*epochBatch)
 		clk.Register(b)
 		obs.Attach(clk)
 		clk.Run(*slots)
@@ -663,6 +672,7 @@ func cmdAlloc(args []string) {
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
+	epochBatch := fs.Int("epoch-batch", int(cfm.EpochAuto), "barrier episode length: 0 = auto, 1 = per-slot barriers, K > 1 caps episodes at K slots (parallel engine only; same results, bit for bit)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -699,6 +709,7 @@ func cmdAlloc(args []string) {
 		p.RecordFlight(obs.Flight)
 		clk := cfm.NewEngine(*parallel, *workers)
 		clk.SetSkipAhead(*skipAhead)
+		clk.SetEpochBatch(*epochBatch)
 		clk.Register(p)
 		obs.Attach(clk)
 		clk.Run(*slots)
@@ -766,6 +777,7 @@ func cmdObserve(args []string) {
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
+	epochBatch := fs.Int("epoch-batch", int(cfm.EpochAuto), "barrier episode length: 0 = auto, 1 = per-slot barriers, K > 1 caps episodes at K slots (parallel engine only; same results, bit for bit)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, true) // observe always needs the registry
@@ -789,6 +801,7 @@ func cmdObserve(args []string) {
 
 	clk := cfm.NewEngine(*parallel, *workers)
 	clk.SetSkipAhead(*skipAhead)
+	clk.SetEpochBatch(*epochBatch)
 	clk.Register(conv)
 	clk.Register(net)
 	clk.Register(proto)
@@ -891,6 +904,7 @@ func cmdWaterfall(args []string) {
 	parallel := fs.Bool("parallel", false, "run the simulation on the parallel cycle engine")
 	workers := fs.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
 	skipAhead := fs.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
+	epochBatch := fs.Int("epoch-batch", int(cfm.EpochAuto), "barrier episode length: 0 = auto, 1 = per-slot barriers, K > 1 caps episodes at K slots (parallel engine only; same results, bit for bit)")
 	obs := obsflags.Flags(fs)
 	fs.Parse(args)
 	openObservatory(obs, false)
@@ -903,6 +917,7 @@ func cmdWaterfall(args []string) {
 	}
 	clk := cfm.NewEngine(*parallel, *workers)
 	clk.SetSkipAhead(*skipAhead)
+	clk.SetEpochBatch(*epochBatch)
 	var label string
 	switch *sys {
 	case "conventional":

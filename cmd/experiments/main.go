@@ -27,17 +27,20 @@ import (
 )
 
 var (
-	parallel  = flag.Bool("parallel", false, "run simulations on the parallel cycle engine")
-	workers   = flag.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
-	skipAhead = flag.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
-	obs       = obsflags.Flags(flag.CommandLine)
+	parallel   = flag.Bool("parallel", false, "run simulations on the parallel cycle engine")
+	workers    = flag.Int("workers", 0, "parallel engine workers (0 = auto: serial fallback for small fleets, else GOMAXPROCS; <0 = GOMAXPROCS)")
+	skipAhead  = flag.Bool("skip-ahead", false, "jump the clock over quiescent slots (event-horizon scheduling; same results, bit for bit)")
+	epochBatch = flag.Int("epoch-batch", int(cfm.EpochAuto), "barrier episode length: 0 = auto, 1 = per-slot barriers, K > 1 caps episodes at K slots (parallel engine only; same results, bit for bit)")
+	obs        = obsflags.Flags(flag.CommandLine)
 )
 
 // newEngine builds the cycle engine each experiment registers its
-// components on, honoring the -parallel/-workers/-skip-ahead flags.
+// components on, honoring the -parallel/-workers/-skip-ahead/
+// -epoch-batch flags.
 func newEngine() cfm.Engine {
 	eng := cfm.NewEngine(*parallel, *workers)
 	eng.SetSkipAhead(*skipAhead)
+	eng.SetEpochBatch(*epochBatch)
 	return eng
 }
 
@@ -77,6 +80,7 @@ func main() {
 	tables55and56()
 	chapter6()
 	extensions()
+	syncScaling()
 	fmt.Println()
 	if err := obs.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -573,6 +577,60 @@ func extensions() {
 	ts.Rd(cfm.Tuple{"target"})
 	check("Linda match cost grows with tuple space size (§6.1.3)", ts.Scans-before > 400,
 		fmt.Sprintf("%d tuples scanned for one rd", ts.Scans-before))
+}
+
+// syncScaling measures the parallel engine's synchronization cost on
+// the partially conflict-free fleets: barrier crossings per simulated
+// slot under per-slot barriers (epoch-batch 1) versus batched episodes
+// (epoch-batch auto), across worker counts and fleet sizes. The
+// simulated results must be bit-identical in every cell — only the
+// synchronization schedule may change.
+func syncScaling() {
+	fmt.Println("\n## Engine synchronization scaling (combining-tree barrier + epoch batching)")
+	const slots = 5000
+	mkFleet := func(n, m int) *cfm.Partial {
+		return cfm.NewPartial(cfm.PartialConfig{
+			Processors: n, Modules: m, BlockWords: 2 * (n / m), BankCycle: 2,
+			Locality: 0.9, AccessRate: 0.2, RetryMean: 4, Seed: 42})
+	}
+	tb := &stats.Table{Header: []string{"fleet", "workers", "mode", "epochs", "crossings/slot", "E"}}
+	identical, amortized := true, true
+	for _, sh := range []struct{ n, m int }{{128, 16}, {1024, 128}} {
+		serialFleet := mkFleet(sh.n, sh.m)
+		serialClk := cfm.NewClock()
+		serialClk.Register(serialFleet)
+		serialClk.Run(slots)
+		wantE := serialFleet.Efficiency()
+		for _, w := range []int{2, 4} {
+			var perSlot [2]float64
+			for mi, k := range []int{1, cfm.EpochAuto} {
+				p := mkFleet(sh.n, sh.m)
+				clk := cfm.NewParallelClock(w)
+				clk.SetEpochBatch(k)
+				clk.Register(p)
+				clk.Run(slots)
+				clk.Close()
+				mode := "per-slot"
+				if k == cfm.EpochAuto {
+					mode = "batched"
+				}
+				perSlot[mi] = float64(clk.BarrierCrossings()) / slots
+				tb.AddRow(fmt.Sprintf("n%d/m%d", sh.n, sh.m), w, mode,
+					clk.Epochs(), perSlot[mi], p.Efficiency())
+				if p.Efficiency() != wantE {
+					identical = false
+				}
+			}
+			if perSlot[1]*4 > perSlot[0] {
+				amortized = false
+			}
+		}
+	}
+	fmt.Print(tb)
+	check("batched and per-slot runs are bit-identical to the serial clock", identical,
+		"Partial efficiency equal in every cell")
+	check("epoch batching amortizes barrier crossings by >=4x", amortized,
+		"2 crossings per 16-slot episode vs several per slot")
 }
 
 func hierMulti(levels int) hier.MultiLevel {

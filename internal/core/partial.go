@@ -125,8 +125,12 @@ type Partial struct {
 	backlog     []sim.Queue[sim.Slot]
 	targetMod   []int
 
-	// stage buffers per-shard measurement deltas, folded by FinishShards.
+	// stage buffers per-shard measurement deltas, folded by FinishShards
+	// (per slot) or FinishEpoch (per batched episode).
 	stage []partialStage
+	// epochCursors is FinishEpoch's slot-major merge scratch, one cursor
+	// per shard (preallocated; the fold must stay alloc-free).
+	epochCursors []int
 
 	// Measurements.
 	Completed    int64
@@ -179,17 +183,18 @@ func NewPartial(cfg PartialConfig) *Partial {
 	}
 	n := cfg.Processors
 	p := &Partial{
-		cfg:         cfg,
-		rngs:        make([]*sim.RNG, n),
-		ports:       make([]sim.Slot, cfg.Modules*cfg.ClusterSize()),
-		state:       make([]procState, n),
-		wakeAt:      make([]sim.Slot, n),
-		doneAt:      make([]sim.Slot, n),
-		issuedAt:    make([]sim.Slot, n),
-		nextArrival: make([]sim.Slot, n),
-		backlog:     make([]sim.Queue[sim.Slot], n),
-		targetMod:   make([]int, n),
-		stage:       make([]partialStage, cfg.ClusterSize()),
+		cfg:          cfg,
+		rngs:         make([]*sim.RNG, n),
+		ports:        make([]sim.Slot, cfg.Modules*cfg.ClusterSize()),
+		state:        make([]procState, n),
+		wakeAt:       make([]sim.Slot, n),
+		doneAt:       make([]sim.Slot, n),
+		issuedAt:     make([]sim.Slot, n),
+		nextArrival:  make([]sim.Slot, n),
+		backlog:      make([]sim.Queue[sim.Slot], n),
+		targetMod:    make([]int, n),
+		stage:        make([]partialStage, cfg.ClusterSize()),
+		epochCursors: make([]int, cfg.ClusterSize()),
 	}
 	seeder := sim.NewRNG(cfg.Seed)
 	for i := 0; i < n; i++ {
@@ -388,6 +393,64 @@ func (p *Partial) FinishShards(t sim.Slot, ph sim.Phase) {
 		st.localAcc, st.remoteAcc = 0, 0
 		st.lats = st.lats[:0]
 		st.flights = st.flights[:0]
+	}
+}
+
+// EpochSafe implements sim.EpochSafeTicker: Partial has global shard
+// closure, not just per-phase independence. A contention-set shard s
+// touches only shard-owned state — processors i ≡ s (mod ClusterSize)
+// and their RNG streams, the set-s ports (portIndex(·, s)), and
+// stage[s] — in every phase of every slot, and Partial never parks, so
+// the parallel engine may run shard s through a whole multi-slot
+// episode before shard s′ has started it.
+func (p *Partial) EpochSafe() bool { return true }
+
+// FinishEpoch implements sim.EpochFinisher: one fold for the whole
+// episode [from, to), leaving every sink byte-identical to per-slot
+// FinishShards calls. Counters and the latency histogram are
+// commutative, so a single fold in shard order suffices; the flight
+// stream is order-sensitive, so the per-shard staged streams — each
+// slot-nondecreasing, because a shard runs the episode's slots in
+// order — are merged slot-major with per-shard cursors, reproducing
+// the serial (slot, shard, emission) order exactly.
+func (p *Partial) FinishEpoch(from, to sim.Slot) {
+	for s := range p.stage {
+		st := &p.stage[s]
+		p.Completed += st.completed
+		p.Retries += st.retries
+		p.TotalLatency += st.totalLatency
+		p.LocalAcc += st.localAcc
+		p.RemoteAcc += st.remoteAcc
+		p.mCompleted.Add(st.completed)
+		p.mRetries.Add(st.retries)
+		p.mLatency.Add(st.totalLatency)
+		p.mLocal.Add(st.localAcc)
+		p.mRemote.Add(st.remoteAcc)
+		for _, l := range st.lats {
+			p.mLatHist.Observe(l)
+		}
+		st.completed, st.retries, st.totalLatency = 0, 0, 0
+		st.localAcc, st.remoteAcc = 0, 0
+		st.lats = st.lats[:0]
+	}
+	if p.flt.Enabled() {
+		for s := range p.epochCursors {
+			p.epochCursors[s] = 0
+		}
+		for t := from; t < to; t++ {
+			for s := range p.stage {
+				evs := p.stage[s].flights
+				c := p.epochCursors[s]
+				for c < len(evs) && evs[c].Slot <= t {
+					p.flt.Append(evs[c])
+					c++
+				}
+				p.epochCursors[s] = c
+			}
+		}
+	}
+	for s := range p.stage {
+		p.stage[s].flights = p.stage[s].flights[:0]
 	}
 }
 

@@ -21,6 +21,10 @@
 //   - flight: flight-recorder emissions in instrumented packages sit
 //     under an Enabled() guard (the disabled path is zero-alloc), and a
 //     package emitting an opening stage also emits StageRetire.
+//   - structlayout: a //cfm:cacheline struct (per-worker barrier nodes
+//     laid out side by side in a slice) sizes to a nonzero multiple of
+//     64 bytes on gc/amd64, so adjacent workers' spin flags never share
+//     a cache line.
 //
 // The suite is built on go/ast + go/types only (no x/tools), so it runs
 // anywhere the repo builds: `go run ./cmd/cfmlint ./...`.
@@ -38,6 +42,7 @@
 //	//cfm:shared-metric R    several sites intentionally share one metric
 //	//cfm:no-stater R        ticker is deliberately not checkpointable
 //	//cfm:flight-ok R        flight emission intentionally unguarded
+//	//cfm:cacheline          struct must fill whole 64-byte cache lines
 package lint
 
 import (
@@ -114,6 +119,7 @@ func Passes() []*Pass {
 		MetricNamesPass(),
 		StaterPass(),
 		FlightPass(),
+		StructLayoutPass(),
 	}
 }
 

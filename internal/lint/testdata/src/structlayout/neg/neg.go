@@ -1,0 +1,44 @@
+// Package neg holds layouts the structlayout pass must accept: padded
+// annotated structs, multi-line annotated structs, and unannotated
+// structs of any size.
+package neg
+
+import "sync/atomic"
+
+// paddedNode is the canonical barrier node shape: flags plus explicit
+// padding to exactly one cache line.
+//
+//cfm:cacheline
+type paddedNode struct {
+	arrive  [4]atomic.Uint64
+	release atomic.Uint64
+	_       [24]byte
+}
+
+// twoLines fills two whole cache lines — a multiple is fine; only
+// partial lines are false sharing.
+//
+//cfm:cacheline
+type twoLines struct {
+	flags [16]atomic.Uint64
+}
+
+// unannotated is 12 bytes but carries no directive, so its layout is
+// not the pass's business.
+type unannotated struct {
+	a uint64
+	b uint32
+}
+
+// grouped declarations carry the directive on the spec itself.
+type (
+	//cfm:cacheline
+	groupedNode struct {
+		words [8]uint64
+	}
+)
+
+var _ = paddedNode{}
+var _ = twoLines{}
+var _ = unannotated{}
+var _ = groupedNode{}

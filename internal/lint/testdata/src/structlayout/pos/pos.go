@@ -1,0 +1,41 @@
+// Package pos holds //cfm:cacheline layouts the structlayout pass must
+// reject.
+package pos
+
+import "sync/atomic"
+
+// shortNode forgets the trailing padding: 40 bytes, so two adjacent
+// nodes share a cache line.
+//
+//cfm:cacheline
+type shortNode struct { // want "shortNode is annotated //cfm:cacheline but is 40 bytes"
+	arrive  [4]atomic.Uint64
+	release atomic.Uint64
+}
+
+// grownNode models the classic regression: a field was added to a padded
+// struct but the pad was not re-derived, overflowing into a second,
+// partially filled line.
+//
+//cfm:cacheline
+type grownNode struct { // want "grownNode is annotated //cfm:cacheline but is 72 bytes"
+	arrive  [4]atomic.Uint64
+	release atomic.Uint64
+	extra   atomic.Uint64
+	_       [24]byte
+}
+
+// empty carries the directive but has no fields at all.
+//
+//cfm:cacheline
+type empty struct{} // want "empty is annotated //cfm:cacheline but is empty"
+
+// notAStruct cannot be line-padded at all.
+//
+//cfm:cacheline
+type notAStruct int // want "notAStruct is annotated //cfm:cacheline but is not a struct"
+
+var _ = shortNode{}
+var _ = grownNode{}
+var _ = empty{}
+var _ = notAStruct(0)

@@ -29,9 +29,11 @@ func Serve(addr string, reg *Registry) (*http.Server, error) {
 
 // ServeStatus is Serve with an engine status source. When sv is non-nil,
 // /statusz reports its readings and /metrics appends the
-// engine_slots_skipped_total and engine_jumps_total counters at scrape
-// time (they are stamped into the exposition, never into reg, so the
-// registry digest stays independent of the skip-ahead schedule).
+// engine_slots_skipped_total, engine_jumps_total,
+// engine_barrier_crossings_total and engine_epochs_total counters at
+// scrape time (they are stamped into the exposition, never into reg, so
+// the registry digest stays independent of the skip-ahead schedule and
+// of the engine's synchronization strategy).
 func ServeStatus(addr string, reg *Registry, sv *StatusVar) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -52,6 +54,8 @@ func Handler(reg *Registry, sv *StatusVar) http.Handler {
 		if sv != nil {
 			st := sv.Status()
 			snap.Counters = append(snap.Counters,
+				NameValue{Name: "engine_barrier_crossings_total", Value: st.BarrierCrossings},
+				NameValue{Name: "engine_epochs_total", Value: st.Epochs},
 				NameValue{Name: "engine_jumps_total", Value: st.Jumps},
 				NameValue{Name: "engine_slots_skipped_total", Value: st.SlotsSkipped})
 			sort.Slice(snap.Counters, func(i, j int) bool {

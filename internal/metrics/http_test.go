@@ -41,6 +41,7 @@ func TestStatusz(t *testing.T) {
 	sv := &StatusVar{}
 	sv.Set(120, 100, 40, 7)
 	sv.SetWorkers(4)
+	sv.SetSync(260, 25)
 	srv := httptest.NewServer(Handler(New(), sv))
 	defer srv.Close()
 	code, body := get(t, srv, "/statusz")
@@ -52,7 +53,7 @@ func TestStatusz(t *testing.T) {
 		t.Fatalf("/statusz body %q: %v", body, err)
 	}
 	want := Status{Slot: 120, SlotsRun: 100, SlotsFired: 40, SlotsSkipped: 60,
-		Jumps: 7, SkipRatio: 0.6, Workers: 4}
+		Jumps: 7, SkipRatio: 0.6, Workers: 4, BarrierCrossings: 260, Epochs: 25}
 	if st != want {
 		t.Fatalf("/statusz = %+v, want %+v", st, want)
 	}
@@ -79,12 +80,15 @@ func TestMetricsScrapeStampsEngineCounters(t *testing.T) {
 	reg.Counter("work_total").Add(3)
 	sv := &StatusVar{}
 	sv.Set(50, 50, 20, 4)
+	sv.SetSync(140, 13)
 	srv := httptest.NewServer(Handler(reg, sv))
 	defer srv.Close()
 	_, body := get(t, srv, "/metrics")
 	for _, want := range []string{
 		"engine_slots_skipped_total 30",
 		"engine_jumps_total 4",
+		"engine_barrier_crossings_total 140",
+		"engine_epochs_total 13",
 		"work_total 3",
 	} {
 		if !strings.Contains(body, want) {
@@ -133,6 +137,44 @@ func TestStatusVarAttachTracksEngine(t *testing.T) {
 	}
 	if st.Workers != 1 {
 		t.Fatalf("serial clock workers = %d, want 1", st.Workers)
+	}
+}
+
+// epochStamp is a minimal epoch-safe fleet member: per-shard counters
+// only, so the batched engine can fuse slots into episodes.
+type epochStamp struct {
+	vals []int64
+}
+
+func (s *epochStamp) Tick(t sim.Slot, ph sim.Phase)            { sim.SerialTick(s, t, ph) }
+func (s *epochStamp) Shards() int                              { return len(s.vals) }
+func (s *epochStamp) TickShard(_ sim.Slot, _ sim.Phase, i int) { s.vals[i]++ }
+func (s *epochStamp) EpochSafe() bool                          { return true }
+
+func TestStampEngineSyncCounters(t *testing.T) {
+	sv := &StatusVar{}
+	serial := sim.NewClock()
+	serial.Register(sim.TickerFunc(func(sim.Slot, sim.Phase) {}))
+	serial.Run(5)
+	sv.StampEngine(serial)
+	if st := sv.Status(); st.BarrierCrossings != 0 || st.Epochs != 0 {
+		t.Fatalf("serial clock stamped sync counters: %+v", st)
+	}
+
+	eng := sim.NewParallelClock(2)
+	defer eng.Close()
+	eng.Register(&epochStamp{vals: make([]int64, 8)})
+	eng.Run(40)
+	sv.StampEngine(eng)
+	st := sv.Status()
+	if st.BarrierCrossings == 0 || st.Epochs == 0 {
+		t.Fatalf("parallel engine stamped zero sync counters: %+v", st)
+	}
+	if st.Epochs >= st.SlotsFired {
+		t.Fatalf("batching invisible in stamp: %d epochs for %d fired slots", st.Epochs, st.SlotsFired)
+	}
+	if st.Workers != 2 {
+		t.Fatalf("workers = %d, want 2", st.Workers)
 	}
 }
 

@@ -21,17 +21,20 @@ import (
 // equivalent runs).
 type StatusVar struct {
 	slot, slotsRun, slotsFired, jumps, workers atomic.Int64
+	crossings, epochs                          atomic.Int64
 }
 
 // Status is one reading of a StatusVar.
 type Status struct {
-	Slot         int64   `json:"slot"`
-	SlotsRun     int64   `json:"slots_run"`
-	SlotsFired   int64   `json:"slots_fired"`
-	SlotsSkipped int64   `json:"slots_skipped"`
-	Jumps        int64   `json:"jumps"`
-	SkipRatio    float64 `json:"skip_ratio"`
-	Workers      int64   `json:"workers"`
+	Slot             int64   `json:"slot"`
+	SlotsRun         int64   `json:"slots_run"`
+	SlotsFired       int64   `json:"slots_fired"`
+	SlotsSkipped     int64   `json:"slots_skipped"`
+	Jumps            int64   `json:"jumps"`
+	SkipRatio        float64 `json:"skip_ratio"`
+	Workers          int64   `json:"workers"`
+	BarrierCrossings int64   `json:"barrier_crossings"`
+	Epochs           int64   `json:"epochs"`
 }
 
 // Set stamps the engine progress counters.
@@ -42,6 +45,13 @@ func (sv *StatusVar) Set(slot, run, fired, jumps int64) {
 	sv.jumps.Store(jumps)
 }
 
+// SetSync stamps the engine's synchronization counters: barrier
+// crossings and barrier episodes (both 0 for the serial clock).
+func (sv *StatusVar) SetSync(crossings, epochs int64) {
+	sv.crossings.Store(crossings)
+	sv.epochs.Store(epochs)
+}
+
 // SetWorkers records the engine's worker count (1 for the serial clock).
 func (sv *StatusVar) SetWorkers(n int) { sv.workers.Store(int64(n)) }
 
@@ -50,12 +60,14 @@ func (sv *StatusVar) SetWorkers(n int) { sv.workers.Store(int64(n)) }
 func (sv *StatusVar) Status() Status {
 	run, fired := sv.slotsRun.Load(), sv.slotsFired.Load()
 	st := Status{
-		Slot:         sv.slot.Load(),
-		SlotsRun:     run,
-		SlotsFired:   fired,
-		SlotsSkipped: run - fired,
-		Jumps:        sv.jumps.Load(),
-		Workers:      sv.workers.Load(),
+		Slot:             sv.slot.Load(),
+		SlotsRun:         run,
+		SlotsFired:       fired,
+		SlotsSkipped:     run - fired,
+		Jumps:            sv.jumps.Load(),
+		Workers:          sv.workers.Load(),
+		BarrierCrossings: sv.crossings.Load(),
+		Epochs:           sv.epochs.Load(),
 	}
 	if run > 0 {
 		st.SkipRatio = float64(st.SlotsSkipped) / float64(run)
@@ -74,8 +86,16 @@ func (sv *StatusVar) StampEngine(eng sim.Engine) {
 	if w, ok := eng.(interface{ Workers() int }); ok {
 		workers = w.Workers()
 	}
+	crossings, epochs := int64(0), int64(0)
+	if c, ok := eng.(interface{ BarrierCrossings() int64 }); ok {
+		crossings = c.BarrierCrossings()
+	}
+	if e, ok := eng.(interface{ Epochs() int64 }); ok {
+		epochs = e.Epochs()
+	}
 	sv.Set(int64(eng.Now()), eng.SlotsRun(), eng.SlotsFired(), jumps)
 	sv.SetWorkers(workers)
+	sv.SetSync(crossings, epochs)
 }
 
 // statusTicker mirrors engine progress into a StatusVar on every fired

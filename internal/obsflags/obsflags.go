@@ -220,6 +220,14 @@ func (ob *Observatory) stampEngines() {
 		}
 	}
 	if ob.Reg != nil && len(ob.engines) > 0 {
+		// Only counters derivable from checkpointed clock state are
+		// folded into the exported exposition: a resumed run must
+		// write a byte-identical -metrics-out file, and the engine's
+		// synchronization counters (BarrierCrossings/Epochs) are
+		// process-lifetime values a restore cannot reconstruct. Those
+		// stay on the live surfaces — /statusz and the /metrics
+		// scrape-time append — which carry point-in-time engine
+		// status, not simulated history.
 		ob.Reg.Counter("engine_slots_skipped_total").Add(skipped)
 		ob.Reg.Counter("engine_jumps_total").Add(jumps)
 	}

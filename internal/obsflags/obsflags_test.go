@@ -265,3 +265,59 @@ func TestCloseStampsEngineCounters(t *testing.T) {
 		t.Fatalf("skip-ahead run stamped zero skipped slots:\n%s", got)
 	}
 }
+
+// shardedLoad is a minimal epoch-safe fleet member so the parallel
+// engine batches slots into episodes under EpochAuto.
+type shardedLoad struct {
+	vals []int64
+}
+
+func (s *shardedLoad) Tick(t sim.Slot, ph sim.Phase)            { sim.SerialTick(s, t, ph) }
+func (s *shardedLoad) Shards() int                              { return len(s.vals) }
+func (s *shardedLoad) TickShard(_ sim.Slot, _ sim.Phase, i int) { s.vals[i]++ }
+func (s *shardedLoad) EpochSafe() bool                          { return true }
+
+// TestCloseExcludesSyncCounters pins the -metrics-out contract: the
+// exported exposition carries only counters derivable from checkpointed
+// clock state (skipped, jumps), never the engine's process-lifetime
+// synchronization counters — a resumed run only counts post-resume
+// barrier work, so stamping crossings/epochs would break the
+// byte-identity between a resumed and an uninterrupted run. Those live
+// on /statusz and the /metrics scrape instead (see internal/metrics).
+func TestCloseExcludesSyncCounters(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	ob := Flags(fs)
+	path := filepath.Join(t.TempDir(), "m.prom")
+	if err := fs.Parse([]string{"-metrics-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Open(false); err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewParallelClock(2)
+	defer eng.Close()
+	eng.Register(&shardedLoad{vals: make([]int64, 8)})
+	ob.Attach(eng)
+	eng.Run(40)
+	if eng.BarrierCrossings() == 0 || eng.Epochs() == 0 {
+		t.Fatalf("parallel run reported no synchronization: crossings=%d epochs=%d",
+			eng.BarrierCrossings(), eng.Epochs())
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"engine_barrier_crossings_total", "engine_epochs_total"} {
+		if strings.Contains(string(got), name) {
+			t.Fatalf("%s leaked into the -metrics-out exposition (it is not resumable):\n%s", name, got)
+		}
+	}
+	for _, name := range []string{"engine_slots_skipped_total", "engine_jumps_total"} {
+		if !strings.Contains(string(got), name) {
+			t.Fatalf("Close must still stamp %s into the exposition:\n%s", name, got)
+		}
+	}
+}

@@ -40,16 +40,33 @@ import (
 // dissertation's evaluation.
 //
 // Execution model: a pool of persistent workers is spawned lazily at
-// the first parallel run and parked on the pool barrier between runs —
-// a run costs no goroutine creation. All synchronization is one
-// two-counter sense-reversing barrier (atomic fan-in counter plus a
-// generation word); waiters spin briefly and then block on a condition
-// variable, so an idle engine consumes no CPU. Barriers are inserted by
-// the compiler only where the schedule actually needs them: before
-// parallel shard work (so it cannot overtake preceding work) and before
-// serial work that follows parallel work. A schedule whose slot is one
-// sharded segment plus its finalizer costs two barrier crossings per
-// slot, not eight.
+// the first parallel run and parked on the pool gate between runs — a
+// run costs no goroutine creation. All synchronization is one
+// combining-tree barrier (treebarrier.go): each worker spins on flags
+// in its own cache-line-padded tree node, arrivals combine up the tree,
+// and release propagates down by one remote write per edge, so a
+// crossing costs O(1) remote references per worker instead of fanning
+// every worker into one shared counter. Waiters spin briefly and then
+// block on a condition variable, so an idle engine consumes no CPU.
+// Barriers are inserted by the compiler only where the schedule
+// actually needs them: before parallel shard work (so it cannot
+// overtake preceding work) and before serial work that follows parallel
+// work. A schedule whose slot is one sharded segment plus its finalizer
+// costs two barrier crossings per slot, not eight.
+//
+// Epoch batching amortizes even those. When the compiled plan consists
+// exclusively of shard work by components that declare global shard
+// closure (EpochSafe) and whose finalizers can reconstruct the serial
+// fold order over a slot range (EpochFinisher), consecutive slots fuse
+// into one barrier *episode*: each worker ticks its shard range through
+// every phase of up to K slots with no synchronization at all, then the
+// fleet settles once, worker 0 folds the whole episode's finalization
+// and clock bookkeeping, and one control-word crossing launches the
+// next episode — two crossings per K slots instead of per slot.
+// Skip-ahead jumps and Stop resolve at episode edges; a Run budget
+// truncates the final episode, so engine state between runs is always
+// at an episode boundary (which is why Checkpoint — legal only between
+// runs — never observes a half-finished episode; see state.go).
 
 // Shardable is the optional interface by which a composite Ticker
 // declares conflict-free shard affinity. Shards returns the number of
@@ -80,6 +97,44 @@ type Shardable interface {
 // calls it exactly once after every shard of the phase has finished.
 type ShardFinalizer interface {
 	FinishShards(t Slot, ph Phase)
+}
+
+// EpochSafeTicker is the opt-in contract for epoch batching, a strictly
+// stronger promise than Shardable's per-phase independence. A component
+// whose EpochSafe() reports true guarantees *global shard closure*:
+// TickShard(t, ph, s) reads and writes only state owned by shard s —
+// across every phase and every slot, not just within one (slot, phase).
+// Under that promise the engine may run shard s through ALL phases of
+// slots [from, from+k) before shard s' has started slot `from` at all:
+// no result of shard s' work in any phase of any episode slot is ever
+// visible to shard s before the episode settles. Parking state (Idler)
+// must only change at episode edges — in FinishEpoch or between runs —
+// never from inside TickShard. Components whose phases communicate
+// across shards (a network moving flits between columns, a directory
+// invalidating remote frontends) must report false.
+type EpochSafeTicker interface {
+	Shardable
+	EpochSafe() bool
+}
+
+// EpochFinisher is the episode counterpart of ShardFinalizer: the
+// engine calls FinishEpoch exactly once per component per episode,
+// single-threaded, after every shard of every slot in [from, to) has
+// ticked. The component must leave itself — and every sink it feeds
+// (metrics, traces, flight recorders) — byte-identical to the serial
+// engine having called FinishShards for each (slot, phase) of the
+// episode in order: slot-major, phase within slot, ascending shard
+// within phase. Commutative folds (counters, histogram bins) need no
+// care; ordered sinks (event streams) must be merged slot-major from
+// the per-shard staging, which is always possible under EpochSafe
+// because each shard's staged stream is slot-nondecreasing.
+//
+// Restriction: two components registered on one engine must not feed
+// order-sensitive records into a SHARED sink if both batch, because
+// each reconstructs only its own serial order — the engine refuses
+// nothing here, but the equivalence suite pins every shipped pairing.
+type EpochFinisher interface {
+	FinishEpoch(from, to Slot)
 }
 
 // PhaseAware is the slice-valued predecessor of PhaseMasker: a
@@ -116,9 +171,16 @@ const WorkersAuto = 0
 // worker goroutines at all.
 const autoSerialShards = 32
 
-// barrierSpins bounds the spin phase of a barrier wait before the
-// waiter blocks on the condition variable.
-const barrierSpins = 2048
+// EpochAuto, passed to SetEpochBatch, selects the episode length
+// automatically (currently epochAutoK when the plan is batchable). It
+// is the default: a batchable plan batches unless explicitly disabled
+// with SetEpochBatch(1).
+const EpochAuto = 0
+
+// epochAutoK is the EpochAuto episode length: long enough that the two
+// per-episode crossings vanish against the shard work, short enough
+// that Stop and skip-ahead stay responsive.
+const epochAutoK = 16
 
 // parUnit is one Shardable inside a merged parallel segment.
 type parUnit struct {
@@ -127,6 +189,12 @@ type parUnit struct {
 	id     *Idler         // nil when the component never parks
 	shards int
 	offset int // first global shard index of this unit in the segment
+}
+
+// epochFin is one component of the compiled episode-finalizer list.
+type epochFin struct {
+	f  EpochFinisher
+	id *Idler
 }
 
 // segment is one compiled step of a phase schedule: either a run of
@@ -157,19 +225,34 @@ type ParallelClock struct {
 	// plan); workers is the resolved count for the current plan.
 	cfgWorkers int
 	workers    int
-	plan       [numPhases][]segment
+	// Barrier tunables: cfgArity 0 = pick from worker count; cfgSpins
+	// 0 = CFM_BARRIER_SPINS env or the default.
+	cfgArity int
+	cfgSpins int
+	plan     [numPhases][]segment
 	// ctrlBar makes workers sync before worker 0's end-of-slot
 	// bookkeeping (needed when the slot's last work was parallel).
 	ctrlBar bool
 	planned bool
 	stopped atomic.Bool
-	// Per-run state, published to workers through the pool barrier.
-	runN    int64
-	runDone int64
-	runPred func() bool
-	predHit bool
+	// Epoch batching: epochK is the SetEpochBatch argument (EpochAuto =
+	// auto); batchable is the compiled predicate; epochFins the compiled
+	// finalizer list; slotCrossings the crossings one classic slot costs
+	// (for the crossings counter).
+	epochK        int
+	batchable     bool
+	epochFins     []epochFin
+	slotCrossings int
+	// Per-run state, published to workers through the pool gate.
+	runN     int64
+	runDone  int64
+	runPred  func() bool
+	predHit  bool
+	useEpoch bool
+	epochLen int // slots in the episode being launched (useEpoch only)
 	// cont is the worker control word: written by worker 0 between the
-	// end-of-slot barriers, read by everyone after them.
+	// end-of-slot (or end-of-episode) barriers, read by everyone after
+	// them.
 	cont bool
 	// Panic collection.
 	panicMu  sync.Mutex
@@ -186,20 +269,28 @@ type ParallelClock struct {
 	// extras are the harness-attached Staters snapshotted alongside the
 	// registered components (see AttachState).
 	extras []extraState
-	// Stats
+	// Stats. crossings and epochs count this engine's lifetime barrier
+	// episodes during parallel runs (the pool gate is not counted); they
+	// are observability counters, not simulation state, so — like
+	// nothing else would fit the frozen snapshot format — they are NOT
+	// checkpointed and restart at zero on a restored engine.
 	slotsRun   int64
 	slotsFired int64
 	jumps      int64
+	crossings  int64
+	epochs     int64
 }
 
 // workerPool holds the persistent worker goroutines of one resolved
-// worker count. Workers park on bar between runs; the owner releases
-// them by arriving at the same barrier.
+// (worker count, barrier shape). Workers park on bar between runs; the
+// owner releases them by arriving at the same barrier.
 type workerPool struct {
-	n    int // total workers including the caller (worker 0)
-	bar  barrier
-	stop bool // written by the owner before the release that retires the pool
-	wg   sync.WaitGroup
+	n     int // total workers including the caller (worker 0)
+	arity int
+	spins int
+	bar   treeBarrier
+	stop  bool // written by the owner before the release that retires the pool
+	wg    sync.WaitGroup
 }
 
 // NewParallelClock returns a parallel engine at slot 0. workers > 0
@@ -234,13 +325,57 @@ func (pc *ParallelClock) SlotsFired() int64 { return pc.slotsFired }
 // see Clock.Jumps. Read from the owner goroutine, between runs.
 func (pc *ParallelClock) Jumps() int64 { return pc.jumps }
 
+// BarrierCrossings reports how many barrier crossings the full worker
+// complement has paid during parallel runs over this engine's lifetime
+// (serial-fallback slots cost none; the pool gate is not counted). Read
+// from the owner goroutine, between runs. Not checkpointed.
+func (pc *ParallelClock) BarrierCrossings() int64 { return pc.crossings }
+
+// Epochs reports how many barrier episodes (batched multi-slot episodes
+// AND classic single-slot rounds) parallel runs have executed. The
+// batching win is visible as Epochs << SlotsFired. Read from the owner
+// goroutine, between runs. Not checkpointed.
+func (pc *ParallelClock) Epochs() int64 { return pc.epochs }
+
 // SetSkipAhead enables or disables the event-horizon clock. Call between
 // runs, from the owner goroutine. The per-component horizons are folded
 // single-threaded by worker 0 between slots; workers observe a jump as a
 // re-published pc.now through the end-of-slot barrier, so the phase
 // schedule itself is untouched and the simulated observables are
-// bit-identical to dense ticking.
+// bit-identical to dense ticking. Under epoch batching, horizons are
+// folded at episode edges only.
 func (pc *ParallelClock) SetSkipAhead(on bool) { pc.skipAhead = on }
+
+// SetEpochBatch bounds the episode length of epoch batching: EpochAuto
+// (0, the default) batches a batchable plan with the automatic length;
+// 1 disables batching; k > 1 fixes the cap at k slots. Call between
+// runs, from the owner goroutine. Batching changes nothing observable —
+// the simulation stays bit-identical — except that Stop and skip-ahead
+// jumps resolve at episode edges rather than every slot, and RunUntil
+// always runs slot-at-a-time (its predicate is checked between slots).
+func (pc *ParallelClock) SetEpochBatch(k int) {
+	if k < 0 {
+		k = 1
+	}
+	pc.epochK = k
+}
+
+// SetBarrierArity overrides the combining-tree fan-in (clamped to
+// 2..barrierMaxArity; 0 restores the automatic pick from the worker
+// count). Call between runs, from the owner goroutine.
+func (pc *ParallelClock) SetBarrierArity(arity int) {
+	pc.cfgArity = arity
+	pc.planned = false
+}
+
+// SetBarrierSpins overrides how long a barrier waiter spins before
+// blocking on the condition variable (0 restores the CFM_BARRIER_SPINS
+// env override or the built-in default). Call between runs, from the
+// owner goroutine.
+func (pc *ParallelClock) SetBarrierSpins(spins int) {
+	pc.cfgSpins = spins
+	pc.planned = false
+}
 
 // Register adds a component at priority 0.
 func (pc *ParallelClock) Register(t Ticker) { pc.RegisterPrio(t, 0) }
@@ -252,8 +387,10 @@ func (pc *ParallelClock) RegisterPrio(t Ticker, prio int) {
 	pc.planned = false
 }
 
-// Stop requests that Run return at the end of the current slot. Safe to
-// call from any worker (i.e. from inside a TickShard).
+// Stop requests that Run return at the end of the current slot — or,
+// under epoch batching, at the end of the current episode (at most the
+// episode cap further slots). Safe to call from any worker (i.e. from
+// inside a TickShard).
 func (pc *ParallelClock) Stop() { pc.stopped.Store(true) }
 
 // AttachState adds a named harness-owned Stater to the snapshot (see
@@ -265,7 +402,10 @@ func (pc *ParallelClock) AttachState(name string, s Stater) {
 // Checkpoint writes a snapshot of full engine state to w. Both engines
 // compile the same canonical (prio, seq) component order, so the
 // snapshot restores into a serial Clock just as well. Call from the
-// owner goroutine, between runs (never from inside a Tick).
+// owner goroutine, between runs (never from inside a Tick) — which,
+// because episodes never span a Run budget, is always an episode
+// boundary: a mid-episode cut is structurally impossible rather than
+// runtime-rejected.
 func (pc *ParallelClock) Checkpoint(w io.Writer) error {
 	if !pc.planned {
 		pc.compile()
@@ -295,7 +435,8 @@ func (pc *ParallelClock) Restore(r io.Reader) error {
 // compile builds the per-phase schedule: tickers sorted into priority
 // bands, consecutive Shardables of one band merged into parallel
 // segments, everything else into single-threaded segments; then barrier
-// placement and the auto worker count are derived from the shape.
+// placement, the batchability predicate, and the auto worker count are
+// derived from the shape.
 func (pc *ParallelClock) compile() {
 	sortTickers(pc.tickers)
 	for ph := Phase(0); ph < numPhases; ph++ {
@@ -354,22 +495,26 @@ func (pc *ParallelClock) compile() {
 	// post-shard barrier.
 	pendingSerial, pendingPar := false, false
 	sync := func() { pendingSerial, pendingPar = false, false }
+	crossings := 1 // the control-word barrier every classic slot ends with
 	for ph := Phase(0); ph < numPhases; ph++ {
 		for i := range pc.plan[ph] {
 			seg := &pc.plan[ph][i]
 			if seg.units != nil {
 				seg.barBefore = pendingSerial || pendingPar
 				if seg.barBefore {
+					crossings++
 					sync()
 				}
 				pendingPar = true
 				if seg.anyFin {
+					crossings++
 					sync() // the internal post-shard barrier
 					pendingSerial = true
 				}
 			} else {
 				seg.barBefore = pendingPar
 				if seg.barBefore {
+					crossings++
 					sync()
 				}
 				pendingSerial = true
@@ -377,7 +522,12 @@ func (pc *ParallelClock) compile() {
 		}
 	}
 	pc.ctrlBar = pendingPar
+	if pc.ctrlBar {
+		crossings++
+	}
+	pc.slotCrossings = crossings
 	pc.hplan = buildHorizons(pc.hplan, pc.tickers)
+	pc.compileEpochs(maxShards)
 
 	pc.workers = pc.cfgWorkers
 	if pc.cfgWorkers == WorkersAuto {
@@ -388,6 +538,70 @@ func (pc *ParallelClock) compile() {
 		}
 	}
 	pc.planned = true
+}
+
+// compileEpochs derives the batchability predicate and the episode
+// finalizer list from the compiled plan. A plan batches when every
+// scheduled step is shard work (no serial segments in any phase) by
+// components declaring global shard closure (EpochSafeTicker reporting
+// true) whose finalizers, if any, can reconstruct the serial fold over
+// a slot range (EpochFinisher).
+func (pc *ParallelClock) compileEpochs(maxShards int) {
+	pc.epochFins = pc.epochFins[:0]
+	pc.batchable = false
+	if maxShards == 0 {
+		return // nothing parallel to batch
+	}
+	for ph := Phase(0); ph < numPhases; ph++ {
+		for i := range pc.plan[ph] {
+			if pc.plan[ph][i].serial != nil {
+				return
+			}
+		}
+	}
+	// No serial segments anywhere, so every scheduled ticker is one of
+	// the plan's parUnits; vet each once (not once per phase).
+	for i := range pc.tickers {
+		e := &pc.tickers[i]
+		if maskOf(e.t) == 0 {
+			continue // never scheduled
+		}
+		es, ok := e.t.(EpochSafeTicker)
+		if !ok || !es.EpochSafe() {
+			return
+		}
+		if fin, hasFin := e.t.(ShardFinalizer); hasFin {
+			ef, canEpoch := fin.(EpochFinisher)
+			if !canEpoch {
+				return
+			}
+			pc.epochFins = append(pc.epochFins, epochFin{f: ef, id: e.id})
+		}
+	}
+	pc.batchable = true
+}
+
+// epochCap resolves the configured episode length bound.
+func (pc *ParallelClock) epochCap() int64 {
+	switch {
+	case pc.epochK == EpochAuto:
+		return epochAutoK
+	case pc.epochK < 2:
+		return 1
+	default:
+		return int64(pc.epochK)
+	}
+}
+
+// nextEpochLen sizes the next episode: the configured cap, truncated to
+// the remaining run budget so episodes never span a Run call (keeping
+// between-run engine state on an episode boundary).
+func (pc *ParallelClock) nextEpochLen() int {
+	k := pc.epochCap()
+	if rem := pc.runN - pc.runDone; rem < k {
+		k = rem
+	}
+	return int(k)
 }
 
 // runShards executes the global shard range [lo, hi) of a merged
@@ -484,7 +698,9 @@ func (pc *ParallelClock) Run(n int64) int64 {
 }
 
 // RunUntil executes slots until pred returns true (checked between
-// slots, single-threaded) or the budget is exhausted.
+// slots, single-threaded) or the budget is exhausted. The per-slot
+// predicate check forces slot-at-a-time execution: epoch batching is
+// bypassed for the duration of the call.
 func (pc *ParallelClock) RunUntil(pred func() bool, budget int64) (int64, bool) {
 	done, _ := pc.run(budget, pred)
 	return done, pred()
@@ -546,19 +762,34 @@ func (pc *ParallelClock) Close() {
 	}
 	pc.pool = nil
 	p.stop = true
-	p.bar.await(&pc.sense0) // release the gate so workers observe stop
+	p.bar.await(0, &pc.sense0) // release the gate so workers observe stop
 	p.wg.Wait()
 }
 
-// ensurePool returns a worker pool sized for the current plan, retiring
-// a stale one first.
+// barrierShape resolves the configured tree arity and spin bound for
+// the current worker count.
+func (pc *ParallelClock) barrierShape() (arity, spins int) {
+	arity = pc.cfgArity
+	if arity == 0 {
+		arity = pickArity(pc.workers)
+	}
+	spins = pc.cfgSpins
+	if spins == 0 {
+		spins = envBarrierSpins()
+	}
+	return arity, spins
+}
+
+// ensurePool returns a worker pool sized and shaped for the current
+// plan, retiring a stale one first.
 func (pc *ParallelClock) ensurePool() *workerPool {
-	if pc.pool != nil && pc.pool.n == pc.workers {
-		return pc.pool
+	arity, spins := pc.barrierShape()
+	if p := pc.pool; p != nil && p.n == pc.workers && p.arity == arity && p.spins == spins {
+		return p
 	}
 	pc.Close()
-	p := &workerPool{n: pc.workers}
-	p.bar.init(int32(pc.workers))
+	p := &workerPool{n: pc.workers, arity: arity, spins: spins}
+	p.bar.init(pc.workers, arity, spins)
 	pc.sense0 = 0
 	pc.pool = p
 	p.wg.Add(pc.workers - 1)
@@ -573,75 +804,6 @@ func (pc *ParallelClock) ensurePool() *workerPool {
 // panic value is re-raised on the caller's goroutine.
 type poisonedBarrier struct{}
 
-// barrier is a two-counter sense-reversing barrier: an atomic fan-in
-// counter plus a generation word that flips the waiters' sense. All
-// synchronization goes through sync/atomic and sync.Cond, so the race
-// detector sees the happens-before edges. Waiters spin with Gosched for
-// a bounded number of polls and then block, so between runs (and on
-// badly imbalanced schedules) workers consume no CPU.
-type barrier struct {
-	n        int32
-	arrived  atomic.Int32
-	gen      atomic.Uint64
-	poison   atomic.Bool
-	mu       sync.Mutex
-	cond     sync.Cond
-	sleepers int32 // guarded by mu
-}
-
-func (b *barrier) init(n int32) {
-	b.n = n
-	b.cond.L = &b.mu
-}
-
-// await blocks until all n workers arrive at the local sense's
-// generation. The last arriver publishes the new generation and wakes
-// any blocked waiters (one broadcast — the "futex-style" wakeup).
-func (b *barrier) await(sense *uint64) {
-	g := *sense + 1
-	*sense = g
-	if b.arrived.Add(1) == b.n {
-		b.arrived.Store(0)
-		b.mu.Lock()
-		b.gen.Store(g)
-		sleepers := b.sleepers
-		b.mu.Unlock()
-		if sleepers > 0 {
-			b.cond.Broadcast()
-		}
-		return
-	}
-	for i := 0; i < barrierSpins; i++ {
-		if b.gen.Load() >= g {
-			return
-		}
-		if b.poison.Load() {
-			panic(poisonedBarrier{})
-		}
-		runtime.Gosched()
-	}
-	b.mu.Lock()
-	b.sleepers++
-	for b.gen.Load() < g && !b.poison.Load() {
-		b.cond.Wait()
-	}
-	b.sleepers--
-	b.mu.Unlock()
-	if b.gen.Load() < g {
-		// Released by poison, not by the barrier completing.
-		panic(poisonedBarrier{})
-	}
-}
-
-// poisonAndWake marks the barrier poisoned and wakes every blocked
-// waiter so the panic propagates instead of deadlocking.
-func (b *barrier) poisonAndWake() {
-	b.poison.Store(true)
-	b.mu.Lock()
-	b.mu.Unlock() //nolint:staticcheck // empty critical section orders the store before the broadcast
-	b.cond.Broadcast()
-}
-
 // recordPanic keeps the first real panic value; sentinel re-panics from
 // poisoned barriers are discarded.
 func (pc *ParallelClock) recordPanic(r any) {
@@ -655,18 +817,18 @@ func (pc *ParallelClock) recordPanic(r any) {
 	pc.panicMu.Unlock()
 }
 
-// body is the SPMD slot loop every worker executes during one run.
-// Barriers follow the compiled placement, identically on every worker;
-// worker 0 alone runs serial segments, finalizers, predicate checks,
-// and the slot-count bookkeeping.
-func (pc *ParallelClock) body(w int, bar *barrier, sense *uint64) {
+// body is the SPMD slot loop every worker executes during a classic
+// (slot-at-a-time) run. Barriers follow the compiled placement,
+// identically on every worker; worker 0 alone runs serial segments,
+// finalizers, predicate checks, and the slot-count bookkeeping.
+func (pc *ParallelClock) body(w int, bar *treeBarrier, sense *uint64) {
 	t := pc.now
 	for {
 		for ph := Phase(0); ph < numPhases; ph++ {
 			for i := range pc.plan[ph] {
 				seg := &pc.plan[ph][i]
 				if seg.barBefore {
-					bar.await(sense)
+					bar.await(w, sense)
 				}
 				if seg.serial != nil {
 					if w == 0 {
@@ -683,7 +845,7 @@ func (pc *ParallelClock) body(w int, bar *barrier, sense *uint64) {
 				hi := (w + 1) * seg.total / pc.workers
 				seg.runShards(t, ph, lo, hi)
 				if seg.anyFin {
-					bar.await(sense)
+					bar.await(w, sense)
 					if w == 0 {
 						seg.finish(t, ph)
 					}
@@ -692,13 +854,15 @@ func (pc *ParallelClock) body(w int, bar *barrier, sense *uint64) {
 		}
 		t++
 		if pc.ctrlBar {
-			bar.await(sense) // slot's parallel work complete everywhere
+			bar.await(w, sense) // slot's parallel work complete everywhere
 		}
 		if w == 0 {
 			pc.now = t
 			pc.slotsRun++
 			pc.slotsFired++
 			pc.runDone++
+			pc.crossings += int64(pc.slotCrossings)
+			pc.epochs++
 			cont := pc.runDone < pc.runN
 			if pc.runPred != nil {
 				if pc.runPred() {
@@ -721,7 +885,7 @@ func (pc *ParallelClock) body(w int, bar *barrier, sense *uint64) {
 			}
 			pc.cont = cont
 		}
-		bar.await(sense) // control word (and any jump) published
+		bar.await(w, sense) // control word (and any jump) published
 		if !pc.cont {
 			return
 		}
@@ -729,13 +893,82 @@ func (pc *ParallelClock) body(w int, bar *barrier, sense *uint64) {
 	}
 }
 
+// bodyEpoch is the SPMD episode loop of a batched run. Each worker
+// ticks its shard range through every phase of every slot in the
+// episode with no synchronization at all — legal because the plan is
+// all EpochSafe shard work, so nothing a worker computes is visible to
+// another worker's shards until the episode settles. Two crossings per
+// episode: settle (all shard work done, worker 0 folds finalizers and
+// bookkeeping) and the control word (continue/extent of the next
+// episode published).
+func (pc *ParallelClock) bodyEpoch(w int, bar *treeBarrier, sense *uint64) {
+	from := pc.now
+	k := pc.epochLen
+	for {
+		to := from + Slot(k)
+		for t := from; t < to; t++ {
+			for ph := Phase(0); ph < numPhases; ph++ {
+				for i := range pc.plan[ph] {
+					seg := &pc.plan[ph][i]
+					lo := w * seg.total / pc.workers
+					hi := (w + 1) * seg.total / pc.workers
+					seg.runShards(t, ph, lo, hi)
+				}
+			}
+		}
+		bar.await(w, sense) // episode settle: every shard of every slot done
+		if w == 0 {
+			for _, f := range pc.epochFins {
+				if f.id.Parked() {
+					continue
+				}
+				f.f.FinishEpoch(from, to)
+			}
+			n := int64(k)
+			pc.now = to
+			pc.slotsRun += n
+			pc.slotsFired += n
+			pc.runDone += n
+			pc.crossings += 2
+			pc.epochs++
+			cont := pc.runDone < pc.runN
+			if pc.stopped.Load() {
+				cont = false
+			}
+			if cont && pc.skipAhead {
+				// Episode fully settled everywhere; same single-threaded
+				// window as the classic body's jump.
+				if skipped := pc.jump(pc.runN - pc.runDone); skipped > 0 {
+					pc.runDone += skipped
+					cont = pc.runDone < pc.runN
+				}
+			}
+			if cont {
+				pc.epochLen = pc.nextEpochLen()
+			}
+			pc.cont = cont
+		}
+		bar.await(w, sense) // control word + next episode extent published
+		if !pc.cont {
+			return
+		}
+		from = pc.now
+		k = pc.epochLen
+	}
+}
+
 // workerLoop is the persistent worker body: park on the pool gate, run
-// the slot loop, repeat — until the pool is retired or poisoned.
+// the slot loop, repeat — until the pool is retired or poisoned. p.stop
+// may only be read right after the gate barrier (the owner writes it
+// before arriving there): checking it anywhere else races with Close —
+// a worker still waking from a run's final barrier could observe the
+// flag and exit without its gate arrival, deadlocking the owner's
+// gather.
 func (pc *ParallelClock) workerLoop(p *workerPool, w int) {
 	defer p.wg.Done()
 	var sense uint64
 	for {
-		broken := func() (broken bool) {
+		stop, broken := func() (stop, broken bool) {
 			defer func() {
 				if r := recover(); r != nil {
 					pc.recordPanic(r)
@@ -743,14 +976,18 @@ func (pc *ParallelClock) workerLoop(p *workerPool, w int) {
 					broken = true
 				}
 			}()
-			p.bar.await(&sense) // gate: owner arrives to start a run
+			p.bar.await(w, &sense) // gate: owner arrives to start a run
 			if p.stop {
-				return false
+				return true, false
 			}
-			pc.body(w, &p.bar, &sense)
-			return false
+			if pc.useEpoch {
+				pc.bodyEpoch(w, &p.bar, &sense)
+			} else {
+				pc.body(w, &p.bar, &sense)
+			}
+			return false, false
 		}()
-		if broken || p.stop {
+		if stop || broken {
 			return
 		}
 	}
@@ -775,6 +1012,10 @@ func (pc *ParallelClock) runWorkers(n int64, pred func() bool) (int64, bool) {
 	pc.runPred = pred
 	pc.predHit = false
 	pc.panicVal = nil
+	pc.useEpoch = pc.batchable && pred == nil && pc.epochCap() > 1
+	if pc.useEpoch {
+		pc.epochLen = pc.nextEpochLen()
+	}
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
@@ -782,8 +1023,12 @@ func (pc *ParallelClock) runWorkers(n int64, pred func() bool) (int64, bool) {
 				p.bar.poisonAndWake()
 			}
 		}()
-		p.bar.await(&pc.sense0) // release the gate
-		pc.body(0, &p.bar, &pc.sense0)
+		p.bar.await(0, &pc.sense0) // release the gate
+		if pc.useEpoch {
+			pc.bodyEpoch(0, &p.bar, &pc.sense0)
+		} else {
+			pc.body(0, &p.bar, &pc.sense0)
+		}
 	}()
 	pc.runPred = nil
 	if p.bar.poison.Load() {

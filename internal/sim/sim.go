@@ -290,6 +290,12 @@ type Engine interface {
 	// SlotsFired reports how many slots actually executed their phase
 	// plans; SlotsRun - SlotsFired is the number of slots skipped.
 	SlotsFired() int64
+	// SetEpochBatch bounds epoch batching: EpochAuto (0, default) lets
+	// the engine batch a batchable plan automatically, 1 disables
+	// batching, k > 1 caps episodes at k slots. A no-op on the serial
+	// engine. Off or on, the simulation is bit-identical; only Stop and
+	// skip-ahead granularity change (episode edges instead of slots).
+	SetEpochBatch(k int)
 	Stop()
 	Step()
 	Run(n int64) int64
@@ -445,6 +451,11 @@ func (c *Clock) Jumps() int64 { return c.jumps }
 // toggled between runs; the simulated observables are identical either
 // way (skipped slots are provably no-ops — see Horizoner).
 func (c *Clock) SetSkipAhead(on bool) { c.skipAhead = on }
+
+// SetEpochBatch is a no-op on the serial engine: epoch batching only
+// amortizes barrier crossings, and Clock has none. Present so harness
+// code can set the knob through the Engine interface uniformly.
+func (c *Clock) SetEpochBatch(k int) {}
 
 // Register adds a component at priority 0.
 func (c *Clock) Register(t Ticker) { c.RegisterPrio(t, 0) }

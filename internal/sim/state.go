@@ -22,7 +22,12 @@ import (
 // snapshot taken under the serial Clock restores into a ParallelClock
 // and vice versa — snapshots are engine-neutral, and independent of
 // whether skip-ahead was or will be enabled (a skipped slot changes no
-// component state by the Horizoner contract).
+// component state by the Horizoner contract). Epoch batching is equally
+// invisible: Checkpoint is only legal between runs, an episode never
+// spans a Run budget (the final episode truncates to it), and every
+// episode ends with its full finalization fold — so a snapshot always
+// cuts at an episode boundary with no staged per-shard deltas pending,
+// and a batched engine restores from (and into) an unbatched one.
 //
 // Format (version 2), all integers little-endian:
 //

@@ -433,6 +433,19 @@ func resumeModes() []struct {
 			return eng
 		}
 	}
+	// Epoch-batched modes use K=3 so the battery's cut points are
+	// rarely episode multiples: every checkpoint then exercises the
+	// episode-truncation path (episodes never span a Run budget, so a
+	// cut mid-epoch is structurally impossible and the batched engine
+	// must land on the cut slot exactly).
+	epoch := func(skip bool) func() cfm.Engine {
+		return func() cfm.Engine {
+			eng := cfm.NewParallelClock(2)
+			eng.SetEpochBatch(3)
+			eng.SetSkipAhead(skip)
+			return eng
+		}
+	}
 	return []struct {
 		name string
 		mk   func() cfm.Engine
@@ -441,6 +454,8 @@ func resumeModes() []struct {
 		{"serial-skip", mode(false, true)},
 		{"parallel", mode(true, false)},
 		{"parallel-skip", mode(true, true)},
+		{"parallel-epoch", epoch(false)},
+		{"parallel-epoch-skip", epoch(true)},
 	}
 }
 
@@ -472,6 +487,16 @@ func TestResumeEquivalence(t *testing.T) {
 func TestCrossEngineRestore(t *testing.T) {
 	serial := func() cfm.Engine { return cfm.NewClock() }
 	parallel := func() cfm.Engine { return cfm.NewParallelClock(2) }
+	// Epoch batching must be invisible to snapshots: episodes end at
+	// Run-budget boundaries, so a batched engine checkpoints at exactly
+	// the cut slot even when the cut is not a multiple of K, and a
+	// batched engine restored from an unbatched snapshot (and vice
+	// versa) replays to the same digest.
+	batched := func() cfm.Engine {
+		eng := cfm.NewParallelClock(3)
+		eng.SetEpochBatch(4)
+		return eng
+	}
 	for _, rc := range resumeCases() {
 		rc := rc
 		t.Run(rc.name, func(t *testing.T) {
@@ -479,6 +504,8 @@ func TestCrossEngineRestore(t *testing.T) {
 			cut := total / 2
 			restoreAndFinish(t, rc, parallel, checkpointAt(t, rc, serial, cut), cut, want)
 			restoreAndFinish(t, rc, serial, checkpointAt(t, rc, parallel, cut), cut, want)
+			restoreAndFinish(t, rc, batched, checkpointAt(t, rc, serial, cut), cut, want)
+			restoreAndFinish(t, rc, serial, checkpointAt(t, rc, batched, cut), cut, want)
 		})
 	}
 }
