@@ -136,6 +136,7 @@ type op struct {
 type Tracked struct {
 	m     int
 	pri   Priority
+	ar    *memory.BankArena // SoA bank state; banks are facades into it
 	banks []*memory.Bank
 	att   [][]entry // att[bank][i]: entry of age i+1 at compare time
 	// pending insertions made during this slot's transfers, applied at
@@ -177,6 +178,7 @@ func NewTracked(m int, pri Priority, trace *sim.Trace) *Tracked {
 	tr := &Tracked{
 		m:       m,
 		pri:     pri,
+		ar:      memory.NewBankArena(m, 1),
 		banks:   make([]*memory.Bank, m),
 		att:     make([][]entry, m),
 		pending: make([]entry, m),
@@ -184,7 +186,7 @@ func NewTracked(m int, pri Priority, trace *sim.Trace) *Tracked {
 		trace:   trace,
 	}
 	for i := range tr.banks {
-		tr.banks[i] = memory.NewBank(i, 1)
+		tr.banks[i] = tr.ar.Bank(i)
 	}
 	return tr
 }
@@ -203,8 +205,8 @@ func (tr *Tracked) Instrument(r *metrics.Registry) {
 	tr.cRestarts = r.Counter("att_restarts_total")
 	acc := r.Counter("att_bank_accesses_total")
 	conf := r.Counter("att_bank_conflicts_total")
-	for _, bk := range tr.banks {
-		bk.Observe(acc, conf)
+	for i := 0; i < tr.m; i++ {
+		tr.ar.Observe(i, acc, conf)
 	}
 }
 
@@ -241,8 +243,8 @@ func (tr *Tracked) Busy(p int) bool { return tr.ops[p] != nil }
 // PeekBlock reads a block without simulated timing.
 func (tr *Tracked) PeekBlock(offset int) memory.Block {
 	b := make(memory.Block, tr.m)
-	for i, bk := range tr.banks {
-		b[i] = bk.Peek(offset)
+	for i := range b {
+		b[i] = tr.ar.Peek(i, offset)
 	}
 	return b
 }
@@ -252,8 +254,8 @@ func (tr *Tracked) PokeBlock(offset int, blk memory.Block) {
 	if len(blk) != tr.m {
 		panic(fmt.Sprintf("att: block of %d words, want %d", len(blk), tr.m))
 	}
-	for i, bk := range tr.banks {
-		bk.Poke(offset, blk[i])
+	for i := range blk {
+		tr.ar.Poke(i, offset, blk[i])
 	}
 }
 
@@ -416,7 +418,7 @@ func (tr *Tracked) visitRead(t sim.Slot, o *op, b int) {
 		// Fall through: the current bank becomes the first bank of the
 		// restarted cycle and is read this very slot.
 	}
-	w, ok := tr.banks[b].Read(t, o.offset)
+	w, ok := tr.ar.Read(t, b, o.offset)
 	if !ok {
 		panic(fmt.Sprintf("att: bank %d busy at slot %d", b, t))
 	}
@@ -483,7 +485,7 @@ func (tr *Tracked) visitWrite(t sim.Slot, o *op, b int) {
 		tr.pending[b] = entry{valid: true, offset: o.offset, swap: o.kind == OpSwap}
 		tr.trace.Add(t, fmt.Sprintf("ATT%d", b), "insert offset %d (%v)", o.offset, o.kind)
 	}
-	if ok := tr.banks[b].Write(t, o.offset, o.writeBuf[b]); !ok {
+	if ok := tr.ar.Write(t, b, o.offset, o.writeBuf[b]); !ok {
 		panic(fmt.Sprintf("att: bank %d busy at slot %d", b, t))
 	}
 	o.n++

@@ -40,3 +40,25 @@ func TestBankTickLoopAllocFree(t *testing.T) {
 		t.Fatal("no accesses completed: guard is vacuous")
 	}
 }
+
+// TestPartialDenseTickAllocFree guards the zero-allocation steady state
+// of the dense serial sweep: with the open-loop arrival rate below the
+// service rate the backlog rings reach a stable depth, after which every
+// tick is index arithmetic over the flat per-processor arrays. (The
+// saturated bench shapes DO allocate — their backlogs grow without
+// bound by design — so the guard runs an underloaded system.)
+func TestPartialDenseTickAllocFree(t *testing.T) {
+	p := NewPartial(PartialConfig{
+		Processors: 64, Modules: 8, BlockWords: 16, BankCycle: 2,
+		Locality: 0.9, AccessRate: 0.02, RetryMean: 4, Seed: 9,
+	})
+	clk := sim.NewClock()
+	clk.Register(p)
+	clk.Run(30000) // warm-up: every backlog ring at steady-state depth
+	if avg := testing.AllocsPerRun(20, func() { clk.Run(200) }); avg != 0 {
+		t.Fatalf("dense tick sweep allocates %v times per 200 slots, want 0", avg)
+	}
+	if p.Completed == 0 {
+		t.Fatal("no accesses completed: guard is vacuous")
+	}
+}

@@ -46,8 +46,12 @@ type access struct {
 // writes to one block interleave exactly as Fig. 4.1 warns. The att
 // package layers the address-tracking consistency mechanism on top.
 type CFMemory struct {
-	cfg   Config
-	at    *ATSpace
+	cfg Config
+	at  *ATSpace
+	// ar owns the banks' state as struct-of-arrays (busy-until slots,
+	// statistics, paged word storage); banks are thin facades into it
+	// for tests, snapshots, and higher layers.
+	ar    *memory.BankArena
 	banks []*memory.Bank
 	// cur holds each processor's in-flight accesses: at most one still in
 	// its address phase plus one draining its final data words (c > 1
@@ -63,11 +67,20 @@ type CFMemory struct {
 	// inside a ClusterSystem): the memory parks once every processor's
 	// in-flight list drains and is woken by the next begin.
 	id *sim.Idler
-	// stage holds each processor shard's deferred side effects (trace
-	// events, completion counts, done callbacks); FinishShards folds them
-	// in ascending processor order, reproducing the serial engine's
-	// observable order exactly.
+	// stage holds each processor shard's deferred side effects (staged
+	// bank visits, trace events, completion counts, done callbacks);
+	// FinishShards (per slot) or FinishEpoch (per batched episode) folds
+	// them in ascending processor order, reproducing the serial engine's
+	// observable order exactly. Bank visits in particular are REPLAYED at
+	// fold time: TickShard only records which bank an access addresses,
+	// so shards never touch the shared arena and the memory has global
+	// shard closure (EpochSafe) even though accesses started at different
+	// slots hit the same bank on different slots.
 	stage []procStage
+	// folding guards against StartRead/StartWrite from inside an epoch
+	// fold: an access begun there would have missed its bank visits for
+	// the already-ticked remainder of the episode.
+	folding bool
 	// doneRebind, when set, reconstructs the completion callback of an
 	// in-flight access while restoring a checkpoint (callbacks are code,
 	// not data, so the snapshot records only their presence). LoadState
@@ -88,12 +101,42 @@ type CFMemory struct {
 	flt *flight.Recorder
 }
 
-// procStage buffers one processor shard's per-phase side effects.
+// bankVisit is one staged word transfer: the shard records which bank
+// its access addresses at which slot; the serial fold performs the
+// actual bank mutation (and emits the visit trace event) in ascending
+// processor order. The AT-space theorem makes the deferral sound: at
+// any slot distinct processors address distinct banks, so replaying a
+// slot's visits in any processor order leaves the banks in the same
+// state.
+type bankVisit struct {
+	a    *access
+	slot sim.Slot
+	bank int32
+}
+
+// doneEntry is a completed access whose callback fires at slot `at`
+// during the fold (after that slot's bank visits have been replayed, so
+// the assembled block is complete even when c = 1).
+type doneEntry struct {
+	a  *access
+	at sim.Slot
+}
+
+// procStage buffers one processor shard's deferred side effects. The
+// per-sink streams are slot-nondecreasing (a shard runs slots in
+// order), which is what lets FinishEpoch merge them slot-major with the
+// cursor fields.
 type procStage struct {
-	events    []sim.Event
-	flights   []flight.Event
+	visits    []bankVisit    // staged in PhaseTransfer
+	tFlights  []flight.Event // StageBankService, staged in PhaseTransfer
+	events    []sim.Event    // completion trace events, staged in PhaseUpdate
+	uFlights  []flight.Event // StageRetire, staged in PhaseUpdate
 	completed int64
-	done      []*access
+	done      []doneEntry
+
+	// FinishEpoch's slot-major merge cursors (preallocated; the fold
+	// must stay alloc-free).
+	cVisit, cTF, cEv, cUF, cDone int
 }
 
 // NewCFMemory builds the memory for a configuration. trace may be nil.
@@ -104,6 +147,7 @@ func NewCFMemory(cfg Config, trace *sim.Trace) *CFMemory {
 	m := &CFMemory{
 		cfg:   cfg,
 		at:    NewATSpace(cfg),
+		ar:    memory.NewBankArena(cfg.Banks(), cfg.BankCycle),
 		banks: make([]*memory.Bank, cfg.Banks()),
 		cur:   make([][]*access, cfg.Processors),
 		free:  make([]sim.Slot, cfg.Processors),
@@ -112,7 +156,7 @@ func NewCFMemory(cfg Config, trace *sim.Trace) *CFMemory {
 		stage: make([]procStage, cfg.Processors),
 	}
 	for i := range m.banks {
-		m.banks[i] = memory.NewBank(i, cfg.BankCycle)
+		m.banks[i] = m.ar.Bank(i)
 	}
 	return m
 }
@@ -129,8 +173,8 @@ func (m *CFMemory) Instrument(r *metrics.Registry) {
 	m.mCompleted = r.Counter("cfm_completed_total")
 	acc := r.Counter("cfm_bank_accesses_total")
 	conf := r.Counter("cfm_bank_conflicts_total")
-	for _, bk := range m.banks {
-		bk.Observe(acc, conf)
+	for i := 0; i < m.ar.Banks(); i++ {
+		m.ar.Observe(i, acc, conf)
 	}
 }
 
@@ -153,8 +197,8 @@ func (m *CFMemory) Bank(i int) *memory.Bank { return m.banks[i] }
 // PeekBlock reads a block without simulated timing (for assertions).
 func (m *CFMemory) PeekBlock(offset int) memory.Block {
 	b := make(memory.Block, len(m.banks))
-	for i, bk := range m.banks {
-		b[i] = bk.Peek(offset)
+	for i := range b {
+		b[i] = m.ar.Peek(i, offset)
 	}
 	return b
 }
@@ -164,8 +208,8 @@ func (m *CFMemory) PokeBlock(offset int, blk memory.Block) {
 	if len(blk) != len(m.banks) {
 		panic(fmt.Sprintf("core: block of %d words, want %d", len(blk), len(m.banks)))
 	}
-	for i, bk := range m.banks {
-		bk.Poke(offset, blk[i])
+	for i := range blk {
+		m.ar.Poke(i, offset, blk[i])
 	}
 }
 
@@ -234,6 +278,10 @@ func (m *CFMemory) recycle(a *access) {
 // tracing is disabled (nil or Disabled trace); with tracing on, issue
 // from single-threaded code so event order stays deterministic.
 func (m *CFMemory) begin(t sim.Slot, p int, a *access) {
+	if m.folding {
+		panic(fmt.Sprintf("core: processor %d started an access at slot %d during an epoch fold; "+
+			"issue from a ticker (which disables batching) or SetEpochBatch(1)", p, t))
+	}
 	if !m.CanStart(t, p) {
 		panic(fmt.Sprintf("core: processor %d started an access at slot %d while busy", p, t))
 	}
@@ -295,12 +343,16 @@ func (m *CFMemory) Horizon(now sim.Slot) sim.Slot {
 func (m *CFMemory) Shards() int { return m.cfg.Processors }
 
 // TickShard implements sim.Shardable: processor p's bank visits
-// (PhaseTransfer) and completion detection (PhaseUpdate). Side effects
-// that must appear in global processor order — trace events, Completed,
-// done callbacks — are staged per shard and folded by FinishShards.
+// (PhaseTransfer) and completion detection (PhaseUpdate). Shards touch
+// only shard-owned state: bank visits are STAGED here (which bank, which
+// slot) and replayed against the shared arena by the serial fold, so
+// side effects that must appear in global processor order — bank
+// mutations, trace events, Completed, done callbacks — all fold in
+// FinishShards/FinishEpoch.
 func (m *CFMemory) TickShard(t sim.Slot, ph sim.Phase, p int) {
 	switch ph {
 	case sim.PhaseTransfer:
+		st := &m.stage[p]
 		for _, a := range m.cur[p] {
 			k := int(t - a.start)
 			if k < 0 || k >= m.cfg.Banks() {
@@ -308,12 +360,12 @@ func (m *CFMemory) TickShard(t sim.Slot, ph sim.Phase, p int) {
 			}
 			bank := m.at.VisitBank(a.start, p, k)
 			if k == 0 && m.flt.Enabled() {
-				m.stage[p].flights = append(m.stage[p].flights, flight.Event{
+				st.tFlights = append(st.tFlights, flight.Event{
 					ID: flight.ComposeID(p, a.start), Slot: t,
 					Stage: flight.StageBankService, Actor: int32(bank),
 					Arg: int64(m.cfg.Banks())})
 			}
-			m.visit(t, a, bank)
+			st.visits = append(st.visits, bankVisit{a: a, slot: t, bank: int32(bank)})
 		}
 	case sim.PhaseUpdate:
 		q := m.cur[p]
@@ -330,13 +382,13 @@ func (m *CFMemory) TickShard(t sim.Slot, ph sim.Phase, p int) {
 					What: fmt.Sprintf("complete %s offset %d", a.kind, a.offset)})
 			}
 			if m.flt.Enabled() {
-				st.flights = append(st.flights, flight.Event{
+				st.uFlights = append(st.uFlights, flight.Event{
 					ID: flight.ComposeID(p, a.start), Slot: t,
 					Stage: flight.StageRetire, Actor: int32(p),
 					Arg: int64(t - a.start)})
 			}
 			if a.done != nil {
-				st.done = append(st.done, a)
+				st.done = append(st.done, doneEntry{a: a, at: t})
 			} else {
 				m.recycle(a) // shard context: a.proc == p, so pool[p] only
 			}
@@ -346,30 +398,45 @@ func (m *CFMemory) TickShard(t sim.Slot, ph sim.Phase, p int) {
 }
 
 // FinishShards implements sim.ShardFinalizer: fold each processor's
-// staged effects in ascending order — first its trace events, then its
-// completion count, then its done callbacks — matching the serial
-// engine's historical event order byte for byte.
+// staged effects in ascending order. PhaseTransfer replays the staged
+// bank visits (the dense arena sweep — the only place banks mutate);
+// PhaseUpdate drains each processor's trace events, then its completion
+// count, then its done callbacks — matching the serial engine's
+// historical event order byte for byte.
 func (m *CFMemory) FinishShards(t sim.Slot, ph sim.Phase) {
-	for p := range m.stage {
-		st := &m.stage[p]
-		for _, e := range st.events {
-			m.trace.AddEvent(e)
+	switch ph {
+	case sim.PhaseTransfer:
+		for p := range m.stage {
+			st := &m.stage[p]
+			for i := range st.visits {
+				m.replay(&st.visits[i])
+			}
+			st.visits = st.visits[:0]
+			for _, ev := range st.tFlights {
+				m.flt.Append(ev) //cfm:flight-ok fold drain; st.tFlights stays empty while recording is off
+			}
+			st.tFlights = st.tFlights[:0]
 		}
-		st.events = st.events[:0]
-		for _, ev := range st.flights {
-			m.flt.Append(ev) //cfm:flight-ok fold drain; st.flights stays empty while recording is off
+	case sim.PhaseUpdate:
+		for p := range m.stage {
+			st := &m.stage[p]
+			for _, e := range st.events {
+				m.trace.AddEvent(e)
+			}
+			st.events = st.events[:0]
+			for _, ev := range st.uFlights {
+				m.flt.Append(ev) //cfm:flight-ok fold drain; st.uFlights stays empty while recording is off
+			}
+			st.uFlights = st.uFlights[:0]
+			m.Completed += st.completed
+			m.mCompleted.Add(st.completed)
+			st.completed = 0
+			for _, d := range st.done {
+				d.a.done(d.a.buf)
+				m.recycle(d.a)
+			}
+			st.done = st.done[:0]
 		}
-		st.flights = st.flights[:0]
-		m.Completed += st.completed
-		m.mCompleted.Add(st.completed)
-		st.completed = 0
-		for _, a := range st.done {
-			a.done(a.buf)
-			m.recycle(a)
-		}
-		st.done = st.done[:0]
-	}
-	if ph == sim.PhaseUpdate {
 		// Park once fully drained. A done callback above may have begun a
 		// new access (and woken us), which this check then sees in cur.
 		drained := true
@@ -385,25 +452,104 @@ func (m *CFMemory) FinishShards(t sim.Slot, ph sim.Phase) {
 	}
 }
 
-// visit performs one word transfer between access a and bank; the trace
-// event goes into the owning processor's stage buffer.
-func (m *CFMemory) visit(t sim.Slot, a *access, bank int) {
-	bk := m.banks[bank]
+// EpochSafe implements sim.EpochSafeTicker. TickShard only reads
+// shard-owned access lists and the immutable AT-space, and stages every
+// bank visit instead of performing it, so a processor shard touches no
+// shared state in any phase of any slot — the bank mutations, which DO
+// cross shards across slots (accesses started at different slots visit
+// the same bank on different slots), all happen in the serial fold.
+func (m *CFMemory) EpochSafe() bool { return true }
+
+// FinishEpoch implements sim.EpochFinisher: one fold for the whole
+// episode [from, to), leaving the banks and every sink byte-identical
+// to per-slot FinishShards calls. Each processor's staged streams are
+// slot-nondecreasing, so a slot-major merge with per-shard cursors
+// reproduces the serial (slot, phase, processor, emission) order
+// exactly: for each slot, first the Transfer fold (bank-visit replay in
+// ascending processor order — the arena mutation order the serial
+// engine would have produced), then the Update fold (trace events,
+// flight retires, done callbacks). Completion counters are commutative
+// and fold once at the end, like Partial's.
+func (m *CFMemory) FinishEpoch(from, to sim.Slot) {
+	m.folding = true
+	for p := range m.stage {
+		st := &m.stage[p]
+		st.cVisit, st.cTF, st.cEv, st.cUF, st.cDone = 0, 0, 0, 0, 0
+	}
+	for t := from; t < to; t++ {
+		for p := range m.stage {
+			st := &m.stage[p]
+			for st.cVisit < len(st.visits) && st.visits[st.cVisit].slot <= t {
+				m.replay(&st.visits[st.cVisit])
+				st.cVisit++
+			}
+			for st.cTF < len(st.tFlights) && st.tFlights[st.cTF].Slot <= t {
+				m.flt.Append(st.tFlights[st.cTF]) //cfm:flight-ok fold drain; st.tFlights stays empty while recording is off
+				st.cTF++
+			}
+		}
+		for p := range m.stage {
+			st := &m.stage[p]
+			for st.cEv < len(st.events) && st.events[st.cEv].Slot <= t {
+				m.trace.AddEvent(st.events[st.cEv])
+				st.cEv++
+			}
+			for st.cUF < len(st.uFlights) && st.uFlights[st.cUF].Slot <= t {
+				m.flt.Append(st.uFlights[st.cUF]) //cfm:flight-ok fold drain; st.uFlights stays empty while recording is off
+				st.cUF++
+			}
+			for st.cDone < len(st.done) && st.done[st.cDone].at <= t {
+				d := st.done[st.cDone]
+				d.a.done(d.a.buf)
+				m.recycle(d.a)
+				st.cDone++
+			}
+		}
+	}
+	for p := range m.stage {
+		st := &m.stage[p]
+		m.Completed += st.completed
+		m.mCompleted.Add(st.completed)
+		st.completed = 0
+		st.visits = st.visits[:0]
+		st.tFlights = st.tFlights[:0]
+		st.events = st.events[:0]
+		st.uFlights = st.uFlights[:0]
+		st.done = st.done[:0]
+	}
+	m.folding = false
+	// Park once fully drained — an episode edge, as the epoch contract
+	// requires.
+	drained := true
+	for p := range m.cur {
+		if len(m.cur[p]) > 0 {
+			drained = false
+			break
+		}
+	}
+	if drained {
+		m.id.Park()
+	}
+}
+
+// replay performs one staged word transfer against the arena and emits
+// its trace event — always from a serial fold, never a shard.
+func (m *CFMemory) replay(v *bankVisit) {
+	a, t, bank := v.a, v.slot, int(v.bank)
 	switch a.kind {
 	case ReadBlock:
-		w, ok := bk.Read(t, a.offset)
+		w, ok := m.ar.Read(t, bank, a.offset)
 		if !ok {
 			panic(fmt.Sprintf("core: CFM invariant violated: bank %d busy at slot %d (read by P%d)", bank, t, a.proc))
 		}
 		a.buf[bank] = w
 	case WriteBlock:
-		if ok := bk.Write(t, a.offset, a.buf[bank]); !ok {
+		if ok := m.ar.Write(t, bank, a.offset, a.buf[bank]); !ok {
 			panic(fmt.Sprintf("core: CFM invariant violated: bank %d busy at slot %d (write by P%d)", bank, t, a.proc))
 		}
 	}
 	if m.trace.Enabled() {
-		m.stage[a.proc].events = append(m.stage[a.proc].events, sim.Event{Slot: t,
-			Who: fmt.Sprintf("Bank%d", bank), What: fmt.Sprintf("%s word (P%d, offset %d)", a.kind, a.proc, a.offset)})
+		m.trace.Add(t, fmt.Sprintf("Bank%d", bank), "%s word (P%d, offset %d)", a.kind, a.proc, a.offset)
 	}
 }
 

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"cfm/internal/memory"
+	"cfm/internal/sim"
+)
+
+// driveCFM runs a deterministic access script against a CFMemory on the
+// given engine. Accesses are begun only at Run boundaries — never from a
+// ticker — so a plan containing nothing but the CFMemory stays
+// all-shardable and, on a batching engine, actually batches. The chunk
+// lengths are deliberately not multiples of the episode length, so
+// accesses stay in flight across episode truncations.
+func driveCFM(eng sim.Engine, cfg Config) (m *CFMemory, tr *sim.Trace) {
+	tr = sim.NewTrace()
+	m = NewCFMemory(cfg, tr)
+	eng.Register(m)
+	for blk := 0; blk < 4; blk++ {
+		b := make(memory.Block, cfg.Banks())
+		for i := range b {
+			b[i] = memory.Word(blk*100 + i)
+		}
+		m.PokeBlock(blk, b)
+	}
+	now := sim.Slot(0)
+	chunk := func(n int64) {
+		eng.Run(n)
+		now += sim.Slot(n)
+	}
+	// All processors read concurrently — the headline conflict-free
+	// property; a conflict panics inside the (possibly folded) replay.
+	for p := 0; p < cfg.Processors; p++ {
+		m.StartRead(now, p, p%4, nil)
+	}
+	chunk(int64(cfg.BlockTime()) + 3)
+	// Concurrent writes, flights spanning an episode edge.
+	for p := 0; p < cfg.Processors; p++ {
+		b := make(memory.Block, cfg.Banks())
+		for i := range b {
+			b[i] = memory.Word(p*1000 + i)
+		}
+		m.StartWrite(now, p, (p+1)%4, b, nil)
+	}
+	chunk(3) // mid-flight truncation
+	chunk(int64(cfg.BlockTime()))
+	// A quiet tail (the memory parks), then a fresh wave after the park.
+	chunk(7)
+	for p := 0; p < cfg.Processors; p++ {
+		m.StartRead(now, p, (p+2)%4, nil)
+	}
+	chunk(int64(cfg.BlockTime()) + 2)
+	return m, tr
+}
+
+// TestCFMemoryEpochEquivalence pins the batched CFMemory against the
+// serial oracle: completions, block contents, the order-sensitive trace
+// digest, and the full snapshot byte stream must all come out identical
+// when the engine folds whole episodes through FinishEpoch.
+func TestCFMemoryEpochEquivalence(t *testing.T) {
+	for _, cfg := range []Config{cfg41(), cfg42(), {Processors: 8, BankCycle: 2, WordWidth: 16}} {
+		sm, str := driveCFM(sim.NewClock(), cfg)
+
+		pc := sim.NewParallelClock(2)
+		pc.SetEpochBatch(4)
+		bm, btr := driveCFM(pc, cfg)
+		pc.Close()
+
+		if bm.Completed != sm.Completed {
+			t.Fatalf("%+v: batched completed %d accesses, serial %d", cfg, bm.Completed, sm.Completed)
+		}
+		for blk := 0; blk < 4; blk++ {
+			if got, want := bm.PeekBlock(blk), sm.PeekBlock(blk); !got.Equal(want) {
+				t.Fatalf("%+v: block %d = %v under batching, want %v", cfg, blk, got, want)
+			}
+		}
+		if btr.Digest() != str.Digest() {
+			t.Fatalf("%+v: trace digest diverged under batching:\nbatched:\n%s\nserial:\n%s",
+				cfg, btr, str)
+		}
+		benc, senc := sim.NewStateEncoder(), sim.NewStateEncoder()
+		bm.SaveState(benc)
+		sm.SaveState(senc)
+		if benc.Err() != nil || senc.Err() != nil {
+			t.Fatalf("%+v: snapshot failed: %v / %v", cfg, benc.Err(), senc.Err())
+		}
+		if !bytes.Equal(benc.Bytes(), senc.Bytes()) {
+			t.Fatalf("%+v: snapshot bytes diverged under batching", cfg)
+		}
+		// Non-vacuity: the plan must actually have amortized slots into
+		// episodes — otherwise this test only re-ran the classic body.
+		if pc.Epochs() >= pc.SlotsFired() {
+			t.Fatalf("%+v: plan never batched: %d epochs over %d fired slots", cfg, pc.Epochs(), pc.SlotsFired())
+		}
+	}
+}
+
+// TestCFMemoryBeginDuringFoldPanics pins the begin() guard: a done
+// callback that immediately starts the next access would issue into the
+// middle of an already-ticked episode; CFMemory must refuse loudly
+// rather than corrupt the AT-space schedule.
+func TestCFMemoryBeginDuringFoldPanics(t *testing.T) {
+	cfg := cfg42()
+	pc := sim.NewParallelClock(2)
+	pc.SetEpochBatch(4)
+	m := NewCFMemory(cfg, nil)
+	pc.Register(m)
+	defer pc.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StartRead from a done callback during an epoch fold did not panic")
+		}
+	}()
+	m.StartRead(0, 0, 0, func(memory.Block) {
+		m.StartRead(sim.Slot(cfg.BlockTime()), 1, 1, nil)
+	})
+	pc.Run(int64(cfg.BlockTime()) + 4)
+}

@@ -106,13 +106,17 @@ func (c PartialConfig) ContentionSet(p int) int { return p % c.ClusterSize() }
 // fires, never per slot, so skip-ahead jumps leave the streams intact.
 //
 //cfm:rng=event
+//cfm:soa
 type Partial struct {
 	cfg PartialConfig
 	// rngs holds one independent stream per processor (split from the
 	// config seed), so a processor's stochastic behaviour never depends
 	// on the order in which other processors draw — the property that
-	// lets contention-set shards run concurrently.
-	rngs []*sim.RNG
+	// lets contention-set shards run concurrently. The streams are
+	// stored inline (sim.RNG is a single word) so the dense tick sweep
+	// reads them off one flat array instead of chasing per-processor
+	// heap pointers.
+	rngs []sim.RNG
 
 	// ports[(module, set)] busy-until slot.
 	ports []sim.Slot
@@ -122,12 +126,34 @@ type Partial struct {
 	doneAt      []sim.Slot
 	issuedAt    []sim.Slot
 	nextArrival []sim.Slot
-	backlog     []sim.Queue[sim.Slot]
-	targetMod   []int
+	backlog     []sim.Queue[sim.Slot] //cfm:soa-ok FIFO headers are flat; buffers are checkpointed state
+	// targetMod is int32 (and procState uint8): narrowing the swept
+	// arrays shrinks the per-slot cache footprint — snapshots encode
+	// through enc.Int either way, so the width is invisible to them.
+	targetMod []int32
+
+	// nextEvent[i] caches the earliest slot at which processor i has any
+	// work: its next open-loop arrival, retry wake, or completion —
+	// exactly the per-processor minimum Horizon folds. The tick sweep
+	// consults this ONE dense array and skips a processor entirely while
+	// t < nextEvent[i]; the skipped iterations are provably no-ops (no
+	// state change, no RNG draw), so the sweep stays bit-identical while
+	// quiescent processors cost one compare on one cache line instead of
+	// a walk over every per-processor array. Derived state: rebuilt after
+	// LoadState, never serialized.
+	nextEvent []sim.Slot
+	// home[i] is processor i's home module, materialized from the
+	// configuration so the issue path reads a flat array instead of
+	// re-deriving Cluster(i) (an integer division) per event. cs and bt
+	// likewise pin ClusterSize and BlockTime, both derived by division
+	// in the config accessors, as plain loads for the per-event paths.
+	home []int32
+	cs   int
+	bt   sim.Slot
 
 	// stage buffers per-shard measurement deltas, folded by FinishShards
 	// (per slot) or FinishEpoch (per batched episode).
-	stage []partialStage
+	stage []partialStage //cfm:soa-ok fold scratch, one element per shard, not swept per processor
 	// epochCursors is FinishEpoch's slot-major merge scratch, one cursor
 	// per shard (preallocated; the fold must stay alloc-free).
 	epochCursors []int
@@ -168,7 +194,10 @@ type partialStage struct {
 	flights      []flight.Event
 }
 
-type procState int
+// procState is uint8 so a 4096-processor state array occupies 4KB, not
+// 32: the dense sweep touches it every event, and the narrow form keeps
+// it resident next to the other hot arrays.
+type procState uint8
 
 const (
 	procIdle procState = iota
@@ -184,7 +213,7 @@ func NewPartial(cfg PartialConfig) *Partial {
 	n := cfg.Processors
 	p := &Partial{
 		cfg:          cfg,
-		rngs:         make([]*sim.RNG, n),
+		rngs:         make([]sim.RNG, n),
 		ports:        make([]sim.Slot, cfg.Modules*cfg.ClusterSize()),
 		state:        make([]procState, n),
 		wakeAt:       make([]sim.Slot, n),
@@ -192,18 +221,25 @@ func NewPartial(cfg PartialConfig) *Partial {
 		issuedAt:     make([]sim.Slot, n),
 		nextArrival:  make([]sim.Slot, n),
 		backlog:      make([]sim.Queue[sim.Slot], n),
-		targetMod:    make([]int, n),
+		targetMod:    make([]int32, n),
+		nextEvent:    make([]sim.Slot, n),
+		home:         make([]int32, n),
+		cs:           cfg.ClusterSize(),
+		bt:           sim.Slot(cfg.BlockTime()),
 		stage:        make([]partialStage, cfg.ClusterSize()),
 		epochCursors: make([]int, cfg.ClusterSize()),
 	}
 	seeder := sim.NewRNG(cfg.Seed)
 	for i := 0; i < n; i++ {
-		p.rngs[i] = seeder.Split()
+		p.rngs[i] = *seeder.Split()
+		p.home[i] = int32(cfg.Home(i))
 		if cfg.Home(i) < 0 {
 			p.nextArrival[i] = 1 << 60 // idle processor: no traffic
+			p.nextEvent[i] = p.nextArrival[i]
 			continue
 		}
 		p.nextArrival[i] = sim.Slot(p.thinkTime(i))
+		p.nextEvent[i] = p.nextArrival[i]
 	}
 	return p
 }
@@ -235,8 +271,9 @@ func (p *Partial) thinkTime(proc int) int {
 	if r <= 0 {
 		return 1 << 30
 	}
+	rng := &p.rngs[proc]
 	t := 1
-	for !p.rngs[proc].Bernoulli(r) {
+	for !rng.Bernoulli(r) {
 		t++
 		if t > 1<<20 {
 			break
@@ -258,9 +295,8 @@ func (p *Partial) retryDelay(proc int) int {
 // modules. LocalAcc counts home-module accesses whether or not the home
 // coincides with the processor's own cluster; the counts are staged in
 // the processor's contention-set shard.
-func (p *Partial) pickModule(proc int) int {
-	local := p.cfg.Home(proc)
-	st := &p.stage[p.cfg.ContentionSet(proc)]
+func (p *Partial) pickModule(proc int, st *partialStage) int {
+	local := int(p.home[proc])
 	if p.cfg.Modules == 1 || p.rngs[proc].Bernoulli(p.cfg.Locality) {
 		st.localAcc++
 		return local
@@ -273,11 +309,34 @@ func (p *Partial) pickModule(proc int) int {
 	return mod
 }
 
-func (p *Partial) portIndex(mod, set int) int { return mod*p.cfg.ClusterSize() + set }
+func (p *Partial) portIndex(mod, set int) int { return mod*p.cs + set }
 
-// Tick implements sim.Ticker by delegating to the shard path, so the
-// serial and parallel engines execute identical code.
-func (p *Partial) Tick(t sim.Slot, ph sim.Phase) { sim.SerialTick(p, t, ph) }
+// Tick implements sim.Ticker with a dense natural-order sweep over
+// processors instead of SerialTick's shard-strided one. The sweeps are
+// bit-identical: processor i touches only its own per-processor state,
+// its contention set's ports, and its set's stage buffer, and ascending
+// processor order preserves the ascending order WITHIN each set that
+// the shard path produces — so every port outcome and every staged
+// stream comes out the same. What changes is the memory traffic: the
+// strided sweep pulls each cache line of the per-processor arrays once
+// per contention set (ClusterSize times per slot); this one pulls it
+// exactly once.
+func (p *Partial) Tick(t sim.Slot, ph sim.Phase) {
+	// Single range over nextEvent: natural processor order, no bounds
+	// checks, and the contention set tracked by a wrapping counter
+	// instead of a per-event modulo. The quiescence test lives in the
+	// caller so a skipped processor costs one compare, not a call.
+	cs, s := p.cs, 0
+	for i, ne := range p.nextEvent {
+		if t >= ne {
+			p.tickProc(t, i, s, &p.stage[s])
+		}
+		if s++; s == cs {
+			s = 0
+		}
+	}
+	p.FinishShards(t, ph)
+}
 
 // PhaseMask implements sim.PhaseMasker: all the work is in PhaseIssue, so
 // the engines skip the other three phases entirely.
@@ -291,19 +350,9 @@ func (p *Partial) PhaseMask() sim.PhaseMask { return sim.MaskOf(sim.PhaseIssue) 
 // no event, no draw — so a jump leaves every stream bit-identical.
 func (p *Partial) Horizon(now sim.Slot) sim.Slot {
 	h := sim.HorizonNone
-	for i := range p.state {
-		if v := p.nextArrival[i]; v < h {
+	for _, v := range p.nextEvent {
+		if v < h {
 			h = v
-		}
-		switch p.state[i] {
-		case procWaiting:
-			if p.wakeAt[i] < h {
-				h = p.wakeAt[i]
-			}
-		case procInFlight:
-			if p.doneAt[i] < h {
-				h = p.doneAt[i]
-			}
 		}
 		if h <= now {
 			return now
@@ -326,45 +375,78 @@ func (p *Partial) Shards() int { return p.cfg.ClusterSize() }
 // contention set s, in ascending processor order.
 func (p *Partial) TickShard(t sim.Slot, ph sim.Phase, s int) {
 	st := &p.stage[s]
-	for i := s; i < p.cfg.Processors; i += p.cfg.ClusterSize() {
-		for t >= p.nextArrival[i] {
-			p.backlog[i].Push(p.nextArrival[i])
-			p.nextArrival[i] += sim.Slot(p.thinkTime(i))
-		}
-		switch p.state[i] {
-		case procInFlight:
-			if t >= p.doneAt[i] {
-				st.completed++
-				st.totalLatency += int64(p.doneAt[i] - p.issuedAt[i])
-				if p.mLatHist != nil {
-					st.lats = append(st.lats, int64(p.doneAt[i]-p.issuedAt[i]))
-				}
-				if p.flt.Enabled() {
-					st.flights = append(st.flights, flight.Event{
-						ID: flight.ComposeID(i, p.issuedAt[i]), Slot: t,
-						Stage: flight.StageRetire, Actor: int32(i),
-						Arg: int64(p.doneAt[i] - p.issuedAt[i])})
-				}
-				p.state[i] = procIdle
-			}
-		case procWaiting:
-			if t >= p.wakeAt[i] {
-				p.attempt(t, i)
-			}
-		}
-		if p.state[i] == procIdle && !p.backlog[i].Empty() {
-			p.backlog[i].Pop()
-			p.targetMod[i] = p.pickModule(i)
-			p.issuedAt[i] = t
-			if p.flt.Enabled() {
-				st.flights = append(st.flights, flight.Event{
-					ID: flight.ComposeID(i, t), Slot: t,
-					Stage: flight.StageIssue, Actor: int32(i),
-					Arg: int64(p.targetMod[i])})
-			}
-			p.attempt(t, i)
+	for i := s; i < p.cfg.Processors; i += p.cs {
+		if t >= p.nextEvent[i] {
+			p.tickProc(t, i, s, st)
 		}
 	}
+}
+
+// tickProc advances one processor at slot t, staging measurement deltas
+// into its contention set's stage buffer st (set is i's contention set,
+// already known to both callers). It is the shared body of the strided
+// shard sweep (TickShard) and the dense serial sweep (Tick); callers
+// guarantee t >= nextEvent[i] — quiescent processors are skipped at the
+// call site.
+func (p *Partial) tickProc(t sim.Slot, i, set int, st *partialStage) {
+	for t >= p.nextArrival[i] {
+		p.backlog[i].Push(p.nextArrival[i])
+		p.nextArrival[i] += sim.Slot(p.thinkTime(i))
+	}
+	switch p.state[i] {
+	case procInFlight:
+		if t >= p.doneAt[i] {
+			st.completed++
+			st.totalLatency += int64(p.doneAt[i] - p.issuedAt[i])
+			if p.mLatHist != nil {
+				st.lats = append(st.lats, int64(p.doneAt[i]-p.issuedAt[i]))
+			}
+			if p.flt.Enabled() {
+				st.flights = append(st.flights, flight.Event{
+					ID: flight.ComposeID(i, p.issuedAt[i]), Slot: t,
+					Stage: flight.StageRetire, Actor: int32(i),
+					Arg: int64(p.doneAt[i] - p.issuedAt[i])})
+			}
+			p.state[i] = procIdle
+		}
+	case procWaiting:
+		if t >= p.wakeAt[i] {
+			p.attempt(t, i, set, st)
+		}
+	}
+	if p.state[i] == procIdle && !p.backlog[i].Empty() {
+		p.backlog[i].Pop()
+		p.targetMod[i] = int32(p.pickModule(i, st))
+		p.issuedAt[i] = t
+		if p.flt.Enabled() {
+			st.flights = append(st.flights, flight.Event{
+				ID: flight.ComposeID(i, t), Slot: t,
+				Stage: flight.StageIssue, Actor: int32(i),
+				Arg: int64(p.targetMod[i])})
+		}
+		p.attempt(t, i, set, st)
+	}
+	p.nextEvent[i] = p.eventSlot(i)
+}
+
+// eventSlot computes processor i's earliest upcoming event. A settled
+// processor is idle with an empty backlog (anything queued would have
+// issued this slot), waiting with a wake slot, or in flight with a
+// completion slot, so the earliest of those and the next open-loop
+// arrival bounds its quiescence.
+func (p *Partial) eventSlot(i int) sim.Slot {
+	ne := p.nextArrival[i]
+	switch p.state[i] {
+	case procWaiting:
+		if p.wakeAt[i] < ne {
+			ne = p.wakeAt[i]
+		}
+	case procInFlight:
+		if p.doneAt[i] < ne {
+			ne = p.doneAt[i]
+		}
+	}
+	return ne
 }
 
 // FinishShards implements sim.ShardFinalizer: fold the per-shard
@@ -454,29 +536,28 @@ func (p *Partial) FinishEpoch(from, to sim.Slot) {
 	}
 }
 
-func (p *Partial) attempt(t sim.Slot, proc int) {
-	set := p.cfg.ContentionSet(proc)
-	port := p.portIndex(p.targetMod[proc], set)
+func (p *Partial) attempt(t sim.Slot, proc, set int, st *partialStage) {
+	port := int(p.targetMod[proc])*p.cs + set
 	if t < p.ports[port] {
-		p.stage[set].retries++
+		st.retries++
 		p.state[proc] = procWaiting
 		p.wakeAt[proc] = t + sim.Slot(p.retryDelay(proc))
 		if p.flt.Enabled() {
-			p.stage[set].flights = append(p.stage[set].flights, flight.Event{
+			st.flights = append(st.flights, flight.Event{
 				ID: flight.ComposeID(proc, p.issuedAt[proc]), Slot: t,
 				Stage: flight.StageBankEnqueue, Actor: int32(p.targetMod[proc]),
 				Arg: int64(p.wakeAt[proc] - t)})
 		}
 		return
 	}
-	p.ports[port] = t + sim.Slot(p.cfg.BlockTime())
+	p.ports[port] = t + p.bt
 	p.state[proc] = procInFlight
-	p.doneAt[proc] = t + sim.Slot(p.cfg.BlockTime())
+	p.doneAt[proc] = t + p.bt
 	if p.flt.Enabled() {
-		p.stage[set].flights = append(p.stage[set].flights, flight.Event{
+		st.flights = append(st.flights, flight.Event{
 			ID: flight.ComposeID(proc, p.issuedAt[proc]), Slot: t,
 			Stage: flight.StageBankService, Actor: int32(p.targetMod[proc]),
-			Arg: int64(p.cfg.BlockTime())})
+			Arg: int64(p.bt)})
 	}
 }
 

@@ -246,8 +246,8 @@ func (cs *ClusterSystem) LoadState(dec *sim.StateDecoder) {
 // automaton, and the public measurements.
 func (p *Partial) SaveState(enc *sim.StateEncoder) {
 	enc.Int(len(p.rngs))
-	for _, r := range p.rngs {
-		enc.RNG(r)
+	for i := range p.rngs {
+		enc.RNG(&p.rngs[i])
 	}
 	sim.SaveSlots(enc, p.ports)
 	saveProcs(enc, p.state)
@@ -261,7 +261,7 @@ func (p *Partial) SaveState(enc *sim.StateEncoder) {
 	}
 	enc.Int(len(p.targetMod))
 	for _, m := range p.targetMod {
-		enc.Int(m)
+		enc.Int(int(m))
 	}
 	enc.I64(p.Completed)
 	enc.I64(p.Retries)
@@ -276,8 +276,8 @@ func (p *Partial) LoadState(dec *sim.StateDecoder) {
 		dec.Failf("core: snapshot has %d RNG streams, system has %d", n, len(p.rngs))
 		return
 	}
-	for _, r := range p.rngs {
-		dec.RNG(r)
+	for i := range p.rngs {
+		dec.RNG(&p.rngs[i])
 	}
 	sim.LoadSlots(dec, p.ports)
 	loadProcs(dec, p.state)
@@ -297,13 +297,18 @@ func (p *Partial) LoadState(dec *sim.StateDecoder) {
 		return
 	}
 	for i := range p.targetMod {
-		p.targetMod[i] = dec.Int()
+		p.targetMod[i] = int32(dec.Int())
 	}
 	p.Completed = dec.I64()
 	p.Retries = dec.I64()
 	p.TotalLatency = dec.I64()
 	p.LocalAcc = dec.I64()
 	p.RemoteAcc = dec.I64()
+	// nextEvent is derived state (the per-processor quiescence bound the
+	// tick sweep skips on); rebuild it from the restored automata.
+	for i := range p.nextEvent {
+		p.nextEvent[i] = p.eventSlot(i)
+	}
 }
 
 // SaveState implements sim.Stater for the slot-shared CFM (§7.2): the

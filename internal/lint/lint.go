@@ -25,6 +25,10 @@
 //     laid out side by side in a slice) sizes to a nonzero multiple of
 //     64 bytes on gc/amd64, so adjacent workers' spin flags never share
 //     a cache line.
+//   - soalayout: a //cfm:soa arena struct (flat parallel arrays swept by
+//     compiled dense tick loops) keeps pointer-free slice elements and
+//     no maps, so the hot sweep never chases per-element heap pointers;
+//     cold fields opt out with //cfm:soa-ok <reason>.
 //
 // The suite is built on go/ast + go/types only (no x/tools), so it runs
 // anywhere the repo builds: `go run ./cmd/cfmlint ./...`.
@@ -43,6 +47,8 @@
 //	//cfm:no-stater R        ticker is deliberately not checkpointable
 //	//cfm:flight-ok R        flight emission intentionally unguarded
 //	//cfm:cacheline          struct must fill whole 64-byte cache lines
+//	//cfm:soa                struct is a flat struct-of-arrays arena
+//	//cfm:soa-ok R           arena field deliberately off the hot sweep
 package lint
 
 import (
@@ -120,6 +126,7 @@ func Passes() []*Pass {
 		StaterPass(),
 		FlightPass(),
 		StructLayoutPass(),
+		SoALayoutPass(),
 	}
 }
 

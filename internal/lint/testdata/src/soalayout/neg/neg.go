@@ -1,0 +1,59 @@
+// Package neg holds layouts the soalayout pass must accept: flat
+// arenas, reasoned opt-outs, and unannotated structs of any shape.
+package neg
+
+// stream is a pointer-free value element (the sim.RNG shape: one word
+// of inline state).
+type stream struct {
+	state uint64
+}
+
+// pair is a flat composite element: basics and arrays of basics only.
+type pair struct {
+	a, b int64
+	pad  [2]uint32
+}
+
+// counter is a heap handle the reasoned opt-outs below point at.
+type counter struct {
+	v *int64
+}
+
+// arena is the canonical SoA shape: parallel flat slices, paged word
+// storage with a presence bitmap, inline RNG streams, and reasoned
+// opt-outs for the cold observation handles.
+//
+//cfm:soa
+type arena struct {
+	cycle    int
+	busyTill []int64
+	dir      []int32
+	words    []uint64
+	present  []uint64
+	rngs     []stream
+	pairs    []pair
+	fixed    [4]int64
+
+	handles []*counter // cfm:soa-ok cold observation handles, not ticked state
+	//cfm:soa-ok fold scratch, touched once per episode
+	scratch [][]int64
+}
+
+// unannotated may hold whatever it likes — the pass only audits
+// declared arenas.
+type unannotated struct {
+	words map[int]uint64
+	ptrs  []*counter
+}
+
+// grouped declarations carry the directive on the spec itself.
+type (
+	//cfm:soa
+	groupedArena struct {
+		busy []int64
+	}
+)
+
+var _ = arena{}
+var _ = unannotated{}
+var _ = groupedArena{}

@@ -1,0 +1,51 @@
+// Package pos holds //cfm:soa layouts the soalayout pass must reject.
+package pos
+
+// handle is a pointer-carrying element type.
+type handle struct {
+	p *int
+}
+
+// grown models the classic regression: a flat element type sprouted a
+// slice field, so the arena's dense sweep now chases a heap pointer per
+// element.
+type grown struct {
+	busy  int64
+	stats []int64
+}
+
+// mapArena keeps per-bank words in a map — the scattered-storage layout
+// the SoA refactor exists to remove.
+//
+//cfm:soa
+type mapArena struct {
+	busyTill []int64
+	words    map[int]uint64 // want "mapArena.words is a map in a //cfm:soa arena"
+}
+
+// pointerArena holds per-element heap pointers in the hot arrays.
+//
+//cfm:soa
+type pointerArena struct {
+	busyTill []int64
+	handles  []*handle // want "pointerArena.handles has element type \\*handle, which is not pointer-free"
+	grown    []grown   // want "pointerArena.grown has element type grown, which is not pointer-free"
+}
+
+// bareOptOut forgets the reason the directive requires.
+//
+//cfm:soa
+type bareOptOut struct {
+	//cfm:soa-ok
+	cold []*handle // want "bareOptOut.cold: bare //cfm:soa-ok"
+}
+
+// notAStruct cannot be an arena at all.
+//
+//cfm:soa
+type notAStruct int // want "notAStruct is annotated //cfm:soa but is not a struct"
+
+var _ = mapArena{}
+var _ = pointerArena{}
+var _ = bareOptOut{}
+var _ = notAStruct(0)

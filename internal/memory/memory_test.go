@@ -75,11 +75,11 @@ func TestBankRejectsWhileBusy(t *testing.T) {
 	if _, ok := bk.Read(1, 0); ok {
 		t.Fatal("read accepted while busy")
 	}
-	if bk.Conflicts != 2 {
-		t.Fatalf("Conflicts = %d, want 2", bk.Conflicts)
+	if bk.Conflicts() != 2 {
+		t.Fatalf("Conflicts = %d, want 2", bk.Conflicts())
 	}
-	if bk.Accesses != 1 {
-		t.Fatalf("Accesses = %d, want 1", bk.Accesses)
+	if bk.Accesses() != 1 {
+		t.Fatalf("Accesses = %d, want 1", bk.Accesses())
 	}
 }
 
@@ -109,7 +109,7 @@ func TestBankReset(t *testing.T) {
 	if bk.Busy(0) {
 		t.Fatal("busy after Reset")
 	}
-	if bk.Accesses != 0 || bk.Conflicts != 0 {
+	if bk.Accesses() != 0 || bk.Conflicts() != 0 {
 		t.Fatal("stats not cleared by Reset")
 	}
 	if bk.Peek(1) != 9 {

@@ -1,41 +1,66 @@
 package memory
 
 import (
-	"sort"
+	"math/bits"
 
 	"cfm/internal/sim"
 )
 
-// SaveState implements sim.Stater for a bank: contents (sorted by
-// offset, so the snapshot is byte-stable), timing state, and statistics.
+// SaveState implements sim.Stater for a bank: contents (ascending by
+// offset, so the snapshot is byte-stable and matches the sorted-map
+// format of earlier revisions exactly), timing state, and statistics.
 // Identity and bank cycle are configuration.
 func (bk *Bank) SaveState(enc *sim.StateEncoder) {
-	offs := make([]int, 0, len(bk.words))
-	for o := range bk.words {
-		offs = append(offs, o)
+	ar, i := bk.ar, bk.idx
+	n := 0
+	for pn := 0; pn < len(ar.dir); pn++ {
+		if g := ar.dir[pn]; g >= 0 {
+			n += bits.OnesCount64(ar.present[int(g)*ar.nbanks+i])
+		}
 	}
-	sort.Ints(offs)
-	enc.Int(len(offs))
-	for _, o := range offs {
-		enc.Int(o)
-		enc.U64(uint64(bk.words[o]))
+	enc.Int(n)
+	for pn := 0; pn < len(ar.dir); pn++ {
+		g := ar.dir[pn]
+		if g < 0 {
+			continue
+		}
+		base := int(g)*ar.nbanks + i
+		pres := ar.present[base]
+		if pres == 0 {
+			continue
+		}
+		for b := 0; b < pageWords; b++ {
+			if pres>>uint(b)&1 == 0 {
+				continue
+			}
+			enc.Int(pn<<pageShift | b)
+			enc.U64(uint64(ar.words[(base<<pageShift)+b]))
+		}
 	}
-	enc.Slot(bk.busyTill)
-	enc.I64(bk.Accesses)
-	enc.I64(bk.Conflicts)
+	enc.Slot(ar.busyTill[i])
+	enc.I64(ar.accesses[i])
+	enc.I64(ar.conflicts[i])
 }
 
 // LoadState implements sim.Stater.
 func (bk *Bank) LoadState(dec *sim.StateDecoder) {
+	ar, i := bk.ar, bk.idx
+	ar.clearBank(i)
 	n := dec.Count()
-	bk.words = make(map[int]Word, n)
-	for i := 0; i < n && dec.Err() == nil; i++ {
+	for k := 0; k < n && dec.Err() == nil; k++ {
 		o := dec.Int()
-		bk.words[o] = Word(dec.U64())
+		if dec.Err() != nil {
+			break
+		}
+		if o < 0 || o > maxSnapshotOffset {
+			dec.Failf("memory: implausible word offset %d in snapshot", o)
+			return
+		}
+		ar.storeWord(i, o, Word(dec.U64()))
 	}
-	bk.busyTill = dec.Slot()
-	bk.Accesses = dec.I64()
-	bk.Conflicts = dec.I64()
+	ar.busyTill[i] = dec.Slot()
+	ar.accesses[i] = dec.I64()
+	ar.conflicts[i] = dec.I64()
 }
 
 // SaveBlock encodes a block (length + words) for higher layers that

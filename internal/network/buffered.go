@@ -64,17 +64,27 @@ func (c BufferedConfig) Validate() error {
 // the streams.
 //
 //cfm:rng=slot
+//cfm:soa
 type BufferedOmega struct {
 	cfg BufferedConfig
 	o   *Omega
 	// rngs holds one independent injection stream per processor (split
-	// from the config seed), so terminal shards draw independently.
-	rngs []*sim.RNG
+	// from the config seed), so terminal shards draw independently. The
+	// streams are stored inline (sim.RNG is a single word), so the
+	// injection sweep reads one flat array instead of chasing pointers.
+	rngs []sim.RNG
 
-	inject []sim.Queue[Packet]   // unbounded source queues (one per processor)
-	q      [][]sim.Queue[Packet] // q[column][outputPosition], bounded by QueueCap
-	rr     [][]int               // round-robin arbiter state per switch
-	busy   []sim.Slot            // per-module busy-until
+	inject []sim.Queue[Packet] //cfm:soa-ok FIFO headers are flat; buffers are checkpointed state
+	// q holds every switch-output queue in one column-major slab:
+	// q[j*Terminals+i] is output position i of column j. The flat layout
+	// keeps the column sweep on consecutive queue headers instead of
+	// hopping between per-column allocations; the checkpoint still emits
+	// the nested column/position counts, so snapshot bytes are unchanged.
+	q []sim.Queue[Packet] //cfm:soa-ok FIFO headers are flat; buffers are checkpointed state
+	// rr is the per-switch round-robin arbiter state, flattened the same
+	// way: rr[j*SwitchesPerColumn+sw].
+	rr   []int
+	busy []sim.Slot // per-module busy-until
 
 	// Occupancy counts form the column sweep's active set: a column whose
 	// upstream (the previous column, or the source queues for column 0)
@@ -87,7 +97,7 @@ type BufferedOmega struct {
 
 	// stage buffers per-terminal measurement deltas, folded by
 	// FinishShards.
-	stage []bufferedStage
+	stage []bufferedStage //cfm:soa-ok fold scratch, one element per terminal shard
 
 	// Measurements, split by traffic class.
 	Injected        int64
@@ -108,8 +118,8 @@ type BufferedOmega struct {
 	mBlocked    *metrics.Counter
 	mQueued     *metrics.Gauge
 	mBacklog    *metrics.Gauge
-	mStageQueue []*metrics.Gauge // packets buffered per column
-	mStageFull  []*metrics.Gauge // full queues per column (saturation tree)
+	mStageQueue []*metrics.Gauge //cfm:soa-ok cold observation handles, set once per settle
+	mStageFull  []*metrics.Gauge //cfm:soa-ok cold observation handles, set once per settle
 
 	// Flight recorder (nil when unobserved). Inject and retire events
 	// happen in terminal shards and are staged; hop events are emitted
@@ -137,23 +147,24 @@ func NewBufferedOmega(cfg BufferedConfig) *BufferedOmega {
 	b := &BufferedOmega{
 		cfg:      cfg,
 		o:        o,
-		rngs:     make([]*sim.RNG, cfg.Terminals),
+		rngs:     make([]sim.RNG, cfg.Terminals),
 		inject:   make([]sim.Queue[Packet], cfg.Terminals),
-		q:        make([][]sim.Queue[Packet], o.Columns()),
-		rr:       make([][]int, o.Columns()),
+		q:        make([]sim.Queue[Packet], o.Columns()*cfg.Terminals),
+		rr:       make([]int, o.Columns()*o.SwitchesPerColumn()),
 		busy:     make([]sim.Slot, cfg.Terminals),
 		colCount: make([]int, o.Columns()),
 		stage:    make([]bufferedStage, cfg.Terminals),
 	}
 	seeder := sim.NewRNG(cfg.Seed)
 	for p := range b.rngs {
-		b.rngs[p] = seeder.Split()
-	}
-	for j := range b.q {
-		b.q[j] = make([]sim.Queue[Packet], cfg.Terminals)
-		b.rr[j] = make([]int, o.SwitchesPerColumn())
+		b.rngs[p] = *seeder.Split()
 	}
 	return b
+}
+
+// colQ returns the switch-output queue at position i of column j.
+func (b *BufferedOmega) colQ(j, i int) *sim.Queue[Packet] {
+	return &b.q[j*b.cfg.Terminals+i]
 }
 
 // Instrument attaches registry metrics: injection/delivery/latency
@@ -282,8 +293,8 @@ func (b *BufferedOmega) FinishShards(t sim.Slot, ph sim.Phase) {
 			full := b.FullQueues()
 			for j := range b.mStageQueue {
 				n := 0
-				for i := range b.q[j] {
-					n += b.q[j][i].Len()
+				for i := 0; i < b.cfg.Terminals; i++ {
+					n += b.colQ(j, i).Len()
 				}
 				b.mStageQueue[j].Set(int64(n))
 				b.mStageFull[j].Set(int64(full[j]))
@@ -294,7 +305,7 @@ func (b *BufferedOmega) FinishShards(t sim.Slot, ph sim.Phase) {
 
 // injectNew generates terminal p's new request for this slot, if any.
 func (b *BufferedOmega) injectNew(t sim.Slot, p int) {
-	rng := b.rngs[p]
+	rng := &b.rngs[p]
 	if !rng.Bernoulli(b.cfg.Rate) {
 		return
 	}
@@ -317,11 +328,11 @@ func (b *BufferedOmega) injectNew(t sim.Slot, p int) {
 // drainSink lets memory module m, if idle, consume the packet at the
 // head of its last-column queue.
 func (b *BufferedOmega) drainSink(t sim.Slot, m int) {
-	last := b.o.Columns() - 1
-	if t < b.busy[m] || b.q[last][m].Empty() {
+	sink := b.colQ(b.o.Columns()-1, m)
+	if t < b.busy[m] || sink.Empty() {
 		return
 	}
-	pk := b.q[last][m].Pop()
+	pk := sink.Pop()
 	b.busy[m] = t + sim.Slot(b.cfg.ServiceTime)
 	lat := int64(t + sim.Slot(b.cfg.ServiceTime) - pk.Born)
 	st := &b.stage[m]
@@ -350,7 +361,7 @@ func (b *BufferedOmega) upstreamHead(j, pos int) *sim.Queue[Packet] {
 	if j == 0 {
 		qp = &b.inject[src]
 	} else {
-		qp = &b.q[j-1][src]
+		qp = b.colQ(j-1, src)
 	}
 	if qp.Empty() {
 		return nil
@@ -391,8 +402,9 @@ func (b *BufferedOmega) advanceColumn(t sim.Slot, j int) {
 				continue
 			}
 			// Contention for one output: alternate which input wins.
-			first := b.rr[j][sw] & 1
-			b.rr[j][sw]++
+			arb := j*b.o.SwitchesPerColumn() + sw
+			first := b.rr[arb] & 1
+			b.rr[arb]++
 			if b.tryMove(t, j, cands[first].out, cands[first].src) {
 				continue
 			}
@@ -405,12 +417,13 @@ func (b *BufferedOmega) advanceColumn(t sim.Slot, j int) {
 // consuming it from its source queue and updating the occupancy counts.
 // It reports whether the move happened.
 func (b *BufferedOmega) tryMove(t sim.Slot, j, out int, src *sim.Queue[Packet]) bool {
-	if b.q[j][out].Len() >= b.cfg.QueueCap {
+	dst := b.colQ(j, out)
+	if dst.Len() >= b.cfg.QueueCap {
 		b.mBlocked.Inc() // runs inside FinishShards' sweep: deterministic
 		return false
 	}
 	pk := src.Pop()
-	b.q[j][out].Push(pk)
+	dst.Push(pk)
 	if j == 0 {
 		b.injectCount--
 	} else {
@@ -427,9 +440,9 @@ func (b *BufferedOmega) tryMove(t sim.Slot, j, out int, src *sim.Queue[Packet]) 
 // capacity — the footprint of the saturation tree.
 func (b *BufferedOmega) FullQueues() []int {
 	out := make([]int, b.o.Columns())
-	for j := range b.q {
-		for i := range b.q[j] {
-			if b.q[j][i].Len() >= b.cfg.QueueCap {
+	for j := range out {
+		for i := 0; i < b.cfg.Terminals; i++ {
+			if b.colQ(j, i).Len() >= b.cfg.QueueCap {
 				out[j]++
 			}
 		}
@@ -441,10 +454,8 @@ func (b *BufferedOmega) FullQueues() []int {
 // network (excluding source queues).
 func (b *BufferedOmega) QueuedPackets() int {
 	total := 0
-	for j := range b.q {
-		for i := range b.q[j] {
-			total += b.q[j][i].Len()
-		}
+	for i := range b.q {
+		total += b.q[i].Len()
 	}
 	return total
 }

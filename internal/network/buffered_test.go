@@ -142,9 +142,9 @@ func TestBufferedQueueCapacityRespected(t *testing.T) {
 	clk := sim.NewClock()
 	clk.Register(b)
 	clk.Run(2000)
-	for j := range b.q {
-		for pos := range b.q[j] {
-			if n := b.q[j][pos].Len(); n > 2 {
+	for j := 0; j < b.o.Columns(); j++ {
+		for pos := 0; pos < b.cfg.Terminals; pos++ {
+			if n := b.colQ(j, pos).Len(); n > 2 {
 				t.Fatalf("queue [%d][%d] holds %d > capacity 2", j, pos, n)
 			}
 		}

@@ -24,25 +24,29 @@ func loadPacket(dec *sim.StateDecoder) Packet {
 // topology and rates are configuration.
 func (b *BufferedOmega) SaveState(enc *sim.StateEncoder) {
 	enc.Int(len(b.rngs))
-	for _, r := range b.rngs {
-		enc.RNG(r)
+	for i := range b.rngs {
+		enc.RNG(&b.rngs[i])
 	}
 	enc.Int(len(b.inject))
 	for i := range b.inject {
 		sim.SaveQueue(enc, &b.inject[i], savePacket)
 	}
-	enc.Int(len(b.q))
-	for j := range b.q {
-		enc.Int(len(b.q[j]))
-		for i := range b.q[j] {
-			sim.SaveQueue(enc, &b.q[j][i], savePacket)
+	// The queue slab and arbiter state are flat in memory but the
+	// snapshot keeps the nested column/position framing of earlier
+	// revisions, so the bytes are unchanged.
+	cols, terms, spc := b.o.Columns(), b.cfg.Terminals, b.o.SwitchesPerColumn()
+	enc.Int(cols)
+	for j := 0; j < cols; j++ {
+		enc.Int(terms)
+		for i := 0; i < terms; i++ {
+			sim.SaveQueue(enc, b.colQ(j, i), savePacket)
 		}
 	}
-	enc.Int(len(b.rr))
-	for j := range b.rr {
-		enc.Int(len(b.rr[j]))
-		for _, v := range b.rr[j] {
-			enc.Int(v)
+	enc.Int(cols)
+	for j := 0; j < cols; j++ {
+		enc.Int(spc)
+		for sw := 0; sw < spc; sw++ {
+			enc.Int(b.rr[j*spc+sw])
 		}
 	}
 	sim.SaveSlots(enc, b.busy)
@@ -64,8 +68,8 @@ func (b *BufferedOmega) LoadState(dec *sim.StateDecoder) {
 		dec.Failf("network: snapshot has %d RNG streams, network has %d", n, len(b.rngs))
 		return
 	}
-	for _, r := range b.rngs {
-		dec.RNG(r)
+	for i := range b.rngs {
+		dec.RNG(&b.rngs[i])
 	}
 	if n := dec.Count(); n != len(b.inject) && dec.Err() == nil {
 		dec.Failf("network: snapshot has %d source queues, network has %d", n, len(b.inject))
@@ -74,30 +78,31 @@ func (b *BufferedOmega) LoadState(dec *sim.StateDecoder) {
 	for i := range b.inject {
 		sim.LoadQueue(dec, &b.inject[i], loadPacket)
 	}
-	if n := dec.Count(); n != len(b.q) && dec.Err() == nil {
-		dec.Failf("network: snapshot has %d columns, network has %d", n, len(b.q))
+	cols, terms, spc := b.o.Columns(), b.cfg.Terminals, b.o.SwitchesPerColumn()
+	if n := dec.Count(); n != cols && dec.Err() == nil {
+		dec.Failf("network: snapshot has %d columns, network has %d", n, cols)
 		return
 	}
-	for j := range b.q {
-		if n := dec.Count(); n != len(b.q[j]) && dec.Err() == nil {
-			dec.Failf("network: snapshot column %d has %d queues, network has %d", j, n, len(b.q[j]))
+	for j := 0; j < cols; j++ {
+		if n := dec.Count(); n != terms && dec.Err() == nil {
+			dec.Failf("network: snapshot column %d has %d queues, network has %d", j, n, terms)
 			return
 		}
-		for i := range b.q[j] {
-			sim.LoadQueue(dec, &b.q[j][i], loadPacket)
+		for i := 0; i < terms; i++ {
+			sim.LoadQueue(dec, b.colQ(j, i), loadPacket)
 		}
 	}
-	if n := dec.Count(); n != len(b.rr) && dec.Err() == nil {
-		dec.Failf("network: snapshot has %d arbiter columns, network has %d", n, len(b.rr))
+	if n := dec.Count(); n != cols && dec.Err() == nil {
+		dec.Failf("network: snapshot has %d arbiter columns, network has %d", n, cols)
 		return
 	}
-	for j := range b.rr {
-		if n := dec.Count(); n != len(b.rr[j]) && dec.Err() == nil {
-			dec.Failf("network: snapshot arbiter column %d has %d switches, network has %d", j, n, len(b.rr[j]))
+	for j := 0; j < cols; j++ {
+		if n := dec.Count(); n != spc && dec.Err() == nil {
+			dec.Failf("network: snapshot arbiter column %d has %d switches, network has %d", j, n, spc)
 			return
 		}
-		for i := range b.rr[j] {
-			b.rr[j][i] = dec.Int()
+		for sw := 0; sw < spc; sw++ {
+			b.rr[j*spc+sw] = dec.Int()
 		}
 	}
 	sim.LoadSlots(dec, b.busy)

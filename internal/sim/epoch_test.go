@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -373,6 +374,52 @@ func TestEpochPoisonPropagation(t *testing.T) {
 			pc.Register(ec)
 			pc.Run(50)
 		}()
+	}
+}
+
+// TestWorkersAutoDecisionTable pins the WorkersAuto resolution: the
+// shard-width bar for turning on worker goroutines drops from
+// autoSerialShards to autoEpochSerialShards when the compiled plan
+// epoch-batches (the per-slot coordination tax is amortized over whole
+// episodes), and stays at the classic bar when batching is off or the
+// plan has serial work.
+func TestWorkersAutoDecisionTable(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		// The table is only meaningful when "go parallel" differs from
+		// "stay serial"; widen temporarily on single-CPU hosts.
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	gmp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name      string
+		shards    int
+		addSerial bool
+		epochK    int // EpochAuto or an explicit SetEpochBatch value
+		want      int
+	}{
+		{"batchable_at_epoch_bar", autoEpochSerialShards, false, EpochAuto, gmp},
+		{"batchable_below_epoch_bar", autoEpochSerialShards - 1, false, EpochAuto, 1},
+		{"batchable_batching_disabled", autoSerialShards - 1, false, 1, 1},
+		{"serial_below_classic_bar", autoSerialShards - 1, true, EpochAuto, 1},
+		{"serial_at_classic_bar", autoSerialShards, true, EpochAuto, gmp},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pc := NewParallelClock(WorkersAuto)
+			if tc.epochK != EpochAuto {
+				pc.SetEpochBatch(tc.epochK)
+			}
+			pc.Register(newEpochComp(tc.shards, MaskAll))
+			if tc.addSerial {
+				pc.Register(TickerFunc(func(Slot, Phase) {}))
+			}
+			defer pc.Close()
+			pc.Run(2)
+			if pc.workers != tc.want {
+				t.Fatalf("WorkersAuto with %d shards (serial=%v, K=%d) resolved to %d workers, want %d (batchable=%v)",
+					tc.shards, tc.addSerial, tc.epochK, pc.workers, tc.want, pc.batchable)
+			}
+		})
 	}
 }
 

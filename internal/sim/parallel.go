@@ -163,13 +163,23 @@ func SerialTick(s Shardable, t Slot, ph Phase) {
 // serially unless some parallel segment is at least autoSerialShards
 // wide — small configurations never pay the coordination tax (the
 // recorded baseline showed workers=4 nearly 3x SLOWER than workers=1 on
-// the dissertation shapes; see EXPERIMENTS.md).
+// the dissertation shapes; see EXPERIMENTS.md). Plans that epoch-batch
+// amortize that tax over whole episodes, so for them the bar drops to
+// autoEpochSerialShards.
 const WorkersAuto = 0
 
 // autoSerialShards is the WorkersAuto threshold: the widest parallel
 // segment must have at least this many shards before auto mode turns on
 // worker goroutines at all.
 const autoSerialShards = 32
+
+// autoEpochSerialShards is the WorkersAuto threshold for batchable
+// plans. Epoch batching amortizes the per-slot barrier crossings over
+// epochAutoK slots, so the coordination tax that makes narrow plans run
+// better serially is an order of magnitude smaller — auto mode turns on
+// workers for much narrower shard counts when every scheduled component
+// batches.
+const autoEpochSerialShards = 8
 
 // EpochAuto, passed to SetEpochBatch, selects the episode length
 // automatically (currently epochAutoK when the plan is batchable). It
@@ -531,7 +541,14 @@ func (pc *ParallelClock) compile() {
 
 	pc.workers = pc.cfgWorkers
 	if pc.cfgWorkers == WorkersAuto {
-		if maxShards >= autoSerialShards {
+		// A batchable plan pays the barrier tax once per episode rather
+		// than once per slot, so it profits from workers at much
+		// narrower shard counts.
+		threshold := autoSerialShards
+		if pc.batchable && pc.epochCap() > 1 {
+			threshold = autoEpochSerialShards
+		}
+		if maxShards >= threshold {
 			pc.workers = runtime.GOMAXPROCS(0)
 		} else {
 			pc.workers = 1

@@ -22,9 +22,16 @@ func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
 func (q *Queue[T]) Empty() bool { return q.head == len(q.buf) }
 
 // Push appends v at the tail, compacting the buffer first if the dead
-// prefix can be reclaimed instead of growing.
+// prefix can be reclaimed instead of growing. Compaction only fires when
+// at least half the buffer is dead: the copy then frees cap/2 slots, so
+// its cost amortizes to O(1) per push. (Compacting on ANY dead prefix
+// looks harmless but turns quadratic on a queue that grows while it
+// drains — every pop near capacity forces an O(live) copy.) A bounded
+// steady-state queue still converges to zero allocations: the buffer
+// grows to at most twice the peak depth, after which every full push
+// finds head past the midpoint and recycles in place forever.
 func (q *Queue[T]) Push(v T) {
-	if len(q.buf) == cap(q.buf) && q.head > 0 {
+	if len(q.buf) == cap(q.buf) && 2*q.head >= len(q.buf) {
 		n := copy(q.buf, q.buf[q.head:])
 		var zero T
 		for i := n; i < len(q.buf); i++ {
