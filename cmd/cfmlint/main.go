@@ -2,20 +2,28 @@
 // invariants: determinism (no wall clocks, no global rand, no stray
 // concurrency, no unsorted map iteration in digests), RNG draw
 // discipline for skip-ahead, PhaseMask/Tick agreement, hot-path
-// allocation hygiene, metric-name validity, and cache-line padding of
-// //cfm:cacheline structs (the barrier's per-worker spin nodes).
+// allocation hygiene, metric-name validity, cache-line padding of
+// //cfm:cacheline structs, struct-of-arrays arena layout, shard purity
+// of every TickShard call graph, and checkpoint coverage of every
+// sim.Stater (SaveState/LoadState symmetry and persistent-field
+// accounting).
 //
 // Usage:
 //
 //	go run ./cmd/cfmlint ./...
-//	go run ./cmd/cfmlint -only determinism,phasemask ./internal/core
+//	go run ./cmd/cfmlint -passes shardpure,statecover ./internal/core
+//	go run ./cmd/cfmlint -format=github ./...
 //	go run ./cmd/cfmlint -list
 //
 // It is pure stdlib (go/ast, go/parser, go/types, go/importer — no
 // x/tools) and exits nonzero when any pass reports a finding, so CI can
-// gate on it. Each finding is position-annotated:
+// gate on it. The default -format=text prints position-annotated lines:
 //
 //	internal/foo/foo.go:42:7: [determinism] goroutine creation outside ...
+//
+// -format=github emits GitHub Actions workflow commands instead
+// (::error file=...,line=...,col=...::message), so findings surface as
+// inline annotations on the pull request diff.
 package main
 
 import (
@@ -37,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cfmlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated pass names to run (default: all)")
+	passesFlag := fs.String("passes", "", "alias of -only")
+	format := fs.String("format", "text", "diagnostic format: text or github")
 	list := fs.Bool("list", false, "list the passes and exit")
 	verbose := fs.Bool("v", false, "print each package as it is checked")
 	fs.Usage = func() {
@@ -46,6 +56,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *format != "text" && *format != "github" {
+		fmt.Fprintf(stderr, "cfmlint: unknown -format %q (want text or github)\n", *format)
+		return 2
+	}
+	if *only != "" && *passesFlag != "" && *only != *passesFlag {
+		fmt.Fprintf(stderr, "cfmlint: -only and -passes disagree; set just one\n")
+		return 2
+	}
+	selected := *only
+	if selected == "" {
+		selected = *passesFlag
+	}
 
 	passes := lint.Passes()
 	if *list {
@@ -54,9 +76,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *only != "" {
+	if selected != "" {
 		keep := make(map[string]bool)
-		for _, name := range strings.Split(*only, ",") {
+		for _, name := range strings.Split(selected, ",") {
 			keep[strings.TrimSpace(name)] = true
 		}
 		var filtered []*lint.Pass
@@ -122,7 +144,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 				d.Pos.Filename = rel
 			}
 		}
-		fmt.Fprintln(stdout, d)
+		if *format == "github" {
+			fmt.Fprintln(stdout, githubCommand(d))
+		} else {
+			fmt.Fprintln(stdout, d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "cfmlint: %d finding(s)\n", len(diags))
@@ -132,4 +158,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// githubCommand renders a diagnostic as a GitHub Actions ::error
+// workflow command, which the runner turns into an inline annotation on
+// the pull-request diff. The message data must percent-escape the
+// command's metacharacters.
+func githubCommand(d lint.Diagnostic) string {
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s",
+		githubEscapeProp(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+		githubEscapeData(fmt.Sprintf("[%s] %s", d.Pass, d.Message)))
+}
+
+// githubEscapeData escapes a workflow-command message.
+func githubEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// githubEscapeProp escapes a workflow-command property value, which
+// additionally delimits on ':' and ','.
+func githubEscapeProp(s string) string {
+	s = githubEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }

@@ -39,16 +39,77 @@ func TestFixturesFailReadably(t *testing.T) {
 	}
 }
 
-// TestListNamesTheSuite pins -list output to the five passes.
+// TestListNamesTheSuite pins -list output to the suite.
 func TestListNamesTheSuite(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("-list exited %d, want 0", code)
 	}
-	for _, name := range []string{"determinism", "rng-discipline", "phasemask", "hotpath-alloc", "metric-names"} {
+	for _, name := range []string{"determinism", "rng-discipline", "phasemask", "hotpath-alloc", "metric-names", "shardpure", "statecover"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output lacks pass %q:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestPassesFlagSelectsPasses pins -passes as an alias of -only: the
+// shardpure fixture must fire under -passes shardpure and stay silent
+// when only statecover runs.
+func TestPassesFlagSelectsPasses(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-passes", "shardpure", "../../internal/lint/testdata/src/shardpure/pos"}, &out, &errb); code != 1 {
+		t.Fatalf("-passes shardpure on the violation fixture exited %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "[shardpure]") {
+		t.Fatalf("findings lack the shardpure tag:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-passes", "statecover", "../../internal/lint/testdata/src/shardpure/pos"}, &out, &errb); code != 0 {
+		t.Fatalf("-passes statecover on the shardpure fixture exited %d, want 0\nstdout:\n%s", code, out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-only", "shardpure", "-passes", "statecover", "."}, &out, &errb); code != 2 {
+		t.Fatalf("conflicting -only/-passes exited %d, want 2", code)
+	}
+}
+
+// TestGithubFormat pins the -format=github output contract: one
+// ::error workflow command per finding carrying file/line/col
+// properties, with command metacharacters percent-escaped.
+func TestGithubFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-format", "github", "-only", "determinism", "../../internal/lint/testdata/src/determinism/pos"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	cmdRE := regexp.MustCompile(`(?m)^::error file=[^,]+,line=\d+,col=\d+::\[determinism\] .+$`)
+	if got := len(cmdRE.FindAllString(out.String(), -1)); got < 3 {
+		t.Fatalf("want at least 3 ::error commands, got %d:\n%s", got, out.String())
+	}
+	if strings.Contains(out.String(), "\n\n") {
+		t.Fatalf("multi-line command leaked an unescaped newline:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-format", "sarif", "."}, &out, &errb); code != 2 {
+		t.Fatalf("unknown format exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown -format") {
+		t.Fatalf("stderr lacks the format hint: %q", errb.String())
+	}
+}
+
+// TestGithubEscaping pins the percent-escape rules for workflow
+// commands.
+func TestGithubEscaping(t *testing.T) {
+	if got, want := githubEscapeData("50% is\nfine\r"), "50%25 is%0Afine%0D"; got != want {
+		t.Errorf("githubEscapeData = %q, want %q", got, want)
+	}
+	if got, want := githubEscapeProp("a:b,c%"), "a%3Ab%2Cc%25"; got != want {
+		t.Errorf("githubEscapeProp = %q, want %q", got, want)
 	}
 }
 

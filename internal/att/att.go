@@ -134,9 +134,11 @@ type op struct {
 // (bank cycle 1, one processor per AT-space division, as in the Chapter 4
 // exposition), each with an (m−1)-entry ATT. It implements sim.Ticker.
 type Tracked struct {
-	m     int
-	pri   Priority
-	ar    *memory.BankArena // SoA bank state; banks are facades into it
+	m   int
+	pri Priority
+	// SoA bank state; banks are facades into it.
+	//cfm:no-save checkpointed through the banks facades sharing this arena
+	ar    *memory.BankArena
 	banks []*memory.Bank
 	att   [][]entry // att[bank][i]: entry of age i+1 at compare time
 	// pending insertions made during this slot's transfers, applied at

@@ -181,7 +181,9 @@ type Protocol struct {
 	// pool recycles primitive records (the protocol is a serial ticker, so
 	// one free list suffices); scratch is the block handed to borrow-mode
 	// store callbacks, valid only during the callback.
-	pool    []*primitive
+	//cfm:rebuilt
+	pool []*primitive
+	//cfm:no-save borrow-mode callback scratch, dead outside the store callback
 	scratch memory.Block
 	// id is the engine's parking handle (nil when unregistered): the
 	// protocol parks when Idle() and is woken by the next queued request.

@@ -53,6 +53,7 @@ func (o Ordering) String() string {
 // every access as a consistency.Op stamped with its performed time — so
 // the resulting execution can be checked against the Chapter 2 models.
 type Frontend struct {
+	//cfm:no-save shared *Protocol wiring; the protocol checkpoints itself
 	c    *Protocol
 	clk  sim.Timebase
 	proc int

@@ -51,6 +51,7 @@ type CFMemory struct {
 	// ar owns the banks' state as struct-of-arrays (busy-until slots,
 	// statistics, paged word storage); banks are thin facades into it
 	// for tests, snapshots, and higher layers.
+	//cfm:no-save checkpointed through the banks facades sharing this arena
 	ar    *memory.BankArena
 	banks []*memory.Bank
 	// cur holds each processor's in-flight accesses: at most one still in
@@ -62,6 +63,7 @@ type CFMemory struct {
 	trace *sim.Trace
 	// pool recycles access records per processor so the steady state
 	// allocates nothing; shard p only ever touches pool[p].
+	//cfm:rebuilt
 	pool [][]*access
 	// id is the engine's parking handle (nil when driven manually, e.g.
 	// inside a ClusterSystem): the memory parks once every processor's
@@ -76,10 +78,12 @@ type CFMemory struct {
 	// so shards never touch the shared arena and the memory has global
 	// shard closure (EpochSafe) even though accesses started at different
 	// slots hit the same bank on different slots.
+	//cfm:no-save fold scratch, drained by FinishShards/FinishEpoch before any checkpoint boundary
 	stage []procStage
 	// folding guards against StartRead/StartWrite from inside an epoch
 	// fold: an access begun there would have missed its bank visits for
 	// the already-ticked remainder of the episode.
+	//cfm:no-save reentrancy guard, always false outside a FinishEpoch fold
 	folding bool
 	// doneRebind, when set, reconstructs the completion callback of an
 	// in-flight access while restoring a checkpoint (callbacks are code,

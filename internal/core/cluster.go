@@ -38,6 +38,7 @@ type ClusterSystem struct {
 	// stage buffers each cluster shard's deferred side effects (remote
 	// completion counts and reply callbacks); FinishShards folds them in
 	// ascending cluster order.
+	//cfm:rebuilt
 	stage []clusterStage
 
 	// RemoteCompleted counts served remote accesses.

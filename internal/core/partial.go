@@ -141,6 +141,7 @@ type Partial struct {
 	// quiescent processors cost one compare on one cache line instead of
 	// a walk over every per-processor array. Derived state: rebuilt after
 	// LoadState, never serialized.
+	//cfm:rebuilt
 	nextEvent []sim.Slot
 	// home[i] is processor i's home module, materialized from the
 	// configuration so the issue path reads a flat array instead of
@@ -153,9 +154,11 @@ type Partial struct {
 
 	// stage buffers per-shard measurement deltas, folded by FinishShards
 	// (per slot) or FinishEpoch (per batched episode).
+	//cfm:no-save fold scratch, drained by FinishShards/FinishEpoch before any checkpoint boundary
 	stage []partialStage //cfm:soa-ok fold scratch, one element per shard, not swept per processor
 	// epochCursors is FinishEpoch's slot-major merge scratch, one cursor
 	// per shard (preallocated; the fold must stay alloc-free).
+	//cfm:no-save merge scratch, re-zeroed at the top of every FinishEpoch fold
 	epochCursors []int
 
 	// Measurements.

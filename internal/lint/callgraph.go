@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// This file gives passes an interprocedural view of the module: a call
+// in one package resolves to its declaration in whatever module package
+// defines it, because the loader type-checks module-internal imports
+// from source and therefore already holds every imported package's AST
+// and full types.Info. The "call graph" is deliberately implicit — a
+// pass walks outward from its roots (Tick/TickShard/FinishShards/
+// FinishEpoch/SaveState/LoadState) by resolving one call at a time with
+// staticCallee + declOf, memoizing whatever per-function summary it
+// needs (write effects in effects.go, codec traces in statecover.go).
+// Only statically-resolved edges exist: interface dispatch, func
+// values, and out-of-module callees are the documented frontier, and
+// each pass states how it errs when an edge is missing.
+
+// staticCallee resolves a call to the *types.Func it invokes when the
+// callee is statically known: a plain function, a method on a concrete
+// receiver, or a qualified pkg.Fn reference. Interface-dispatch calls,
+// func-value calls, builtins, and conversions resolve to nil. Generic
+// callees are normalized to their origin (uninstantiated) object so
+// they match the declaration's Defs entry.
+func (t *Target) staticCallee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = t.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = t.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type().Underlying()) {
+			return nil // dynamic dispatch: no single declaration
+		}
+	}
+	return fn.Origin()
+}
+
+// declOf resolves fn to its body-bearing declaration and the Target
+// that owns it, loading the defining package on demand if it sits in
+// the module but was only seen as an import so far. Returns nils for
+// out-of-module functions and bodyless declarations.
+func (t *Target) declOf(fn *types.Func) (*ast.FuncDecl, *Target) {
+	if fn == nil || fn.Pkg() == nil {
+		return nil, nil
+	}
+	tt := t.targetOfPkg(fn.Pkg())
+	if tt == nil {
+		return nil, nil
+	}
+	fd := tt.funcDecls()[types.Object(fn)]
+	if fd == nil || fd.Body == nil {
+		return nil, nil
+	}
+	return fd, tt
+}
+
+// targetOfPkg maps a type-checker package back to its loaded Target.
+func (t *Target) targetOfPkg(pkg *types.Package) *Target {
+	if pkg == t.Pkg {
+		return t
+	}
+	l := t.loader
+	if l == nil {
+		return nil
+	}
+	if tt := l.byPkg[pkg]; tt != nil {
+		return tt
+	}
+	// A module package referenced before any pass targeted it: load it.
+	path := pkg.Path()
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")))
+		if tt, err := l.LoadDir(dir); err == nil && tt.Pkg == pkg {
+			return tt
+		}
+	}
+	return nil
+}
+
+// isShardTicker reports whether fd declares a TickShard(sim.Slot,
+// sim.Phase, int) method — the sim.Shardable sharded-tick contract and
+// the root of a shardpure analysis.
+func (t *Target) isShardTicker(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || fd.Body == nil || fd.Name.Name != "TickShard" {
+		return false
+	}
+	fn, ok := t.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 3 || sig.Results().Len() != 0 {
+		return false
+	}
+	basic, ok := sig.Params().At(2).Type().Underlying().(*types.Basic)
+	return isSimNamed(sig.Params().At(0).Type(), "Slot") &&
+		isSimNamed(sig.Params().At(1).Type(), "Phase") &&
+		ok && basic.Kind() == types.Int
+}
+
+// receiverObj returns the declared receiver variable of fd, or nil for
+// plain functions and anonymous receivers.
+func (t *Target) receiverObj(fd *ast.FuncDecl) *types.Var {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	v, _ := t.Info.Defs[fd.Recv.List[0].Names[0]].(*types.Var)
+	return v
+}
+
+// paramObjs returns fd's declared parameter variables in order,
+// flattening grouped parameters (a, b int). Unnamed and blank
+// parameters yield nil entries so indexes still line up.
+func (t *Target) paramObjs(fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := t.Info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}

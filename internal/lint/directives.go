@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// This file is the one place that understands `//cfm:` directive
+// syntax. Every pass reads waivers and markers through these helpers,
+// so the three accepted spellings —
+//
+//	//cfm:key
+//	//cfm:key=value trailing prose ignored
+//	//cfm:key reason text to the end of line
+//
+// — are parsed exactly once, and a new directive never needs a new
+// comment scanner. lineAnnotated queries go through a per-file index
+// built on first use (passes probe the same files repeatedly; a linear
+// rescan of every comment group per query was the previous behavior in
+// each pass).
+
+// annotation scans a comment group for a `//cfm:key` directive and
+// returns its value: the text after `=` or after the key and a space
+// ("" for a bare directive). ok reports whether the directive exists.
+func annotation(cg *ast.CommentGroup, key string) (value string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	for _, c := range cg.List {
+		if v, ok := commentAnnotation(c.Text, key); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// commentAnnotation parses one comment line for a `//cfm:key` directive.
+func commentAnnotation(text, key string) (value string, ok bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "cfm:"+key) {
+		return "", false
+	}
+	rest := text[len("cfm:"+key):]
+	switch {
+	case rest == "":
+		return "", true
+	case strings.HasPrefix(rest, "="):
+		v := rest[1:]
+		if i := strings.IndexAny(v, " \t"); i >= 0 {
+			v = v[:i]
+		}
+		return v, true
+	case strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t"):
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// fileAnnotated reports whether file carries a file-scope `//cfm:key`
+// directive in its header: the package doc or any comment group that
+// starts before the first declaration.
+func (t *Target) fileAnnotated(file *ast.File, key string) bool {
+	limit := file.End()
+	if len(file.Decls) > 0 {
+		limit = file.Decls[0].Pos()
+	}
+	for _, cg := range file.Comments {
+		if cg.Pos() >= limit {
+			break
+		}
+		if _, ok := annotation(cg, key); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// lineAnnotated reports whether a `//cfm:key` directive sits on the
+// same line as pos in pos's file — the statement-level suppression form.
+func (t *Target) lineAnnotated(file *ast.File, pos token.Pos, key string) bool {
+	_, ok := t.lineAnnotation(file, pos, key)
+	return ok
+}
+
+// lineAnnotation returns the value of a same-line `//cfm:key`
+// directive, so passes can insist the waiver carries a reason.
+func (t *Target) lineAnnotation(file *ast.File, pos token.Pos, key string) (string, bool) {
+	for _, text := range t.lineComments(file)[t.Fset.Position(pos).Line] {
+		if v, ok := commentAnnotation(text, key); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// lineComments returns file's line → comment-texts index, building and
+// caching it on first use.
+func (t *Target) lineComments(file *ast.File) map[int][]string {
+	if t.lineDirs == nil {
+		t.lineDirs = make(map[*ast.File]map[int][]string)
+	}
+	if idx, ok := t.lineDirs[file]; ok {
+		return idx
+	}
+	idx := make(map[int][]string)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "cfm:") {
+				continue
+			}
+			line := t.Fset.Position(c.Pos()).Line
+			idx[line] = append(idx[line], c.Text)
+		}
+	}
+	t.lineDirs[file] = idx
+	return idx
+}
+
+// fileOf returns the *ast.File containing pos.
+func (t *Target) fileOf(pos token.Pos) *ast.File {
+	for _, f := range t.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// typeAnnotation reads a //cfm:key directive from a type declaration's
+// doc comment: the spec's own doc, the enclosing GenDecl's doc, or a
+// trailing line comment.
+func typeAnnotation(gd *ast.GenDecl, ts *ast.TypeSpec, key string) (string, bool) {
+	if v, ok := annotation(ts.Doc, key); ok {
+		return v, ok
+	}
+	if v, ok := annotation(gd.Doc, key); ok {
+		return v, ok
+	}
+	return annotation(ts.Comment, key)
+}
+
+// typeAnnotated reports whether the directive sits on the type's doc
+// comment — on the TypeSpec for grouped declarations, or on the GenDecl
+// for the common standalone `type` form.
+func typeAnnotated(gd *ast.GenDecl, ts *ast.TypeSpec, key string) bool {
+	if _, ok := annotation(ts.Doc, key); ok {
+		return true
+	}
+	if len(gd.Specs) == 1 {
+		if _, ok := annotation(gd.Doc, key); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldAnnotation reads a //cfm:<key> directive from a struct field's
+// doc comment or same-line trailing comment.
+func fieldAnnotation(f *ast.Field, key string) (string, bool) {
+	if v, ok := annotation(f.Doc, key); ok {
+		return v, true
+	}
+	return annotation(f.Comment, key)
+}
+
+// funcAnnotation reads a //cfm:<key> directive from a function
+// declaration's doc comment — the whole-function waiver form.
+func funcAnnotation(fd *ast.FuncDecl, key string) (string, bool) {
+	return annotation(fd.Doc, key)
+}

@@ -1,0 +1,360 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Write-effect machinery shared by the interprocedural passes.
+//
+// Two summaries live here. classOf is the shardpure value lattice: it
+// answers "where is this expression's storage rooted" so writes can be
+// sorted into shard-owned (legal in TickShard) and shared (a conflict).
+// writesObj is the statecover effect summary: it answers "may this
+// function write through this receiver/parameter, directly or via its
+// callees", so a field whose only mutations happen inside a method
+// call (queue.Push, rng.Float64) still counts as persistent state.
+
+// valClass classifies the root of a value's storage for the shardpure
+// dataflow. The lattice is ordered classLocal < classShared <
+// classShard and joins by max: a value touched by the shard parameter
+// anywhere is shard-owned, otherwise anything reachable from the
+// receiver or a global is shared, and only fresh values stay local.
+type valClass uint8
+
+const (
+	// classLocal: literals, make/new results, and locals derived only
+	// from other locals. Writing local storage is always legal.
+	classLocal valClass = iota
+	// classShared: rooted in the method receiver or a package-level
+	// variable with no shard index on the path. Writing it from a
+	// TickShard graph is the cross-shard conflict the pass exists for.
+	classShared
+	// classShard: the shard parameter itself, anything indexed by it,
+	// and — the ownership-propagation rule — anything read *out of*
+	// shard-owned storage (an access popped from this shard's queue
+	// carries shard-owned coordinates like a.proc). Writes are legal.
+	classShard
+)
+
+func (c valClass) String() string {
+	switch c {
+	case classShared:
+		return "shared"
+	case classShard:
+		return "shard-owned"
+	default:
+		return "local"
+	}
+}
+
+func joinClass(a, b valClass) valClass {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// classEnv maps local objects (params, receiver, locals) to classes.
+type classEnv map[types.Object]valClass
+
+// classOf computes the class of e under env. Unlisted expression kinds
+// (literals, type exprs) are local.
+func classOf(t *Target, env classEnv, e ast.Expr) valClass {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := t.Info.Uses[e]
+		if obj == nil {
+			obj = t.Info.Defs[e]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if c, ok := env[v]; ok {
+				return c
+			}
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return classShared // package-level variable
+			}
+		}
+		return classLocal
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := t.Info.Uses[id].(*types.PkgName); isPkg {
+				if _, isVar := t.Info.Uses[e.Sel].(*types.Var); isVar {
+					return classShared // qualified package-level variable
+				}
+				return classLocal // pkg.Const, pkg.Fn, pkg.Type
+			}
+		}
+		return classOf(t, env, e.X)
+	case *ast.IndexExpr:
+		if tv, ok := t.Info.Types[e.Index]; ok && tv.IsType() {
+			return classOf(t, env, e.X) // generic instantiation, not an index
+		}
+		if classOf(t, env, e.Index) == classShard {
+			return classShard // x[shard]: the shard-owned column of x
+		}
+		return classOf(t, env, e.X)
+	case *ast.IndexListExpr:
+		return classOf(t, env, e.X)
+	case *ast.StarExpr:
+		return classOf(t, env, e.X)
+	case *ast.ParenExpr:
+		return classOf(t, env, e.X)
+	case *ast.UnaryExpr:
+		return classOf(t, env, e.X)
+	case *ast.SliceExpr:
+		return classOf(t, env, e.X)
+	case *ast.TypeAssertExpr:
+		return classOf(t, env, e.X)
+	case *ast.BinaryExpr:
+		return joinClass(classOf(t, env, e.X), classOf(t, env, e.Y))
+	case *ast.CompositeLit:
+		c := classLocal
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			c = joinClass(c, classOf(t, env, el))
+		}
+		return c
+	case *ast.CallExpr:
+		return callClass(t, env, e)
+	}
+	return classLocal
+}
+
+// callClass classifies a call's result: conversions and builtins keep
+// their operand's class; ordinary calls join the receiver and argument
+// classes, which taints values flowing through helpers (portIndex(off,
+// set) is shard-owned when set is).
+func callClass(t *Target, env classEnv, call *ast.CallExpr) valClass {
+	if tv, ok := t.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return classOf(t, env, call.Args[0])
+		}
+		return classLocal
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := t.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make", "new":
+				return classLocal
+			}
+			c := classLocal
+			for _, a := range call.Args {
+				c = joinClass(c, classOf(t, env, a))
+			}
+			return c
+		}
+	}
+	c := classLocal
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		id, isIdent := sel.X.(*ast.Ident)
+		if !isIdent {
+			c = classOf(t, env, sel.X)
+		} else if _, isPkg := t.Info.Uses[id].(*types.PkgName); !isPkg {
+			c = classOf(t, env, sel.X)
+		}
+	}
+	for _, a := range call.Args {
+		c = joinClass(c, classOf(t, env, a))
+	}
+	return c
+}
+
+// effectMemo caches writesObj verdicts across one pass run. Keys are
+// the root variable (receiver or parameter object), which uniquely
+// identifies (function, root) pairs.
+type effectMemo struct {
+	verdict map[*types.Var]bool
+	active  map[*types.Var]bool
+}
+
+func newEffectMemo() *effectMemo {
+	return &effectMemo{verdict: make(map[*types.Var]bool), active: make(map[*types.Var]bool)}
+}
+
+// writesObj reports whether fd (declared in tt) may write through root
+// — one of its receiver or parameter objects — directly, through a
+// local alias, or transitively through a resolvable callee. Cycles and
+// unresolvable callees resolve optimistically to "no write": the
+// summary feeds statecover's persistent-field floor, where optimism
+// means a missed obligation rather than a spurious waiver demand.
+func (m *effectMemo) writesObj(tt *Target, fd *ast.FuncDecl, root *types.Var) bool {
+	if root == nil || fd == nil || fd.Body == nil {
+		return false
+	}
+	if v, ok := m.verdict[root]; ok {
+		return v
+	}
+	if m.active[root] {
+		return false
+	}
+	m.active[root] = true
+	defer delete(m.active, root)
+
+	rooted := map[types.Object]bool{root: true}
+	rootedExpr := func(e ast.Expr) bool {
+		base := baseObj(tt, e)
+		return base != nil && rooted[base]
+	}
+	// Alias propagation: a couple of passes catch chains like
+	// st := &p.stage[s]; q := st.
+	for range 3 {
+		changed := false
+		inspectSkippingFuncLits(fd.Body, func(n ast.Node) {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := tt.Info.Defs[id]
+				if obj == nil {
+					obj = tt.Info.Uses[id]
+				}
+				if obj == nil || rooted[obj] {
+					continue
+				}
+				if rootedExpr(as.Rhs[i]) {
+					rooted[obj] = true
+					changed = true
+				}
+			}
+		})
+		if !changed {
+			break
+		}
+	}
+
+	writes := false
+	inspectSkippingFuncLits(fd.Body, func(n ast.Node) {
+		if writes {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if _, isIdent := lhs.(*ast.Ident); isIdent {
+					continue // rebinding a local, not a write through root
+				}
+				if rootedExpr(lhs) {
+					writes = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if _, isIdent := n.X.(*ast.Ident); !isIdent && rootedExpr(n.X) {
+				writes = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := tt.Info.Uses[id].(*types.Builtin); isBuiltin {
+					switch id.Name {
+					case "copy", "delete", "clear":
+						if len(n.Args) > 0 && rootedExpr(n.Args[0]) {
+							writes = true
+						}
+					}
+					return
+				}
+			}
+			fn := tt.staticCallee(n)
+			if fn == nil {
+				return
+			}
+			callee, ct := tt.declOf(fn)
+			if callee == nil {
+				return
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && rootedExpr(sel.X) {
+				if m.writesObj(ct, callee, ct.receiverObj(callee)) {
+					writes = true
+					return
+				}
+			}
+			params := ct.paramObjs(callee)
+			for i, a := range n.Args {
+				if i >= len(params) || params[i] == nil || !rootedExpr(a) {
+					continue
+				}
+				if !writableThrough(params[i].Type()) {
+					continue
+				}
+				if m.writesObj(ct, callee, params[i]) {
+					writes = true
+					return
+				}
+			}
+		}
+	})
+	m.verdict[root] = writes
+	return writes
+}
+
+// baseObj walks an expression down to its root identifier's object:
+// p.stage[s].visits → p. Calls, literals, and qualified package
+// references have no base.
+func baseObj(t *Target, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := t.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return t.Info.Defs[x]
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := t.Info.Uses[id].(*types.PkgName); isPkg {
+					return nil
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// writableThrough reports whether passing a value of type typ lets the
+// callee mutate the caller's storage: pointers, slices, maps, and
+// channels share backing store; everything else is copied.
+func writableThrough(typ types.Type) bool {
+	switch typ.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// inspectSkippingFuncLits walks n in syntactic order but does not
+// descend into function literals: a closure's body runs when the
+// closure is invoked, not where it is built (the callbacks-are-code
+// doctrine), so its effects belong to whatever graph calls it.
+func inspectSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -63,8 +63,11 @@ func HotPathAllocPass() *Pass {
 }
 
 // funcDecls maps each function/method object defined in the package to
-// its declaration.
+// its declaration. The map is built once per target and cached.
 func (t *Target) funcDecls() map[types.Object]*ast.FuncDecl {
+	if t.declCache != nil {
+		return t.declCache
+	}
 	decls := make(map[types.Object]*ast.FuncDecl)
 	for _, file := range t.Files {
 		for _, decl := range file.Decls {
@@ -75,6 +78,7 @@ func (t *Target) funcDecls() map[types.Object]*ast.FuncDecl {
 			}
 		}
 	}
+	t.declCache = decls
 	return decls
 }
 

@@ -29,9 +29,23 @@
 //     compiled dense tick loops) keeps pointer-free slice elements and
 //     no maps, so the hot sweep never chases per-element heap pointers;
 //     cold fields opt out with //cfm:soa-ok <reason>.
+//   - shardpure: the interprocedural call graph under every TickShard
+//     writes only shard-owned state — storage reached through the shard
+//     index or values read out of it — and never sends on channels,
+//     launches goroutines, or takes locks; single-writer exceptions
+//     carry //cfm:shard-ok <reason>.
+//   - statecover: every persistent field of a sim.Stater (one the tick
+//     graph may write) is encoded in SaveState and restored in
+//     LoadState in matching order and wire types, rebuilt by LoadState
+//     under a //cfm:rebuilt marker, or waived //cfm:no-save <reason>;
+//     stale markers are findings too.
 //
 // The suite is built on go/ast + go/types only (no x/tools), so it runs
-// anywhere the repo builds: `go run ./cmd/cfmlint ./...`.
+// anywhere the repo builds: `go run ./cmd/cfmlint ./...`. The last two
+// passes are interprocedural: callgraph.go resolves module-internal
+// calls to their declarations and effects.go summarizes per-function
+// write effects, so a violation three calls below TickShard is still
+// attributed to the root that reaches it.
 //
 // # Annotations
 //
@@ -49,14 +63,15 @@
 //	//cfm:cacheline          struct must fill whole 64-byte cache lines
 //	//cfm:soa                struct is a flat struct-of-arrays arena
 //	//cfm:soa-ok R           arena field deliberately off the hot sweep
+//	//cfm:shard-ok R         cross-shard write is provably single-writer
+//	//cfm:no-save R          field is scratch a checkpoint may drop
+//	//cfm:rebuilt            field is derived; LoadState reconstructs it
 package lint
 
 import (
 	"fmt"
-	"go/ast"
 	"go/token"
 	"sort"
-	"strings"
 )
 
 // Diagnostic is one finding, anchored to a source position.
@@ -127,6 +142,8 @@ func Passes() []*Pass {
 		FlightPass(),
 		StructLayoutPass(),
 		SoALayoutPass(),
+		ShardPurePass(),
+		StateCoverPass(),
 	}
 }
 
@@ -142,79 +159,3 @@ func PassNames() []string {
 // simPkgPath is the engine package: the one sanctioned host of
 // goroutines and selects, and the definer of RNG/Phase/Slot.
 const simPkgPath = "cfm/internal/sim"
-
-// annotation scans a comment group for a `//cfm:key` directive and
-// returns its value: the text after `=` or after the key and a space
-// ("" for a bare directive). ok reports whether the directive exists.
-func annotation(cg *ast.CommentGroup, key string) (value string, ok bool) {
-	if cg == nil {
-		return "", false
-	}
-	for _, c := range cg.List {
-		text := strings.TrimPrefix(c.Text, "//")
-		text = strings.TrimSpace(text)
-		if !strings.HasPrefix(text, "cfm:"+key) {
-			continue
-		}
-		rest := text[len("cfm:"+key):]
-		switch {
-		case rest == "":
-			return "", true
-		case strings.HasPrefix(rest, "="):
-			v := rest[1:]
-			if i := strings.IndexAny(v, " \t"); i >= 0 {
-				v = v[:i]
-			}
-			return v, true
-		case strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t"):
-			return strings.TrimSpace(rest), true
-		}
-	}
-	return "", false
-}
-
-// fileAnnotated reports whether file carries a file-scope `//cfm:key`
-// directive in its header: the package doc or any comment group that
-// starts before the first declaration.
-func (t *Target) fileAnnotated(file *ast.File, key string) bool {
-	limit := file.End()
-	if len(file.Decls) > 0 {
-		limit = file.Decls[0].Pos()
-	}
-	for _, cg := range file.Comments {
-		if cg.Pos() >= limit {
-			break
-		}
-		if _, ok := annotation(cg, key); ok {
-			return true
-		}
-	}
-	return false
-}
-
-// lineAnnotated reports whether a `//cfm:key` directive sits on the
-// same line as pos in pos's file — the statement-level suppression form.
-func (t *Target) lineAnnotated(file *ast.File, pos token.Pos, key string) bool {
-	line := t.Fset.Position(pos).Line
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if t.Fset.Position(c.Pos()).Line != line {
-				continue
-			}
-			if _, ok := annotation(&ast.CommentGroup{List: []*ast.Comment{c}}, key); ok {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// fileOf returns the *ast.File containing pos.
-func (t *Target) fileOf(pos token.Pos) *ast.File {
-	for _, f := range t.Files {
-		if f.FileStart <= pos && pos <= f.FileEnd {
-			return f
-		}
-	}
-	return nil
-}

@@ -25,6 +25,19 @@ type Target struct {
 	// testing.AllocsPerRun — the marker that the package's hot paths are
 	// under a zero-alloc budget (the hotpath-alloc pass keys off it).
 	HasAllocGuard bool
+
+	// loader points back at the Loader that produced this target, so
+	// interprocedural passes can resolve callees declared in other
+	// module packages (callgraph.go). nil only for hand-built targets.
+	loader *Loader
+
+	// lineDirs caches each file's line → //cfm: comment index
+	// (directives.go builds it lazily on first lineAnnotated query).
+	lineDirs map[*ast.File]map[int][]string
+
+	// declCache memoizes funcDecls(): interprocedural passes resolve
+	// callees into this target repeatedly.
+	declCache map[types.Object]*ast.FuncDecl
 }
 
 // Loader parses and type-checks packages of the enclosing module using
@@ -38,8 +51,9 @@ type Loader struct {
 	ModPath string // module path from go.mod ("cfm")
 
 	std     types.Importer
-	targets map[string]*Target // keyed by cleaned absolute dir
-	loading map[string]bool    // import-cycle guard
+	targets map[string]*Target         // keyed by cleaned absolute dir
+	byPkg   map[*types.Package]*Target // reverse index for callee lookup
+	loading map[string]bool            // import-cycle guard
 }
 
 // NewLoader locates the module enclosing dir and returns a loader for
@@ -57,6 +71,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ModPath: modPath,
 		std:     importer.ForCompiler(fset, "source", nil),
 		targets: make(map[string]*Target),
+		byPkg:   make(map[*types.Package]*Target),
 		loading: make(map[string]bool),
 	}, nil
 }
@@ -154,6 +169,7 @@ func (l *Loader) LoadDir(dir string) (*Target, error) {
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
 		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
 	var typeErrs []error
@@ -179,8 +195,10 @@ func (l *Loader) LoadDir(dir string) (*Target, error) {
 	t := &Target{
 		Path: path, Dir: abs, Fset: l.Fset, Files: files,
 		Pkg: pkg, Info: info, HasAllocGuard: hasAllocGuard,
+		loader: l,
 	}
 	l.targets[abs] = t
+	l.byPkg[pkg] = t
 	return t, nil
 }
 

@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardPurePass proves the conflict-freedom contract written in prose
+// at internal/sim/parallel.go: distinct TickShard(s) calls for the same
+// slot may run on different workers, so a shard must only write state
+// it owns. The pass walks the whole call graph rooted at each
+// TickShard(sim.Slot, sim.Phase, int) method — across module packages —
+// classifying every value by where its storage is rooted (effects.go's
+// classOf lattice) and flags:
+//
+//   - writes whose target is rooted in the receiver or a package-level
+//     variable with no shard index on the path (the cross-shard data
+//     race the serial/parallel equivalence suite would eventually
+//     catch, one seed too late);
+//   - channel sends, goroutine launches, and sync.Mutex/RWMutex use
+//     anywhere in the graph: cross-shard folds belong in
+//     FinishShards/FinishEpoch, which the pass deliberately does not
+//     analyze (they are the sanctioned fold point);
+//   - bare //cfm:shard-ok waivers (the escape hatch must say why the
+//     write is single-writer).
+//
+// Shard ownership propagates through data: x[s] is shard-owned when s
+// is, and a value read out of shard-owned storage is itself shard-owned
+// (an access popped from shard p's queue carries a.proc == p, so
+// m.pool[a.proc] is a legal write without any annotation). Calls taint
+// their result with their operands, so helper-computed indexes
+// (portIndex(off, set)) keep their shard class.
+//
+// Frontier, erring quiet: interface dispatch, func values, and
+// out-of-module callees are not followed (atomic metric counters — the
+// sanctioned commutative mutation — live behind stdlib atomics and stay
+// invisible); closure bodies are skipped where they are built, because
+// they run where they are invoked (callbacks-are-code); and index
+// arithmetic on the shard parameter (s-1, s*2) is trusted as
+// shard-owned. Waive genuinely single-writer shared writes with
+// //cfm:shard-ok <reason> on the line, or on a function declaration to
+// exempt its whole body.
+func ShardPurePass() *Pass {
+	const name = "shardpure"
+	return &Pass{
+		Name: name,
+		Doc:  "TickShard call graphs may write only shard-owned state (//cfm:shard-ok <reason> waives)",
+		Run: func(t *Target, r *Reporter) {
+			a := &shardAnalysis{
+				pass:     name,
+				r:        r,
+				reported: make(map[token.Pos]bool),
+				visited:  make(map[shardCtx]bool),
+			}
+			for _, fd := range t.funcDecls() {
+				if !t.isShardTicker(fd) {
+					continue
+				}
+				recv := t.receiverObj(fd)
+				typeName := "?"
+				if recv != nil {
+					typeName = recvTypeString(recv.Type())
+				}
+				a.root = typeName + ".TickShard"
+				params := t.paramObjs(fd)
+				args := []valClass{classLocal, classLocal, classShard}[:min(3, len(params))]
+				a.checkFunc(t, fd, classShared, args)
+			}
+		},
+	}
+}
+
+// shardAnalysis carries one pass run's state across the graph walk.
+type shardAnalysis struct {
+	pass     string
+	root     string // "Type.TickShard", for diagnostics
+	r        *Reporter
+	reported map[token.Pos]bool
+	visited  map[shardCtx]bool
+	depth    int
+}
+
+// shardCtx is the context-sensitivity key: the same helper is re-walked
+// when its receiver or arguments arrive with different classes.
+type shardCtx struct {
+	fn   *types.Func
+	recv valClass
+	args string
+}
+
+func ctxKey(fn *types.Func, recv valClass, args []valClass) shardCtx {
+	sig := make([]byte, len(args))
+	for i, c := range args {
+		sig[i] = byte('0' + c)
+	}
+	return shardCtx{fn: fn, recv: recv, args: string(sig)}
+}
+
+// checkFunc analyzes one function body under the given receiver and
+// argument classes, recursing into resolvable module-internal callees.
+func (a *shardAnalysis) checkFunc(t *Target, fd *ast.FuncDecl, recvClass valClass, argClasses []valClass) {
+	if a.depth > 64 || fd.Body == nil {
+		return
+	}
+	if fn, ok := t.Info.Defs[fd.Name].(*types.Func); ok {
+		key := ctxKey(fn, recvClass, argClasses)
+		if a.visited[key] {
+			return
+		}
+		a.visited[key] = true
+	}
+	if reason, ok := funcAnnotation(fd, "shard-ok"); ok {
+		if reason == "" {
+			a.reportOnce(fd.Pos(), "bare //cfm:shard-ok on %s; state why the function is safe in a TickShard graph (//cfm:shard-ok <reason>)", fd.Name.Name)
+		}
+		return
+	}
+
+	env := make(classEnv)
+	if recv := t.receiverObj(fd); recv != nil {
+		env[recv] = recvClass
+	}
+	params := t.paramObjs(fd)
+	for i, p := range params {
+		if p == nil {
+			continue
+		}
+		c := classLocal
+		if i < len(argClasses) {
+			c = argClasses[i]
+		}
+		env[p] = c
+	}
+	a.solveEnv(t, fd, env)
+
+	a.depth++
+	a.findViolations(t, fd, env)
+	a.depth--
+}
+
+// solveEnv iterates local-variable classification to a fixpoint (join
+// by max, so passes are monotone; the cap is a safety net).
+func (a *shardAnalysis) solveEnv(t *Target, fd *ast.FuncDecl, env classEnv) {
+	promote := func(obj types.Object, c valClass) bool {
+		if obj == nil || c == classLocal {
+			return false
+		}
+		if v, ok := obj.(*types.Var); !ok || v.IsField() {
+			return false
+		}
+		if old, ok := env[obj]; ok && old >= c {
+			return false
+		}
+		env[obj] = joinClass(env[obj], c)
+		return true
+	}
+	objOf := func(id *ast.Ident) types.Object {
+		if obj := t.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return t.Info.Uses[id]
+	}
+	for range 8 {
+		changed := false
+		inspectSkippingFuncLits(fd.Body, func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					var c valClass
+					if len(n.Rhs) == len(n.Lhs) {
+						c = classOf(t, env, n.Rhs[i])
+					} else {
+						for _, rhs := range n.Rhs {
+							c = joinClass(c, classOf(t, env, rhs))
+						}
+					}
+					if promote(objOf(id), c) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					var c valClass
+					if i < len(n.Values) {
+						c = classOf(t, env, n.Values[i])
+					} else if len(n.Values) == 1 {
+						c = classOf(t, env, n.Values[0])
+					}
+					if promote(objOf(name), c) {
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				// Keys stay local: iterating a container visits every
+				// element, so writes indexed by the key are cross-shard.
+				// Values are data read out of the container and inherit
+				// its class (ownership propagation).
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if promote(objOf(id), classOf(t, env, n.X)) {
+						changed = true
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				c := typeSwitchOperandClass(t, env, n)
+				for _, clause := range n.Body.List {
+					if obj := t.Info.Implicits[clause]; obj != nil {
+						if promote(obj, c) {
+							changed = true
+						}
+					}
+				}
+			}
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+func typeSwitchOperandClass(t *Target, env classEnv, n *ast.TypeSwitchStmt) valClass {
+	switch s := n.Assign.(type) {
+	case *ast.ExprStmt:
+		return classOf(t, env, s.X)
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			return classOf(t, env, s.Rhs[0])
+		}
+	}
+	return classLocal
+}
+
+// findViolations walks fd's body reporting illegal writes and
+// synchronization, and recurses into resolvable callees.
+func (a *shardAnalysis) findViolations(t *Target, fd *ast.FuncDecl, env classEnv) {
+	inspectSkippingFuncLits(fd.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				a.checkWrite(t, env, lhs, n.Tok == token.DEFINE)
+			}
+		case *ast.IncDecStmt:
+			a.checkWrite(t, env, n.X, false)
+		case *ast.SendStmt:
+			a.violation(t, n.Arrow, "channel send in a TickShard graph: cross-shard communication must happen in FinishShards/FinishEpoch")
+		case *ast.GoStmt:
+			a.violation(t, n.Pos(), "goroutine launched in a TickShard graph: the engine owns all concurrency; fold in FinishShards/FinishEpoch instead")
+		case *ast.CallExpr:
+			a.checkCall(t, env, n)
+		}
+	})
+}
+
+// checkWrite classifies one assignment target.
+func (a *shardAnalysis) checkWrite(t *Target, env classEnv, lhs ast.Expr, define bool) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" || define {
+			return
+		}
+		obj, _ := t.Info.Uses[id].(*types.Var)
+		if obj == nil {
+			return
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			a.violation(t, id.Pos(), "write to package-level variable %s in a TickShard graph: globals are shared across every shard", id.Name)
+		}
+		return // rebinding a local
+	}
+	if classOf(t, env, lhs) == classShared {
+		a.violation(t, lhs.Pos(), "cross-shard write in a TickShard graph: %s is rooted in shared state with no shard index on the path; shard-own it, fold it in FinishShards/FinishEpoch, or annotate //cfm:shard-ok <reason>", types.ExprString(lhs))
+	}
+}
+
+// checkCall flags synchronization and mutating builtins, then recurses
+// into statically-resolvable module-internal callees with the observed
+// receiver/argument classes.
+func (a *shardAnalysis) checkCall(t *Target, env classEnv, call *ast.CallExpr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := t.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "copy", "delete", "clear":
+				if len(call.Args) > 0 && classOf(t, env, call.Args[0]) == classShared {
+					a.violation(t, call.Pos(), "cross-shard write in a TickShard graph: %s(%s, …) mutates shared state; shard-own it or fold it in FinishShards/FinishEpoch", id.Name, types.ExprString(call.Args[0]))
+				}
+			}
+			return
+		}
+	}
+	fn := t.staticCallee(call)
+	if fn == nil {
+		return
+	}
+	if isSyncLock(fn) {
+		a.violation(t, call.Pos(), "%s.%s in a TickShard graph: locking means shards contend on shared state; restructure so each shard owns its slice, or fold in FinishShards/FinishEpoch", fn.Pkg().Name(), fn.Name())
+		return
+	}
+	callee, ct := t.declOf(fn)
+	if callee == nil {
+		return // out-of-module or bodyless: documented frontier
+	}
+	recvClass := classLocal
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, isIdent := sel.X.(*ast.Ident); !isIdent {
+			recvClass = classOf(t, env, sel.X)
+		} else if _, isPkg := t.Info.Uses[id].(*types.PkgName); !isPkg {
+			recvClass = classOf(t, env, sel.X)
+		}
+	}
+	params := ct.paramObjs(callee)
+	args := make([]valClass, len(params))
+	for i, arg := range call.Args {
+		c := classOf(t, env, arg)
+		if i < len(args) {
+			args[i] = c
+		} else if len(args) > 0 {
+			args[len(args)-1] = joinClass(args[len(args)-1], c) // variadic tail
+		}
+	}
+	a.checkFunc(ct, callee, recvClass, args)
+}
+
+// isSyncLock reports whether fn is a sync.Mutex/RWMutex lock-family
+// method.
+func isSyncLock(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+// violation reports one finding unless the line carries a reasoned
+// //cfm:shard-ok waiver (a bare waiver is itself a finding).
+func (a *shardAnalysis) violation(t *Target, pos token.Pos, format string, args ...any) {
+	if a.reported[pos] {
+		return
+	}
+	file := t.fileOf(pos)
+	if file != nil {
+		if reason, ok := t.lineAnnotation(file, pos, "shard-ok"); ok {
+			if reason == "" {
+				a.reportOnce(pos, "bare //cfm:shard-ok; state why the write is single-writer (//cfm:shard-ok <reason>)")
+			}
+			return
+		}
+	}
+	a.reportOnce(pos, format+fmt.Sprintf(" (reached from %s)", a.root), args...)
+}
+
+func (a *shardAnalysis) reportOnce(pos token.Pos, format string, args ...any) {
+	if a.reported[pos] {
+		return
+	}
+	a.reported[pos] = true
+	a.r.Reportf(a.pass, pos, format, args...)
+}
+
+// recvTypeString names a receiver type without package qualifier or
+// pointer marker: *core.Partial → Partial.
+func recvTypeString(typ types.Type) string {
+	if p, ok := typ.(*types.Pointer); ok {
+		typ = p.Elem()
+	}
+	if named, ok := types.Unalias(typ).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return typ.String()
+}

@@ -93,15 +93,6 @@ func fieldLabel(ts *ast.TypeSpec, f *ast.Field) string {
 	return ts.Name.Name + " embedded field"
 }
 
-// fieldAnnotation reads a //cfm:<key> directive from a struct field's
-// doc comment or same-line trailing comment.
-func fieldAnnotation(f *ast.Field, key string) (string, bool) {
-	if v, ok := annotation(f.Doc, key); ok {
-		return v, true
-	}
-	return annotation(f.Comment, key)
-}
-
 // pointerFree reports whether a value of type t contains no pointers:
 // non-string basics, and structs/arrays composed of such. Anything the
 // garbage collector would scan — pointers, slices, maps, channels,

@@ -85,19 +85,6 @@ func (t *Target) checkStaterType(pass string, gd *ast.GenDecl, ts *ast.TypeSpec,
 	}
 }
 
-// typeAnnotation reads a //cfm:key directive from a type declaration's
-// doc comment: the spec's own doc, the enclosing GenDecl's doc, or a
-// trailing line comment.
-func typeAnnotation(gd *ast.GenDecl, ts *ast.TypeSpec, key string) (string, bool) {
-	if v, ok := annotation(ts.Doc, key); ok {
-		return v, ok
-	}
-	if v, ok := annotation(gd.Doc, key); ok {
-		return v, ok
-	}
-	return annotation(ts.Comment, key)
-}
-
 // isTicker reports whether *T's method set includes
 // Tick(sim.Slot, sim.Phase) with no results — the sim.Ticker contract.
 func (t *Target) isTicker(obj *types.TypeName) bool {

@@ -54,21 +54,6 @@ func StructLayoutPass() *Pass {
 	}
 }
 
-// typeAnnotated reports whether the directive sits on the type's doc
-// comment — on the TypeSpec for grouped declarations, or on the GenDecl
-// for the common standalone `type` form.
-func typeAnnotated(gd *ast.GenDecl, ts *ast.TypeSpec, key string) bool {
-	if _, ok := annotation(ts.Doc, key); ok {
-		return true
-	}
-	if len(gd.Specs) == 1 {
-		if _, ok := annotation(gd.Doc, key); ok {
-			return true
-		}
-	}
-	return false
-}
-
 // checkCacheLine verifies one annotated type: it must be a struct, and
 // its gc/amd64 size must be a nonzero multiple of the cache line.
 func (t *Target) checkCacheLine(ts *ast.TypeSpec, r *Reporter, pass string) {

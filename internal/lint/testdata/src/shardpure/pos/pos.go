@@ -1,0 +1,70 @@
+// Package pos hosts TickShard graphs that break the conflict-freedom
+// contract; every marked line must be reported.
+package pos
+
+import (
+	"sync"
+
+	"cfm/internal/sim"
+)
+
+// hits is shared across every shard by construction.
+var hits int
+
+// Racy commits the classic cross-shard sins directly in TickShard.
+type Racy struct {
+	total int
+	grid  [][]int
+	done  chan int
+	mu    sync.Mutex
+}
+
+func (r *Racy) Shards() int                           { return 4 }
+func (r *Racy) Tick(t sim.Slot, ph sim.Phase)         {}
+func (r *Racy) FinishShards(t sim.Slot, ph sim.Phase) {}
+
+func (r *Racy) TickShard(t sim.Slot, ph sim.Phase, s int) {
+	r.total++ // want "cross-shard write"
+	for i := range r.grid {
+		r.grid[i][0] = s // want "cross-shard write"
+	}
+	hits++      // want "package-level variable"
+	r.done <- s // want "channel send"
+	r.mu.Lock() // want "sync.Lock"
+	go func() { // want "goroutine launched"
+		r.total = 0
+	}()
+}
+
+// Indirect hides the shared write one call away; the interprocedural
+// walk must still find it, and flag the mutating builtin too.
+type Indirect struct {
+	scratch []int
+	seen    map[int]bool
+}
+
+func (x *Indirect) Shards() int                   { return 2 }
+func (x *Indirect) Tick(t sim.Slot, ph sim.Phase) {}
+
+func (x *Indirect) TickShard(t sim.Slot, ph sim.Phase, s int) {
+	x.bump(s)
+	clear(x.seen) // want "mutates shared state"
+}
+
+func (x *Indirect) bump(s int) {
+	x.scratch = append(x.scratch, s) // want "cross-shard write"
+}
+
+// BareWaiver carries the escape hatch without the reason — the
+// reviewable part of a waiver is why the write is single-writer.
+type BareWaiver struct {
+	mark int
+}
+
+func (b *BareWaiver) Shards() int                   { return 2 }
+func (b *BareWaiver) Tick(t sim.Slot, ph sim.Phase) {}
+
+//cfm:shard-ok
+func (b *BareWaiver) TickShard(t sim.Slot, ph sim.Phase, s int) { // want "bare //cfm:shard-ok"
+	b.mark = s
+}

@@ -97,6 +97,7 @@ type BufferedOmega struct {
 
 	// stage buffers per-terminal measurement deltas, folded by
 	// FinishShards.
+	//cfm:no-save fold scratch, drained by FinishShards before any checkpoint boundary
 	stage []bufferedStage //cfm:soa-ok fold scratch, one element per terminal shard
 
 	// Measurements, split by traffic class.
